@@ -1,0 +1,38 @@
+//! Criterion benches: one per reproduced table and figure.
+//!
+//! Each bench times the *experiment kernel* -- the measurement sweep plus
+//! analysis that regenerates the table/figure -- on the quick harness (the
+//! 12-benchmark representative subset with shortened traces), so `cargo
+//! bench` exercises every experiment end to end in minutes. The
+//! full-fidelity regenerations are the `lhr-bench` binaries (`repro_all`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use lhr_bench::run_experiment;
+use lhr_core::Harness;
+
+fn bench_experiments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    for name in lhr_bench::EXPERIMENTS {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                Harness::quick,
+                |harness| std::hint::black_box(run_experiment(name, &harness)),
+                criterion::BatchSize::PerIteration,
+            );
+        });
+    }
+    // Figure 12 shares Table 5's analysis but is its own paper artifact.
+    group.bench_function("figure12", |b| {
+        b.iter_batched(
+            Harness::quick,
+            |harness| std::hint::black_box(run_experiment("figure12", &harness)),
+            criterion::BatchSize::PerIteration,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Regenerates the paper's figure1. Flags: `--quick`, `--paper`.
+fn main() {
+    lhr_bench::main_for("figure1");
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's figure2. Flags: `--quick`, `--paper`.
+fn main() {
+    lhr_bench::main_for("figure2");
+}

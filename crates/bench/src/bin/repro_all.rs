@@ -1,0 +1,27 @@
+//! Regenerates every table and figure in one pass and writes each to
+//! `repro_out/<name>.txt` (plus everything to stdout).
+//!
+//! Flags: `--quick` (12-benchmark subset), `--paper` (prescribed
+//! invocation counts). Default: full catalog, 3 invocations.
+
+use std::fs;
+use std::time::Instant;
+
+use lhr_bench::{run_experiment, Fidelity, EXPERIMENTS};
+
+fn main() {
+    let fidelity = Fidelity::from_args();
+    let harness = fidelity.harness();
+    let out_dir = std::path::Path::new("repro_out");
+    fs::create_dir_all(out_dir).expect("create repro_out/");
+    println!("regenerating all tables and figures at {fidelity:?} fidelity\n");
+    let t0 = Instant::now();
+    for name in EXPERIMENTS {
+        let t = Instant::now();
+        let rendered = run_experiment(name, &harness);
+        let path = out_dir.join(format!("{name}.txt"));
+        fs::write(&path, &rendered).expect("write experiment output");
+        println!("=== {name} ({:.1?}) ===\n{rendered}", t.elapsed());
+    }
+    println!("total: {:.1?}; outputs in repro_out/", t0.elapsed());
+}

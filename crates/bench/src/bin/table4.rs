@@ -1,0 +1,4 @@
+//! Regenerates the paper's table4. Flags: `--quick`, `--paper`.
+fn main() {
+    lhr_bench::main_for("table4");
+}

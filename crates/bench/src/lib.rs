@@ -1,0 +1,135 @@
+//! Shared machinery for the table/figure regenerator binaries and the
+//! Criterion benches.
+//!
+//! Every table and figure of the paper has a binary in `src/bin/` that
+//! prints the reproduced rows or series (`table1` ... `figure12`), plus
+//! `repro_all`, which regenerates everything in one pass and writes the
+//! paper-vs-measured record used by EXPERIMENTS.md. All binaries accept
+//! `--quick` (12-benchmark subset, 2 invocations) for a fast look; the
+//! default runs the full 61-benchmark catalog with a reduced invocation
+//! count, and `--paper` uses the exact prescribed 3/5/20 invocations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use lhr_core::experiments::{
+    figure10_turbo, figure11_history, figure1_scalability, figure2_tdp, figure3_scatter,
+    figure4_cmp, figure5_smt, figure6_jvm, figure7_clock, figure8_dieshrink, figure9_uarch,
+    pareto, table1, table2, table3, table4,
+};
+use lhr_core::{configs, Harness, Runner};
+
+/// Fidelity level selected on the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fidelity {
+    /// 12-benchmark subset, 2 invocations, shortened traces.
+    Quick,
+    /// Full catalog, 3 invocations, full traces (the default).
+    Standard,
+    /// Full catalog, the paper's prescribed 3/5/20 invocations.
+    Paper,
+}
+
+impl Fidelity {
+    /// Parses the process arguments.
+    #[must_use]
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        if args.iter().any(|a| a == "--quick") {
+            Fidelity::Quick
+        } else if args.iter().any(|a| a == "--paper") {
+            Fidelity::Paper
+        } else {
+            Fidelity::Standard
+        }
+    }
+
+    /// Builds the harness for this fidelity.
+    #[must_use]
+    pub fn harness(self) -> Harness {
+        match self {
+            Fidelity::Quick => Harness::quick(),
+            Fidelity::Standard => Harness::new(Runner::new().with_invocations(3)),
+            Fidelity::Paper => Harness::new(Runner::new()),
+        }
+    }
+}
+
+/// The experiments a regenerator can run, in paper order.
+pub const EXPERIMENTS: [&str; 16] = [
+    "table1", "table2", "table3", "table4", "table5", "figure1", "figure2", "figure3",
+    "figure4", "figure5", "figure6", "figure7", "figure8", "figure9", "figure10", "figure11",
+];
+
+/// Runs one experiment by name and returns its rendered output.
+///
+/// # Panics
+///
+/// Panics on an unknown experiment name; the binaries validate first.
+#[must_use]
+pub fn run_experiment(name: &str, harness: &Harness) -> String {
+    match name {
+        "table1" => table1::render(),
+        "table2" => {
+            let configs = configs::stock_configs();
+            table2::run(harness, &configs).render()
+        }
+        "table3" => table3::render(),
+        "table4" => {
+            let t = table4::run(harness);
+            format!(
+                "{}\npaper vs measured (Avg_w):\n{}",
+                t.render(),
+                t.render_comparison()
+            )
+        }
+        "table5" | "figure12" => {
+            let analysis = pareto::run(harness);
+            format!(
+                "Table 5 (Pareto-efficient 45nm configurations):\n{}\nFigure 12 frontiers:\n{}",
+                analysis.render_table5(),
+                analysis.render_figure12()
+            )
+        }
+        "figure1" => figure1_scalability::render(&figure1_scalability::run(harness)),
+        "figure2" => figure2_tdp::render(&figure2_tdp::run(harness)),
+        "figure3" => figure3_scatter::render(&figure3_scatter::run(harness)),
+        "figure4" => figure4_cmp::render(&figure4_cmp::run(harness)),
+        "figure5" => figure5_smt::render(&figure5_smt::run(harness)),
+        "figure6" => figure6_jvm::render(&figure6_jvm::run(harness)),
+        "figure7" => figure7_clock::render(&figure7_clock::run(harness)),
+        "figure8" => figure8_dieshrink::render(&figure8_dieshrink::run(harness)),
+        "figure9" => figure9_uarch::render(&figure9_uarch::run(harness)),
+        "figure10" => figure10_turbo::render(&figure10_turbo::run(harness)),
+        "figure11" => figure11_history::render(&figure11_history::run(harness)),
+        other => panic!("unknown experiment {other:?}; known: {EXPERIMENTS:?} + figure12"),
+    }
+}
+
+/// Entry point shared by the thin per-experiment binaries.
+pub fn main_for(name: &str) {
+    let fidelity = Fidelity::from_args();
+    let harness = fidelity.harness();
+    println!("=== {name} ({fidelity:?}) ===\n");
+    println!("{}", run_experiment(name, &harness));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_tables_render_without_a_harness_sweep() {
+        // table1/table3 need no measurements at all.
+        let harness = Harness::quick();
+        assert!(run_experiment("table1", &harness).contains("mcf"));
+        assert!(run_experiment("table3", &harness).contains("SLBCH"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown experiment")]
+    fn unknown_experiment_panics() {
+        let harness = Harness::quick();
+        let _ = run_experiment("figure99", &harness);
+    }
+}

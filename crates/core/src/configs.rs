@@ -1,0 +1,170 @@
+//! The study's configuration space.
+//!
+//! Section 2.8 evaluates the eight stock processors plus configured
+//! variants -- 45 configurations in all -- and Section 4.2's Pareto
+//! analysis expands the four 45nm chips into 29 configurations by scaling
+//! clocks and hardware contexts and toggling Turbo Boost.
+
+use lhr_uarch::{ChipConfig, ProcessorId};
+use lhr_units::Hertz;
+
+/// The eight stock configurations, in Table 3 order.
+#[must_use]
+pub fn stock_configs() -> Vec<ChipConfig> {
+    ProcessorId::ALL
+        .iter()
+        .map(|&id| ChipConfig::stock(id.spec()))
+        .collect()
+}
+
+fn cfg(
+    id: ProcessorId,
+    cores: usize,
+    smt: bool,
+    ghz: f64,
+    turbo: bool,
+) -> ChipConfig {
+    let mut c = ChipConfig::stock(id.spec())
+        .with_cores(cores)
+        .expect("catalog core counts are valid")
+        .with_smt(smt)
+        .expect("catalog SMT settings are valid")
+        .with_clock(Hertz::from_ghz(ghz))
+        .expect("catalog clocks are valid");
+    // `with_clock` may have auto-disabled turbo; only re-enable explicitly.
+    c = c.with_turbo(turbo).expect("catalog turbo settings are valid");
+    c
+}
+
+/// The 29 45nm configurations of the Pareto analysis (Table 5's columns
+/// plus the dominated candidates): every combination the paper scales --
+/// cores, SMT, clock, Turbo -- across the i7 (45), Atom (45), AtomD (45),
+/// and C2D (45).
+#[must_use]
+pub fn pareto_45nm_configs() -> Vec<ChipConfig> {
+    use ProcessorId::{Atom230, AtomD510, Core2DuoE7600, CoreI7_920};
+    vec![
+        // ---- Atom (45): stock, SMT off, down-clocked (4).
+        cfg(Atom230, 1, true, 1.66, false),
+        cfg(Atom230, 1, false, 1.66, false),
+        cfg(Atom230, 1, true, 0.8, false),
+        cfg(Atom230, 1, false, 0.8, false),
+        // ---- AtomD (45): core/SMT scaling (4).
+        cfg(AtomD510, 2, true, 1.66, false),
+        cfg(AtomD510, 2, false, 1.66, false),
+        cfg(AtomD510, 1, true, 1.66, false),
+        cfg(AtomD510, 1, false, 1.66, false),
+        // ---- C2D (45): clock and core scaling (5).
+        cfg(Core2DuoE7600, 2, false, 3.06, false),
+        cfg(Core2DuoE7600, 2, false, 2.4, false),
+        cfg(Core2DuoE7600, 2, false, 1.6, false),
+        cfg(Core2DuoE7600, 1, false, 3.06, false),
+        cfg(Core2DuoE7600, 1, false, 1.6, false),
+        // ---- i7 (45): the full cross of cores/SMT/clock/Turbo (16).
+        cfg(CoreI7_920, 4, true, 2.66, true),
+        cfg(CoreI7_920, 4, true, 2.66, false),
+        cfg(CoreI7_920, 4, true, 2.1, false),
+        cfg(CoreI7_920, 4, true, 1.6, false),
+        cfg(CoreI7_920, 4, false, 2.66, true),
+        cfg(CoreI7_920, 4, false, 2.66, false),
+        cfg(CoreI7_920, 4, false, 1.6, false),
+        cfg(CoreI7_920, 2, true, 2.66, false),
+        cfg(CoreI7_920, 2, true, 1.6, false),
+        cfg(CoreI7_920, 2, false, 1.6, false),
+        cfg(CoreI7_920, 1, true, 2.66, false),
+        cfg(CoreI7_920, 1, true, 2.4, false),
+        cfg(CoreI7_920, 1, true, 1.6, false),
+        cfg(CoreI7_920, 1, false, 2.66, true),
+        cfg(CoreI7_920, 1, false, 2.66, false),
+        cfg(CoreI7_920, 1, false, 1.6, false),
+    ]
+}
+
+/// The paper's full 45-configuration space: the 8 stock machines, the 29
+/// 45nm Pareto configurations (4 of which are stock), plus the non-45nm
+/// feature-analysis variants (SMT-off Pentium 4, core/clock-scaled
+/// Nehalems and Cores used in Sections 3.1-3.6).
+#[must_use]
+pub fn all_study_configs() -> Vec<ChipConfig> {
+    use ProcessorId::{Core2DuoE6600, Core2QuadQ6600, CoreI5_670, Pentium4_130};
+    let mut v = Vec::new();
+    v.extend(stock_configs());
+    // The 25 non-stock 45nm configurations.
+    for c in pareto_45nm_configs() {
+        if !v.contains(&c) {
+            v.push(c);
+        }
+    }
+    // Feature-analysis variants on the other nodes.
+    let extra = vec![
+        cfg(Pentium4_130, 1, false, 2.4, false),
+        cfg(Core2DuoE6600, 2, false, 1.6, false),
+        cfg(Core2DuoE6600, 1, false, 2.4, false),
+        cfg(Core2QuadQ6600, 2, false, 2.4, false),
+        cfg(CoreI5_670, 2, true, 3.46, false),
+        cfg(CoreI5_670, 2, false, 3.46, false),
+        cfg(CoreI5_670, 1, true, 3.46, false),
+        cfg(CoreI5_670, 1, false, 3.46, true),
+        cfg(CoreI5_670, 1, false, 3.46, false),
+        cfg(CoreI5_670, 2, true, 1.2, false),
+        cfg(CoreI5_670, 1, false, 1.2, false),
+        cfg(CoreI5_670, 2, true, 2.66, false),
+    ];
+    for c in extra {
+        if !v.contains(&c) {
+            v.push(c);
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_stock_configs() {
+        let s = stock_configs();
+        assert_eq!(s.len(), 8);
+        assert!(s.iter().all(|c| c.clock() == c.spec().base_clock));
+    }
+
+    #[test]
+    fn twenty_nine_pareto_configs() {
+        let p = pareto_45nm_configs();
+        assert_eq!(p.len(), 29);
+        // All on 45nm silicon.
+        assert!(p
+            .iter()
+            .all(|c| c.spec().node == lhr_units::TechNode::Nm45));
+        // All labels unique.
+        let mut labels: Vec<String> = p.iter().map(ChipConfig::label).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), 29);
+        // The four stock 45nm machines are present.
+        for stock in ["i7 (45) 4C2T@2.7GHz", "Atom (45) 1C2T@1.7GHz"] {
+            assert!(labels.iter().any(|l| l == stock), "{stock} missing");
+        }
+    }
+
+    #[test]
+    fn full_study_space_has_45_configurations() {
+        let all = all_study_configs();
+        assert_eq!(all.len(), 45, "the paper's 45 processor configurations");
+        let mut labels: Vec<String> = all.iter().map(ChipConfig::label).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), 45, "labels must be unique");
+    }
+
+    #[test]
+    fn turbo_only_on_stock_clock_nehalem() {
+        for c in all_study_configs() {
+            if c.turbo_enabled() {
+                assert!(c.spec().power.turbo.is_some());
+                assert_eq!(c.clock(), c.spec().base_clock);
+            }
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Ablation studies: switching a modelled mechanism off and checking that
+//! the corresponding finding disappears.
+//!
+//! The paper attributes its effects causally -- e.g. Workload Finding 1's
+//! single-threaded Java speedup is attributed to the JVM's concurrent
+//! services via HotSpot instrumentation and DTLB counters. In a simulated
+//! reproduction the equivalent evidence is an ablation: remove the
+//! mechanism from the model and the effect must vanish. These experiments
+//! are the repository's causal audit trail (and the `ablations` bench
+//! target regenerates them).
+
+use lhr_uarch::{ChipConfig, ProcessorId};
+use lhr_workloads::{by_name, ManagedProfile};
+
+use crate::harness::Harness;
+use crate::report::Table;
+
+/// One benchmark's CMP gain with and without VM services.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceAblation {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// 2C1T/1C1T speedup with the full JVM model.
+    pub with_services: f64,
+    /// The same with GC/JIT work and displacement ablated.
+    pub without_services: f64,
+}
+
+/// Runs the VM-service ablation for Workload Finding 1 on the i7 (45).
+#[must_use]
+pub fn jvm_service_ablation(harness: &Harness, names: &[&'static str]) -> Vec<ServiceAblation> {
+    let spec = ProcessorId::CoreI7_920.spec();
+    let base = ChipConfig::stock(spec)
+        .with_smt(false)
+        .expect("smt off")
+        .with_turbo(false)
+        .expect("turbo off");
+    let one = base.clone().with_cores(1).expect("1 core");
+    let two = base.with_cores(2).expect("2 cores");
+    names
+        .iter()
+        .map(|&name| {
+            let w = by_name(name).expect("catalog benchmark");
+            let ablated = w.with_services_ablated();
+            let speedup = |w: &lhr_workloads::Workload| {
+                harness.runner().measure(&one, w).seconds().value()
+                    / harness.runner().measure(&two, w).seconds().value()
+            };
+            ServiceAblation {
+                name,
+                with_services: speedup(w),
+                without_services: speedup(&ablated),
+            }
+        })
+        .collect()
+}
+
+/// One benchmark's power under different JVM vendors (Section 2.2: the
+/// paper saw up to 10% aggregate power differences between JVMs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VmVendorComparison {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// (HotSpot-like, JRockit-like, J9-like) measured watts on the i7.
+    pub watts: (f64, f64, f64),
+    /// Same order, execution seconds.
+    pub seconds: (f64, f64, f64),
+}
+
+/// Measures a benchmark under the three modelled JVM profiles.
+#[must_use]
+pub fn vm_vendor_comparison(harness: &Harness, names: &[&'static str]) -> Vec<VmVendorComparison> {
+    let config = ChipConfig::stock(ProcessorId::CoreI7_920.spec());
+    names
+        .iter()
+        .map(|&name| {
+            let w = by_name(name).expect("catalog benchmark");
+            let hotspot = harness.runner().measure(&config, w);
+            let jr = harness
+                .runner()
+                .measure(&config, &w.with_managed_profile(ManagedProfile::jrockit_like()));
+            let j9 = harness
+                .runner()
+                .measure(&config, &w.with_managed_profile(ManagedProfile::j9_like()));
+            VmVendorComparison {
+                name,
+                watts: (
+                    hotspot.watts().value(),
+                    jr.watts().value(),
+                    j9.watts().value(),
+                ),
+                seconds: (
+                    hotspot.seconds().value(),
+                    jr.seconds().value(),
+                    j9.seconds().value(),
+                ),
+            }
+        })
+        .collect()
+}
+
+/// Renders both ablations.
+#[must_use]
+pub fn render(services: &[ServiceAblation], vendors: &[VmVendorComparison]) -> String {
+    let mut a = Table::new(["Benchmark", "2C/1C (full JVM)", "2C/1C (services ablated)"]);
+    for s in services {
+        a.row([
+            s.name.to_owned(),
+            format!("{:.2}", s.with_services),
+            format!("{:.2}", s.without_services),
+        ]);
+    }
+    let mut b = Table::new(["Benchmark", "HotSpot W", "JRockit-like W", "J9-like W"]);
+    for v in vendors {
+        b.row([
+            v.name.to_owned(),
+            format!("{:.1}", v.watts.0),
+            format!("{:.1}", v.watts.1),
+            format!("{:.1}", v.watts.2),
+        ]);
+    }
+    format!(
+        "VM-service ablation (Workload Finding 1 attribution):\n{}\nJVM vendor sensitivity (Section 2.2):\n{}",
+        a.render(),
+        b.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::Runner;
+
+    #[test]
+    fn ablating_services_removes_the_java_cmp_gain() {
+        let subset = ["antlr", "db"]
+            .iter()
+            .map(|n| by_name(n).unwrap())
+            .collect();
+        let harness = Harness::new(Runner::fast()).with_workloads(subset);
+        let results = jvm_service_ablation(&harness, &["antlr", "db"]);
+        for r in &results {
+            assert!(
+                r.with_services > 1.08,
+                "{}: full model gains from 2 cores, got {}",
+                r.name,
+                r.with_services
+            );
+            assert!(
+                (r.without_services - 1.0).abs() < 0.04,
+                "{}: ablated model must be flat, got {}",
+                r.name,
+                r.without_services
+            );
+        }
+        assert!(render(&results, &[]).contains("ablated"));
+    }
+
+    #[test]
+    fn jvm_vendors_shift_power_modestly() {
+        let subset = ["jess"].iter().map(|n| by_name(n).unwrap()).collect();
+        let harness = Harness::new(Runner::fast()).with_workloads(subset);
+        let results = vm_vendor_comparison(&harness, &["jess"]);
+        let (hs, jr, j9) = results[0].watts;
+        for v in [jr, j9] {
+            let rel = (v - hs).abs() / hs;
+            assert!(rel < 0.10, "JVM power deltas stay within ~10%, got {rel}");
+        }
+        // The heavier runtime runs no faster.
+        let (t_hs, t_jr, _) = results[0].seconds;
+        assert!(t_jr >= t_hs * 0.98);
+    }
+}

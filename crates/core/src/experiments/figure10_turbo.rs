@@ -1,0 +1,155 @@
+//! Figure 10: Turbo Boost enabled versus disabled on the i7 (45) and
+//! i5 (32), in stock and single-context configurations.
+//!
+//! Architecture Finding 8: Turbo is not energy efficient on the i7 --
+//! small clock-step speedups bought with a large voltage-driven power
+//! increase -- while the i5 is essentially energy-neutral.
+
+use std::collections::BTreeMap;
+
+use lhr_uarch::{ChipConfig, ProcessorId};
+use lhr_workloads::Group;
+
+use crate::experiments::{feature_ratios, group_energy_ratios, FeatureRatios};
+use crate::harness::Harness;
+use crate::report::{fmt2, Table};
+
+/// One configuration's Turbo effect.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TurboEffect {
+    /// The figure's label, e.g. `i7 (45) 4C2T`.
+    pub label: String,
+    /// Enabled / disabled ratios.
+    pub ratios: FeatureRatios,
+    /// Per-group energy ratios (Figure 10b).
+    pub energy_by_group: BTreeMap<Group, f64>,
+}
+
+/// The paper's Figure 10(a) values: `(label, perf, power, energy)`.
+pub const PAPER: [(&str, f64, f64, f64); 4] = [
+    ("i7 (45) 4C2T", 1.05, 1.19, 1.19),
+    ("i7 (45) 1C1T", 1.07, 1.49, 1.39),
+    ("i5 (32) 2C2T", 1.03, 1.07, 1.04),
+    ("i5 (32) 1C1T", 1.05, 1.05, 1.00),
+];
+
+fn turbo_effect(harness: &Harness, id: ProcessorId, single_context: bool) -> TurboEffect {
+    let spec = id.spec();
+    let base = if single_context {
+        ChipConfig::stock(spec)
+            .with_cores(1)
+            .expect("1 core")
+            .with_smt(false)
+            .expect("smt off")
+    } else {
+        ChipConfig::stock(spec)
+    };
+    let off = base.clone().with_turbo(false).expect("turbo off");
+    let on = base.with_turbo(true).expect("these chips have turbo");
+    let m_off = harness.group_metrics(&off);
+    let m_on = harness.group_metrics(&on);
+    let topo = if single_context {
+        "1C1T".to_owned()
+    } else {
+        spec.topology()
+    };
+    TurboEffect {
+        label: format!("{} {}", spec.short, topo),
+        ratios: feature_ratios(&m_off, &m_on),
+        energy_by_group: group_energy_ratios(&m_off, &m_on),
+    }
+}
+
+/// Runs all four Turbo comparisons.
+#[must_use]
+pub fn run(harness: &Harness) -> Vec<TurboEffect> {
+    vec![
+        turbo_effect(harness, ProcessorId::CoreI7_920, false),
+        turbo_effect(harness, ProcessorId::CoreI7_920, true),
+        turbo_effect(harness, ProcessorId::CoreI5_670, false),
+        turbo_effect(harness, ProcessorId::CoreI5_670, true),
+    ]
+}
+
+/// Renders both panels.
+#[must_use]
+pub fn render(results: &[TurboEffect]) -> String {
+    let mut a = Table::new(["Config", "perf on/off", "power", "energy"]);
+    let mut b = Table::new(["Config", "NN", "NS", "JN", "JS"]);
+    for r in results {
+        a.row([
+            r.label.clone(),
+            fmt2(r.ratios.performance),
+            fmt2(r.ratios.power),
+            fmt2(r.ratios.energy),
+        ]);
+        let g = |grp| {
+            r.energy_by_group
+                .get(&grp)
+                .map_or_else(|| "-".to_owned(), |v| fmt2(*v))
+        };
+        b.row([
+            r.label.clone(),
+            g(Group::NativeNonScalable),
+            g(Group::NativeScalable),
+            g(Group::JavaNonScalable),
+            g(Group::JavaScalable),
+        ]);
+    }
+    format!(
+        "(a) Turbo Boost enabled / disabled:\n{}\n(b) energy by group:\n{}",
+        a.render(),
+        b.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn turbo_is_costly_on_i7_and_neutral_on_i5() {
+        let harness = Harness::quick();
+        let results = run(&harness);
+        let get = |l: &str| results.iter().find(|r| r.label == l).unwrap();
+        let i7_stock = get("i7 (45) 4C2T");
+        let i7_single = get("i7 (45) 1C1T");
+        let i5_stock = get("i5 (32) 2C2T");
+        let i5_single = get("i5 (32) 1C1T");
+
+        // Everyone speeds up a little (the clock steps are small).
+        for r in &results {
+            assert!(
+                r.ratios.performance > 1.0 && r.ratios.performance < 1.2,
+                "{}: perf {}",
+                r.label,
+                r.ratios.performance
+            );
+        }
+        // Architecture Finding 8: i7 pays a big power/energy premium,
+        // especially with one context (two boost steps).
+        assert!(i7_stock.ratios.energy > 1.05, "i7 stock energy {}", i7_stock.ratios.energy);
+        assert!(
+            i7_single.ratios.power > i7_stock.ratios.power,
+            "single-context boost is the hungriest: {} vs {}",
+            i7_single.ratios.power,
+            i7_stock.ratios.power
+        );
+        // The i5 is essentially energy-neutral.
+        assert!(
+            i5_stock.ratios.energy < 1.09,
+            "i5 stock energy {}",
+            i5_stock.ratios.energy
+        );
+        assert!(
+            i5_single.ratios.energy < 1.07,
+            "i5 1C1T energy {}",
+            i5_single.ratios.energy
+        );
+        assert!(
+            i7_stock.ratios.energy > i5_stock.ratios.energy,
+            "i7 turbo must cost more than i5's"
+        );
+        assert!(render(&results).contains("Turbo Boost"));
+    }
+}

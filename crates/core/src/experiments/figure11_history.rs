@@ -1,0 +1,137 @@
+//! Figure 11: the historical overview -- power versus performance for all
+//! eight stock processors (11a), and the same normalized per transistor
+//! (11b).
+//!
+//! Architecture Finding 9: power per transistor is consistent within a
+//! microarchitecture family; the Pentium 4 yields both the most
+//! performance *and* the most power per transistor by a wide margin.
+
+use lhr_uarch::Microarch;
+
+use crate::configs::stock_configs;
+use crate::harness::Harness;
+use crate::report::Table;
+
+/// One processor's point in both panels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoryPoint {
+    /// Processor shorthand.
+    pub processor: &'static str,
+    /// Microarchitecture family.
+    pub family: Microarch,
+    /// Transistors (millions) in the package.
+    pub transistors_m: f64,
+    /// Weighted-average normalized performance.
+    pub performance: f64,
+    /// Weighted-average measured power (watts).
+    pub power: f64,
+}
+
+impl HistoryPoint {
+    /// Performance per million transistors (Figure 11b x-axis).
+    #[must_use]
+    pub fn perf_per_transistor(&self) -> f64 {
+        self.performance / self.transistors_m
+    }
+
+    /// Watts per million transistors (Figure 11b y-axis).
+    #[must_use]
+    pub fn power_per_transistor(&self) -> f64 {
+        self.power / self.transistors_m
+    }
+}
+
+/// Runs the historical sweep over the stock configurations.
+#[must_use]
+pub fn run(harness: &Harness) -> Vec<HistoryPoint> {
+    stock_configs()
+        .iter()
+        .map(|config| {
+            let m = harness.group_metrics(config);
+            let spec = config.spec();
+            HistoryPoint {
+                processor: spec.short,
+                family: spec.uarch,
+                transistors_m: spec.transistors_m,
+                performance: m.perf_w,
+                power: m.power_w,
+            }
+        })
+        .collect()
+}
+
+/// Renders both panels as rows.
+#[must_use]
+pub fn render(points: &[HistoryPoint]) -> String {
+    let mut t = Table::new([
+        "Processor", "family", "perf", "power(W)", "perf/Mtrans", "W/Mtrans",
+    ]);
+    for p in points {
+        t.row([
+            p.processor.to_owned(),
+            p.family.to_string(),
+            format!("{:.2}", p.performance),
+            format!("{:.1}", p.power),
+            format!("{:.4}", p.perf_per_transistor()),
+            format!("{:.4}", p.power_per_transistor()),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pentium4_is_the_per_transistor_outlier() {
+        let harness = Harness::quick();
+        let pts = run(&harness);
+        assert_eq!(pts.len(), 8);
+        let p4 = pts.iter().find(|p| p.processor == "Pentium4 (130)").unwrap();
+        for p in &pts {
+            if p.processor != p4.processor {
+                assert!(
+                    p4.power_per_transistor() > p.power_per_transistor(),
+                    "P4 must consume the most power per transistor ({} vs {} for {})",
+                    p4.power_per_transistor(),
+                    p.power_per_transistor(),
+                    p.processor
+                );
+            }
+        }
+        // And it also yields the most performance per transistor.
+        let max_ppt = pts
+            .iter()
+            .map(HistoryPoint::perf_per_transistor)
+            .fold(0.0f64, f64::max);
+        assert!((p4.perf_per_transistor() - max_ppt).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_per_transistor_is_family_consistent() {
+        let harness = Harness::quick();
+        let pts = run(&harness);
+        // Within each multi-member family, watts/Mtransistor should agree
+        // within ~2.5x, while the spread across families is much larger.
+        for fam in [Microarch::Core, Microarch::Nehalem, Microarch::Bonnell] {
+            let members: Vec<f64> = pts
+                .iter()
+                .filter(|p| p.family == fam)
+                .map(HistoryPoint::power_per_transistor)
+                .collect();
+            if members.len() > 1 {
+                let max = members.iter().copied().fold(0.0f64, f64::max);
+                let min = members.iter().copied().fold(f64::INFINITY, f64::min);
+                assert!(max / min < 2.5, "{fam}: {min}..{max}");
+            }
+        }
+        let all_max = pts.iter().map(HistoryPoint::power_per_transistor).fold(0.0f64, f64::max);
+        let all_min = pts
+            .iter()
+            .map(HistoryPoint::power_per_transistor)
+            .fold(f64::INFINITY, f64::min);
+        assert!(all_max / all_min > 3.0, "cross-family spread {all_min}..{all_max}");
+        assert!(render(&pts).contains("W/Mtrans"));
+    }
+}

@@ -1,0 +1,96 @@
+//! Figure 2: measured per-benchmark power versus TDP, per processor
+//! (log/log in the paper). The finding: TDP is strictly above measured
+//! power and a poor predictor of it.
+
+use lhr_uarch::ChipConfig;
+
+use crate::configs::stock_configs;
+use crate::harness::Harness;
+use crate::report::Table;
+
+/// One processor's measured power spread against its TDP.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TdpSpread {
+    /// Processor shorthand.
+    pub processor: &'static str,
+    /// Thermal design power (watts).
+    pub tdp: f64,
+    /// Minimum per-benchmark measured power.
+    pub min: f64,
+    /// Maximum per-benchmark measured power.
+    pub max: f64,
+    /// Per-benchmark `(name, watts)` points (the figure's scatter column).
+    pub points: Vec<(&'static str, f64)>,
+}
+
+impl TdpSpread {
+    /// `max / min`: the paper notes even the Atom varies ~30%, the i7
+    /// nearly 4x (23 W to 89 W).
+    #[must_use]
+    pub fn variation(&self) -> f64 {
+        self.max / self.min
+    }
+}
+
+/// Runs the Figure 2 experiment over all stock processors.
+#[must_use]
+pub fn run(harness: &Harness) -> Vec<TdpSpread> {
+    stock_configs().iter().map(|c| run_one(harness, c)).collect()
+}
+
+/// Runs one processor's column of the figure.
+#[must_use]
+pub fn run_one(harness: &Harness, config: &ChipConfig) -> TdpSpread {
+    let points: Vec<(&'static str, f64)> = harness
+        .workloads()
+        .iter()
+        .map(|w| (w.name(), harness.measure(config, w).watts().value()))
+        .collect();
+    let min = points.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+    let max = points.iter().map(|p| p.1).fold(0.0f64, f64::max);
+    TdpSpread {
+        processor: config.spec().short,
+        tdp: config.spec().power.tdp_w,
+        min,
+        max,
+        points,
+    }
+}
+
+/// Renders the per-processor spread summary.
+#[must_use]
+pub fn render(results: &[TdpSpread]) -> String {
+    let mut t = Table::new(["Processor", "TDP(W)", "min(W)", "max(W)", "max/min", "max/TDP"]);
+    for r in results {
+        t.row([
+            r.processor.to_owned(),
+            format!("{:.0}", r.tdp),
+            format!("{:.1}", r.min),
+            format!("{:.1}", r.max),
+            format!("{:.2}", r.variation()),
+            format!("{:.2}", r.max / r.tdp),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lhr_uarch::ProcessorId;
+
+    #[test]
+    fn tdp_strictly_exceeds_measured_power() {
+        let harness = Harness::quick();
+        let spread = run_one(
+            &harness,
+            &ChipConfig::stock(ProcessorId::CoreI7_920.spec()),
+        );
+        assert!(spread.max < spread.tdp, "measured {} < TDP {}", spread.max, spread.tdp);
+        assert!(spread.min > 0.0);
+        // And power varies widely across benchmarks on the i7.
+        assert!(spread.variation() > 1.5, "variation {}", spread.variation());
+        assert_eq!(spread.points.len(), harness.workloads().len());
+        assert!(render(&[spread]).contains("max/TDP"));
+    }
+}

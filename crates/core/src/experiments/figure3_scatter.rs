@@ -1,0 +1,78 @@
+//! Figure 3: the power/performance scatter of all benchmarks on the
+//! i7 (45) -- the study's "diversity" picture: scalable benchmarks fastest
+//! and hungriest, non-scalables spread widely.
+
+use lhr_uarch::{ChipConfig, ProcessorId};
+use lhr_workloads::Group;
+
+use crate::harness::{Evaluation, Harness};
+use crate::report::Table;
+
+/// One benchmark's point in the scatter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScatterPoint {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Benchmark group (the figure's color/shape).
+    pub group: Group,
+    /// Normalized performance (x-axis).
+    pub performance: f64,
+    /// Measured power in watts (y-axis).
+    pub power: f64,
+}
+
+/// Runs the scatter on the stock i7 (45).
+#[must_use]
+pub fn run(harness: &Harness) -> Vec<ScatterPoint> {
+    let config = ChipConfig::stock(ProcessorId::CoreI7_920.spec());
+    harness
+        .evaluate_config(&config)
+        .iter()
+        .map(|e: &Evaluation| ScatterPoint {
+            name: e.name(),
+            group: e.group(),
+            performance: e.perf_norm,
+            power: e.watts(),
+        })
+        .collect()
+}
+
+/// Renders the scatter as rows (name, group, perf, power).
+#[must_use]
+pub fn render(points: &[ScatterPoint]) -> String {
+    let mut t = Table::new(["Benchmark", "Group", "Perf/Ref", "Power(W)"]);
+    for p in points {
+        t.row([
+            p.name.to_owned(),
+            p.group.to_string(),
+            format!("{:.2}", p.performance),
+            format!("{:.1}", p.power),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalables_dominate_the_upper_right() {
+        let harness = Harness::quick();
+        let pts = run(&harness);
+        assert_eq!(pts.len(), harness.workloads().len());
+        let mean = |g: fn(&ScatterPoint) -> f64, scalable: bool| {
+            let sel: Vec<f64> = pts
+                .iter()
+                .filter(|p| p.group.is_scalable() == scalable)
+                .map(g)
+                .collect();
+            sel.iter().sum::<f64>() / sel.len() as f64
+        };
+        // On the 8-context i7, scalable benchmarks run faster and draw
+        // more power than non-scalables, as in Figure 3.
+        assert!(mean(|p| p.performance, true) > mean(|p| p.performance, false));
+        assert!(mean(|p| p.power, true) > mean(|p| p.power, false));
+        assert!(render(&pts).contains("Power(W)"));
+    }
+}

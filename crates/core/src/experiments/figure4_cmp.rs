@@ -1,0 +1,133 @@
+//! Figure 4: the effect of chip multiprocessing -- two cores versus one,
+//! SMT and Turbo disabled, on the i7 (45) and i5 (32).
+//!
+//! Architecture Finding 1: enabling a core is *not* consistently energy
+//! efficient -- energy falls ~9% on the i5 but rises ~12% on the i7,
+//! because the i7 pays about twice the power overhead per enabled core.
+
+use std::collections::BTreeMap;
+
+use lhr_uarch::{ChipConfig, ProcessorId};
+use lhr_workloads::Group;
+
+use crate::experiments::{feature_ratios, group_energy_ratios, FeatureRatios};
+use crate::harness::Harness;
+use crate::report::{fmt2, Table};
+
+/// The CMP experiment result for one processor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CmpEffect {
+    /// Processor shorthand.
+    pub processor: &'static str,
+    /// 2-core / 1-core ratios of the weighted averages.
+    pub ratios: FeatureRatios,
+    /// Per-group 2C/1C energy ratios (Figure 4b).
+    pub energy_by_group: BTreeMap<Group, f64>,
+}
+
+/// The paper's Figure 4(a) values: `(processor, perf, power, energy)`.
+pub const PAPER: [(&str, f64, f64, f64); 2] = [
+    ("i7 (45)", 1.32, 1.57, 1.12),
+    ("i5 (32)", 1.34, 1.29, 0.91),
+];
+
+fn one_vs_two(harness: &Harness, id: ProcessorId) -> CmpEffect {
+    let spec = id.spec();
+    let base = ChipConfig::stock(spec)
+        .with_smt(false)
+        .expect("SMT chips can disable SMT");
+    let base = if spec.power.turbo.is_some() {
+        base.with_turbo(false).expect("turbo chips can disable turbo")
+    } else {
+        base
+    };
+    let one = base.clone().with_cores(1).expect("1 core");
+    let two = base.with_cores(2).expect("2 cores");
+    let m1 = harness.group_metrics(&one);
+    let m2 = harness.group_metrics(&two);
+    CmpEffect {
+        processor: spec.short,
+        ratios: feature_ratios(&m1, &m2),
+        energy_by_group: group_energy_ratios(&m1, &m2),
+    }
+}
+
+/// Runs the CMP experiment on the i7 (45) and i5 (32).
+#[must_use]
+pub fn run(harness: &Harness) -> Vec<CmpEffect> {
+    vec![
+        one_vs_two(harness, ProcessorId::CoreI7_920),
+        one_vs_two(harness, ProcessorId::CoreI5_670),
+    ]
+}
+
+/// Renders both panels of Figure 4.
+#[must_use]
+pub fn render(results: &[CmpEffect]) -> String {
+    let mut a = Table::new(["Processor", "perf 2C/1C", "power", "energy"]);
+    for r in results {
+        a.row([
+            r.processor.to_owned(),
+            fmt2(r.ratios.performance),
+            fmt2(r.ratios.power),
+            fmt2(r.ratios.energy),
+        ]);
+    }
+    let mut b = Table::new(["Processor", "NN", "NS", "JN", "JS"]);
+    for r in results {
+        let g = |grp| {
+            r.energy_by_group
+                .get(&grp)
+                .map_or_else(|| "-".to_owned(), |v| fmt2(*v))
+        };
+        b.row([
+            r.processor.to_owned(),
+            g(Group::NativeNonScalable),
+            g(Group::NativeScalable),
+            g(Group::JavaNonScalable),
+            g(Group::JavaScalable),
+        ]);
+    }
+    format!(
+        "(a) 2 cores / 1 core:\n{}\n(b) energy by group:\n{}",
+        a.render(),
+        b.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_is_energy_positive_on_i5_but_not_i7() {
+        let harness = Harness::quick();
+        let results = run(&harness);
+        let i7 = &results[0];
+        let i5 = &results[1];
+        assert_eq!(i7.processor, "i7 (45)");
+        // Both gain performance from the second core.
+        assert!(i7.ratios.performance > 1.15, "i7 perf {}", i7.ratios.performance);
+        assert!(i5.ratios.performance > 1.15, "i5 perf {}", i5.ratios.performance);
+        // Architecture Finding 1: the i7 pays a much larger power overhead,
+        // making the added core energy-negative there but not on the i5.
+        assert!(
+            i7.ratios.power > i5.ratios.power + 0.05,
+            "i7 power ratio {} must exceed i5 {}",
+            i7.ratios.power,
+            i5.ratios.power
+        );
+        assert!(
+            i7.ratios.energy > i5.ratios.energy + 0.05,
+            "i7 energy {} vs i5 {}",
+            i7.ratios.energy,
+            i5.ratios.energy
+        );
+        assert!(i5.ratios.energy < 1.02, "i5 CMP is energy-efficient");
+        // Natives that cannot scale suffer the most on the i7 (Fig 4b).
+        let nn = i7.energy_by_group[&Group::NativeNonScalable];
+        let ns = i7.energy_by_group[&Group::NativeScalable];
+        assert!(nn > ns, "non-scalable energy {nn} vs scalable {ns}");
+        assert!(render(&results).contains("energy by group"));
+    }
+}

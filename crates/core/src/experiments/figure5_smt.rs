@@ -1,0 +1,154 @@
+//! Figure 5: the effect of simultaneous multithreading on one core --
+//! Pentium 4 (130), i7 (45), Atom (45), i5 (32).
+//!
+//! Architecture Finding 2: SMT delivers substantial energy savings on the
+//! i5 and (especially) the in-order Atom. Workload Finding 2: on the
+//! Pentium 4 it *degrades* Java Non-scalable.
+
+use std::collections::BTreeMap;
+
+use lhr_uarch::{ChipConfig, ProcessorId};
+use lhr_workloads::Group;
+
+use crate::experiments::{feature_ratios, group_energy_ratios, FeatureRatios};
+use crate::harness::Harness;
+use crate::report::{fmt2, Table};
+
+/// The SMT experiment result for one processor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SmtEffect {
+    /// Processor shorthand.
+    pub processor: &'static str,
+    /// SMT-on / SMT-off ratios (one core).
+    pub ratios: FeatureRatios,
+    /// Per-group energy ratios (Figure 5b).
+    pub energy_by_group: BTreeMap<Group, f64>,
+}
+
+/// The paper's Figure 5(a) values: `(processor, perf, power, energy)`.
+pub const PAPER: [(&str, f64, f64, f64); 4] = [
+    ("Pentium4 (130)", 1.06, 1.06, 0.98),
+    ("i7 (45)", 1.14, 1.15, 0.97),
+    ("Atom (45)", 1.24, 1.10, 0.86),
+    ("i5 (32)", 1.17, 1.10, 0.89),
+];
+
+fn smt_on_one_core(harness: &Harness, id: ProcessorId) -> SmtEffect {
+    let spec = id.spec();
+    let base = ChipConfig::stock(spec).with_cores(1).expect("1 core");
+    let base = if spec.power.turbo.is_some() {
+        base.with_turbo(false).expect("turbo off")
+    } else {
+        base
+    };
+    let off = base.clone().with_smt(false).expect("smt off");
+    let on = base.with_smt(true).expect("these chips have SMT");
+    let m_off = harness.group_metrics(&off);
+    let m_on = harness.group_metrics(&on);
+    SmtEffect {
+        processor: spec.short,
+        ratios: feature_ratios(&m_off, &m_on),
+        energy_by_group: group_energy_ratios(&m_off, &m_on),
+    }
+}
+
+/// Runs the SMT experiment on the four SMT-capable chips.
+#[must_use]
+pub fn run(harness: &Harness) -> Vec<SmtEffect> {
+    [
+        ProcessorId::Pentium4_130,
+        ProcessorId::CoreI7_920,
+        ProcessorId::Atom230,
+        ProcessorId::CoreI5_670,
+    ]
+    .iter()
+    .map(|&id| smt_on_one_core(harness, id))
+    .collect()
+}
+
+/// Renders both panels.
+#[must_use]
+pub fn render(results: &[SmtEffect]) -> String {
+    let mut a = Table::new(["Processor", "perf 2T/1T", "power", "energy"]);
+    let mut b = Table::new(["Processor", "NN", "NS", "JN", "JS"]);
+    for r in results {
+        a.row([
+            r.processor.to_owned(),
+            fmt2(r.ratios.performance),
+            fmt2(r.ratios.power),
+            fmt2(r.ratios.energy),
+        ]);
+        let g = |grp| {
+            r.energy_by_group
+                .get(&grp)
+                .map_or_else(|| "-".to_owned(), |v| fmt2(*v))
+        };
+        b.row([
+            r.processor.to_owned(),
+            g(Group::NativeNonScalable),
+            g(Group::NativeScalable),
+            g(Group::JavaNonScalable),
+            g(Group::JavaScalable),
+        ]);
+    }
+    format!(
+        "(a) SMT on / off (1 core):\n{}\n(b) energy by group:\n{}",
+        a.render(),
+        b.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smt_shapes_match_the_paper() {
+        let harness = Harness::quick();
+        let results = run(&harness);
+        let get = |name: &str| results.iter().find(|r| r.processor == name).unwrap();
+        let p4 = get("Pentium4 (130)");
+        let atom = get("Atom (45)");
+        let i5 = get("i5 (32)");
+        let i7 = get("i7 (45)");
+
+        // Everyone gains some performance from SMT.
+        for r in &results {
+            assert!(
+                r.ratios.performance > 1.0,
+                "{} perf {}",
+                r.processor,
+                r.ratios.performance
+            );
+        }
+        // The in-order Atom benefits most (Architecture Finding 2).
+        assert!(
+            atom.ratios.performance >= i7.ratios.performance,
+            "atom {} vs i7 {}",
+            atom.ratios.performance,
+            i7.ratios.performance
+        );
+        assert!(
+            atom.ratios.performance > p4.ratios.performance,
+            "atom {} vs p4 {}",
+            atom.ratios.performance,
+            p4.ratios.performance
+        );
+        // Net energy savings on Atom and i5.
+        assert!(atom.ratios.energy < 0.97, "atom energy {}", atom.ratios.energy);
+        assert!(i5.ratios.energy < 1.0, "i5 energy {}", i5.ratios.energy);
+        // The P4 gains the least performance; its energy benefit is
+        // marginal at best (Workload Finding 2: Java NS actually loses).
+        assert!(
+            p4.ratios.performance < atom.ratios.performance,
+            "P4 SMT gains trail the modern chips"
+        );
+        let p4_java = p4.energy_by_group[&Group::JavaNonScalable];
+        let atom_java = atom.energy_by_group[&Group::JavaNonScalable];
+        assert!(
+            p4_java > atom_java,
+            "P4 Java NS energy {p4_java} must look worse than Atom {atom_java}"
+        );
+        assert!(render(&results).contains("SMT on / off"));
+    }
+}

@@ -1,0 +1,260 @@
+//! Figure 7: clock scaling on the i7 (45), C2D (45), and i5 (32), with
+//! Turbo disabled throughout.
+//!
+//! Architecture Finding 3 / Workload Finding 3: doubling the clock costs
+//! the i7 and C2D (45) ~60% more energy, but the i5 is roughly
+//! energy-neutral; Native Non-scalable responds differently from every
+//! other group because it draws less power and more of its time is
+//! memory-bound (DRAM latency does not scale with the clock).
+
+use std::collections::BTreeMap;
+
+use lhr_uarch::{ChipConfig, ProcessorId};
+use lhr_units::Hertz;
+use lhr_workloads::Group;
+
+use crate::harness::{GroupMetrics, Harness};
+use crate::report::{fmt_pct, Table};
+
+/// The per-doubling effect of clock scaling on one processor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClockEffect {
+    /// Processor shorthand.
+    pub processor: &'static str,
+    /// Performance ratio per clock doubling.
+    pub performance: f64,
+    /// Power ratio per clock doubling.
+    pub power: f64,
+    /// Energy ratio per clock doubling.
+    pub energy: f64,
+    /// Per-group energy ratio per doubling (Figure 7b).
+    pub energy_by_group: BTreeMap<Group, f64>,
+    /// The full operating-point curve `(perf_w, energy_w, power_w)` from
+    /// the minimum clock upward (Figures 7c/7d).
+    pub curve: Vec<OperatingPoint>,
+}
+
+/// Metrics at one clock setting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OperatingPoint {
+    /// The clock in GHz.
+    pub ghz: f64,
+    /// Aggregated metrics at this clock.
+    pub metrics: GroupMetrics,
+}
+
+/// The paper's Figure 7(a) per-doubling changes:
+/// `(processor, perf %, power %, energy %)`.
+pub const PAPER: [(&str, f64, f64, f64); 3] = [
+    ("i7 (45)", 83.0, 180.0, 60.0),
+    ("C2D (45)", 73.0, 159.0, 56.0),
+    ("i5 (32)", 78.0, 73.0, -4.0),
+];
+
+/// The three processors of the experiment.
+pub const PROCESSORS: [ProcessorId; 3] = [
+    ProcessorId::CoreI7_920,
+    ProcessorId::Core2DuoE7600,
+    ProcessorId::CoreI5_670,
+];
+
+fn at_clock(harness: &Harness, id: ProcessorId, clock: Hertz) -> GroupMetrics {
+    let cfg = ChipConfig::stock(id.spec())
+        .with_clock(clock)
+        .expect("clock within range");
+    let cfg = if cfg.turbo_enabled() {
+        cfg.with_turbo(false).expect("turbo off")
+    } else {
+        cfg
+    };
+    harness.group_metrics(&cfg)
+}
+
+/// Runs the clock-scaling experiment on one processor with `points`
+/// operating points.
+///
+/// # Panics
+///
+/// Panics if `points < 2`.
+#[must_use]
+pub fn run_one(harness: &Harness, id: ProcessorId, points: usize) -> ClockEffect {
+    assert!(points >= 2, "need at least the two endpoint clocks");
+    let spec = id.spec();
+    let f_min = spec.min_clock.value();
+    let f_max = spec.base_clock.value();
+    let curve: Vec<OperatingPoint> = (0..points)
+        .map(|i| {
+            let f = f_min + (f_max - f_min) * i as f64 / (points - 1) as f64;
+            OperatingPoint {
+                ghz: f / 1e9,
+                metrics: at_clock(harness, id, Hertz::new(f)),
+            }
+        })
+        .collect();
+    let lo = &curve.first().expect("points >= 2").metrics;
+    let hi = &curve.last().expect("points >= 2").metrics;
+    // Normalize the end-to-end ratio to a per-doubling exponent, as the
+    // paper does ("changes ... with respect to doubling in clock
+    // frequency ... to normalize and compare across architectures").
+    let doublings = (f_max / f_min).log2();
+    let per_doubling = |ratio: f64| ratio.powf(1.0 / doublings);
+    let energy_by_group = lo
+        .energy
+        .keys()
+        .map(|&g| (g, per_doubling(hi.energy[&g] / lo.energy[&g])))
+        .collect();
+    ClockEffect {
+        processor: spec.short,
+        performance: per_doubling(hi.perf_w / lo.perf_w),
+        power: per_doubling(hi.power_w / lo.power_w),
+        energy: per_doubling(hi.energy_w / lo.energy_w),
+        energy_by_group,
+        curve,
+    }
+}
+
+/// Runs the full Figure 7 experiment (endpoints plus a 4-point curve).
+#[must_use]
+pub fn run(harness: &Harness) -> Vec<ClockEffect> {
+    PROCESSORS
+        .iter()
+        .map(|&id| run_one(harness, id, 4))
+        .collect()
+}
+
+/// Renders panels (a) and (b).
+#[must_use]
+pub fn render(results: &[ClockEffect]) -> String {
+    let mut a = Table::new(["Processor", "perf/doubling", "power", "energy"]);
+    let mut b = Table::new(["Processor", "NN", "NS", "JN", "JS"]);
+    for r in results {
+        a.row([
+            r.processor.to_owned(),
+            fmt_pct(r.performance),
+            fmt_pct(r.power),
+            fmt_pct(r.energy),
+        ]);
+        let g = |grp| {
+            r.energy_by_group
+                .get(&grp)
+                .map_or_else(|| "-".to_owned(), |v| fmt_pct(*v))
+        };
+        b.row([
+            r.processor.to_owned(),
+            g(Group::NativeNonScalable),
+            g(Group::NativeScalable),
+            g(Group::JavaNonScalable),
+            g(Group::JavaScalable),
+        ]);
+    }
+    format!(
+        "(a) effect of doubling clock:\n{}\n(b) energy effect by group:\n{}\n{}",
+        a.render(),
+        b.render(),
+        render_curves(results)
+    )
+}
+
+/// Renders panels (c) and (d): the full operating-point curves.
+///
+/// Panel (c) plots each processor's normalized energy against normalized
+/// performance across its DVFS range (both relative to the lowest clock);
+/// panel (d) gives the absolute power/performance series per workload
+/// group for the Nehalems, one row per clock point.
+#[must_use]
+pub fn render_curves(results: &[ClockEffect]) -> String {
+    let mut c = Table::new(["Processor", "GHz", "perf/base", "energy/base"]);
+    for r in results {
+        let base = &r.curve.first().expect("curves are non-empty").metrics;
+        for p in &r.curve {
+            c.row([
+                r.processor.to_owned(),
+                format!("{:.2}", p.ghz),
+                format!("{:.2}", p.metrics.perf_w / base.perf_w),
+                format!("{:.3}", p.metrics.energy_w / base.energy_w),
+            ]);
+        }
+    }
+    let mut d = Table::new(["Processor", "GHz", "Group", "Perf/Ref", "Power(W)"]);
+    for r in results {
+        if !r.processor.starts_with("i7") && !r.processor.starts_with("i5") {
+            continue;
+        }
+        for p in &r.curve {
+            for (group, perf) in &p.metrics.perf {
+                d.row([
+                    r.processor.to_owned(),
+                    format!("{:.2}", p.ghz),
+                    group.to_string(),
+                    format!("{perf:.2}"),
+                    format!("{:.1}", p.metrics.power[group]),
+                ]);
+            }
+        }
+    }
+    format!(
+        "(c) energy vs performance across the DVFS range:\n{}\n(d) absolute power by group (i7 & i5), per clock:\n{}",
+        c.render(),
+        d.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn i5_is_energy_neutral_while_i7_and_c2d_pay_dearly() {
+        let harness = Harness::quick();
+        let i7 = run_one(&harness, ProcessorId::CoreI7_920, 2);
+        let c2d = run_one(&harness, ProcessorId::Core2DuoE7600, 2);
+        let i5 = run_one(&harness, ProcessorId::CoreI5_670, 2);
+
+        // Performance gains per doubling are broadly similar (~70-90%).
+        for r in [&i7, &c2d, &i5] {
+            assert!(
+                r.performance > 1.5 && r.performance < 2.0,
+                "{} perf/doubling {}",
+                r.processor,
+                r.performance
+            );
+        }
+        // Architecture Finding 3.
+        assert!(i7.energy > 1.3, "i7 energy/doubling {}", i7.energy);
+        assert!(c2d.energy > 1.3, "C2D energy/doubling {}", c2d.energy);
+        assert!(
+            i5.energy < 1.12,
+            "i5 must be near energy-neutral, got {}",
+            i5.energy
+        );
+        assert!(i5.power < i7.power, "i5 power slope must be shallower");
+        assert!(render(&[i7, c2d, i5]).contains("doubling"));
+    }
+
+    #[test]
+    fn curve_metrics_are_monotone_in_clock() {
+        let harness = Harness::quick();
+        let eff = run_one(&harness, ProcessorId::Core2DuoE7600, 3);
+        assert_eq!(eff.curve.len(), 3);
+        for w in eff.curve.windows(2) {
+            assert!(w[1].metrics.perf_w > w[0].metrics.perf_w);
+            assert!(w[1].metrics.power_w > w[0].metrics.power_w);
+        }
+    }
+
+    #[test]
+    fn curve_panels_render_every_operating_point() {
+        let harness = Harness::quick();
+        let i5 = run_one(&harness, ProcessorId::CoreI5_670, 3);
+        let s = render_curves(&[i5.clone()]);
+        // Panel (c): one row per operating point; the base row reads 1.00.
+        assert!(s.contains("(c) energy vs performance"));
+        assert!(s.contains("1.00"));
+        // Panel (d): per-group rows for the i5 at each clock.
+        assert!(s.contains("(d) absolute power by group"));
+        assert!(s.contains("Native Non-scalable"));
+        // The first curve point is the minimum clock.
+        assert!((i5.curve[0].ghz - 1.2).abs() < 1e-9);
+        assert!((i5.curve[2].ghz - 3.46).abs() < 1e-2);
+    }
+}

@@ -1,0 +1,195 @@
+//! Figure 8: the die-shrink comparisons -- Core (C2D 65nm vs C2D 45nm)
+//! and Nehalem (i7 45nm limited to 2C2T vs i5 32nm) -- at native and at
+//! matched clocks.
+//!
+//! Architecture Findings 4 and 5: a die shrink cuts energy dramatically
+//! even at matched clocks (power roughly halves), and 45nm->32nm repeated
+//! the 65nm->45nm savings.
+
+use std::collections::BTreeMap;
+
+use lhr_uarch::{ChipConfig, ProcessorId};
+use lhr_units::Hertz;
+use lhr_workloads::Group;
+
+use crate::experiments::{feature_ratios, group_energy_ratios, FeatureRatios};
+use crate::harness::Harness;
+use crate::report::{fmt2, Table};
+
+/// One family's die-shrink result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DieShrink {
+    /// Family label as in the figure ("Core", "Nehalem 2C2T").
+    pub family: &'static str,
+    /// New/old ratios at each chip's native clock (Figure 8a).
+    pub native: FeatureRatios,
+    /// New/old ratios with the clocks matched (Figure 8b).
+    pub matched: FeatureRatios,
+    /// Per-group energy ratios at matched clocks (Figure 8c).
+    pub energy_by_group: BTreeMap<Group, f64>,
+}
+
+/// The paper's matched-frequency values: `(family, perf, power, energy)`.
+pub const PAPER_MATCHED: [(&str, f64, f64, f64); 2] = [
+    ("Core 2.4GHz", 1.01, 0.55, 0.54),
+    ("Nehalem 2C2T 2.6GHz", 0.90, 0.53, 0.60),
+];
+
+/// Runs the Core-family shrink: C2D (65) -> C2D (45).
+#[must_use]
+pub fn run_core(harness: &Harness) -> DieShrink {
+    let old = ChipConfig::stock(ProcessorId::Core2DuoE6600.spec());
+    let new = ChipConfig::stock(ProcessorId::Core2DuoE7600.spec());
+    let matched_clock = Hertz::from_ghz(2.4);
+    let old_m = ChipConfig::stock(ProcessorId::Core2DuoE6600.spec())
+        .with_clock(matched_clock)
+        .expect("2.4 GHz is the E6600 stock clock");
+    let new_m = ChipConfig::stock(ProcessorId::Core2DuoE7600.spec())
+        .with_clock(matched_clock)
+        .expect("2.4 GHz is within the E7600 range");
+    build(harness, "Core 2.4GHz", &old, &new, &old_m, &new_m)
+}
+
+/// Runs the Nehalem-family shrink: i7 (45) limited to 2C2T -> i5 (32).
+#[must_use]
+pub fn run_nehalem(harness: &Harness) -> DieShrink {
+    let i7_2c = |clock: Option<Hertz>| {
+        let mut c = ChipConfig::stock(ProcessorId::CoreI7_920.spec())
+            .with_cores(2)
+            .expect("2 cores")
+            .with_turbo(false)
+            .expect("turbo off");
+        if let Some(f) = clock {
+            c = c.with_clock(f).expect("clock in range");
+        }
+        c
+    };
+    let i5 = |clock: Option<Hertz>| {
+        let mut c = ChipConfig::stock(ProcessorId::CoreI5_670.spec())
+            .with_turbo(false)
+            .expect("turbo off");
+        if let Some(f) = clock {
+            c = c.with_clock(f).expect("clock in range");
+        }
+        c
+    };
+    let matched = Hertz::from_ghz(2.66);
+    build(
+        harness,
+        "Nehalem 2C2T 2.6GHz",
+        &i7_2c(None),
+        &i5(None),
+        &i7_2c(Some(matched)),
+        &i5(Some(matched)),
+    )
+}
+
+fn build(
+    harness: &Harness,
+    family: &'static str,
+    old: &ChipConfig,
+    new: &ChipConfig,
+    old_matched: &ChipConfig,
+    new_matched: &ChipConfig,
+) -> DieShrink {
+    let m_old = harness.group_metrics(old);
+    let m_new = harness.group_metrics(new);
+    let m_old_m = harness.group_metrics(old_matched);
+    let m_new_m = harness.group_metrics(new_matched);
+    DieShrink {
+        family,
+        native: feature_ratios(&m_old, &m_new),
+        matched: feature_ratios(&m_old_m, &m_new_m),
+        energy_by_group: group_energy_ratios(&m_old_m, &m_new_m),
+    }
+}
+
+/// Runs both family comparisons.
+#[must_use]
+pub fn run(harness: &Harness) -> Vec<DieShrink> {
+    vec![run_core(harness), run_nehalem(harness)]
+}
+
+/// Renders all three panels.
+#[must_use]
+pub fn render(results: &[DieShrink]) -> String {
+    let mut a = Table::new(["Family", "perf new/old", "power", "energy"]);
+    let mut b = a.clone();
+    let mut c = Table::new(["Family", "NN", "NS", "JN", "JS"]);
+    for r in results {
+        a.row([
+            r.family.to_owned(),
+            fmt2(r.native.performance),
+            fmt2(r.native.power),
+            fmt2(r.native.energy),
+        ]);
+        b.row([
+            r.family.to_owned(),
+            fmt2(r.matched.performance),
+            fmt2(r.matched.power),
+            fmt2(r.matched.energy),
+        ]);
+        let g = |grp| {
+            r.energy_by_group
+                .get(&grp)
+                .map_or_else(|| "-".to_owned(), |v| fmt2(*v))
+        };
+        c.row([
+            r.family.to_owned(),
+            g(Group::NativeNonScalable),
+            g(Group::NativeScalable),
+            g(Group::JavaNonScalable),
+            g(Group::JavaScalable),
+        ]);
+    }
+    format!(
+        "(a) native clocks:\n{}\n(b) matched clocks:\n{}\n(c) energy by group (matched):\n{}",
+        a.render(),
+        b.render(),
+        c.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_cut_power_roughly_in_half_at_matched_clocks() {
+        let harness = Harness::quick();
+        let core = run_core(&harness);
+        // Matched clocks: no performance advantage, big power cut.
+        assert!(
+            core.matched.performance > 0.85 && core.matched.performance < 1.15,
+            "Core matched perf {}",
+            core.matched.performance
+        );
+        assert!(
+            core.matched.power < 0.75,
+            "Core matched power ratio {}",
+            core.matched.power
+        );
+        assert!(core.matched.energy < 0.8, "Core matched energy {}", core.matched.energy);
+        // Native clocks: the newer part is also faster.
+        assert!(core.native.performance > 1.05, "{}", core.native.performance);
+    }
+
+    #[test]
+    fn nehalem_shrink_repeats_the_core_savings() {
+        let harness = Harness::quick();
+        let nehalem = run_nehalem(&harness);
+        // The i5 gives up a little performance at matched clock (smaller
+        // LLC, DMI) but cuts power heavily (Architecture Finding 5).
+        assert!(
+            nehalem.matched.performance > 0.75 && nehalem.matched.performance < 1.1,
+            "Nehalem matched perf {}",
+            nehalem.matched.performance
+        );
+        assert!(
+            nehalem.matched.power < 0.75,
+            "Nehalem matched power {}",
+            nehalem.matched.power
+        );
+        assert!(render(&[nehalem]).contains("matched clocks"));
+    }
+}

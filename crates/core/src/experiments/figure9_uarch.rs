@@ -1,0 +1,193 @@
+//! Figure 9: gross microarchitecture change -- Nehalem compared against
+//! Bonnell, NetBurst, and Core with clock, cores, and hardware threads
+//! matched as closely as the parts allow.
+//!
+//! Architecture Findings 6 and 7: Nehalem is ~14% faster than Core at
+//! matched configuration, and controlling for technology the three 45nm
+//! microarchitectures deliver surprisingly similar energy efficiency.
+
+use std::collections::BTreeMap;
+
+use lhr_uarch::{ChipConfig, ProcessorId};
+use lhr_units::Hertz;
+use lhr_workloads::Group;
+
+use crate::experiments::{feature_ratios, group_energy_ratios, FeatureRatios};
+use crate::harness::Harness;
+use crate::report::{fmt2, Table};
+
+/// One matched comparison, Nehalem / other.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UarchComparison {
+    /// The figure's label, e.g. `Bonnell: i7 (45) / AtomD (45)`.
+    pub label: &'static str,
+    /// Nehalem / other ratios.
+    pub ratios: FeatureRatios,
+    /// Per-group energy ratios (Figure 9b).
+    pub energy_by_group: BTreeMap<Group, f64>,
+}
+
+/// The paper's Figure 9(a) values: `(label, perf, power, energy)`.
+pub const PAPER: [(&str, f64, f64, f64); 4] = [
+    ("Bonnell: i7 (45) / AtomD (45)", 2.70, 2.38, 0.85),
+    ("NetBurst: i7 (45) / Pentium4 (130)", 2.60, 0.33, 0.13),
+    ("Core: i7 (45) / C2D (45)", 1.14, 1.14, 1.00),
+    ("Core: i5 (32) / C2D (65)", 1.14, 0.55, 0.48),
+];
+
+fn compare(
+    harness: &Harness,
+    label: &'static str,
+    nehalem: &ChipConfig,
+    other: &ChipConfig,
+) -> UarchComparison {
+    let m_other = harness.group_metrics(other);
+    let m_nehalem = harness.group_metrics(nehalem);
+    UarchComparison {
+        label,
+        ratios: feature_ratios(&m_other, &m_nehalem),
+        energy_by_group: group_energy_ratios(&m_other, &m_nehalem),
+    }
+}
+
+/// Runs all four comparisons.
+#[must_use]
+pub fn run(harness: &Harness) -> Vec<UarchComparison> {
+    let i7 = ProcessorId::CoreI7_920.spec();
+    let i5 = ProcessorId::CoreI5_670.spec();
+    let mk_i7 = |cores: usize, smt: bool, ghz: f64| {
+        ChipConfig::stock(i7)
+            .with_cores(cores)
+            .expect("cores")
+            .with_smt(smt)
+            .expect("smt")
+            .with_clock(Hertz::from_ghz(ghz))
+            .expect("clock")
+    };
+    let mk_i5 = |cores: usize, smt: bool, ghz: f64| {
+        ChipConfig::stock(i5)
+            .with_cores(cores)
+            .expect("cores")
+            .with_smt(smt)
+            .expect("smt")
+            .with_clock(Hertz::from_ghz(ghz))
+            .expect("clock")
+    };
+
+    vec![
+        // Bonnell: i7 at 2C2T@1.66 vs AtomD 2C2T@1.66.
+        compare(
+            harness,
+            "Bonnell: i7 (45) / AtomD (45)",
+            &mk_i7(2, true, 1.66),
+            &ChipConfig::stock(ProcessorId::AtomD510.spec()),
+        ),
+        // NetBurst: i7 at 1C2T@2.4 vs Pentium 4 1C2T@2.4.
+        compare(
+            harness,
+            "NetBurst: i7 (45) / Pentium4 (130)",
+            &mk_i7(1, true, 2.4),
+            &ChipConfig::stock(ProcessorId::Pentium4_130.spec()),
+        ),
+        // Core at 45nm: i7 2C1T@2.66 vs C2D (45) 2C1T@2.66.
+        compare(
+            harness,
+            "Core: i7 (45) / C2D (45)",
+            &mk_i7(2, false, 2.66),
+            &ChipConfig::stock(ProcessorId::Core2DuoE7600.spec())
+                .with_clock(Hertz::from_ghz(2.66))
+                .expect("clock"),
+        ),
+        // Across two nodes: i5 2C1T@2.4 vs C2D (65) 2C1T@2.4.
+        compare(
+            harness,
+            "Core: i5 (32) / C2D (65)",
+            &mk_i5(2, false, 2.4),
+            &ChipConfig::stock(ProcessorId::Core2DuoE6600.spec()),
+        ),
+    ]
+}
+
+/// Renders both panels.
+#[must_use]
+pub fn render(results: &[UarchComparison]) -> String {
+    let mut a = Table::new(["Comparison", "perf", "power", "energy"]);
+    let mut b = Table::new(["Comparison", "NN", "NS", "JN", "JS"]);
+    for r in results {
+        a.row([
+            r.label.to_owned(),
+            fmt2(r.ratios.performance),
+            fmt2(r.ratios.power),
+            fmt2(r.ratios.energy),
+        ]);
+        let g = |grp| {
+            r.energy_by_group
+                .get(&grp)
+                .map_or_else(|| "-".to_owned(), |v| fmt2(*v))
+        };
+        b.row([
+            r.label.to_owned(),
+            g(Group::NativeNonScalable),
+            g(Group::NativeScalable),
+            g(Group::JavaNonScalable),
+            g(Group::JavaScalable),
+        ]);
+    }
+    format!(
+        "(a) Nehalem / other at matched configuration:\n{}\n(b) energy by group:\n{}",
+        a.render(),
+        b.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nehalem_versus_the_other_families() {
+        let harness = Harness::quick();
+        let results = run(&harness);
+        let get = |label: &str| {
+            results
+                .iter()
+                .find(|r| r.label.starts_with(label))
+                .unwrap()
+        };
+
+        // Against NetBurst: much faster at a third of the power.
+        let netburst = get("NetBurst");
+        assert!(netburst.ratios.performance > 1.8, "{}", netburst.ratios.performance);
+        assert!(netburst.ratios.power < 0.6, "{}", netburst.ratios.power);
+        assert!(netburst.ratios.energy < 0.35, "{}", netburst.ratios.energy);
+
+        // Against Bonnell: far faster, far hungrier, comparable energy.
+        let bonnell = get("Bonnell");
+        assert!(bonnell.ratios.performance > 1.8, "{}", bonnell.ratios.performance);
+        assert!(bonnell.ratios.power > 1.8, "{}", bonnell.ratios.power);
+        assert!(
+            bonnell.ratios.energy > 0.55 && bonnell.ratios.energy < 1.45,
+            "45nm peers have similar energy, got {}",
+            bonnell.ratios.energy
+        );
+
+        // Against Core at the same node: modest speedup, similar energy.
+        let core45 = get("Core: i7");
+        assert!(
+            core45.ratios.performance > 1.0 && core45.ratios.performance < 1.45,
+            "Nehalem ~14% over Core, got {}",
+            core45.ratios.performance
+        );
+        assert!(
+            core45.ratios.energy > 0.7 && core45.ratios.energy < 1.5,
+            "similar-order energy at matched node, got {}",
+            core45.ratios.energy
+        );
+
+        // Two nodes apart, Nehalem wins on both axes.
+        let core65 = get("Core: i5");
+        assert!(core65.ratios.power < 0.85, "{}", core65.ratios.power);
+        assert!(core65.ratios.energy < 0.8, "{}", core65.ratios.energy);
+        assert!(render(&results).contains("Nehalem / other"));
+    }
+}

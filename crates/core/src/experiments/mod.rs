@@ -1,0 +1,69 @@
+//! One module per table and figure of the paper's evaluation.
+//!
+//! Every experiment follows the same shape: a `run(&Harness)` entry point
+//! returning a typed result that can render itself as the paper's rows or
+//! series (via [`std::fmt::Display`] or a dedicated method), plus the
+//! paper's published values for side-by-side comparison where applicable.
+
+pub mod ablation;
+pub mod figure1_scalability;
+pub mod figure2_tdp;
+pub mod figure3_scatter;
+pub mod figure4_cmp;
+pub mod figure5_smt;
+pub mod figure6_jvm;
+pub mod figure7_clock;
+pub mod figure8_dieshrink;
+pub mod figure9_uarch;
+pub mod figure10_turbo;
+pub mod figure11_history;
+pub mod pareto;
+pub mod retrospective;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+
+use std::collections::BTreeMap;
+
+use lhr_workloads::Group;
+
+use crate::harness::GroupMetrics;
+
+/// Relative change of one configuration versus a baseline, for the three
+/// axes every feature analysis reports (higher performance is better;
+/// lower power/energy is better).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeatureRatios {
+    /// `perf(variant) / perf(baseline)`.
+    pub performance: f64,
+    /// `power(variant) / power(baseline)`.
+    pub power: f64,
+    /// `energy(variant) / energy(baseline)`.
+    pub energy: f64,
+}
+
+/// Ratios of weighted-average metrics, `variant / baseline`.
+#[must_use]
+pub fn feature_ratios(baseline: &GroupMetrics, variant: &GroupMetrics) -> FeatureRatios {
+    FeatureRatios {
+        performance: variant.perf_w / baseline.perf_w,
+        power: variant.power_w / baseline.power_w,
+        energy: variant.energy_w / baseline.energy_w,
+    }
+}
+
+/// Per-group energy ratios, `variant / baseline` (the second panel of every
+/// feature-analysis figure).
+#[must_use]
+pub fn group_energy_ratios(
+    baseline: &GroupMetrics,
+    variant: &GroupMetrics,
+) -> BTreeMap<Group, f64> {
+    baseline
+        .energy
+        .keys()
+        .filter(|g| variant.energy.contains_key(g))
+        .map(|&g| (g, variant.energy[&g] / baseline.energy[&g]))
+        .collect()
+}

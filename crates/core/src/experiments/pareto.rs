@@ -1,0 +1,246 @@
+//! Table 5 and Figure 12: Pareto-efficient 45nm configurations per
+//! workload group.
+//!
+//! Section 4.2 expands the four 45nm processors into 29 configurations and
+//! identifies, for each group and for the average, the configurations not
+//! dominated in (normalized performance, normalized energy). Workload
+//! Finding 4: the frontiers differ substantially by group -- energy
+//! efficient design is very sensitive to workload.
+
+use std::collections::BTreeMap;
+
+use lhr_stats::{pareto_frontier, ParetoPoint};
+use lhr_uarch::ChipConfig;
+use lhr_workloads::Group;
+
+use crate::configs::pareto_45nm_configs;
+use crate::harness::{GroupMetrics, Harness};
+use crate::report::Table;
+
+/// One configuration's position in the tradeoff space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoCandidate {
+    /// The configuration label (Table 5 column header format).
+    pub label: String,
+    /// Whether this is a stock configuration (bold in Table 5).
+    pub stock: bool,
+    /// Aggregated metrics.
+    pub metrics: GroupMetrics,
+}
+
+/// The full Pareto analysis result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoAnalysis {
+    /// All evaluated candidates, in configuration order.
+    pub candidates: Vec<ParetoCandidate>,
+    /// Frontier membership (candidate indices) per group.
+    pub frontiers: BTreeMap<Option<Group>, Vec<usize>>,
+}
+
+/// Keys for the average row of Table 5.
+pub const AVERAGE: Option<Group> = None;
+
+/// Runs the analysis over the 29-configuration 45nm space.
+#[must_use]
+pub fn run(harness: &Harness) -> ParetoAnalysis {
+    run_configs(harness, &pareto_45nm_configs())
+}
+
+/// Runs the analysis over an arbitrary configuration space.
+///
+/// # Panics
+///
+/// Panics if `configs` is empty.
+#[must_use]
+pub fn run_configs(harness: &Harness, configs: &[ChipConfig]) -> ParetoAnalysis {
+    assert!(!configs.is_empty(), "need at least one configuration");
+    let candidates: Vec<ParetoCandidate> = configs
+        .iter()
+        .map(|c| ParetoCandidate {
+            label: c.label(),
+            stock: *c == ChipConfig::stock(c.spec()),
+            metrics: harness.group_metrics(c),
+        })
+        .collect();
+    let mut frontiers = BTreeMap::new();
+    // The average frontier.
+    let avg_points: Vec<ParetoPoint> = candidates
+        .iter()
+        .map(|c| ParetoPoint::new(c.metrics.perf_w, c.metrics.energy_w))
+        .collect();
+    frontiers.insert(AVERAGE, pareto_frontier(&avg_points));
+    // Per-group frontiers.
+    for group in Group::ALL {
+        if !candidates
+            .iter()
+            .all(|c| c.metrics.perf.contains_key(&group))
+        {
+            continue;
+        }
+        let points: Vec<ParetoPoint> = candidates
+            .iter()
+            .map(|c| ParetoPoint::new(c.metrics.perf[&group], c.metrics.energy[&group]))
+            .collect();
+        frontiers.insert(Some(group), pareto_frontier(&points));
+    }
+    ParetoAnalysis {
+        candidates,
+        frontiers,
+    }
+}
+
+impl ParetoAnalysis {
+    /// The labels of the Pareto-efficient configurations for a group
+    /// (or the average with [`AVERAGE`]).
+    #[must_use]
+    pub fn efficient_labels(&self, group: Option<Group>) -> Vec<&str> {
+        self.frontiers
+            .get(&group)
+            .map(|idxs| {
+                idxs.iter()
+                    .map(|&i| self.candidates[i].label.as_str())
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// The union of all frontier members (the columns of Table 5).
+    #[must_use]
+    pub fn all_efficient(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.frontiers.values().flatten().copied().collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Renders Table 5: a check per (group, efficient configuration).
+    #[must_use]
+    pub fn render_table5(&self) -> String {
+        let cols = self.all_efficient();
+        let mut header = vec!["".to_owned()];
+        header.extend(cols.iter().map(|&i| {
+            let c = &self.candidates[i];
+            if c.stock {
+                format!("*{}", c.label)
+            } else {
+                c.label.clone()
+            }
+        }));
+        let mut t = Table::new(header);
+        let row_for = |name: &str, members: &[usize]| {
+            let mut row = vec![name.to_owned()];
+            row.extend(cols.iter().map(|i| {
+                if members.contains(i) {
+                    "x".to_owned()
+                } else {
+                    String::new()
+                }
+            }));
+            row
+        };
+        t.row(row_for("Average", &self.frontiers[&AVERAGE]));
+        for group in Group::ALL {
+            if let Some(members) = self.frontiers.get(&Some(group)) {
+                t.row(row_for(&group.to_string(), members));
+            }
+        }
+        t.render()
+    }
+
+    /// Renders the Figure 12 frontier series: `(perf, energy)` per group.
+    #[must_use]
+    pub fn render_figure12(&self) -> String {
+        let mut out = String::new();
+        for (key, members) in &self.frontiers {
+            let name = key.map_or_else(|| "Average".to_owned(), |g| g.to_string());
+            out.push_str(&format!("{name}:\n"));
+            for &i in members {
+                let c = &self.candidates[i];
+                let (perf, energy) = match key {
+                    None => (c.metrics.perf_w, c.metrics.energy_w),
+                    Some(g) => (c.metrics.perf[g], c.metrics.energy[g]),
+                };
+                out.push_str(&format!("  {:<34} perf {perf:>6.2}  energy {energy:>6.3}\n", c.label));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lhr_uarch::ProcessorId;
+    use lhr_units::Hertz;
+
+    /// A reduced 6-configuration space for fast tests.
+    fn small_space() -> Vec<ChipConfig> {
+        let i7 = ProcessorId::CoreI7_920.spec();
+        vec![
+            ChipConfig::stock(ProcessorId::Atom230.spec()),
+            ChipConfig::stock(ProcessorId::Core2DuoE7600.spec()),
+            ChipConfig::stock(i7),
+            ChipConfig::stock(i7).with_turbo(false).unwrap(),
+            ChipConfig::stock(i7)
+                .with_clock(Hertz::from_ghz(1.6))
+                .unwrap(),
+            ChipConfig::stock(i7)
+                .with_cores(1)
+                .unwrap()
+                .with_smt(false)
+                .unwrap()
+                .with_turbo(false)
+                .unwrap(),
+        ]
+    }
+
+    #[test]
+    fn frontiers_differ_by_group() {
+        let harness = Harness::quick();
+        let analysis = run_configs(&harness, &small_space());
+        assert_eq!(analysis.candidates.len(), 6);
+        // Every frontier is non-empty and is a subset of the candidates.
+        for members in analysis.frontiers.values() {
+            assert!(!members.is_empty());
+            assert!(members.iter().all(|&i| i < 6));
+        }
+        // Workload Finding 4: at least two groups disagree on the
+        // efficient set.
+        let sets: Vec<Vec<usize>> = Group::ALL
+            .iter()
+            .filter_map(|&g| analysis.frontiers.get(&Some(g)).cloned())
+            .collect();
+        assert!(
+            sets.windows(2).any(|w| w[0] != w[1]) || sets.len() < 2,
+            "group frontiers should not all coincide"
+        );
+        let t5 = analysis.render_table5();
+        assert!(t5.contains("Average"));
+        let f12 = analysis.render_figure12();
+        assert!(f12.contains("perf"));
+    }
+
+    #[test]
+    fn scalables_extend_the_frontier_right() {
+        // The fastest point on the scalable frontier outruns the fastest
+        // point on the non-scalable frontier (software parallelism pushes
+        // the curve right, Section 4.2).
+        let harness = Harness::quick();
+        let analysis = run_configs(&harness, &small_space());
+        let best = |g: Group| {
+            analysis.frontiers[&Some(g)]
+                .iter()
+                .map(|&i| analysis.candidates[i].metrics.perf[&g])
+                .fold(0.0f64, f64::max)
+        };
+        assert!(best(Group::NativeScalable) > best(Group::NativeNonScalable));
+    }
+
+    #[test]
+    fn stock_flagging() {
+        let harness = Harness::quick();
+        let analysis = run_configs(&harness, &small_space());
+        assert!(analysis.candidates[0].stock);
+        assert!(!analysis.candidates[3].stock, "No-TB i7 is not stock");
+    }
+}

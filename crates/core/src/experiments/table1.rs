@@ -1,0 +1,89 @@
+//! Table 1: the benchmark groups, suites, reference times, descriptions.
+
+use lhr_workloads::{catalog, Group, Suite};
+
+use crate::report::Table;
+
+/// Renders Table 1 from the catalog.
+#[must_use]
+pub fn render() -> String {
+    let mut t = Table::new(["Grp", "Src", "Name", "Time", "Description"]);
+    for w in catalog() {
+        t.row([
+            group_code(w.group()),
+            suite_code(w.suite()),
+            w.name().to_owned(),
+            format!("{:.1}", w.reference_seconds()),
+            w.description().to_owned(),
+        ]);
+    }
+    t.render()
+}
+
+/// Renders Table 1 as csv.
+#[must_use]
+pub fn to_csv() -> String {
+    let mut t = Table::new(["group", "suite", "name", "reference_seconds", "description"]);
+    for w in catalog() {
+        t.row([
+            w.group().to_string(),
+            w.suite().to_string(),
+            w.name().to_owned(),
+            format!("{}", w.reference_seconds()),
+            w.description().to_owned(),
+        ]);
+    }
+    t.to_csv()
+}
+
+fn group_code(g: Group) -> String {
+    match g {
+        Group::NativeNonScalable => "NN",
+        Group::NativeScalable => "NS",
+        Group::JavaNonScalable => "JN",
+        Group::JavaScalable => "JS",
+    }
+    .to_owned()
+}
+
+fn suite_code(s: Suite) -> String {
+    match s {
+        Suite::SpecInt2006 => "SI",
+        Suite::SpecFp2006 => "SF",
+        Suite::Parsec => "PA",
+        Suite::SpecJvm => "SJ",
+        Suite::DaCapo06 => "D6",
+        Suite::DaCapo9 => "D9",
+        Suite::Pjbb2005 => "JB",
+    }
+    .to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_all_61_rows() {
+        let s = render();
+        // Header + rule + 61 rows.
+        assert_eq!(s.lines().count(), 63);
+        assert!(s.contains("mcf"));
+        assert!(s.contains("pjbb2005"));
+        assert!(s.contains("fluidanimate"));
+    }
+
+    #[test]
+    fn csv_has_61_data_rows() {
+        let csv = to_csv();
+        assert_eq!(csv.lines().count(), 62);
+        assert!(csv.starts_with("group,suite,name"));
+    }
+
+    #[test]
+    fn codes_match_paper_abbreviations() {
+        assert_eq!(suite_code(Suite::SpecInt2006), "SI");
+        assert_eq!(suite_code(Suite::Pjbb2005), "JB");
+        assert_eq!(group_code(Group::JavaScalable), "JS");
+    }
+}

@@ -1,0 +1,62 @@
+//! Table 3: the eight experimental processors and key specifications.
+
+use lhr_uarch::processors;
+
+use crate::report::Table;
+
+/// Renders Table 3 from the processor catalog.
+#[must_use]
+pub fn render() -> String {
+    let mut t = Table::new([
+        "Processor", "uArch", "sSpec", "Release", "Price", "CMP/SMT", "LLC", "GHz", "nm",
+        "Trans(M)", "Die(mm2)", "TDP(W)", "DRAM",
+    ]);
+    for s in processors() {
+        t.row([
+            s.name.to_owned(),
+            s.uarch.to_string(),
+            s.sspec.to_owned(),
+            s.release.to_owned(),
+            s.price_usd.map_or_else(|| "-".to_owned(), |p| format!("${p}")),
+            s.topology(),
+            format_bytes(s.mem.last_level_bytes()),
+            format!("{:.1}", s.base_clock.as_ghz()),
+            format!("{}", s.node.nanometers() as u32),
+            format!("{}", s.transistors_m),
+            format!("{}", s.die_mm2),
+            format!("{}", s.power.tdp_w),
+            s.dram.to_owned(),
+        ]);
+    }
+    t.render()
+}
+
+fn format_bytes(b: u64) -> String {
+    if b >= 1 << 20 {
+        format!("{}M", b >> 20)
+    } else {
+        format!("{}K", b >> 10)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_eight_rows_with_table3_facts() {
+        let s = render();
+        assert_eq!(s.lines().count(), 10);
+        assert!(s.contains("SL6WF")); // Pentium 4 sSpec
+        assert!(s.contains("$851")); // Q6600 price
+        assert!(s.contains("DDR3-1333")); // i5 memory
+        assert!(s.contains("8M")); // i7 LLC
+        assert!(s.contains("512K")); // P4/Atom LLC
+    }
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(format_bytes(512 << 10), "512K");
+        assert_eq!(format_bytes(8 << 20), "8M");
+    }
+}

@@ -1,0 +1,183 @@
+//! Table 4: average performance and power per processor and group, with
+//! ranks -- the study's headline summary grid.
+
+use lhr_stats::{rank_dense, Direction};
+use lhr_uarch::ProcessorId;
+use lhr_units::Hertz;
+use lhr_workloads::Group;
+
+use crate::configs::stock_configs;
+use crate::harness::{GroupMetrics, Harness};
+use crate::report::Table;
+
+/// One processor's Table 4 row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table4Row {
+    /// The processor's shorthand name.
+    pub processor: &'static str,
+    /// The stock clock, for context.
+    pub clock: Hertz,
+    /// Aggregated metrics (normalized perf, watts, normalized energy).
+    pub metrics: GroupMetrics,
+}
+
+/// The full Table 4.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table4 {
+    /// One row per stock processor, Table 3 order.
+    pub rows: Vec<Table4Row>,
+}
+
+/// The paper's measured Table 4 weighted averages, for side-by-side
+/// comparison: `(short name, Avg_w speedup, Avg_w power W)`.
+pub const PAPER_AVG_W: [(&str, f64, f64); 8] = [
+    ("Pentium4 (130)", 0.82, 44.1),
+    ("C2D (65)", 2.04, 26.4),
+    ("C2Q (65)", 2.70, 58.1),
+    ("i7 (45)", 4.46, 47.0),
+    ("Atom (45)", 0.52, 2.4),
+    ("C2D (45)", 2.54, 20.8),
+    ("AtomD (45)", 0.74, 4.7),
+    ("i5 (32)", 3.80, 25.7),
+];
+
+/// Evaluates all eight stock processors.
+#[must_use]
+pub fn run(harness: &Harness) -> Table4 {
+    let rows = stock_configs()
+        .iter()
+        .map(|config| Table4Row {
+            processor: config.spec().short,
+            clock: config.spec().base_clock,
+            metrics: harness.group_metrics(config),
+        })
+        .collect();
+    Table4 { rows }
+}
+
+impl Table4 {
+    /// The row for one processor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the processor is not present.
+    #[must_use]
+    pub fn row(&self, id: ProcessorId) -> &Table4Row {
+        let short = id.spec().short;
+        self.rows
+            .iter()
+            .find(|r| r.processor == short)
+            .unwrap_or_else(|| panic!("no row for {short}"))
+    }
+
+    /// Dense ranks (1 = best) of weighted-average performance.
+    #[must_use]
+    pub fn perf_ranks(&self) -> Vec<usize> {
+        let v: Vec<f64> = self.rows.iter().map(|r| r.metrics.perf_w).collect();
+        rank_dense(&v, Direction::HigherIsBetter)
+    }
+
+    /// Dense ranks (1 = least power) of weighted-average power.
+    #[must_use]
+    pub fn power_ranks(&self) -> Vec<usize> {
+        let v: Vec<f64> = self.rows.iter().map(|r| r.metrics.power_w).collect();
+        rank_dense(&v, Direction::LowerIsBetter)
+    }
+
+    /// Renders the paper's layout: speedup and power per group with ranks.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let perf_ranks = self.perf_ranks();
+        let power_ranks = self.power_ranks();
+        let mut t = Table::new([
+            "Processor", "NN", "NS", "JN", "JS", "Avgw", "rk", "Min", "Max", "P:NN", "P:NS",
+            "P:JN", "P:JS", "P:Avgw", "rk", "P:Min", "P:Max",
+        ]);
+        for (i, r) in self.rows.iter().enumerate() {
+            let m = &r.metrics;
+            let g = |map: &std::collections::BTreeMap<Group, f64>, grp: Group| {
+                map.get(&grp).map_or_else(|| "-".to_owned(), |v| format!("{v:.2}"))
+            };
+            t.row([
+                r.processor.to_owned(),
+                g(&m.perf, Group::NativeNonScalable),
+                g(&m.perf, Group::NativeScalable),
+                g(&m.perf, Group::JavaNonScalable),
+                g(&m.perf, Group::JavaScalable),
+                format!("{:.2}", m.perf_w),
+                format!("{}", perf_ranks[i]),
+                format!("{:.2}", m.perf_min),
+                format!("{:.2}", m.perf_max),
+                g(&m.power, Group::NativeNonScalable),
+                g(&m.power, Group::NativeScalable),
+                g(&m.power, Group::JavaNonScalable),
+                g(&m.power, Group::JavaScalable),
+                format!("{:.1}", m.power_w),
+                format!("{}", power_ranks[i]),
+                format!("{:.1}", m.power_min),
+                format!("{:.1}", m.power_max),
+            ]);
+        }
+        t.render()
+    }
+
+    /// Renders a paper-vs-measured comparison of the weighted averages.
+    #[must_use]
+    pub fn render_comparison(&self) -> String {
+        let mut t = Table::new([
+            "Processor", "paper perf", "ours perf", "paper W", "ours W",
+        ]);
+        for (short, p_perf, p_power) in PAPER_AVG_W {
+            if let Some(r) = self.rows.iter().find(|r| r.processor == short) {
+                t.row([
+                    short.to_owned(),
+                    format!("{p_perf:.2}"),
+                    format!("{:.2}", r.metrics.perf_w),
+                    format!("{p_power:.1}"),
+                    format!("{:.1}", r.metrics.power_w),
+                ]);
+            }
+        }
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_ordering_and_ranks_track_the_paper() {
+        let harness = Harness::quick();
+        let t4 = run(&harness);
+        assert_eq!(t4.rows.len(), 8);
+
+        // The paper's headline ordering facts, which must hold in any
+        // faithful reproduction:
+        let i7 = t4.row(ProcessorId::CoreI7_920).metrics.perf_w;
+        let i5 = t4.row(ProcessorId::CoreI5_670).metrics.perf_w;
+        let atom = t4.row(ProcessorId::Atom230).metrics.perf_w;
+        let p4 = t4.row(ProcessorId::Pentium4_130).metrics.perf_w;
+        assert!(i7 > i5, "i7 is the fastest overall (i7 {i7} vs i5 {i5})");
+        assert!(atom < p4, "Atom is the slowest (atom {atom} vs p4 {p4})");
+
+        let atom_w = t4.row(ProcessorId::Atom230).metrics.power_w;
+        let atomd_w = t4.row(ProcessorId::AtomD510).metrics.power_w;
+        let c2q_w = t4.row(ProcessorId::Core2QuadQ6600).metrics.power_w;
+        assert!(atom_w < atomd_w, "Atom draws least power");
+        for r in &t4.rows {
+            assert!(
+                r.metrics.power_w <= c2q_w + 12.0,
+                "C2Q is (near-)highest power; {} = {}",
+                r.processor,
+                r.metrics.power_w
+            );
+        }
+
+        // Rendering sanity.
+        let s = t4.render();
+        assert!(s.contains("i7 (45)"));
+        let c = t4.render_comparison();
+        assert!(c.contains("paper perf"));
+    }
+}

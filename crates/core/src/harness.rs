@@ -1,0 +1,318 @@
+//! The evaluation harness: normalized metrics and group aggregation.
+
+use std::collections::BTreeMap;
+
+use parking_lot::Mutex;
+
+use lhr_stats::arithmetic_mean;
+use lhr_uarch::ChipConfig;
+use lhr_workloads::{catalog, Group, Workload};
+
+use crate::reference::ReferenceSet;
+use crate::runner::{RunMeasurement, Runner};
+
+/// One benchmark's normalized result on one configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evaluation {
+    /// The raw measurement.
+    pub measurement: RunMeasurement,
+    /// Performance relative to the four-machine reference
+    /// (`reference time / time`; higher is better).
+    pub perf_norm: f64,
+    /// Energy relative to the reference energy (lower is better).
+    pub energy_norm: f64,
+}
+
+impl Evaluation {
+    /// The benchmark name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.measurement.workload
+    }
+
+    /// The benchmark group.
+    #[must_use]
+    pub fn group(&self) -> Group {
+        self.measurement.group
+    }
+
+    /// Measured average power in watts.
+    #[must_use]
+    pub fn watts(&self) -> f64 {
+        self.measurement.power.mean()
+    }
+}
+
+/// Per-group and aggregate metrics for one configuration (the shape of one
+/// row of Table 4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupMetrics {
+    /// Mean normalized performance per group.
+    pub perf: BTreeMap<Group, f64>,
+    /// Mean measured power per group (watts).
+    pub power: BTreeMap<Group, f64>,
+    /// Mean normalized energy per group.
+    pub energy: BTreeMap<Group, f64>,
+    /// Equal-group-weight averages (the paper's `Avg_w`).
+    pub perf_w: f64,
+    /// Equal-group-weight average power.
+    pub power_w: f64,
+    /// Equal-group-weight average normalized energy.
+    pub energy_w: f64,
+    /// Simple per-benchmark averages (the paper's `Avg_b`).
+    pub perf_b: f64,
+    /// Simple average power.
+    pub power_b: f64,
+    /// Simple average normalized energy.
+    pub energy_b: f64,
+    /// Benchmark-level extremes.
+    pub perf_min: f64,
+    /// Highest single-benchmark normalized performance.
+    pub perf_max: f64,
+    /// Lowest single-benchmark power.
+    pub power_min: f64,
+    /// Highest single-benchmark power.
+    pub power_max: f64,
+}
+
+impl GroupMetrics {
+    /// Aggregates per-benchmark evaluations per Section 2.6: arithmetic
+    /// mean within each group, then the mean of the four group means.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `evals` is empty or a represented group has no members.
+    #[must_use]
+    pub fn aggregate(evals: &[Evaluation]) -> Self {
+        assert!(!evals.is_empty(), "no evaluations to aggregate");
+        let mut perf = BTreeMap::new();
+        let mut power = BTreeMap::new();
+        let mut energy = BTreeMap::new();
+        let mut groups_present = Vec::new();
+        for group in Group::ALL {
+            let members: Vec<&Evaluation> =
+                evals.iter().filter(|e| e.group() == group).collect();
+            if members.is_empty() {
+                continue;
+            }
+            groups_present.push(group);
+            perf.insert(
+                group,
+                arithmetic_mean(&members.iter().map(|e| e.perf_norm).collect::<Vec<_>>()),
+            );
+            power.insert(
+                group,
+                arithmetic_mean(&members.iter().map(|e| e.watts()).collect::<Vec<_>>()),
+            );
+            energy.insert(
+                group,
+                arithmetic_mean(&members.iter().map(|e| e.energy_norm).collect::<Vec<_>>()),
+            );
+        }
+        let group_mean = |m: &BTreeMap<Group, f64>| {
+            arithmetic_mean(&groups_present.iter().map(|g| m[g]).collect::<Vec<_>>())
+        };
+        let all_perf: Vec<f64> = evals.iter().map(|e| e.perf_norm).collect();
+        let all_power: Vec<f64> = evals.iter().map(|e| e.watts()).collect();
+        let all_energy: Vec<f64> = evals.iter().map(|e| e.energy_norm).collect();
+        Self {
+            perf_w: group_mean(&perf),
+            power_w: group_mean(&power),
+            energy_w: group_mean(&energy),
+            perf_b: arithmetic_mean(&all_perf),
+            power_b: arithmetic_mean(&all_power),
+            energy_b: arithmetic_mean(&all_energy),
+            perf_min: all_perf.iter().copied().fold(f64::INFINITY, f64::min),
+            perf_max: all_perf.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            power_min: all_power.iter().copied().fold(f64::INFINITY, f64::min),
+            power_max: all_power.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            perf,
+            power,
+            energy,
+        }
+    }
+}
+
+/// The central evaluation harness: a runner, a workload set, and the
+/// lazily computed reference normalization.
+#[derive(Debug)]
+pub struct Harness {
+    runner: Runner,
+    workloads: Vec<&'static Workload>,
+    reference: Mutex<Option<ReferenceSet>>,
+}
+
+impl Harness {
+    /// A harness over the full 61-benchmark catalog.
+    #[must_use]
+    pub fn new(runner: Runner) -> Self {
+        Self {
+            runner,
+            workloads: catalog().iter().collect(),
+            reference: Mutex::new(None),
+        }
+    }
+
+    /// Restricts the harness to a subset of the catalog (fast sweeps,
+    /// focused experiments).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the subset is empty.
+    #[must_use]
+    pub fn with_workloads(mut self, workloads: Vec<&'static Workload>) -> Self {
+        assert!(!workloads.is_empty(), "harness needs at least one workload");
+        self.workloads = workloads;
+        self.reference.lock().take();
+        self
+    }
+
+    /// A fast harness over a representative 12-benchmark subset (three per
+    /// group), for tests and quick exploration.
+    #[must_use]
+    pub fn quick() -> Self {
+        let names = [
+            // Native Non-scalable: compute-bound, branchy, memory-bound.
+            "hmmer", "gobmk", "mcf",
+            // Native Scalable.
+            "swaptions", "fluidanimate", "canneal",
+            // Java Non-scalable.
+            "db", "jess", "avrora",
+            // Java Scalable.
+            "sunflow", "xalan", "lusearch",
+        ];
+        let ws = names
+            .iter()
+            .map(|n| lhr_workloads::by_name(n).expect("quick-set benchmarks exist"))
+            .collect();
+        Harness::new(Runner::fast()).with_workloads(ws)
+    }
+
+    /// The harness's workload set.
+    #[must_use]
+    pub fn workloads(&self) -> &[&'static Workload] {
+        &self.workloads
+    }
+
+    /// The underlying runner.
+    #[must_use]
+    pub fn runner(&self) -> &Runner {
+        &self.runner
+    }
+
+    /// The reference set, computing it on first use.
+    pub fn reference(&self) -> ReferenceSet {
+        let mut guard = self.reference.lock();
+        if guard.is_none() {
+            *guard = Some(ReferenceSet::compute(&self.runner, &self.workloads));
+        }
+        guard.clone().expect("just computed")
+    }
+
+    /// Raw (unnormalized) measurement of one workload.
+    #[must_use]
+    pub fn measure(&self, config: &ChipConfig, workload: &Workload) -> RunMeasurement {
+        self.runner.measure(config, workload)
+    }
+
+    /// Evaluates every workload on a configuration, in parallel, returning
+    /// normalized results in workload order.
+    #[must_use]
+    pub fn evaluate_config(&self, config: &ChipConfig) -> Vec<Evaluation> {
+        let refs = self.reference();
+        let n = self.workloads.len();
+        let results: Vec<Mutex<Option<Evaluation>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4)
+            .min(n);
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        crossbeam::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let w = self.workloads[i];
+                    let measurement = self.runner.measure(config, w);
+                    let perf_norm = refs.seconds(w.name()) / measurement.time.mean();
+                    let energy_norm = measurement.power.mean() * measurement.time.mean()
+                        / refs.joules(w.name());
+                    *results[i].lock() = Some(Evaluation {
+                        measurement,
+                        perf_norm,
+                        energy_norm,
+                    });
+                });
+            }
+        })
+        .expect("evaluation threads do not panic");
+        results
+            .into_iter()
+            .map(|m| m.into_inner().expect("all indices evaluated"))
+            .collect()
+    }
+
+    /// Evaluates a configuration and aggregates to group metrics.
+    #[must_use]
+    pub fn group_metrics(&self, config: &ChipConfig) -> GroupMetrics {
+        GroupMetrics::aggregate(&self.evaluate_config(config))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lhr_uarch::ProcessorId;
+
+    #[test]
+    fn quick_harness_covers_all_groups() {
+        let h = Harness::quick();
+        for g in Group::ALL {
+            assert!(
+                h.workloads().iter().any(|w| w.group() == g),
+                "group {g} missing"
+            );
+        }
+    }
+
+    #[test]
+    fn evaluation_normalizes_against_reference() {
+        let h = Harness::quick();
+        let evals = h.evaluate_config(&ChipConfig::stock(ProcessorId::Core2DuoE6600.spec()));
+        assert_eq!(evals.len(), h.workloads().len());
+        for e in &evals {
+            assert!(e.perf_norm > 0.0, "{}", e.name());
+            assert!(e.energy_norm > 0.0, "{}", e.name());
+        }
+        // The C2D (65) is a middling reference machine: its normalized
+        // performance should sit within a sane band around 1.
+        let m = GroupMetrics::aggregate(&evals);
+        assert!(m.perf_w > 0.3 && m.perf_w < 4.0, "perf_w = {}", m.perf_w);
+        assert!(m.perf_min <= m.perf_max);
+        assert!(m.power_min <= m.power_max);
+    }
+
+    #[test]
+    fn aggregate_weights_groups_equally() {
+        // Build synthetic evaluations where one group has many members:
+        // Avg_w must weight groups, not benchmarks.
+        let h = Harness::quick();
+        let evals = h.evaluate_config(&ChipConfig::stock(ProcessorId::Atom230.spec()));
+        let m = GroupMetrics::aggregate(&evals);
+        let manual = (m.perf[&Group::NativeNonScalable]
+            + m.perf[&Group::NativeScalable]
+            + m.perf[&Group::JavaNonScalable]
+            + m.perf[&Group::JavaScalable])
+            / 4.0;
+        assert!((m.perf_w - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "no evaluations")]
+    fn empty_aggregate_panics() {
+        let _ = GroupMetrics::aggregate(&[]);
+    }
+}

@@ -1,0 +1,120 @@
+//! Reference execution time and reference energy (Section 2.6).
+//!
+//! "To avoid biasing performance measurements to the strengths or
+//! weaknesses of one architecture, we normalize individual benchmark
+//! execution times to its average execution time executing on four
+//! architectures. We choose the Pentium 4 (130), Core 2D (65), Atom (45),
+//! and i5 (32) to capture all four microarchitectures and all four
+//! technology generations ... The reference energy is the average power on
+//! these four processors times the average runtime."
+
+use std::collections::HashMap;
+
+use lhr_uarch::{ChipConfig, ProcessorId};
+use lhr_workloads::Workload;
+
+use crate::runner::Runner;
+
+/// The four reference machines.
+pub const REFERENCE_PROCESSORS: [ProcessorId; 4] = [
+    ProcessorId::Pentium4_130,
+    ProcessorId::Core2DuoE6600,
+    ProcessorId::Atom230,
+    ProcessorId::CoreI5_670,
+];
+
+/// Per-benchmark reference time and energy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReferenceSet {
+    seconds: HashMap<&'static str, f64>,
+    joules: HashMap<&'static str, f64>,
+}
+
+impl ReferenceSet {
+    /// Computes the references for a set of workloads by running each on
+    /// the four reference machines in their stock configurations.
+    #[must_use]
+    pub fn compute(runner: &Runner, workloads: &[&'static Workload]) -> Self {
+        let mut seconds = HashMap::new();
+        let mut joules = HashMap::new();
+        for w in workloads {
+            let mut times = Vec::with_capacity(4);
+            let mut powers = Vec::with_capacity(4);
+            for id in REFERENCE_PROCESSORS {
+                let m = runner.measure(&ChipConfig::stock(id.spec()), w);
+                times.push(m.seconds().value());
+                powers.push(m.watts().value());
+            }
+            let avg_time = times.iter().sum::<f64>() / 4.0;
+            let avg_power = powers.iter().sum::<f64>() / 4.0;
+            seconds.insert(w.name(), avg_time);
+            joules.insert(w.name(), avg_power * avg_time);
+        }
+        Self { seconds, joules }
+    }
+
+    /// The reference time for a benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the benchmark was not part of the computed set -- mixing
+    /// references across sets is a methodology error.
+    #[must_use]
+    pub fn seconds(&self, name: &str) -> f64 {
+        *self
+            .seconds
+            .get(name)
+            .unwrap_or_else(|| panic!("no reference time for {name}"))
+    }
+
+    /// The reference energy for a benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the benchmark was not part of the computed set.
+    #[must_use]
+    pub fn joules(&self, name: &str) -> f64 {
+        *self
+            .joules
+            .get(name)
+            .unwrap_or_else(|| panic!("no reference energy for {name}"))
+    }
+
+    /// Number of benchmarks covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.seconds.len()
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.seconds.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lhr_workloads::by_name;
+
+    #[test]
+    fn references_are_positive_and_keyed_by_name() {
+        let runner = Runner::fast();
+        let ws = vec![by_name("jess").unwrap(), by_name("mpegaudio").unwrap()];
+        let refs = ReferenceSet::compute(&runner, &ws);
+        assert_eq!(refs.len(), 2);
+        assert!(!refs.is_empty());
+        assert!(refs.seconds("jess") > 0.0);
+        assert!(refs.joules("jess") > 0.0);
+        assert!(refs.seconds("mpegaudio") > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no reference time")]
+    fn missing_benchmark_panics() {
+        let runner = Runner::fast();
+        let refs = ReferenceSet::compute(&runner, &[by_name("jess").unwrap()]);
+        let _ = refs.seconds("mcf");
+    }
+}

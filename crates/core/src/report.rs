@@ -1,0 +1,173 @@
+//! Plain-text table rendering and CSV export for experiment results.
+//!
+//! The paper published its full dataset as csv alongside the ACM DL copy;
+//! every experiment here can render both a human-readable table and the
+//! same rows as csv.
+
+use std::fmt::Write as _;
+
+/// A simple fixed-width text table builder.
+#[derive(Debug, Default, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given column headers.
+    #[must_use]
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the header.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row width {} != header width {}",
+            row.len(),
+            self.header.len()
+        );
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                // Left-align the first column, right-align the rest
+                // (labels left, numbers right).
+                if i == 0 {
+                    let _ = write!(out, "{:<width$}", cell, width = widths[i]);
+                } else {
+                    let _ = write!(out, "{:>width$}", cell, width = widths[i]);
+                }
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders the table as csv (RFC-4180-style quoting for commas/quotes).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let quote = |s: &str| {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_owned()
+            }
+        };
+        let mut out = String::new();
+        let line = |cells: &[String], out: &mut String| {
+            let joined: Vec<String> = cells.iter().map(|c| quote(c)).collect();
+            out.push_str(&joined.join(","));
+            out.push('\n');
+        };
+        line(&self.header, &mut out);
+        for row in &self.rows {
+            line(row, &mut out);
+        }
+        out
+    }
+}
+
+/// Formats a float with sensible experiment precision.
+#[must_use]
+pub fn fmt2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a ratio as a signed percentage change, e.g. `+12%`.
+#[must_use]
+pub fn fmt_pct(ratio: f64) -> String {
+    format!("{:+.0}%", (ratio - 1.0) * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new(["name", "perf", "power"]);
+        t.row(["i7 (45)", "4.46", "47.0"]);
+        t.row(["Atom (45)", "0.52", "2.4"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[1].starts_with('-'));
+        assert!(lines[2].contains("i7 (45)"));
+        // Right-aligned numeric columns line up at the end.
+        assert_eq!(lines[2].len(), lines[3].len());
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_quotes_commas() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["x,y", "plain"]);
+        t.row(["has \"quote\"", "2"]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"has \"\"quote\"\"\""));
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_rows_panic() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only one"]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt2(1.2345), "1.23");
+        assert_eq!(fmt_pct(1.12), "+12%");
+        assert_eq!(fmt_pct(0.96), "-4%");
+    }
+}

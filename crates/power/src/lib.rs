@@ -1,0 +1,50 @@
+//! Event-energy and leakage power modelling.
+//!
+//! The study measures *chip* power on the isolated 12V supply rail while
+//! benchmarks run. This crate is the simulated chip's power plane: it turns
+//! per-interval activity counts (instructions by class, cache misses, branch
+//! flushes) into dynamic energy, adds voltage- and node-dependent static
+//! leakage, tracks per-structure meters (the paper's headline hardware
+//! recommendation is "expose on-chip power meters"), and produces the
+//! [`PowerWaveform`] that the simulated Hall-effect sensing rig in
+//! `lhr-sensors` samples.
+//!
+//! The model is first-order but physically structured:
+//!
+//! * dynamic energy per event `e = e_nom x cap_scale(node) x (V / V_nom)^2`
+//! * static power `P = P_nom x leak_scale(node) x (V / V_nom)^2`, scaled by
+//!   each chip's idle power-gating efficiency for idle-but-enabled cores
+//! * voltage follows a per-chip [`VfCurve`] over its VID range (Table 3)
+//!
+//! # Example
+//!
+//! ```
+//! use lhr_power::{ActivityCounters, EnergyModel, EventEnergies, NodeScaling};
+//! use lhr_units::{TechNode, Volts};
+//!
+//! let model = EnergyModel::new(EventEnergies::default(), NodeScaling::default());
+//! let mut act = ActivityCounters::default();
+//! act.int_ops = 1_000_000;
+//! act.l1_accesses = 300_000;
+//! let e = model.dynamic_energy(&act, TechNode::Nm45, Volts::new(1.2), Volts::new(1.2));
+//! assert!(e.value() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod activity;
+mod energy;
+mod meter;
+mod node;
+mod turbo;
+mod vf;
+mod waveform;
+
+pub use activity::ActivityCounters;
+pub use energy::{EnergyModel, EventEnergies, StaticPowerParams};
+pub use meter::{PowerMeters, Structure};
+pub use node::NodeScaling;
+pub use turbo::TurboParams;
+pub use vf::{VfCurve, VfError};
+pub use waveform::{PowerWaveform, WaveformStats};

@@ -1,0 +1,133 @@
+//! The data logger's analog-to-digital converter.
+
+use lhr_units::Volts;
+
+/// An ideal mid-rise quantizer over a reference voltage.
+///
+/// Ten bits over 5 V gives 4.88 mV per code -- matching the paper's
+/// observed fidelity of "about 1%" per sample with 103 quantization points
+/// across the calibration range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Adc {
+    bits: u32,
+    v_ref_mv: u32,
+}
+
+impl Adc {
+    /// Creates an ADC with the given resolution and reference voltage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 16, or `v_ref` is not positive.
+    #[must_use]
+    pub fn new(bits: u32, v_ref: Volts) -> Self {
+        assert!((1..=16).contains(&bits), "bits must be in 1..=16");
+        assert!(v_ref.value() > 0.0, "reference voltage must be positive");
+        Self {
+            bits,
+            v_ref_mv: (v_ref.value() * 1000.0).round() as u32,
+        }
+    }
+
+    /// The 10-bit, 5 V converter of the AVR logger.
+    #[must_use]
+    pub fn avr_10bit() -> Self {
+        Self::new(10, Volts::new(5.0))
+    }
+
+    /// The resolution in bits.
+    #[must_use]
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// The highest representable code.
+    #[must_use]
+    pub fn max_code(&self) -> u16 {
+        ((1u32 << self.bits) - 1) as u16
+    }
+
+    /// The voltage width of one code step.
+    #[must_use]
+    pub fn lsb(&self) -> Volts {
+        Volts::new(self.v_ref_mv as f64 / 1000.0 / f64::from(1u32 << self.bits))
+    }
+
+    /// Quantizes a voltage to a code, clamping to the input range.
+    #[must_use]
+    pub fn quantize(&self, v: Volts) -> u16 {
+        let v_ref = self.v_ref_mv as f64 / 1000.0;
+        let norm = (v.value() / v_ref).clamp(0.0, 1.0);
+        let code = (norm * f64::from(1u32 << self.bits)).floor();
+        (code as u32).min(u32::from(self.max_code())) as u16
+    }
+
+    /// The center voltage a code represents (for reconstruction).
+    #[must_use]
+    pub fn voltage_of(&self, code: u16) -> Volts {
+        let v_ref = self.v_ref_mv as f64 / 1000.0;
+        Volts::new((f64::from(code) + 0.5) / f64::from(1u32 << self.bits) * v_ref)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn avr_defaults() {
+        let adc = Adc::avr_10bit();
+        assert_eq!(adc.bits(), 10);
+        assert_eq!(adc.max_code(), 1023);
+        assert!((adc.lsb().value() - 5.0 / 1024.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantization_round_trip_error_is_below_one_lsb() {
+        let adc = Adc::avr_10bit();
+        for mv in (0..5000).step_by(37) {
+            let v = Volts::from_mv(f64::from(mv));
+            let code = adc.quantize(v);
+            let back = adc.voltage_of(code);
+            assert!(
+                (back.value() - v.value()).abs() <= adc.lsb().value(),
+                "{mv} mV"
+            );
+        }
+    }
+
+    #[test]
+    fn clamps_out_of_range() {
+        let adc = Adc::avr_10bit();
+        assert_eq!(adc.quantize(Volts::new(-1.0)), 0);
+        assert_eq!(adc.quantize(Volts::new(9.0)), 1023);
+    }
+
+    #[test]
+    fn codes_are_monotone_in_voltage() {
+        let adc = Adc::avr_10bit();
+        let mut prev = 0u16;
+        for mv in (0..5000).step_by(10) {
+            let code = adc.quantize(Volts::from_mv(f64::from(mv)));
+            assert!(code >= prev);
+            prev = code;
+        }
+    }
+
+    #[test]
+    fn paper_code_range_reproduced() {
+        // The sensor maps 0.3 A -> ~2.44 V -> code ~500 and 3 A -> ~1.95 V
+        // -> code ~398: the paper's observed 400-503 integer range.
+        let adc = Adc::avr_10bit();
+        let lo = adc.quantize(Volts::new(2.5 - 0.185 * 0.3));
+        let hi = adc.quantize(Volts::new(2.5 - 0.185 * 3.0));
+        assert!((495..=505).contains(&lo), "lo = {lo}");
+        assert!((393..=403).contains(&hi), "hi = {hi}");
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be in")]
+    fn zero_bits_panics() {
+        let _ = Adc::new(0, Volts::new(5.0));
+    }
+}

@@ -1,0 +1,218 @@
+//! Sensor calibration: reference currents, least squares, R-squared check.
+//!
+//! "To calibrate the meters, we use a current source to provide 28
+//! reference currents between 300mA and 3A, and for each meter record the
+//! output value ... We compute linear fits for each of the sensors. Each
+//! sensor has an R^2 value of 0.999 or better." -- Section 2.5.
+
+use std::error::Error;
+use std::fmt;
+
+use lhr_stats::LinearFit;
+use lhr_units::Amperes;
+
+use crate::adc::Adc;
+use crate::hall::HallSensor;
+
+/// Error from a failed calibration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CalibrationError {
+    /// The linear fit's R-squared fell below the acceptance threshold --
+    /// a broken sensor (in the paper: re-solder and recalibrate).
+    PoorFit {
+        /// The R-squared achieved.
+        r_squared: f64,
+        /// The threshold demanded.
+        threshold: f64,
+    },
+    /// The fit could not be computed at all.
+    Degenerate(String),
+}
+
+impl fmt::Display for CalibrationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CalibrationError::PoorFit {
+                r_squared,
+                threshold,
+            } => write!(
+                f,
+                "calibration fit R^2 = {r_squared:.6} below threshold {threshold}"
+            ),
+            CalibrationError::Degenerate(msg) => write!(f, "degenerate calibration: {msg}"),
+        }
+    }
+}
+
+impl Error for CalibrationError {}
+
+/// A calibrated sensor+ADC channel: codes to amperes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Calibration {
+    fit: LinearFit,
+    points: Vec<(f64, f64)>,
+}
+
+impl Calibration {
+    /// The paper's acceptance threshold.
+    pub const R_SQUARED_THRESHOLD: f64 = 0.999;
+
+    /// Calibrates a channel with `n` reference currents spanning
+    /// `lo..=hi`, fitting `code = a x amps + b`.
+    ///
+    /// # Errors
+    ///
+    /// [`CalibrationError::PoorFit`] if R-squared is below 0.999;
+    /// [`CalibrationError::Degenerate`] if the fit cannot be computed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or the current range is empty.
+    pub fn calibrate(
+        sensor: &mut HallSensor,
+        adc: &Adc,
+        n: usize,
+        lo: Amperes,
+        hi: Amperes,
+    ) -> Result<Self, CalibrationError> {
+        assert!(n >= 2, "need at least two reference currents");
+        assert!(hi.value() > lo.value(), "empty calibration range");
+        let points: Vec<(f64, f64)> = (0..n)
+            .map(|i| {
+                let amps = lo.value() + (hi.value() - lo.value()) * i as f64 / (n - 1) as f64;
+                // Average a few samples per reference point, as a bench
+                // calibration would, to suppress output noise.
+                let mean_code = (0..16)
+                    .map(|_| f64::from(adc.quantize(sensor.output(Amperes::new(amps)))))
+                    .sum::<f64>()
+                    / 16.0;
+                (amps, mean_code)
+            })
+            .collect();
+        let fit = LinearFit::fit(&points)
+            .map_err(|e| CalibrationError::Degenerate(e.to_string()))?;
+        if fit.r_squared() < Self::R_SQUARED_THRESHOLD {
+            return Err(CalibrationError::PoorFit {
+                r_squared: fit.r_squared(),
+                threshold: Self::R_SQUARED_THRESHOLD,
+            });
+        }
+        Ok(Self { fit, points })
+    }
+
+    /// The paper's exact procedure: 28 points, 300 mA to 3 A.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Calibration::calibrate`].
+    pub fn paper_procedure(
+        sensor: &mut HallSensor,
+        adc: &Adc,
+    ) -> Result<Self, CalibrationError> {
+        Self::calibrate(sensor, adc, 28, Amperes::from_ma(300.0), Amperes::new(3.0))
+    }
+
+    /// The underlying linear fit.
+    #[must_use]
+    pub fn fit(&self) -> &LinearFit {
+        &self.fit
+    }
+
+    /// The recorded `(amps, code)` calibration points.
+    #[must_use]
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Converts a logged code back to a rail current.
+    ///
+    /// Returns `None` only for a pathological zero-slope fit, which the
+    /// R-squared gate already rejects in practice.
+    #[must_use]
+    pub fn amps_from_code(&self, code: u16) -> Option<Amperes> {
+        self.fit.invert(f64::from(code)).map(Amperes::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_procedure_meets_r_squared() {
+        for seed in 0..20 {
+            let mut sensor = HallSensor::acs714_5a(seed);
+            let adc = Adc::avr_10bit();
+            let cal = Calibration::paper_procedure(&mut sensor, &adc)
+                .expect("healthy sensors calibrate");
+            assert!(cal.fit().r_squared() >= 0.999, "seed {seed}");
+            assert_eq!(cal.points().len(), 28);
+        }
+    }
+
+    #[test]
+    fn calibration_inverts_the_channel() {
+        let mut sensor = HallSensor::acs714_5a(7);
+        let adc = Adc::avr_10bit();
+        let cal = Calibration::paper_procedure(&mut sensor, &adc).unwrap();
+        for ma in [400.0, 1_000.0, 1_700.0, 2_600.0] {
+            let truth = Amperes::from_ma(ma);
+            let code = adc.quantize(sensor.output(truth));
+            let recovered = cal.amps_from_code(code).unwrap();
+            let err = (recovered.value() - truth.value()).abs() / truth.value();
+            assert!(err < 0.03, "{ma} mA: err {err}");
+        }
+    }
+
+    #[test]
+    fn calibration_removes_gain_and_offset_error() {
+        // Two different physical devices measure the same current the same
+        // way after calibration.
+        let adc = Adc::avr_10bit();
+        let mut s1 = HallSensor::acs714_5a(100);
+        let mut s2 = HallSensor::acs714_5a(200);
+        let c1 = Calibration::paper_procedure(&mut s1, &adc).unwrap();
+        let c2 = Calibration::paper_procedure(&mut s2, &adc).unwrap();
+        let truth = Amperes::new(2.0);
+        // Average several samples, as the per-benchmark measurement does,
+        // so sensor noise does not mask the calibration comparison.
+        let mean = |s: &mut HallSensor, c: &Calibration| -> f64 {
+            (0..32)
+                .map(|_| c.amps_from_code(adc.quantize(s.output(truth))).unwrap().value())
+                .sum::<f64>()
+                / 32.0
+        };
+        let m1 = mean(&mut s1, &c1);
+        let m2 = mean(&mut s2, &c2);
+        assert!((m1 - m2).abs() < 0.03, "{m1} vs {m2}");
+    }
+
+    #[test]
+    fn slope_is_negative_as_wired() {
+        let mut sensor = HallSensor::acs714_5a(3);
+        let adc = Adc::avr_10bit();
+        let cal = Calibration::paper_procedure(&mut sensor, &adc).unwrap();
+        assert!(cal.fit().slope() < 0.0, "codes descend with current");
+    }
+
+    #[test]
+    fn code_range_matches_paper() {
+        let mut sensor = HallSensor::acs714_5a(11);
+        let adc = Adc::avr_10bit();
+        let cal = Calibration::paper_procedure(&mut sensor, &adc).unwrap();
+        let codes: Vec<f64> = cal.points().iter().map(|&(_, c)| c).collect();
+        let min = codes.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = codes.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert!((385.0..=415.0).contains(&min), "min code {min}");
+        assert!((490.0..=515.0).contains(&max), "max code {max}");
+    }
+
+    #[test]
+    fn error_display() {
+        let e = CalibrationError::PoorFit {
+            r_squared: 0.95,
+            threshold: 0.999,
+        };
+        assert!(format!("{e}").contains("0.95"));
+    }
+}

@@ -1,0 +1,48 @@
+//! The simulated power-measurement rig.
+//!
+//! Section 2.5 of the paper: each machine's processor has an isolated 12V
+//! supply on the motherboard; a Pololu ACS714 Hall-effect current sensor on
+//! that rail feeds an AVR data logger sampling at 50 Hz; the meters are
+//! calibrated with 28 reference currents between 300 mA and 3 A, each
+//! producing a quantized integer output (range 400-503), fit with a line at
+//! R-squared 0.999 or better; per-sample error is about 1%.
+//!
+//! This crate rebuilds that rig against the simulated chip's power
+//! waveform: a [`HallSensor`] with gain/offset imperfection and noise, an
+//! [`Adc`] quantizing to the same integer scale, a [`DataLogger`] sampling
+//! at 50 Hz, [`Calibration`] reproducing the reference-current procedure,
+//! and a [`MeasurementRig`] tying them together so every wattage the
+//! harness reports has passed through the same pipeline the paper's did.
+//!
+//! # Example
+//!
+//! ```
+//! use lhr_sensors::MeasurementRig;
+//! use lhr_power::PowerWaveform;
+//! use lhr_units::{Seconds, Watts};
+//!
+//! let mut w = PowerWaveform::new(Seconds::from_ms(20.0));
+//! for _ in 0..200 {
+//!     w.push(Watts::new(26.0)); // a steady 26 W chip
+//! }
+//! let rig = MeasurementRig::for_max_power(Watts::new(60.0), 42)?;
+//! let m = rig.measure(&w, 7);
+//! let err = (m.average_power.value() - 26.0).abs() / 26.0;
+//! assert!(err < 0.02, "measured within ~1-2%");
+//! # Ok::<(), lhr_sensors::CalibrationError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adc;
+mod calibration;
+mod hall;
+mod logger;
+mod rig;
+
+pub use adc::Adc;
+pub use calibration::{Calibration, CalibrationError};
+pub use hall::HallSensor;
+pub use logger::DataLogger;
+pub use rig::{Measurement, MeasurementRig};

@@ -1,0 +1,184 @@
+//! The complete measurement rig: calibrated sensor + logger on one rail.
+
+use lhr_power::PowerWaveform;
+use lhr_stats::Summary;
+use lhr_units::{Seconds, Watts};
+
+use crate::adc::Adc;
+use crate::calibration::{Calibration, CalibrationError};
+use crate::hall::HallSensor;
+use crate::logger::DataLogger;
+
+/// One benchmark run as seen through the rig.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Average power over the run, reconstructed from the code log via
+    /// the calibration fit -- the paper's per-benchmark power number.
+    pub average_power: Watts,
+    /// Per-sample reconstructed power values.
+    pub samples: Vec<Watts>,
+    /// The run duration (from the waveform; timing used a separate clock).
+    pub duration: Seconds,
+}
+
+impl Measurement {
+    /// Summary statistics over the reconstructed samples.
+    #[must_use]
+    pub fn sample_summary(&self) -> Summary {
+        Summary::from_slice(
+            &self
+                .samples
+                .iter()
+                .map(|w| w.value())
+                .collect::<Vec<f64>>(),
+        )
+    }
+}
+
+/// A calibrated power-measurement channel for one machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasurementRig {
+    sensor: HallSensor,
+    adc: Adc,
+    logger: DataLogger,
+    calibration: Calibration,
+}
+
+impl MeasurementRig {
+    /// Builds and calibrates a rig whose sensor range suits the chip's
+    /// maximum power draw on the 12 V rail, as the paper did (a +/-5 A
+    /// ACS714 normally; +/-30 A for the i7-920).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CalibrationError`] if the freshly built channel fails
+    /// the R-squared acceptance test.
+    pub fn for_max_power(max_power: Watts, device_seed: u64) -> Result<Self, CalibrationError> {
+        let max_current = max_power.value() / 12.0;
+        let mut sensor = if max_current > 4.5 {
+            HallSensor::acs714_30a(device_seed)
+        } else {
+            HallSensor::acs714_5a(device_seed)
+        };
+        let adc = Adc::avr_10bit();
+        let calibration = Calibration::paper_procedure(&mut sensor, &adc)?;
+        Ok(Self {
+            sensor,
+            adc,
+            logger: DataLogger::paper_rig(),
+            calibration,
+        })
+    }
+
+    /// The rig's calibration record.
+    #[must_use]
+    pub fn calibration(&self) -> &Calibration {
+        &self.calibration
+    }
+
+    /// Measures one run: logs the waveform at 50 Hz, inverts the codes to
+    /// currents via the calibration fit, multiplies by the rail voltage,
+    /// and averages over the run (Section 2.5's procedure exactly).
+    ///
+    /// The `_seed` parameter is reserved for future per-run rig noise; the
+    /// sensor already carries its own deterministic noise stream.
+    #[must_use]
+    pub fn measure(&self, waveform: &PowerWaveform, _seed: u64) -> Measurement {
+        let mut sensor = self.sensor.clone();
+        let codes = self.logger.log_run(waveform, &mut sensor, &self.adc);
+        let supply = self.logger.supply();
+        let samples: Vec<Watts> = codes
+            .iter()
+            .map(|&code| {
+                let amps = self
+                    .calibration
+                    .amps_from_code(code)
+                    .expect("calibrated fits are invertible");
+                supply * amps
+            })
+            .collect();
+        let avg = samples.iter().map(|w| w.value()).sum::<f64>() / samples.len() as f64;
+        Measurement {
+            average_power: Watts::new(avg),
+            samples,
+            duration: waveform.duration(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn waveform(powers: &[f64]) -> PowerWaveform {
+        let mut w = PowerWaveform::new(Seconds::from_ms(20.0));
+        for &p in powers {
+            w.push(Watts::new(p));
+        }
+        w
+    }
+
+    #[test]
+    fn measures_steady_power_within_two_percent() {
+        let rig = MeasurementRig::for_max_power(Watts::new(50.0), 42).unwrap();
+        let truth = 26.4;
+        let w = waveform(&vec![truth; 500]);
+        let m = rig.measure(&w, 1);
+        let err = (m.average_power.value() - truth).abs() / truth;
+        assert!(err < 0.02, "err = {err}");
+        assert_eq!(m.samples.len(), 500);
+    }
+
+    #[test]
+    fn tracks_varying_power() {
+        let rig = MeasurementRig::for_max_power(Watts::new(50.0), 42).unwrap();
+        // Square wave between 20 and 40 W: mean 30.
+        let powers: Vec<f64> = (0..1000).map(|i| if i % 2 == 0 { 20.0 } else { 40.0 }).collect();
+        let m = rig.measure(&waveform(&powers), 1);
+        let err = (m.average_power.value() - 30.0).abs() / 30.0;
+        assert!(err < 0.03, "err = {err}");
+        let s = m.sample_summary();
+        assert!(s.stddev() > 5.0, "square wave must show spread");
+    }
+
+    #[test]
+    fn high_power_chip_gets_the_thirty_amp_sensor() {
+        // An i7-class chip peaking near 90 W needs more than 5 A at 12 V.
+        let rig = MeasurementRig::for_max_power(Watts::new(130.0), 7).unwrap();
+        let truth = 89.0;
+        let m = rig.measure(&waveform(&vec![truth; 500]), 1);
+        let err = (m.average_power.value() - truth).abs() / truth;
+        assert!(err < 0.03, "err = {err}");
+    }
+
+    #[test]
+    fn low_power_chip_stays_measurable() {
+        // The Atom draws ~2.4 W: ~200 mA. Near the bottom of the
+        // calibration range but still within ~5%.
+        let rig = MeasurementRig::for_max_power(Watts::new(4.0), 9).unwrap();
+        let truth = 2.4;
+        let m = rig.measure(&waveform(&vec![truth; 500]), 1);
+        let err = (m.average_power.value() - truth).abs() / truth;
+        assert!(err < 0.06, "err = {err}");
+    }
+
+    #[test]
+    fn measurement_is_deterministic() {
+        let rig = MeasurementRig::for_max_power(Watts::new(50.0), 42).unwrap();
+        let w = waveform(&vec![25.0; 200]);
+        assert_eq!(rig.measure(&w, 1), rig.measure(&w, 1));
+    }
+
+    #[test]
+    fn different_rigs_agree_after_calibration() {
+        let w = waveform(&vec![30.0; 400]);
+        let a = MeasurementRig::for_max_power(Watts::new(50.0), 1)
+            .unwrap()
+            .measure(&w, 1);
+        let b = MeasurementRig::for_max_power(Watts::new(50.0), 2)
+            .unwrap()
+            .measure(&w, 1);
+        let diff = (a.average_power.value() - b.average_power.value()).abs() / 30.0;
+        assert!(diff < 0.02, "rig disagreement {diff}");
+    }
+}

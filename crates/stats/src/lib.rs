@@ -1,0 +1,34 @@
+//! Statistics underpinning the measurement methodology of the study.
+//!
+//! The paper reports every number with a rigorous statistical treatment:
+//! means over 3 (SPEC-prescribed), 5 (PARSEC) or 20 (Java, due to JIT/GC
+//! non-determinism) invocations, aggregate 95% confidence intervals
+//! (Table 2), least-squares sensor calibration with R-squared >= 0.999
+//! (Section 2.5), per-group arithmetic means with equal group weighting
+//! (Section 2.6), ranks (Table 4), and Pareto frontiers (Table 5 /
+//! Figure 12). This crate implements each of those primitives.
+//!
+//! # Example
+//!
+//! ```
+//! use lhr_stats::Summary;
+//!
+//! let runs = [10.1, 9.9, 10.0, 10.2, 9.8];
+//! let s = Summary::from_slice(&runs);
+//! assert!((s.mean() - 10.0).abs() < 1e-12);
+//! assert!(s.ci95_halfwidth() > 0.0);
+//! assert!(s.relative_ci95() < 0.03); // well under the paper's ~1-2%
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod pareto;
+mod rank;
+mod regression;
+mod summary;
+
+pub use pareto::{pareto_frontier, pareto_frontier_by, Dominance, ParetoPoint};
+pub use rank::{rank_dense, Direction};
+pub use regression::{LinearFit, RegressionError};
+pub use summary::{arithmetic_mean, geometric_mean, Summary, SummaryBuilder};

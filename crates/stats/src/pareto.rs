@@ -1,0 +1,240 @@
+//! Pareto-efficiency analysis over performance/energy tradeoff spaces.
+//!
+//! Section 4.2 of the paper expands the four 45nm processors into 29
+//! configurations and identifies, per workload group, the configurations not
+//! dominated in both normalized performance (higher is better) and normalized
+//! energy (lower is better). Table 5 lists the surviving configurations and
+//! Figure 12 plots the fitted frontiers.
+
+use std::cmp::Ordering;
+
+/// A point in the tradeoff space: performance to maximize, cost to minimize.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParetoPoint {
+    /// The axis being maximized (normalized performance in the paper).
+    pub performance: f64,
+    /// The axis being minimized (normalized energy in the paper).
+    pub cost: f64,
+}
+
+impl ParetoPoint {
+    /// Creates a point.
+    #[must_use]
+    pub fn new(performance: f64, cost: f64) -> Self {
+        Self { performance, cost }
+    }
+
+    /// How `self` relates to `other` under (max performance, min cost).
+    #[must_use]
+    pub fn dominance(&self, other: &ParetoPoint) -> Dominance {
+        let better_perf = self.performance >= other.performance;
+        let better_cost = self.cost <= other.cost;
+        let strictly = self.performance > other.performance || self.cost < other.cost;
+        if better_perf && better_cost && strictly {
+            Dominance::Dominates
+        } else {
+            let worse_perf = self.performance <= other.performance;
+            let worse_cost = self.cost >= other.cost;
+            let strictly_worse =
+                self.performance < other.performance || self.cost > other.cost;
+            if worse_perf && worse_cost && strictly_worse {
+                Dominance::DominatedBy
+            } else {
+                Dominance::Incomparable
+            }
+        }
+    }
+}
+
+/// The relation between two candidate design points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dominance {
+    /// Strictly at least as good on both axes and better on one.
+    Dominates,
+    /// The mirror image: the other point dominates this one.
+    DominatedBy,
+    /// Each point wins on a different axis (or they are equal).
+    Incomparable,
+}
+
+/// Indices of the Pareto-efficient points, sorted by ascending performance.
+///
+/// A point is kept iff no other point dominates it. Duplicated points are all
+/// kept (they dominate nothing and are dominated by nothing).
+///
+/// ```
+/// use lhr_stats::{pareto_frontier, ParetoPoint};
+///
+/// let pts = vec![
+///     ParetoPoint::new(1.0, 1.0), // efficient: cheapest
+///     ParetoPoint::new(2.0, 2.0), // efficient
+///     ParetoPoint::new(1.5, 3.0), // dominated by (2.0, 2.0)
+///     ParetoPoint::new(4.0, 5.0), // efficient: fastest
+/// ];
+/// assert_eq!(pareto_frontier(&pts), vec![0, 1, 3]);
+/// ```
+#[must_use]
+pub fn pareto_frontier(points: &[ParetoPoint]) -> Vec<usize> {
+    // Sort indices by descending performance, breaking ties by ascending
+    // cost; then a single sweep keeps points whose cost is a new minimum.
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    order.sort_by(|&a, &b| {
+        match points[b]
+            .performance
+            .partial_cmp(&points[a].performance)
+            .unwrap_or(Ordering::Equal)
+        {
+            Ordering::Equal => points[a]
+                .cost
+                .partial_cmp(&points[b].cost)
+                .unwrap_or(Ordering::Equal),
+            o => o,
+        }
+    });
+
+    let mut frontier = Vec::new();
+    let mut best_cost = f64::INFINITY;
+    let mut last_kept: Option<ParetoPoint> = None;
+    for idx in order {
+        let p = points[idx];
+        let duplicate_of_kept = last_kept.is_some_and(|q| q == p);
+        if p.cost < best_cost || duplicate_of_kept {
+            frontier.push(idx);
+            best_cost = best_cost.min(p.cost);
+            last_kept = Some(p);
+        }
+    }
+    frontier.sort_by(|&a, &b| {
+        points[a]
+            .performance
+            .partial_cmp(&points[b].performance)
+            .unwrap_or(Ordering::Equal)
+    });
+    frontier
+}
+
+/// Like [`pareto_frontier`] but projecting arbitrary items into the space.
+///
+/// ```
+/// use lhr_stats::{pareto_frontier_by, ParetoPoint};
+///
+/// struct Config { perf: f64, energy: f64 }
+/// let configs = vec![
+///     Config { perf: 3.0, energy: 0.5 },
+///     Config { perf: 1.0, energy: 0.9 }, // slower AND hungrier
+/// ];
+/// let keep = pareto_frontier_by(&configs, |c| ParetoPoint::new(c.perf, c.energy));
+/// assert_eq!(keep, vec![0]);
+/// ```
+#[must_use]
+pub fn pareto_frontier_by<T, F>(items: &[T], mut project: F) -> Vec<usize>
+where
+    F: FnMut(&T) -> ParetoPoint,
+{
+    let points: Vec<ParetoPoint> = items.iter().map(&mut project).collect();
+    pareto_frontier(&points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(perf: f64, cost: f64) -> ParetoPoint {
+        ParetoPoint::new(perf, cost)
+    }
+
+    #[test]
+    fn dominance_relations() {
+        assert_eq!(p(2.0, 1.0).dominance(&p(1.0, 2.0)), Dominance::Dominates);
+        assert_eq!(p(1.0, 2.0).dominance(&p(2.0, 1.0)), Dominance::DominatedBy);
+        assert_eq!(p(1.0, 1.0).dominance(&p(2.0, 2.0)), Dominance::Incomparable);
+        assert_eq!(p(1.0, 1.0).dominance(&p(1.0, 1.0)), Dominance::Incomparable);
+        // Equal performance, lower cost still dominates.
+        assert_eq!(p(1.0, 0.5).dominance(&p(1.0, 1.0)), Dominance::Dominates);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(pareto_frontier(&[]).is_empty());
+        assert_eq!(pareto_frontier(&[p(1.0, 1.0)]), vec![0]);
+    }
+
+    #[test]
+    fn all_efficient_when_tradeoff_is_monotone() {
+        // A textbook frontier: faster always costs more.
+        let pts = vec![p(1.0, 1.0), p(2.0, 2.0), p(3.0, 4.0), p(4.0, 8.0)];
+        assert_eq!(pareto_frontier(&pts), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn dominated_interior_points_are_dropped() {
+        let pts = vec![
+            p(1.0, 1.0),
+            p(2.0, 2.0),
+            p(1.5, 2.5), // dominated by (2.0, 2.0)
+            p(0.5, 1.5), // dominated by (1.0, 1.0)
+            p(4.0, 5.0),
+        ];
+        assert_eq!(pareto_frontier(&pts), vec![0, 1, 4]);
+    }
+
+    #[test]
+    fn one_point_dominating_all() {
+        let pts = vec![p(5.0, 0.1), p(1.0, 1.0), p(2.0, 2.0), p(4.9, 0.2)];
+        assert_eq!(pareto_frontier(&pts), vec![0]);
+    }
+
+    #[test]
+    fn duplicates_are_all_kept() {
+        let pts = vec![p(1.0, 1.0), p(1.0, 1.0), p(2.0, 0.5)];
+        // (2.0, 0.5) dominates both copies of (1.0, 1.0).
+        assert_eq!(pareto_frontier(&pts), vec![2]);
+        let twins = vec![p(1.0, 1.0), p(1.0, 1.0)];
+        assert_eq!(pareto_frontier(&twins), vec![0, 1]);
+    }
+
+    #[test]
+    fn frontier_is_sorted_by_performance() {
+        let pts = vec![p(4.0, 8.0), p(1.0, 1.0), p(3.0, 4.0), p(2.0, 2.0)];
+        let f = pareto_frontier(&pts);
+        let perfs: Vec<f64> = f.iter().map(|&i| pts[i].performance).collect();
+        assert!(perfs.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn frontier_members_are_mutually_incomparable() {
+        let pts: Vec<ParetoPoint> = (0..50)
+            .map(|i| {
+                let x = f64::from(i % 13) + 0.1 * f64::from(i);
+                let y = f64::from((i * 7) % 17) + 0.05 * f64::from(i);
+                p(x, y)
+            })
+            .collect();
+        let f = pareto_frontier(&pts);
+        for (ai, &a) in f.iter().enumerate() {
+            for &b in &f[ai + 1..] {
+                assert_eq!(
+                    pts[a].dominance(&pts[b]),
+                    Dominance::Incomparable,
+                    "frontier members {a} and {b} must not dominate each other"
+                );
+            }
+        }
+        // And every excluded point is dominated by some frontier member.
+        for i in 0..pts.len() {
+            if !f.contains(&i) {
+                assert!(
+                    f.iter().any(|&j| pts[j].dominance(&pts[i]) == Dominance::Dominates),
+                    "excluded point {i} is not dominated by any frontier member"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn projection_variant() {
+        let raw = vec![(3.0, 0.5), (1.0, 0.9)];
+        let keep = pareto_frontier_by(&raw, |&(a, b)| p(a, b));
+        assert_eq!(keep, vec![0]);
+    }
+}

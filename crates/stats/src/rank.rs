@@ -1,0 +1,98 @@
+//! Ranking of processors by a measure, as in Table 4 of the paper.
+//!
+//! Table 4 annotates every average performance and power figure with a rank
+//! in small italics: rank 1 is the fastest processor for performance and the
+//! *least* power-hungry for power. [`rank_dense`] reproduces that labelling.
+
+/// Which end of the scale earns rank 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Larger values rank first (performance).
+    HigherIsBetter,
+    /// Smaller values rank first (power, energy).
+    LowerIsBetter,
+}
+
+/// Dense ranks (1 = best) for a slice of values.
+///
+/// Ties receive the same rank and the next distinct value receives the next
+/// consecutive rank (dense ranking, i.e. `1, 2, 2, 3`).
+///
+/// ```
+/// use lhr_stats::{rank_dense, Direction};
+///
+/// // i5 fastest, then i7, then C2D, Atom slowest (Table 4 ordering).
+/// let perf = [3.80, 4.46, 2.54, 0.52];
+/// assert_eq!(rank_dense(&perf, Direction::HigherIsBetter), vec![2, 1, 3, 4]);
+/// // Atom draws least power so it ranks 1 under LowerIsBetter.
+/// let power = [25.7, 47.0, 20.8, 2.4];
+/// assert_eq!(rank_dense(&power, Direction::LowerIsBetter), vec![3, 4, 2, 1]);
+/// ```
+#[must_use]
+pub fn rank_dense(values: &[f64], direction: Direction) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..values.len()).collect();
+    order.sort_by(|&a, &b| {
+        let cmp = values[a]
+            .partial_cmp(&values[b])
+            .unwrap_or(std::cmp::Ordering::Equal);
+        match direction {
+            Direction::HigherIsBetter => cmp.reverse(),
+            Direction::LowerIsBetter => cmp,
+        }
+    });
+    let mut ranks = vec![0usize; values.len()];
+    let mut next_rank = 0usize;
+    let mut prev: Option<f64> = None;
+    for &idx in &order {
+        let v = values[idx];
+        if prev != Some(v) {
+            next_rank += 1;
+            prev = Some(v);
+        }
+        ranks[idx] = next_rank;
+    }
+    ranks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_empty() {
+        assert!(rank_dense(&[], Direction::HigherIsBetter).is_empty());
+    }
+
+    #[test]
+    fn strictly_ordered_higher_better() {
+        let r = rank_dense(&[10.0, 30.0, 20.0], Direction::HigherIsBetter);
+        assert_eq!(r, vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn strictly_ordered_lower_better() {
+        let r = rank_dense(&[10.0, 30.0, 20.0], Direction::LowerIsBetter);
+        assert_eq!(r, vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn ties_share_rank_densely() {
+        let r = rank_dense(&[5.0, 5.0, 3.0, 1.0], Direction::HigherIsBetter);
+        assert_eq!(r, vec![1, 1, 2, 3]);
+    }
+
+    #[test]
+    fn single_value() {
+        assert_eq!(rank_dense(&[7.0], Direction::LowerIsBetter), vec![1]);
+    }
+
+    #[test]
+    fn table4_power_row_example() {
+        // Paper Table 4 avg power column: P4 44.1 (rank 6), C2D65 26.4 (5),
+        // C2Q 58.1 (8), i7 47.0 (7), Atom 2.4 (1), C2D45 20.8 (3),
+        // AtomD 4.7 (2), i5 25.7 (4).
+        let power = [44.1, 26.4, 58.1, 47.0, 2.4, 20.8, 4.7, 25.7];
+        let r = rank_dense(&power, Direction::LowerIsBetter);
+        assert_eq!(r, vec![6, 5, 8, 7, 1, 3, 2, 4]);
+    }
+}

@@ -1,0 +1,242 @@
+//! Ordinary least-squares linear fits.
+//!
+//! The paper calibrates each Hall-effect current sensor by driving 28
+//! reference currents between 300 mA and 3 A through it, recording the
+//! quantized sensor output, and fitting a line; every sensor achieved an
+//! R-squared of 0.999 or better (Section 2.5). [`LinearFit`] is that tool.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error from attempting a linear fit on degenerate data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegressionError {
+    /// Fewer than two points were supplied.
+    TooFewPoints {
+        /// How many points were supplied.
+        got: usize,
+    },
+    /// All x values were identical, so the slope is undefined.
+    DegenerateX,
+}
+
+impl fmt::Display for RegressionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegressionError::TooFewPoints { got } => {
+                write!(f, "linear fit needs at least 2 points, got {got}")
+            }
+            RegressionError::DegenerateX => {
+                write!(f, "linear fit is undefined when all x values coincide")
+            }
+        }
+    }
+}
+
+impl Error for RegressionError {}
+
+/// A fitted line `y = slope * x + intercept` with its goodness of fit.
+///
+/// ```
+/// use lhr_stats::LinearFit;
+///
+/// let pts = [(0.3, 411.0), (1.0, 437.0), (2.0, 474.0), (3.0, 511.0)];
+/// let fit = LinearFit::fit(&pts)?;
+/// assert!(fit.r_squared() > 0.999);
+/// let amps = fit.invert(474.0).unwrap();
+/// assert!((amps - 2.0).abs() < 0.05);
+/// # Ok::<(), lhr_stats::RegressionError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    slope: f64,
+    intercept: f64,
+    r_squared: f64,
+    n: usize,
+}
+
+impl LinearFit {
+    /// Fits a least-squares line through `(x, y)` points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegressionError::TooFewPoints`] for fewer than two points
+    /// and [`RegressionError::DegenerateX`] when all x values coincide.
+    pub fn fit(points: &[(f64, f64)]) -> Result<Self, RegressionError> {
+        let n = points.len();
+        if n < 2 {
+            return Err(RegressionError::TooFewPoints { got: n });
+        }
+        let nf = n as f64;
+        let mean_x = points.iter().map(|p| p.0).sum::<f64>() / nf;
+        let mean_y = points.iter().map(|p| p.1).sum::<f64>() / nf;
+        let mut sxx = 0.0;
+        let mut sxy = 0.0;
+        let mut syy = 0.0;
+        for &(x, y) in points {
+            let dx = x - mean_x;
+            let dy = y - mean_y;
+            sxx += dx * dx;
+            sxy += dx * dy;
+            syy += dy * dy;
+        }
+        if sxx == 0.0 {
+            return Err(RegressionError::DegenerateX);
+        }
+        let slope = sxy / sxx;
+        let intercept = mean_y - slope * mean_x;
+        // R^2 = 1 - SS_res / SS_tot; a constant-y dataset is a perfect fit.
+        let r_squared = if syy == 0.0 {
+            1.0
+        } else {
+            let ss_res: f64 = points
+                .iter()
+                .map(|&(x, y)| {
+                    let e = y - (slope * x + intercept);
+                    e * e
+                })
+                .sum();
+            1.0 - ss_res / syy
+        };
+        Ok(Self {
+            slope,
+            intercept,
+            r_squared,
+            n,
+        })
+    }
+
+    /// The fitted slope.
+    #[must_use]
+    pub fn slope(&self) -> f64 {
+        self.slope
+    }
+
+    /// The fitted intercept.
+    #[must_use]
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+
+    /// The coefficient of determination of the fit.
+    #[must_use]
+    pub fn r_squared(&self) -> f64 {
+        self.r_squared
+    }
+
+    /// Number of points the fit was computed from.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Predicts `y` for a given `x`.
+    #[must_use]
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+
+    /// Inverts the fit: the `x` that predicts a given `y`.
+    ///
+    /// This is how a calibrated sensor reading (quantized counts) is turned
+    /// back into a physical current. Returns `None` when the slope is zero.
+    #[must_use]
+    pub fn invert(&self, y: f64) -> Option<f64> {
+        if self.slope == 0.0 {
+            None
+        } else {
+            Some((y - self.intercept) / self.slope)
+        }
+    }
+}
+
+impl fmt::Display for LinearFit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "y = {:.6} x + {:.6} (R^2 = {:.6}, n = {})",
+            self.slope, self.intercept, self.r_squared, self.n
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_is_recovered() {
+        let pts: Vec<(f64, f64)> =
+            (0..10).map(|i| (f64::from(i), 3.0 * f64::from(i) + 7.0)).collect();
+        let fit = LinearFit::fit(&pts).unwrap();
+        assert!((fit.slope() - 3.0).abs() < 1e-12);
+        assert!((fit.intercept() - 7.0).abs() < 1e-12);
+        assert!((fit.r_squared() - 1.0).abs() < 1e-12);
+        assert_eq!(fit.n(), 10);
+    }
+
+    #[test]
+    fn noisy_line_has_high_r_squared() {
+        let pts: Vec<(f64, f64)> = (0..28)
+            .map(|i| {
+                let x = 0.3 + 2.7 * f64::from(i) / 27.0;
+                let noise = 0.002 * (f64::from(i) * 1.7).sin();
+                (x, 37.0 * x + 400.0 + noise)
+            })
+            .collect();
+        let fit = LinearFit::fit(&pts).unwrap();
+        assert!(fit.r_squared() > 0.999, "R^2 = {}", fit.r_squared());
+    }
+
+    #[test]
+    fn predict_and_invert_are_inverse() {
+        let fit = LinearFit::fit(&[(0.0, 1.0), (2.0, 5.0)]).unwrap();
+        let y = fit.predict(1.25);
+        let x = fit.invert(y).unwrap();
+        assert!((x - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_slope_cannot_invert() {
+        let fit = LinearFit::fit(&[(0.0, 2.0), (1.0, 2.0), (2.0, 2.0)]).unwrap();
+        assert_eq!(fit.slope(), 0.0);
+        assert_eq!(fit.invert(2.0), None);
+        // Constant y is a perfect (if useless) fit.
+        assert_eq!(fit.r_squared(), 1.0);
+    }
+
+    #[test]
+    fn too_few_points_is_an_error() {
+        assert_eq!(
+            LinearFit::fit(&[(1.0, 1.0)]),
+            Err(RegressionError::TooFewPoints { got: 1 })
+        );
+        assert_eq!(
+            LinearFit::fit(&[]),
+            Err(RegressionError::TooFewPoints { got: 0 })
+        );
+    }
+
+    #[test]
+    fn degenerate_x_is_an_error() {
+        assert_eq!(
+            LinearFit::fit(&[(1.0, 1.0), (1.0, 2.0)]),
+            Err(RegressionError::DegenerateX)
+        );
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = RegressionError::TooFewPoints { got: 1 };
+        assert!(format!("{e}").contains("at least 2"));
+        assert!(format!("{}", RegressionError::DegenerateX).contains("undefined"));
+    }
+
+    #[test]
+    fn display_shows_equation() {
+        let fit = LinearFit::fit(&[(0.0, 0.0), (1.0, 2.0)]).unwrap();
+        let s = format!("{fit}");
+        assert!(s.contains("y ="));
+        assert!(s.contains("R^2"));
+    }
+}

@@ -1,0 +1,391 @@
+//! Run-to-run summaries: mean, deviation, and 95% confidence intervals.
+
+use std::fmt;
+
+/// Two-sided 97.5th-percentile Student's t critical values by *degrees of
+/// freedom* (index 0 is unused). Beyond the table we fall back to the normal
+/// approximation, which is accurate to <0.5% by df = 30.
+const T_975: [f64; 31] = [
+    f64::NAN,
+    12.706,
+    4.303,
+    3.182,
+    2.776,
+    2.571,
+    2.447,
+    2.365,
+    2.306,
+    2.262,
+    2.228,
+    2.201,
+    2.179,
+    2.160,
+    2.145,
+    2.131,
+    2.120,
+    2.110,
+    2.101,
+    2.093,
+    2.086,
+    2.080,
+    2.074,
+    2.069,
+    2.064,
+    2.060,
+    2.056,
+    2.052,
+    2.048,
+    2.045,
+    2.042,
+];
+
+/// The normal-approximation critical value used for df > 30.
+const Z_975: f64 = 1.959_963_985;
+
+/// Returns the two-sided 95% t critical value for `df` degrees of freedom.
+fn t_critical_95(df: usize) -> f64 {
+    if df == 0 {
+        f64::NAN
+    } else if df < T_975.len() {
+        T_975[df]
+    } else {
+        Z_975
+    }
+}
+
+/// Incremental (Welford) accumulator for a [`Summary`].
+///
+/// Use when observations arrive one at a time -- e.g. the harness streaming
+/// the 20 Java invocations the methodology prescribes -- without buffering.
+///
+/// ```
+/// use lhr_stats::SummaryBuilder;
+///
+/// let mut b = SummaryBuilder::new();
+/// for x in [3.0, 5.0, 4.0] {
+///     b.push(x);
+/// }
+/// let s = b.build();
+/// assert_eq!(s.n(), 3);
+/// assert!((s.mean() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct SummaryBuilder {
+    n: usize,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl SummaryBuilder {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations accumulated so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether no observations have been accumulated.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Finalizes the accumulated observations into a [`Summary`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no observations were pushed; a summary of nothing is a
+    /// methodology bug, not a value.
+    #[must_use]
+    pub fn build(&self) -> Summary {
+        assert!(self.n > 0, "summary of zero observations");
+        let variance = if self.n > 1 {
+            self.m2 / (self.n as f64 - 1.0)
+        } else {
+            0.0
+        };
+        Summary {
+            n: self.n,
+            mean: self.mean,
+            stddev: variance.sqrt(),
+            min: self.min,
+            max: self.max,
+        }
+    }
+}
+
+impl Extend<f64> for SummaryBuilder {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+/// Sample statistics over repeated runs of one benchmark configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    n: usize,
+    mean: f64,
+    stddev: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Summarizes a slice of observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty.
+    #[must_use]
+    pub fn from_slice(xs: &[f64]) -> Self {
+        let mut b = SummaryBuilder::new();
+        b.extend(xs.iter().copied());
+        b.build()
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Sample mean.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sample standard deviation (n-1 denominator); zero for a single run.
+    #[must_use]
+    pub fn stddev(&self) -> f64 {
+        self.stddev
+    }
+
+    /// Smallest observation.
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Standard error of the mean.
+    #[must_use]
+    pub fn sem(&self) -> f64 {
+        self.stddev / (self.n as f64).sqrt()
+    }
+
+    /// Half-width of the two-sided 95% confidence interval on the mean,
+    /// using Student's t for small n. Zero when only one observation exists.
+    #[must_use]
+    pub fn ci95_halfwidth(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            t_critical_95(self.n - 1) * self.sem()
+        }
+    }
+
+    /// The 95% CI half-width as a fraction of the mean -- the form Table 2
+    /// of the paper reports ("aggregate 95% confidence intervals ... 1.2%").
+    ///
+    /// Returns zero if the mean is zero.
+    #[must_use]
+    pub fn relative_ci95(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            (self.ci95_halfwidth() / self.mean).abs()
+        }
+    }
+
+    /// The `(lower, upper)` bounds of the 95% confidence interval.
+    #[must_use]
+    pub fn ci95_bounds(&self) -> (f64, f64) {
+        let h = self.ci95_halfwidth();
+        (self.mean - h, self.mean + h)
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.4} +/- {:.4} (n={}, 95% CI)",
+            self.mean,
+            self.ci95_halfwidth(),
+            self.n
+        )
+    }
+}
+
+/// Arithmetic mean of a slice.
+///
+/// The paper's aggregation is arithmetic within each workload group and then
+/// arithmetic across the four groups (Section 2.6).
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+#[must_use]
+pub fn arithmetic_mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "mean of empty slice");
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Geometric mean of a slice of positive values.
+///
+/// Not used for the headline aggregates (the paper is explicit about
+/// arithmetic means) but provided for sensitivity analyses.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or contains a non-positive value.
+#[must_use]
+pub fn geometric_mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "geometric mean of empty slice");
+    let log_sum: f64 = xs
+        .iter()
+        .map(|&x| {
+            assert!(x > 0.0, "geometric mean requires positive values, got {x}");
+            x.ln()
+        })
+        .sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_observation_has_zero_spread() {
+        let s = Summary::from_slice(&[42.0]);
+        assert_eq!(s.n(), 1);
+        assert_eq!(s.mean(), 42.0);
+        assert_eq!(s.stddev(), 0.0);
+        assert_eq!(s.ci95_halfwidth(), 0.0);
+        assert_eq!(s.min(), 42.0);
+        assert_eq!(s.max(), 42.0);
+    }
+
+    #[test]
+    fn known_small_sample() {
+        // Five runs; hand-computed: mean 10, stddev sqrt(0.025)... compute.
+        let xs = [10.1, 9.9, 10.0, 10.2, 9.8];
+        let s = Summary::from_slice(&xs);
+        assert!((s.mean() - 10.0).abs() < 1e-12);
+        let var = xs.iter().map(|x| (x - 10.0) * (x - 10.0)).sum::<f64>() / 4.0;
+        assert!((s.stddev() - var.sqrt()).abs() < 1e-12);
+        // t(4, .975) = 2.776
+        let expected_hw = 2.776 * s.sem();
+        assert!((s.ci95_halfwidth() - expected_hw).abs() < 1e-9);
+        let (lo, hi) = s.ci95_bounds();
+        assert!(lo < 10.0 && hi > 10.0);
+    }
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0 + 50.0).collect();
+        let s = Summary::from_slice(&xs);
+        let mean = xs.iter().sum::<f64>() / 100.0;
+        let var =
+            xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / 99.0;
+        assert!((s.mean() - mean).abs() < 1e-9);
+        assert!((s.stddev() - var.sqrt()).abs() < 1e-9);
+        assert_eq!(s.min(), xs.iter().copied().fold(f64::INFINITY, f64::min));
+        assert_eq!(s.max(), xs.iter().copied().fold(f64::NEG_INFINITY, f64::max));
+    }
+
+    #[test]
+    fn large_n_uses_normal_critical_value() {
+        let xs: Vec<f64> = (0..1000).map(|i| f64::from(i % 7)).collect();
+        let s = Summary::from_slice(&xs);
+        let expected = Z_975 * s.sem();
+        assert!((s.ci95_halfwidth() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn twenty_invocations_like_java_methodology() {
+        // 20 runs with ~1.5% noise should produce a relative CI of ~1%,
+        // matching Table 2's magnitudes.
+        let xs: Vec<f64> = (0..20)
+            .map(|i| 100.0 * (1.0 + 0.015 * ((i as f64) * 2.399).sin()))
+            .collect();
+        let s = Summary::from_slice(&xs);
+        assert_eq!(s.n(), 20);
+        assert!(s.relative_ci95() < 0.02, "rel CI = {}", s.relative_ci95());
+    }
+
+    #[test]
+    fn relative_ci_of_zero_mean_is_zero() {
+        let s = Summary::from_slice(&[-1.0, 1.0]);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.relative_ci95(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "summary of zero observations")]
+    fn empty_builder_panics() {
+        let _ = SummaryBuilder::new().build();
+    }
+
+    #[test]
+    fn builder_len_and_empty() {
+        let mut b = SummaryBuilder::new();
+        assert!(b.is_empty());
+        b.push(1.0);
+        assert_eq!(b.len(), 1);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn means() {
+        assert_eq!(arithmetic_mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geometric_mean(&[8.0]) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive values")]
+    fn geometric_mean_rejects_nonpositive() {
+        let _ = geometric_mean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = Summary::from_slice(&[1.0, 2.0, 3.0]);
+        let text = format!("{s}");
+        assert!(text.contains("n=3"));
+        assert!(text.contains("95% CI"));
+    }
+}

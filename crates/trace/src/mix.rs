@@ -1,0 +1,383 @@
+//! Instruction mixes: what fraction of a program's dynamic instruction
+//! stream falls into each execution class.
+//!
+//! The classes are the ones the power and pipeline models care about:
+//! integer ALU work, floating-point work, loads, stores, and branches.
+
+use std::error::Error;
+use std::fmt;
+
+/// Dynamic-instruction classes distinguished by the pipeline/power models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstructionClass {
+    /// Integer ALU / logic / address arithmetic.
+    IntAlu,
+    /// Floating-point arithmetic (the power-hungry class).
+    Fp,
+    /// Memory loads.
+    Load,
+    /// Memory stores.
+    Store,
+    /// Control transfers.
+    Branch,
+}
+
+impl InstructionClass {
+    /// All classes, in a fixed canonical order.
+    pub const ALL: [InstructionClass; 5] = [
+        InstructionClass::IntAlu,
+        InstructionClass::Fp,
+        InstructionClass::Load,
+        InstructionClass::Store,
+        InstructionClass::Branch,
+    ];
+}
+
+impl fmt::Display for InstructionClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            InstructionClass::IntAlu => "int",
+            InstructionClass::Fp => "fp",
+            InstructionClass::Load => "load",
+            InstructionClass::Store => "store",
+            InstructionClass::Branch => "branch",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Error building an [`InstructionMix`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MixError {
+    /// The five fractions did not sum to 1 within tolerance.
+    DoesNotSumToOne {
+        /// The sum that was supplied.
+        sum: f64,
+    },
+    /// A fraction was negative or non-finite.
+    InvalidFraction {
+        /// Which class had the invalid fraction.
+        class: InstructionClass,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for MixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MixError::DoesNotSumToOne { sum } => {
+                write!(f, "instruction mix fractions sum to {sum}, expected 1.0")
+            }
+            MixError::InvalidFraction { class, value } => {
+                write!(f, "instruction mix fraction for {class} is invalid: {value}")
+            }
+        }
+    }
+}
+
+impl Error for MixError {}
+
+/// A validated instruction mix: five non-negative fractions summing to one.
+///
+/// ```
+/// use lhr_trace::{InstructionClass, InstructionMix};
+///
+/// let m = InstructionMix::builder()
+///     .int_alu(0.50)
+///     .fp(0.10)
+///     .load(0.20)
+///     .store(0.10)
+///     .branch(0.10)
+///     .build()?;
+/// assert_eq!(m.fraction(InstructionClass::Load), 0.20);
+/// assert!((m.memory_fraction() - 0.30).abs() < 1e-12);
+/// # Ok::<(), lhr_trace::MixError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstructionMix {
+    int_alu: f64,
+    fp: f64,
+    load: f64,
+    store: f64,
+    branch: f64,
+}
+
+impl InstructionMix {
+    /// Starts building a mix.
+    #[must_use]
+    pub fn builder() -> MixBuilder {
+        MixBuilder::default()
+    }
+
+    /// A generic integer-code mix (control-heavy, moderate memory), used as
+    /// a neutral default for sanity tests.
+    #[must_use]
+    pub fn typical_int() -> Self {
+        Self {
+            int_alu: 0.45,
+            fp: 0.02,
+            load: 0.25,
+            store: 0.10,
+            branch: 0.18,
+        }
+    }
+
+    /// A generic floating-point mix (loop-heavy scientific code).
+    #[must_use]
+    pub fn typical_fp() -> Self {
+        Self {
+            int_alu: 0.25,
+            fp: 0.35,
+            load: 0.25,
+            store: 0.08,
+            branch: 0.07,
+        }
+    }
+
+    /// The fraction of the stream in a given class.
+    #[must_use]
+    pub fn fraction(&self, class: InstructionClass) -> f64 {
+        match class {
+            InstructionClass::IntAlu => self.int_alu,
+            InstructionClass::Fp => self.fp,
+            InstructionClass::Load => self.load,
+            InstructionClass::Store => self.store,
+            InstructionClass::Branch => self.branch,
+        }
+    }
+
+    /// Loads plus stores: the fraction that touches the data memory system.
+    #[must_use]
+    pub fn memory_fraction(&self) -> f64 {
+        self.load + self.store
+    }
+
+    /// The branch fraction (how often the predictor is consulted).
+    #[must_use]
+    pub fn branch_fraction(&self) -> f64 {
+        self.branch
+    }
+
+    /// The floating-point fraction (drives execution-unit energy).
+    #[must_use]
+    pub fn fp_fraction(&self) -> f64 {
+        self.fp
+    }
+
+    /// Expected per-class counts for `n` instructions (largest-remainder
+    /// rounding, so the counts sum exactly to `n`).
+    #[must_use]
+    pub fn counts_for(&self, n: u64) -> [(InstructionClass, u64); 5] {
+        let fracs = [
+            (InstructionClass::IntAlu, self.int_alu),
+            (InstructionClass::Fp, self.fp),
+            (InstructionClass::Load, self.load),
+            (InstructionClass::Store, self.store),
+            (InstructionClass::Branch, self.branch),
+        ];
+        let mut counts: Vec<(InstructionClass, u64, f64)> = fracs
+            .iter()
+            .map(|&(c, f)| {
+                let exact = f * n as f64;
+                let floor = exact.floor() as u64;
+                (c, floor, exact - exact.floor())
+            })
+            .collect();
+        let assigned: u64 = counts.iter().map(|&(_, k, _)| k).sum();
+        let mut remainder = n - assigned;
+        // Distribute leftover units to the largest fractional remainders.
+        counts.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+        for entry in counts.iter_mut() {
+            if remainder == 0 {
+                break;
+            }
+            entry.1 += 1;
+            remainder -= 1;
+        }
+        // Restore canonical order.
+        let mut out = [(InstructionClass::IntAlu, 0u64); 5];
+        for (i, class) in InstructionClass::ALL.iter().enumerate() {
+            let &(_, k, _) = counts.iter().find(|&&(c, _, _)| c == *class).expect("class");
+            out[i] = (*class, k);
+        }
+        out
+    }
+}
+
+/// Builder for [`InstructionMix`]; unset classes default to zero.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct MixBuilder {
+    int_alu: f64,
+    fp: f64,
+    load: f64,
+    store: f64,
+    branch: f64,
+}
+
+impl MixBuilder {
+    /// Sets the integer-ALU fraction.
+    #[must_use]
+    pub fn int_alu(mut self, f: f64) -> Self {
+        self.int_alu = f;
+        self
+    }
+
+    /// Sets the floating-point fraction.
+    #[must_use]
+    pub fn fp(mut self, f: f64) -> Self {
+        self.fp = f;
+        self
+    }
+
+    /// Sets the load fraction.
+    #[must_use]
+    pub fn load(mut self, f: f64) -> Self {
+        self.load = f;
+        self
+    }
+
+    /// Sets the store fraction.
+    #[must_use]
+    pub fn store(mut self, f: f64) -> Self {
+        self.store = f;
+        self
+    }
+
+    /// Sets the branch fraction.
+    #[must_use]
+    pub fn branch(mut self, f: f64) -> Self {
+        self.branch = f;
+        self
+    }
+
+    /// Validates and builds the mix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MixError::InvalidFraction`] for negative or non-finite
+    /// fractions, and [`MixError::DoesNotSumToOne`] when the fractions do
+    /// not sum to 1 within 1e-6.
+    pub fn build(self) -> Result<InstructionMix, MixError> {
+        let entries = [
+            (InstructionClass::IntAlu, self.int_alu),
+            (InstructionClass::Fp, self.fp),
+            (InstructionClass::Load, self.load),
+            (InstructionClass::Store, self.store),
+            (InstructionClass::Branch, self.branch),
+        ];
+        for (class, value) in entries {
+            if !value.is_finite() || value < 0.0 {
+                return Err(MixError::InvalidFraction { class, value });
+            }
+        }
+        let sum = self.int_alu + self.fp + self.load + self.store + self.branch;
+        if (sum - 1.0).abs() > 1e-6 {
+            return Err(MixError::DoesNotSumToOne { sum });
+        }
+        Ok(InstructionMix {
+            int_alu: self.int_alu,
+            fp: self.fp,
+            load: self.load,
+            store: self.store,
+            branch: self.branch,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_roundtrip() {
+        let m = InstructionMix::builder()
+            .int_alu(0.4)
+            .fp(0.1)
+            .load(0.3)
+            .store(0.1)
+            .branch(0.1)
+            .build()
+            .unwrap();
+        assert_eq!(m.fraction(InstructionClass::IntAlu), 0.4);
+        assert_eq!(m.fraction(InstructionClass::Fp), 0.1);
+        assert_eq!(m.fraction(InstructionClass::Load), 0.3);
+        assert_eq!(m.fraction(InstructionClass::Store), 0.1);
+        assert_eq!(m.fraction(InstructionClass::Branch), 0.1);
+        assert!((m.memory_fraction() - 0.4).abs() < 1e-12);
+        assert_eq!(m.branch_fraction(), 0.1);
+        assert_eq!(m.fp_fraction(), 0.1);
+    }
+
+    #[test]
+    fn sum_validation() {
+        let err = InstructionMix::builder().int_alu(0.5).build().unwrap_err();
+        assert!(matches!(err, MixError::DoesNotSumToOne { .. }));
+        assert!(format!("{err}").contains("sum"));
+    }
+
+    #[test]
+    fn negative_fraction_rejected() {
+        let err = InstructionMix::builder()
+            .int_alu(1.2)
+            .load(-0.2)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            MixError::InvalidFraction {
+                class: InstructionClass::Load,
+                value: -0.2
+            }
+        );
+    }
+
+    #[test]
+    fn nan_fraction_rejected() {
+        let err = InstructionMix::builder().fp(f64::NAN).build().unwrap_err();
+        assert!(matches!(err, MixError::InvalidFraction { .. }));
+    }
+
+    #[test]
+    fn canned_mixes_are_valid() {
+        for m in [InstructionMix::typical_int(), InstructionMix::typical_fp()] {
+            let sum: f64 = InstructionClass::ALL.iter().map(|&c| m.fraction(c)).sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
+        assert!(
+            InstructionMix::typical_fp().fp_fraction()
+                > InstructionMix::typical_int().fp_fraction()
+        );
+    }
+
+    #[test]
+    fn counts_sum_exactly() {
+        let m = InstructionMix::typical_int();
+        for n in [0u64, 1, 7, 999, 1_000_003] {
+            let counts = m.counts_for(n);
+            let total: u64 = counts.iter().map(|&(_, k)| k).sum();
+            assert_eq!(total, n, "counts for n={n} must sum to n");
+        }
+    }
+
+    #[test]
+    fn counts_proportions_converge() {
+        let m = InstructionMix::typical_fp();
+        let n = 10_000_000u64;
+        for (class, count) in m.counts_for(n) {
+            let got = count as f64 / n as f64;
+            assert!(
+                (got - m.fraction(class)).abs() < 1e-6,
+                "{class}: {got} vs {}",
+                m.fraction(class)
+            );
+        }
+    }
+
+    #[test]
+    fn class_display_and_order() {
+        let names: Vec<String> =
+            InstructionClass::ALL.iter().map(|c| c.to_string()).collect();
+        assert_eq!(names, ["int", "fp", "load", "store", "branch"]);
+    }
+}

@@ -1,0 +1,367 @@
+//! Phase-structured thread traces.
+//!
+//! Programs are not homogeneous: a JVM run has a JIT-heavy warmup before its
+//! steady state; many numeric codes alternate compute and sweep phases. A
+//! [`ThreadTrace`] is an ordered list of [`Phase`]s, each holding the
+//! workload characteristics the interval model consumes, with a weight
+//! giving its share of the thread's dynamic instructions.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::locality::LocalityProfile;
+use crate::mix::InstructionMix;
+
+/// One homogeneous region of a thread's execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase {
+    name: String,
+    weight: f64,
+    mix: InstructionMix,
+    ilp: f64,
+    mlp: f64,
+    branch_mispredict_rate: f64,
+    locality: LocalityProfile,
+    activity: f64,
+}
+
+impl Phase {
+    /// Creates a phase.
+    ///
+    /// * `weight` -- this phase's share of the thread's instructions.
+    /// * `ilp` -- mean independent instructions issuable per cycle on an
+    ///   infinitely wide machine (typically 1.0-4.5).
+    /// * `locality` -- the memory locality model driving cache behaviour.
+    ///
+    /// Defaults: memory-level parallelism 1.5, branch mispredict rate 3% of
+    /// branches, activity factor 1.0. Use the `with_` methods to adjust.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is not in `(0, 1]` or `ilp` is not positive.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        weight: f64,
+        mix: InstructionMix,
+        ilp: f64,
+        locality: LocalityProfile,
+    ) -> Self {
+        assert!(
+            weight > 0.0 && weight <= 1.0,
+            "phase weight must be in (0, 1], got {weight}"
+        );
+        assert!(ilp > 0.0, "ILP must be positive, got {ilp}");
+        Self {
+            name: name.into(),
+            weight,
+            mix,
+            ilp,
+            mlp: 1.5,
+            branch_mispredict_rate: 0.03,
+            locality,
+            activity: 1.0,
+        }
+    }
+
+    /// Sets the fraction of *branches* that mispredict under a baseline
+    /// predictor (scaled further by each processor's predictor quality).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is outside `[0, 1]`.
+    #[must_use]
+    pub fn with_branch_mispredict_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "mispredict rate out of range");
+        self.branch_mispredict_rate = rate;
+        self
+    }
+
+    /// Sets the memory-level parallelism: the mean number of long-latency
+    /// misses an out-of-order window can overlap (>= 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mlp < 1`.
+    #[must_use]
+    pub fn with_mlp(mut self, mlp: f64) -> Self {
+        assert!(mlp >= 1.0, "MLP must be at least 1, got {mlp}");
+        self.mlp = mlp;
+        self
+    }
+
+    /// Sets the switching-activity factor relative to typical integer code
+    /// (vectorized FP inner loops toggle far more datapath per instruction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `activity` is not positive.
+    #[must_use]
+    pub fn with_activity(mut self, activity: f64) -> Self {
+        assert!(activity > 0.0, "activity must be positive, got {activity}");
+        self.activity = activity;
+        self
+    }
+
+    /// The phase's descriptive name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// This phase's share of the thread's dynamic instructions.
+    #[must_use]
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    /// The instruction mix.
+    #[must_use]
+    pub fn mix(&self) -> InstructionMix {
+        self.mix
+    }
+
+    /// Instruction-level parallelism.
+    #[must_use]
+    pub fn ilp(&self) -> f64 {
+        self.ilp
+    }
+
+    /// Memory-level parallelism.
+    #[must_use]
+    pub fn mlp(&self) -> f64 {
+        self.mlp
+    }
+
+    /// Baseline fraction of branches that mispredict.
+    #[must_use]
+    pub fn branch_mispredict_rate(&self) -> f64 {
+        self.branch_mispredict_rate
+    }
+
+    /// The locality model.
+    #[must_use]
+    pub fn locality(&self) -> &LocalityProfile {
+        &self.locality
+    }
+
+    /// Switching-activity factor.
+    #[must_use]
+    pub fn activity(&self) -> f64 {
+        self.activity
+    }
+
+    /// Returns a copy with the locality model replaced (used to apply
+    /// heap-scaling and displacement adjustments).
+    #[must_use]
+    pub fn with_locality(mut self, locality: LocalityProfile) -> Self {
+        self.locality = locality;
+        self
+    }
+}
+
+/// Error constructing a [`ThreadTrace`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhaseError {
+    /// No phases were supplied.
+    Empty,
+    /// Phase weights did not sum to 1.
+    WeightsDoNotSumToOne {
+        /// The actual sum.
+        sum: f64,
+    },
+}
+
+impl fmt::Display for PhaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PhaseError::Empty => write!(f, "a thread trace needs at least one phase"),
+            PhaseError::WeightsDoNotSumToOne { sum } => {
+                write!(f, "phase weights sum to {sum}, expected 1.0")
+            }
+        }
+    }
+}
+
+impl Error for PhaseError {}
+
+/// The complete execution description of one software thread.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreadTrace {
+    phases: Vec<Phase>,
+    total_instructions: u64,
+}
+
+impl ThreadTrace {
+    /// Builds a trace from phases and a total dynamic instruction count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhaseError::Empty`] for an empty phase list and
+    /// [`PhaseError::WeightsDoNotSumToOne`] when weights do not sum to 1
+    /// within 1e-6.
+    pub fn new(phases: Vec<Phase>, total_instructions: u64) -> Result<Self, PhaseError> {
+        if phases.is_empty() {
+            return Err(PhaseError::Empty);
+        }
+        let sum: f64 = phases.iter().map(Phase::weight).sum();
+        if (sum - 1.0).abs() > 1e-6 {
+            return Err(PhaseError::WeightsDoNotSumToOne { sum });
+        }
+        Ok(Self {
+            phases,
+            total_instructions,
+        })
+    }
+
+    /// A single-phase trace (the common case for steady-state kernels).
+    pub fn uniform(phase: Phase, total_instructions: u64) -> Self {
+        let mut phase = phase;
+        phase.weight = 1.0;
+        Self {
+            phases: vec![phase],
+            total_instructions,
+        }
+    }
+
+    /// The phases in execution order.
+    #[must_use]
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+
+    /// Total dynamic instructions in the trace.
+    #[must_use]
+    pub fn total_instructions(&self) -> u64 {
+        self.total_instructions
+    }
+
+    /// Instructions belonging to phase `i` (largest phase absorbs rounding).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[must_use]
+    pub fn phase_instructions(&self, i: usize) -> u64 {
+        let n = self.phases.len();
+        assert!(i < n, "phase index {i} out of bounds ({n})");
+        if i + 1 == n {
+            // Last phase takes the remainder so the parts sum exactly.
+            let assigned: u64 = (0..n - 1)
+                .map(|j| (self.phases[j].weight * self.total_instructions as f64) as u64)
+                .sum();
+            self.total_instructions - assigned
+        } else {
+            (self.phases[i].weight * self.total_instructions as f64) as u64
+        }
+    }
+
+    /// Returns a copy with every phase's instruction budget scaled by
+    /// `factor` (used by the harness to shorten runs for fast sweeps while
+    /// preserving per-phase structure).
+    #[must_use]
+    pub fn scaled_instructions(&self, factor: f64) -> Self {
+        assert!(factor > 0.0 && factor.is_finite(), "invalid scale factor");
+        Self {
+            phases: self.phases.clone(),
+            total_instructions: ((self.total_instructions as f64) * factor).max(1.0) as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mix() -> InstructionMix {
+        InstructionMix::typical_int()
+    }
+
+    fn loc() -> LocalityProfile {
+        LocalityProfile::cache_resident(1 << 14)
+    }
+
+    #[test]
+    fn build_and_access() {
+        let p1 = Phase::new("warmup", 0.25, mix(), 1.5, loc());
+        let p2 = Phase::new("steady", 0.75, mix(), 2.5, loc())
+            .with_branch_mispredict_rate(0.08)
+            .with_mlp(3.0)
+            .with_activity(1.4);
+        let t = ThreadTrace::new(vec![p1, p2], 1_000).unwrap();
+        assert_eq!(t.phases().len(), 2);
+        assert_eq!(t.total_instructions(), 1_000);
+        assert_eq!(t.phases()[0].name(), "warmup");
+        assert_eq!(t.phases()[1].branch_mispredict_rate(), 0.08);
+        assert_eq!(t.phases()[1].mlp(), 3.0);
+        assert_eq!(t.phases()[1].activity(), 1.4);
+        assert_eq!(t.phases()[1].ilp(), 2.5);
+    }
+
+    #[test]
+    fn phase_instructions_sum_to_total() {
+        let t = ThreadTrace::new(
+            vec![
+                Phase::new("a", 0.3, mix(), 2.0, loc()),
+                Phase::new("b", 0.3, mix(), 2.0, loc()),
+                Phase::new("c", 0.4, mix(), 2.0, loc()),
+            ],
+            1_000_003,
+        )
+        .unwrap();
+        let total: u64 = (0..3).map(|i| t.phase_instructions(i)).sum();
+        assert_eq!(total, 1_000_003);
+    }
+
+    #[test]
+    fn uniform_normalizes_weight() {
+        let p = Phase::new("only", 0.5, mix(), 2.0, loc());
+        let t = ThreadTrace::uniform(p, 100);
+        assert_eq!(t.phases()[0].weight(), 1.0);
+        assert_eq!(t.phase_instructions(0), 100);
+    }
+
+    #[test]
+    fn weight_validation() {
+        let e = ThreadTrace::new(vec![Phase::new("a", 0.5, mix(), 2.0, loc())], 10)
+            .unwrap_err();
+        assert!(matches!(e, PhaseError::WeightsDoNotSumToOne { .. }));
+        assert!(format!("{e}").contains("sum"));
+        let e = ThreadTrace::new(vec![], 10).unwrap_err();
+        assert_eq!(e, PhaseError::Empty);
+    }
+
+    #[test]
+    fn scaled_instructions() {
+        let t = ThreadTrace::uniform(Phase::new("x", 1.0, mix(), 2.0, loc()), 1_000);
+        assert_eq!(t.scaled_instructions(0.5).total_instructions(), 500);
+        assert_eq!(t.scaled_instructions(1e-9).total_instructions(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight must be in (0, 1]")]
+    fn zero_weight_panics() {
+        let _ = Phase::new("z", 0.0, mix(), 2.0, loc());
+    }
+
+    #[test]
+    #[should_panic(expected = "ILP must be positive")]
+    fn bad_ilp_panics() {
+        let _ = Phase::new("z", 1.0, mix(), 0.0, loc());
+    }
+
+    #[test]
+    #[should_panic(expected = "MLP must be at least 1")]
+    fn bad_mlp_panics() {
+        let _ = Phase::new("z", 1.0, mix(), 2.0, loc()).with_mlp(0.5);
+    }
+
+    #[test]
+    fn with_locality_replaces() {
+        let p = Phase::new("z", 1.0, mix(), 2.0, loc());
+        let bigger = LocalityProfile::streaming(1 << 20);
+        let q = p.clone().with_locality(bigger);
+        assert_eq!(q.locality().footprint_bytes(), 1 << 20);
+        assert_eq!(q.name(), p.name());
+    }
+}

@@ -1,0 +1,804 @@
+//! The eight experimental processors of Table 3, with model parameters.
+//!
+//! Table 3 of the paper gives each chip's market identity (sSpec, release,
+//! price), topology (cores x SMT), last-level cache, clock, node, transistor
+//! count, die area, VID range, TDP, and memory system. To those documented
+//! facts this catalog adds the microarchitectural and electrical model
+//! parameters the simulator needs: issue width, pipeline depth, ordering,
+//! overlap capability, predictor quality, cache/TLB geometry, latencies and
+//! bandwidth, per-event energies, static power, V(f) curve shape, and Turbo
+//! stepping. Those parameters are set from the public microarchitecture
+//! literature and then calibrated so the simulated Table 4 lands in the
+//! measured ranges (see EXPERIMENTS.md).
+
+use lhr_power::{EventEnergies, StaticPowerParams, TurboParams, VfCurve};
+use lhr_units::{Hertz, TechNode, Volts};
+
+use crate::cache::CacheGeometry;
+
+/// The four microarchitecture families of the study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Microarch {
+    /// Pentium 4: very deep pipeline, trace cache, first commercial SMT.
+    NetBurst,
+    /// Core 2: wide in-flight OoO, shared L2, no SMT.
+    Core,
+    /// Atom: dual-issue in-order, low power, SMT.
+    Bonnell,
+    /// Core i7/i5: integrated memory controller, SMT, Turbo Boost.
+    Nehalem,
+}
+
+impl std::fmt::Display for Microarch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Microarch::NetBurst => "NetBurst",
+            Microarch::Core => "Core",
+            Microarch::Bonnell => "Bonnell",
+            Microarch::Nehalem => "Nehalem",
+        })
+    }
+}
+
+/// Identifies one of the eight studied processors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ProcessorId {
+    /// Pentium 4 Northwood, 130nm (2003).
+    Pentium4_130,
+    /// Core 2 Duo E6600 Conroe, 65nm (2006).
+    Core2DuoE6600,
+    /// Core 2 Quad Q6600 Kentsfield, 65nm (2007).
+    Core2QuadQ6600,
+    /// Core i7-920 Bloomfield, 45nm (2008).
+    CoreI7_920,
+    /// Atom 230 Diamondville, 45nm (2008).
+    Atom230,
+    /// Core 2 Duo E7600 Wolfdale, 45nm (2009).
+    Core2DuoE7600,
+    /// Atom D510 Pineview, 45nm (2009).
+    AtomD510,
+    /// Core i5-670 Clarkdale, 32nm (2010).
+    CoreI5_670,
+}
+
+impl ProcessorId {
+    /// All eight processors, in Table 3 (release) order.
+    pub const ALL: [ProcessorId; 8] = [
+        ProcessorId::Pentium4_130,
+        ProcessorId::Core2DuoE6600,
+        ProcessorId::Core2QuadQ6600,
+        ProcessorId::CoreI7_920,
+        ProcessorId::Atom230,
+        ProcessorId::Core2DuoE7600,
+        ProcessorId::AtomD510,
+        ProcessorId::CoreI5_670,
+    ];
+
+    /// The specification for this processor.
+    #[must_use]
+    pub fn spec(self) -> &'static ProcessorSpec {
+        spec_of(self)
+    }
+}
+
+/// Core pipeline model parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoreParams {
+    /// Peak sustained issue width (abstract ops per cycle).
+    pub issue_width: f64,
+    /// Pipeline depth in stages (sets the mispredict refill penalty).
+    pub pipeline_depth: f64,
+    /// Out-of-order execution?
+    pub out_of_order: bool,
+    /// Fraction of L2/LLC-hit stall cycles the OoO window hides.
+    pub ooo_overlap: f64,
+    /// Cap on exploitable memory-level parallelism for DRAM misses.
+    pub mlp_cap: f64,
+    /// Multiplier on a workload's baseline branch mispredict rate
+    /// (better predictors are < 1).
+    pub predictor_factor: f64,
+    /// CPI multiplier applied to each thread when two SMT threads co-run
+    /// (structural hazards, replay; large on NetBurst).
+    pub smt_overhead: f64,
+    /// Effective fraction of private cache capacity each SMT thread sees
+    /// when co-running.
+    pub smt_cache_share: f64,
+}
+
+/// Memory-system model parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemorySystem {
+    /// Per-core L1 data cache.
+    pub l1d: CacheGeometry,
+    /// Per-core private L2, if the chip has one (Nehalem).
+    pub l2: Option<CacheGeometry>,
+    /// Shared last-level cache, if distinct from L2.
+    pub llc: Option<CacheGeometry>,
+    /// Data-TLB entries.
+    pub dtlb_entries: usize,
+    /// L2 hit latency in cycles.
+    pub l2_hit_cycles: f64,
+    /// LLC hit latency in cycles.
+    pub llc_hit_cycles: f64,
+    /// TLB miss (page walk) penalty in cycles.
+    pub tlb_miss_cycles: f64,
+    /// Main-memory latency in nanoseconds (constant in wall-clock terms:
+    /// this is why memory-bound work scales sub-linearly with clock).
+    pub mem_latency_ns: f64,
+    /// Peak memory bandwidth in GB/s.
+    pub peak_bw_gbs: f64,
+}
+
+impl MemorySystem {
+    /// Total last-level capacity in bytes (LLC if present, else L2, else L1).
+    #[must_use]
+    pub fn last_level_bytes(&self) -> u64 {
+        self.llc
+            .map(|c| c.size_bytes)
+            .or(self.l2.map(|c| c.size_bytes))
+            .unwrap_or(self.l1d.size_bytes)
+    }
+}
+
+/// Electrical model parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerParams {
+    /// Per-event energies for this chip (family-scaled).
+    pub events: EventEnergies,
+    /// Static power parameters.
+    pub statics: StaticPowerParams,
+    /// The V(f) operating curve.
+    pub vf: VfCurve,
+    /// Thermal design power in watts (Table 3).
+    pub tdp_w: f64,
+    /// Turbo Boost stepping, if the chip has it.
+    pub turbo: Option<TurboParams>,
+}
+
+/// One processor: Table 3 identity plus model parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcessorSpec {
+    /// Which processor this is.
+    pub id: ProcessorId,
+    /// Marketing name, e.g. "Core i7 920".
+    pub name: &'static str,
+    /// The paper's shorthand, e.g. "i7 (45)".
+    pub short: &'static str,
+    /// Microarchitecture family.
+    pub uarch: Microarch,
+    /// Intel sSpec number.
+    pub sspec: &'static str,
+    /// Release date.
+    pub release: &'static str,
+    /// Release price in USD (the Pentium 4's is not documented).
+    pub price_usd: Option<u32>,
+    /// Process technology node.
+    pub node: TechNode,
+    /// Physical cores.
+    pub cores: usize,
+    /// SMT threads per core (1 = no SMT).
+    pub smt_ways: usize,
+    /// Stock clock.
+    pub base_clock: Hertz,
+    /// Minimum supported clock for down-scaling experiments.
+    pub min_clock: Hertz,
+    /// Transistors in the package, millions.
+    pub transistors_m: f64,
+    /// Die area, mm^2.
+    pub die_mm2: f64,
+    /// Front-side bus MHz (pre-Nehalem chips).
+    pub fsb_mhz: Option<u32>,
+    /// DRAM technology string (Table 3).
+    pub dram: &'static str,
+    /// Core pipeline parameters.
+    pub core: CoreParams,
+    /// Memory system parameters.
+    pub mem: MemorySystem,
+    /// Electrical parameters.
+    pub power: PowerParams,
+}
+
+impl ProcessorSpec {
+    /// Hardware contexts in the stock configuration.
+    #[must_use]
+    pub fn contexts(&self) -> usize {
+        self.cores * self.smt_ways
+    }
+
+    /// The paper's "nCmT" topology string, e.g. `4C2T`.
+    #[must_use]
+    pub fn topology(&self) -> String {
+        format!("{}C{}T", self.cores, self.smt_ways)
+    }
+
+    /// Supply voltage at a given clock.
+    #[must_use]
+    pub fn voltage_at(&self, f: Hertz) -> Volts {
+        self.power.vf.voltage_at(f)
+    }
+}
+
+fn g(size_kb: u64, ways: usize) -> CacheGeometry {
+    CacheGeometry::new(size_kb << 10, ways, 64)
+}
+
+fn vf(fmin_ghz: f64, fmax_ghz: f64, vmin: f64, vmax: f64, gamma: f64) -> VfCurve {
+    VfCurve::new(
+        Hertz::from_ghz(fmin_ghz),
+        Hertz::from_ghz(fmax_ghz),
+        Volts::new(vmin),
+        Volts::new(vmax),
+        gamma,
+    )
+    .expect("catalog V(f) curves are valid")
+}
+
+fn spec_of(id: ProcessorId) -> &'static ProcessorSpec {
+    use std::sync::OnceLock;
+    static SPECS: OnceLock<Vec<ProcessorSpec>> = OnceLock::new();
+    let specs = SPECS.get_or_init(build_specs);
+    &specs[ProcessorId::ALL
+        .iter()
+        .position(|&p| p == id)
+        .expect("all ids are in ALL")]
+}
+
+/// All eight processor specifications, in Table 3 order.
+#[must_use]
+pub fn processors() -> Vec<&'static ProcessorSpec> {
+    ProcessorId::ALL.iter().map(|&id| id.spec()).collect()
+}
+
+/// The 45nm processors used for the Pareto analysis (Section 4.2).
+#[must_use]
+pub fn processors_45nm() -> Vec<&'static ProcessorSpec> {
+    processors()
+        .into_iter()
+        .filter(|s| s.node == TechNode::Nm45)
+        .collect()
+}
+
+fn build_specs() -> Vec<ProcessorSpec> {
+    let base = EventEnergies::default();
+    vec![
+        // -------------------------------------------------- Pentium 4 (130)
+        ProcessorSpec {
+            id: ProcessorId::Pentium4_130,
+            name: "Pentium 4",
+            short: "Pentium4 (130)",
+            uarch: Microarch::NetBurst,
+            sspec: "SL6WF",
+            release: "May '03",
+            price_usd: None,
+            node: TechNode::Nm130,
+            cores: 1,
+            smt_ways: 2,
+            base_clock: Hertz::from_ghz(2.4),
+            min_clock: Hertz::from_ghz(2.4),
+            transistors_m: 55.0,
+            die_mm2: 131.0,
+            fsb_mhz: Some(800),
+            dram: "DDR-400",
+            core: CoreParams {
+                issue_width: 3.0,
+                pipeline_depth: 31.0,
+                out_of_order: true,
+                ooo_overlap: 0.46,
+                mlp_cap: 2.8,
+                predictor_factor: 1.05,
+                smt_overhead: 1.45,
+                smt_cache_share: 0.40,
+            },
+            mem: MemorySystem {
+                l1d: g(8, 4),
+                l2: None,
+                llc: Some(g(512, 8)),
+                dtlb_entries: 64,
+                l2_hit_cycles: 18.0,
+                llc_hit_cycles: 18.0,
+                tlb_miss_cycles: 55.0,
+                mem_latency_ns: 105.0,
+                peak_bw_gbs: 6.4,
+            },
+            power: PowerParams {
+                events: base.scaled(5.0),
+                statics: StaticPowerParams {
+                    core_leak_w: 30.0,
+                    uncore_w: 6.0,
+                    llc_leak_w_per_mb: 1.2,
+                    idle_core_fraction: 0.9,
+                    disabled_core_fraction: 0.05,
+                },
+                vf: VfCurve::fixed(Hertz::from_ghz(2.4), Hertz::from_ghz(2.4), Volts::new(1.5)),
+                tdp_w: 66.0,
+                turbo: None,
+            },
+        },
+        // --------------------------------------------- Core 2 Duo E6600 (65)
+        ProcessorSpec {
+            id: ProcessorId::Core2DuoE6600,
+            name: "Core 2 Duo E6600",
+            short: "C2D (65)",
+            uarch: Microarch::Core,
+            sspec: "SL9S8",
+            release: "Jul '06",
+            price_usd: Some(316),
+            node: TechNode::Nm65,
+            cores: 2,
+            smt_ways: 1,
+            base_clock: Hertz::from_ghz(2.4),
+            min_clock: Hertz::from_ghz(1.6),
+            transistors_m: 291.0,
+            die_mm2: 143.0,
+            fsb_mhz: Some(1066),
+            dram: "DDR2-800",
+            core: CoreParams {
+                issue_width: 4.0,
+                pipeline_depth: 14.0,
+                out_of_order: true,
+                ooo_overlap: 0.52,
+                mlp_cap: 5.0,
+                predictor_factor: 0.90,
+                smt_overhead: 1.0,
+                smt_cache_share: 1.0,
+            },
+            mem: MemorySystem {
+                l1d: g(32, 8),
+                l2: None,
+                llc: Some(g(4096, 16)),
+                dtlb_entries: 256,
+                l2_hit_cycles: 14.0,
+                llc_hit_cycles: 14.0,
+                tlb_miss_cycles: 40.0,
+                mem_latency_ns: 88.0,
+                peak_bw_gbs: 8.5,
+            },
+            power: PowerParams {
+                events: base.scaled(1.3),
+                statics: StaticPowerParams {
+                    core_leak_w: 5.0,
+                    uncore_w: 5.5,
+                    llc_leak_w_per_mb: 0.65,
+                    idle_core_fraction: 0.95,
+                    disabled_core_fraction: 0.05,
+                },
+                vf: vf(1.6, 2.4, 1.05, 1.35, 1.2),
+                tdp_w: 65.0,
+                turbo: None,
+            },
+        },
+        // -------------------------------------------- Core 2 Quad Q6600 (65)
+        ProcessorSpec {
+            id: ProcessorId::Core2QuadQ6600,
+            name: "Core 2 Quad Q6600",
+            short: "C2Q (65)",
+            uarch: Microarch::Core,
+            sspec: "SL9UM",
+            release: "Jan '07",
+            price_usd: Some(851),
+            node: TechNode::Nm65,
+            cores: 4,
+            smt_ways: 1,
+            base_clock: Hertz::from_ghz(2.4),
+            min_clock: Hertz::from_ghz(1.6),
+            transistors_m: 582.0,
+            die_mm2: 286.0,
+            fsb_mhz: Some(1066),
+            dram: "DDR2-800",
+            core: CoreParams {
+                issue_width: 4.0,
+                pipeline_depth: 14.0,
+                out_of_order: true,
+                ooo_overlap: 0.52,
+                mlp_cap: 5.0,
+                predictor_factor: 0.90,
+                smt_overhead: 1.0,
+                smt_cache_share: 1.0,
+            },
+            mem: MemorySystem {
+                l1d: g(32, 8),
+                l2: None,
+                llc: Some(g(8192, 16)),
+                dtlb_entries: 256,
+                l2_hit_cycles: 14.0,
+                llc_hit_cycles: 14.0,
+                tlb_miss_cycles: 40.0,
+                mem_latency_ns: 98.0,
+                peak_bw_gbs: 8.5,
+            },
+            power: PowerParams {
+                events: base.scaled(1.3),
+                statics: StaticPowerParams {
+                    // Two Conroe dies in one package.
+                    core_leak_w: 5.0,
+                    uncore_w: 15.0,
+                    llc_leak_w_per_mb: 0.55,
+                    idle_core_fraction: 0.95,
+                    disabled_core_fraction: 0.05,
+                },
+                vf: vf(1.6, 2.4, 1.05, 1.35, 1.2),
+                tdp_w: 105.0,
+                turbo: None,
+            },
+        },
+        // ------------------------------------------------- Core i7 920 (45)
+        ProcessorSpec {
+            id: ProcessorId::CoreI7_920,
+            name: "Core i7 920",
+            short: "i7 (45)",
+            uarch: Microarch::Nehalem,
+            sspec: "SLBCH",
+            release: "Nov '08",
+            price_usd: Some(284),
+            node: TechNode::Nm45,
+            cores: 4,
+            smt_ways: 2,
+            base_clock: Hertz::from_ghz(2.66),
+            min_clock: Hertz::from_ghz(1.6),
+            transistors_m: 731.0,
+            die_mm2: 263.0,
+            fsb_mhz: None,
+            dram: "DDR3-1066",
+            core: CoreParams {
+                issue_width: 4.0,
+                pipeline_depth: 16.0,
+                out_of_order: true,
+                ooo_overlap: 0.56,
+                mlp_cap: 5.0,
+                predictor_factor: 0.88,
+                smt_overhead: 1.15,
+                smt_cache_share: 0.50,
+            },
+            mem: MemorySystem {
+                l1d: g(32, 8),
+                l2: Some(g(256, 8)),
+                llc: Some(g(8192, 16)),
+                dtlb_entries: 512,
+                l2_hit_cycles: 10.0,
+                llc_hit_cycles: 42.0,
+                tlb_miss_cycles: 30.0,
+                mem_latency_ns: 68.0,
+                peak_bw_gbs: 25.6,
+            },
+            power: PowerParams {
+                events: base.scaled(2.4),
+                statics: StaticPowerParams {
+                    core_leak_w: 3.0,
+                    uncore_w: 3.5,
+                    llc_leak_w_per_mb: 0.15,
+                    idle_core_fraction: 1.0,
+                    disabled_core_fraction: 0.05,
+                },
+                vf: vf(1.6, 2.66, 0.95, 1.38, 1.5),
+                tdp_w: 130.0,
+                turbo: Some(TurboParams {
+                    step_hz: 133.0e6,
+                    max_steps_all_cores: 1,
+                    max_steps_single_core: 2,
+                    voltage_per_step: 0.095,
+                }),
+            },
+        },
+        // ---------------------------------------------------- Atom 230 (45)
+        ProcessorSpec {
+            id: ProcessorId::Atom230,
+            name: "Atom 230",
+            short: "Atom (45)",
+            uarch: Microarch::Bonnell,
+            sspec: "SLB6Z",
+            release: "Jun '08",
+            price_usd: Some(29),
+            node: TechNode::Nm45,
+            cores: 1,
+            smt_ways: 2,
+            base_clock: Hertz::from_ghz(1.66),
+            min_clock: Hertz::from_ghz(0.8),
+            transistors_m: 47.0,
+            die_mm2: 26.0,
+            fsb_mhz: Some(533),
+            dram: "DDR2-800",
+            core: CoreParams {
+                issue_width: 2.0,
+                pipeline_depth: 16.0,
+                out_of_order: false,
+                ooo_overlap: 0.05,
+                mlp_cap: 1.1,
+                predictor_factor: 1.35,
+                smt_overhead: 1.06,
+                smt_cache_share: 0.60,
+            },
+            mem: MemorySystem {
+                l1d: g(24, 6),
+                l2: None,
+                llc: Some(g(512, 8)),
+                dtlb_entries: 64,
+                l2_hit_cycles: 24.0,
+                llc_hit_cycles: 24.0,
+                tlb_miss_cycles: 45.0,
+                mem_latency_ns: 102.0,
+                peak_bw_gbs: 4.2,
+            },
+            power: PowerParams {
+                events: base.scaled(0.26),
+                statics: StaticPowerParams {
+                    core_leak_w: 0.55,
+                    uncore_w: 1.4,
+                    llc_leak_w_per_mb: 0.22,
+                    idle_core_fraction: 0.55,
+                    disabled_core_fraction: 0.05,
+                },
+                vf: vf(0.8, 1.66, 0.90, 1.16, 1.1),
+                tdp_w: 4.0,
+                turbo: None,
+            },
+        },
+        // --------------------------------------------- Core 2 Duo E7600 (45)
+        ProcessorSpec {
+            id: ProcessorId::Core2DuoE7600,
+            name: "Core 2 Duo E7600",
+            short: "C2D (45)",
+            uarch: Microarch::Core,
+            sspec: "SLGTD",
+            release: "May '09",
+            price_usd: Some(133),
+            node: TechNode::Nm45,
+            cores: 2,
+            smt_ways: 1,
+            base_clock: Hertz::from_ghz(3.06),
+            min_clock: Hertz::from_ghz(1.6),
+            transistors_m: 228.0,
+            die_mm2: 82.0,
+            fsb_mhz: Some(1066),
+            dram: "DDR2-800",
+            core: CoreParams {
+                issue_width: 4.0,
+                pipeline_depth: 14.0,
+                out_of_order: true,
+                ooo_overlap: 0.52,
+                mlp_cap: 5.0,
+                predictor_factor: 0.85,
+                smt_overhead: 1.0,
+                smt_cache_share: 1.0,
+            },
+            mem: MemorySystem {
+                l1d: g(32, 8),
+                l2: None,
+                llc: Some(g(3072, 12)),
+                dtlb_entries: 256,
+                l2_hit_cycles: 14.0,
+                llc_hit_cycles: 14.0,
+                tlb_miss_cycles: 40.0,
+                mem_latency_ns: 72.0,
+                peak_bw_gbs: 8.5,
+            },
+            power: PowerParams {
+                events: base.scaled(1.3),
+                statics: StaticPowerParams {
+                    core_leak_w: 4.0,
+                    uncore_w: 5.0,
+                    llc_leak_w_per_mb: 0.40,
+                    idle_core_fraction: 0.80,
+                    disabled_core_fraction: 0.05,
+                },
+                vf: vf(1.6, 3.06, 0.82, 1.36, 2.2),
+                tdp_w: 65.0,
+                turbo: None,
+            },
+        },
+        // --------------------------------------------------- Atom D510 (45)
+        ProcessorSpec {
+            id: ProcessorId::AtomD510,
+            name: "Atom D510",
+            short: "AtomD (45)",
+            uarch: Microarch::Bonnell,
+            sspec: "SLBLA",
+            release: "Dec '09",
+            price_usd: Some(63),
+            node: TechNode::Nm45,
+            cores: 2,
+            smt_ways: 2,
+            base_clock: Hertz::from_ghz(1.66),
+            min_clock: Hertz::from_ghz(0.8),
+            transistors_m: 176.0,
+            die_mm2: 87.0,
+            fsb_mhz: Some(665),
+            dram: "DDR2-800",
+            core: CoreParams {
+                issue_width: 2.0,
+                pipeline_depth: 16.0,
+                out_of_order: false,
+                ooo_overlap: 0.05,
+                mlp_cap: 1.1,
+                predictor_factor: 1.35,
+                smt_overhead: 1.06,
+                smt_cache_share: 0.60,
+            },
+            mem: MemorySystem {
+                l1d: g(24, 6),
+                l2: None,
+                llc: Some(g(1024, 8)),
+                dtlb_entries: 64,
+                l2_hit_cycles: 24.0,
+                llc_hit_cycles: 24.0,
+                tlb_miss_cycles: 45.0,
+                mem_latency_ns: 98.0,
+                peak_bw_gbs: 5.3,
+            },
+            power: PowerParams {
+                // Pineview integrates the GPU/chipset in-package: higher
+                // uncore floor, same Bonnell cores.
+                events: base.scaled(0.26),
+                statics: StaticPowerParams {
+                    core_leak_w: 0.55,
+                    uncore_w: 3.1,
+                    llc_leak_w_per_mb: 0.22,
+                    idle_core_fraction: 0.55,
+                    disabled_core_fraction: 0.05,
+                },
+                vf: vf(0.8, 1.66, 0.80, 1.17, 1.1),
+                tdp_w: 13.0,
+                turbo: None,
+            },
+        },
+        // ------------------------------------------------- Core i5 670 (32)
+        ProcessorSpec {
+            id: ProcessorId::CoreI5_670,
+            name: "Core i5 670",
+            short: "i5 (32)",
+            uarch: Microarch::Nehalem,
+            sspec: "SLBLT",
+            release: "Jan '10",
+            price_usd: Some(284),
+            node: TechNode::Nm32,
+            cores: 2,
+            smt_ways: 2,
+            base_clock: Hertz::from_ghz(3.46),
+            min_clock: Hertz::from_ghz(1.2),
+            transistors_m: 382.0,
+            die_mm2: 81.0,
+            fsb_mhz: None,
+            dram: "DDR3-1333",
+            core: CoreParams {
+                issue_width: 4.0,
+                pipeline_depth: 16.0,
+                out_of_order: true,
+                ooo_overlap: 0.56,
+                mlp_cap: 5.0,
+                predictor_factor: 0.84,
+                smt_overhead: 1.15,
+                smt_cache_share: 0.50,
+            },
+            mem: MemorySystem {
+                l1d: g(32, 8),
+                l2: Some(g(256, 8)),
+                llc: Some(g(4096, 16)),
+                dtlb_entries: 512,
+                l2_hit_cycles: 10.0,
+                llc_hit_cycles: 35.0,
+                tlb_miss_cycles: 30.0,
+                mem_latency_ns: 63.0,
+                peak_bw_gbs: 21.0,
+            },
+            power: PowerParams {
+                events: base.scaled(3.1),
+                statics: StaticPowerParams {
+                    // Clarkdale: on-package GPU die + PCIe keep the uncore
+                    // floor high, but Westmere power-gates idle cores well.
+                    core_leak_w: 2.8,
+                    uncore_w: 9.0,
+                    llc_leak_w_per_mb: 0.15,
+                    idle_core_fraction: 0.20,
+                    disabled_core_fraction: 0.03,
+                },
+                // Front-loaded V(f): near-peak clocks ride the shallow top
+                // of the curve, which is why clocking the i5 up is nearly
+                // energy-neutral (Architecture Finding 3).
+                vf: vf(1.2, 3.46, 0.80, 1.20, 0.5),
+                tdp_w: 73.0,
+                turbo: Some(TurboParams {
+                    step_hz: 133.0e6,
+                    max_steps_all_cores: 1,
+                    max_steps_single_core: 2,
+                    voltage_per_step: 0.015,
+                }),
+            },
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_processors() {
+        assert_eq!(processors().len(), 8);
+        let mut shorts: Vec<&str> = processors().iter().map(|s| s.short).collect();
+        shorts.sort_unstable();
+        shorts.dedup();
+        assert_eq!(shorts.len(), 8, "short names must be unique");
+    }
+
+    #[test]
+    fn table3_identity_spot_checks() {
+        let i7 = ProcessorId::CoreI7_920.spec();
+        assert_eq!(i7.sspec, "SLBCH");
+        assert_eq!(i7.cores, 4);
+        assert_eq!(i7.smt_ways, 2);
+        assert_eq!(i7.contexts(), 8);
+        assert_eq!(i7.topology(), "4C2T");
+        assert_eq!(i7.transistors_m, 731.0);
+        assert_eq!(i7.power.tdp_w, 130.0);
+        assert_eq!(i7.node, TechNode::Nm45);
+
+        let p4 = ProcessorId::Pentium4_130.spec();
+        assert_eq!(p4.topology(), "1C2T");
+        assert!(p4.price_usd.is_none());
+        assert_eq!(p4.node, TechNode::Nm130);
+        assert_eq!(p4.mem.last_level_bytes(), 512 << 10);
+
+        let atom = ProcessorId::Atom230.spec();
+        assert_eq!(atom.price_usd, Some(29));
+        assert_eq!(atom.power.tdp_w, 4.0);
+        assert!(!atom.core.out_of_order);
+
+        let i5 = ProcessorId::CoreI5_670.spec();
+        assert_eq!(i5.node, TechNode::Nm32);
+        assert_eq!(i5.dram, "DDR3-1333");
+        assert!(i5.power.turbo.is_some());
+    }
+
+    #[test]
+    fn four_chips_are_45nm() {
+        let names: Vec<&str> = processors_45nm().iter().map(|s| s.short).collect();
+        assert_eq!(names, ["i7 (45)", "Atom (45)", "C2D (45)", "AtomD (45)"]);
+    }
+
+    #[test]
+    fn smt_chips_match_table3() {
+        for (id, has_smt) in [
+            (ProcessorId::Pentium4_130, true),
+            (ProcessorId::Core2DuoE6600, false),
+            (ProcessorId::Core2QuadQ6600, false),
+            (ProcessorId::CoreI7_920, true),
+            (ProcessorId::Atom230, true),
+            (ProcessorId::Core2DuoE7600, false),
+            (ProcessorId::AtomD510, true),
+            (ProcessorId::CoreI5_670, true),
+        ] {
+            assert_eq!(id.spec().smt_ways == 2, has_smt, "{id:?}");
+        }
+    }
+
+    #[test]
+    fn only_nehalems_have_turbo() {
+        for s in processors() {
+            let expect = matches!(s.uarch, Microarch::Nehalem);
+            assert_eq!(s.power.turbo.is_some(), expect, "{}", s.short);
+        }
+    }
+
+    #[test]
+    fn voltage_tracks_clock() {
+        let i7 = ProcessorId::CoreI7_920.spec();
+        let v_lo = i7.voltage_at(i7.min_clock);
+        let v_hi = i7.voltage_at(i7.base_clock);
+        assert!(v_hi.value() > v_lo.value());
+    }
+
+    #[test]
+    fn bonnell_is_the_low_energy_family() {
+        let atom = ProcessorId::Atom230.spec();
+        let core2 = ProcessorId::Core2DuoE6600.spec();
+        assert!(
+            atom.power.events.per_instruction_pj < core2.power.events.per_instruction_pj / 4.0
+        );
+    }
+
+    #[test]
+    fn netburst_pipeline_is_deepest() {
+        let depths: Vec<f64> = processors().iter().map(|s| s.core.pipeline_depth).collect();
+        let p4 = ProcessorId::Pentium4_130.spec().core.pipeline_depth;
+        assert!(depths.iter().all(|&d| d <= p4));
+    }
+}

@@ -1,0 +1,689 @@
+//! The time-sliced chip simulator.
+//!
+//! A run places a workload's software threads (application + VM services)
+//! onto a configured chip's hardware contexts and advances time in slices.
+//! Each slice recomputes every runnable thread's interval performance in its
+//! current environment -- SMT sibling pressure, shared-LLC partitioning,
+//! memory-bandwidth saturation, VM-service displacement -- executes the
+//! resulting instructions, meters the energy per structure, lets the Turbo
+//! controller react to the measured power, and appends one sample to the
+//! chip's power waveform. The waveform is what the sensing rig in
+//! `lhr-sensors` later samples at 50 Hz, mirroring the paper's rig.
+
+use std::collections::HashMap;
+
+use lhr_power::{
+    ActivityCounters, EnergyModel, EventEnergies, NodeScaling, PowerMeters, PowerWaveform,
+    Structure,
+};
+use lhr_trace::{Rng64, SplitMix64};
+use lhr_units::{Joules, Seconds, Volts, Watts};
+use lhr_workloads::{SoftwareThread, ThreadRole, Workload};
+
+use crate::cache::MissRateEstimator;
+use crate::config::ChipConfig;
+use crate::interval::{phase_performance, Environment, PhasePerf};
+
+/// The outcome of one benchmark run on one configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// Wall-clock execution time.
+    pub time: Seconds,
+    /// The chip power waveform (one sample per simulation slice).
+    pub waveform: PowerWaveform,
+    /// Per-structure energy meters.
+    pub meters: PowerMeters,
+    /// Total instructions retired across all threads.
+    pub instructions: u64,
+}
+
+impl RunResult {
+    /// True average chip power over the run.
+    #[must_use]
+    pub fn average_power(&self) -> Watts {
+        self.waveform.average_power()
+    }
+
+    /// Total energy, consistent with `average_power x time`.
+    #[must_use]
+    pub fn energy(&self) -> Joules {
+        self.average_power() * self.time
+    }
+}
+
+/// The chip simulator. Stateless across runs apart from the shared
+/// miss-rate memo; cheap to clone or share.
+#[derive(Debug)]
+pub struct ChipSimulator {
+    energy_model: EnergyModel,
+    estimator: &'static MissRateEstimator,
+    target_slices: usize,
+}
+
+impl Default for ChipSimulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Memo key for interval-model results within a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct PerfKey {
+    thread: usize,
+    phase: usize,
+    clock_bits: u64,
+    share_bits: u64,
+    llc_eff: u64,
+    disp_bits: u64,
+    bw_bucket: u32,
+}
+
+struct ThreadState {
+    thread: SoftwareThread,
+    /// Cumulative instruction count at the end of each phase.
+    boundaries: Vec<u64>,
+    done: u64,
+    finished: bool,
+    jitter: f64,
+    context: usize,
+}
+
+impl ThreadState {
+    fn total(&self) -> u64 {
+        *self.boundaries.last().expect("traces have phases")
+    }
+
+    fn remaining(&self) -> u64 {
+        self.total() - self.done
+    }
+
+    fn phase_index(&self) -> usize {
+        self.boundaries
+            .iter()
+            .position(|&b| self.done < b)
+            .unwrap_or(self.boundaries.len() - 1)
+    }
+}
+
+impl ChipSimulator {
+    /// Creates a simulator with the default energy model and slice budget.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            energy_model: EnergyModel::new(EventEnergies::default(), NodeScaling::default()),
+            estimator: MissRateEstimator::global(),
+            target_slices: 400,
+        }
+    }
+
+    /// Overrides the number of simulation slices per run (more slices give
+    /// finer waveforms and Turbo reaction at linear cost).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 8`.
+    #[must_use]
+    pub fn with_target_slices(mut self, n: usize) -> Self {
+        assert!(n >= 8, "need at least 8 slices for a meaningful waveform");
+        self.target_slices = n;
+        self
+    }
+
+    /// Runs `workload` on `config`. The `seed` selects the run's
+    /// nondeterminism (JIT/GC timing jitter for Java, system noise for
+    /// natives); the same seed always reproduces the same result.
+    #[must_use]
+    pub fn run(&self, config: &ChipConfig, workload: &Workload, seed: u64) -> RunResult {
+        let spec = config.spec();
+        let n_ctx = config.contexts();
+        let cores = config.active_cores();
+        let slots = config.threads_per_core();
+
+        // --- Thread placement: spread across cores first, then SMT slots.
+        let software = workload.software_threads(n_ctx);
+        let mut rng = SplitMix64::new(seed ^ 0x6c68_7221);
+        let cv = workload.nondeterminism_cv();
+        let mut threads: Vec<ThreadState> = software
+            .into_iter()
+            .enumerate()
+            .map(|(i, thread)| {
+                let total = thread.trace.total_instructions().max(1);
+                let mut cum = 0u64;
+                let n_phases = thread.trace.phases().len();
+                let boundaries: Vec<u64> = (0..n_phases)
+                    .map(|p| {
+                        cum += thread.trace.phase_instructions(p).max(1);
+                        cum.min(total.max(cum))
+                    })
+                    .collect();
+                let jitter = (1.0 + rng.next_normal(0.0, cv)).clamp(1.0 - 3.0 * cv, 1.0 + 3.0 * cv);
+                let _ = i;
+                ThreadState {
+                    thread,
+                    boundaries,
+                    done: 0,
+                    finished: false,
+                    jitter,
+                    context: 0,
+                }
+            })
+            .collect();
+
+        // --- Placement: OS-like load balancing. Heaviest threads first,
+        // each onto the least-loaded context; context index order is
+        // slot-major ((core0,slot0), (core1,slot0), ..., (core0,slot1), ...)
+        // so physical cores fill before SMT siblings, and VM service
+        // threads land on spare contexts away from the application.
+        {
+            let mut order: Vec<usize> = (0..threads.len()).collect();
+            order.sort_by_key(|&i| std::cmp::Reverse(threads[i].total()));
+            let mut loads = vec![0u64; n_ctx];
+            for &i in &order {
+                let ctx = (0..n_ctx)
+                    .min_by_key(|&c| (loads[c], c))
+                    .expect("n_ctx > 0");
+                threads[i].context = ctx;
+                loads[ctx] += threads[i].total();
+            }
+        }
+
+        // --- Slice sizing from a solo-IPC probe of each thread's phase 0.
+        let clock = config.clock();
+        let mut est_time: f64 = 1e-6;
+        for t in &threads {
+            let env = Environment::solo(spec, clock);
+            let perf = phase_performance(spec, &t.thread.trace.phases()[0], &env, self.estimator);
+            let time = t.total() as f64 / (perf.ipc() * clock.value());
+            est_time = est_time.max(time);
+        }
+        let slice_s = (est_time / self.target_slices as f64).clamp(1e-4, 2.0);
+        let slice = Seconds::new(slice_s);
+
+        // --- Main loop state.
+        let mut waveform = PowerWaveform::new(slice);
+        let mut meters = PowerMeters::new();
+        let mut perf_memo: HashMap<PerfKey, PhasePerf> = HashMap::new();
+        let mut bw_dilation = 1.0f64;
+        let mut prev_power = Watts::ZERO;
+        let mut elapsed_slices = 0u64;
+        let mut final_fraction = 1.0f64;
+        let mut total_instructions = 0u64;
+        let displacement_of = |w: &Workload| {
+            w.managed().map_or(1.0, |m| m.displacement_miss_factor)
+        };
+        let llc_total = spec.mem.last_level_bytes();
+        let node = spec.node;
+        let turbo = spec.power.turbo.as_ref();
+
+        // Hard bound so a mis-specified workload cannot spin forever.
+        let max_slices = (self.target_slices as u64) * 64;
+
+        while threads.iter().any(|t| !t.finished) && elapsed_slices < max_slices {
+            // Occupancy.
+            let mut ctx_threads: Vec<Vec<usize>> = vec![Vec::new(); n_ctx];
+            for (i, t) in threads.iter().enumerate() {
+                if !t.finished {
+                    ctx_threads[t.context].push(i);
+                }
+            }
+            let core_busy: Vec<bool> = (0..cores)
+                .map(|c| (0..slots).any(|s| !ctx_threads[s * cores + c].is_empty()))
+                .collect();
+            let busy_cores = core_busy.iter().filter(|&&b| b).count().max(1);
+            let running_threads: usize = ctx_threads.iter().map(Vec::len).sum();
+
+            // --- Turbo decision based on last slice's measured power.
+            let (f_eff, v_eff) = if config.turbo_enabled() {
+                let t = turbo.expect("turbo_enabled implies turbo params");
+                let steps = t.steps_for(busy_cores);
+                let headroom = prev_power.value() < spec.power.tdp_w * 0.90;
+                if headroom && steps > 0 {
+                    (
+                        t.boosted_clock(clock, steps),
+                        t.boosted_voltage(spec.voltage_at(clock), steps),
+                    )
+                } else {
+                    (clock, spec.voltage_at(clock))
+                }
+            } else {
+                (clock, spec.voltage_at(clock))
+            };
+
+            // --- LLC partitioning among busy cores and their threads.
+            // Capacity contention is softer than a strict equal split:
+            // threads with small working sets leave capacity to the rest
+            // (utility-based allocation to first order), so the share
+            // shrinks with the square root of the sharer count.
+            let llc_core_share =
+                (llc_total as f64 / (busy_cores as f64).sqrt()) as u64;
+
+            // --- Per-core slot pressure for SMT combining (two passes:
+            // solo perf first, then pressure-adjusted execution).
+            let mut core_pressure = vec![0.0f64; cores];
+            let mut perfs: Vec<Option<(PhasePerf, f64)>> = vec![None; threads.len()];
+            for c in 0..cores {
+                for s in 0..slots {
+                    let ctx = s * cores + c;
+                    let n_on_ctx = ctx_threads[ctx].len();
+                    if n_on_ctx == 0 {
+                        continue;
+                    }
+                    let sibling_busy = slots > 1
+                        && (0..slots).any(|s2| s2 != s && !ctx_threads[s2 * cores + c].is_empty());
+                    let time_share = 1.0 / n_on_ctx as f64;
+                    for &ti in &ctx_threads[ctx] {
+                        let t = &threads[ti];
+                        let phase_idx = t.phase_index();
+                        let phase = &t.thread.trace.phases()[phase_idx];
+                        // Displacement: services displace the application
+                        // when they share its context (full effect) or its
+                        // core via SMT (partial).
+                        let disp = if t.thread.role == ThreadRole::Application {
+                            let d = displacement_of(workload);
+                            let service_same_ctx = ctx_threads[ctx].iter().any(|&oj| {
+                                threads[oj].thread.role.is_service() && oj != ti
+                            });
+                            let service_sibling = slots > 1
+                                && (0..slots).any(|s2| {
+                                    s2 != s
+                                        && ctx_threads[s2 * cores + c]
+                                            .iter()
+                                            .any(|&oj| threads[oj].thread.role.is_service())
+                                });
+                            if service_same_ctx {
+                                d
+                            } else if service_sibling {
+                                1.0 + (d - 1.0) * 0.5
+                            } else {
+                                1.0
+                            }
+                        } else {
+                            1.0
+                        };
+                        let cache_share = if sibling_busy {
+                            spec.core.smt_cache_share
+                        } else {
+                            1.0
+                        };
+                        let threads_on_core: usize = (0..slots)
+                            .map(|s2| ctx_threads[s2 * cores + c].len())
+                            .sum();
+                        let llc_eff = (llc_core_share as f64
+                            / (threads_on_core as f64).sqrt())
+                            .max(1024.0) as u64;
+                        let env = Environment {
+                            clock: f_eff,
+                            private_cache_share: cache_share,
+                            llc_bytes_eff: llc_eff,
+                            displacement: disp,
+                            bw_dilation,
+                        };
+                        let key = PerfKey {
+                            thread: ti,
+                            phase: phase_idx,
+                            clock_bits: f_eff.value().to_bits(),
+                            share_bits: cache_share.to_bits(),
+                            llc_eff,
+                            disp_bits: disp.to_bits(),
+                            bw_bucket: (bw_dilation * 16.0) as u32,
+                        };
+                        let perf = *perf_memo.entry(key).or_insert_with(|| {
+                            phase_performance(spec, phase, &env, self.estimator)
+                        });
+                        core_pressure[c] +=
+                            perf.busy_fraction() * perf.issue_demand * time_share;
+                        perfs[ti] = Some((perf, time_share));
+                    }
+                }
+            }
+
+            // --- Execute the slice.
+            let mut slice_dram_bytes = 0.0f64;
+            let mut dyn_energy = Joules::ZERO;
+            let mut all_finished_now = true;
+            let mut slice_fraction = 0.0f64;
+            for c in 0..cores {
+                let contexts_busy_on_core = (0..slots)
+                    .filter(|&s| !ctx_threads[s * cores + c].is_empty())
+                    .count();
+                let corun = contexts_busy_on_core > 1;
+                for s in 0..slots {
+                    let ctx = s * cores + c;
+                    for &ti in &ctx_threads[ctx] {
+                        let (perf, time_share) = perfs[ti].expect("perf computed above");
+                        let cpi = if corun {
+                            perf.cpi_corun(core_pressure[c], spec.core.smt_overhead)
+                        } else {
+                            perf.cpi()
+                        };
+                        let ipc = threads[ti].jitter / cpi;
+                        let potential =
+                            (ipc * f_eff.value() * slice_s * time_share).max(1.0);
+                        let remaining = threads[ti].remaining() as f64;
+                        let executed = remaining.min(potential);
+                        let used_fraction = executed / potential;
+                        slice_fraction = slice_fraction.max(used_fraction.min(1.0));
+
+                        let t = &mut threads[ti];
+                        t.done += executed as u64;
+                        if t.remaining() == 0 {
+                            t.finished = true;
+                        } else {
+                            all_finished_now = false;
+                        }
+                        total_instructions += executed as u64;
+
+                        // --- Power accounting for this thread's work.
+                        let phase = &t.thread.trace.phases()[t.phase_index().min(
+                            t.thread.trace.phases().len() - 1,
+                        )];
+                        let e = perf.events;
+                        let n = executed;
+                        let core_counters = ActivityCounters {
+                            instructions: n as u64,
+                            int_ops: (n * e.int_ops) as u64,
+                            fp_ops: (n * e.fp_ops) as u64,
+                            l1_accesses: (n * e.l1_accesses) as u64,
+                            l2_accesses: (n * e.l2_accesses) as u64,
+                            branches: (n * e.branches) as u64,
+                            branch_flushes: (n * e.branch_flushes) as u64,
+                            tlb_misses: (n * e.tlb_misses) as u64,
+                            ..ActivityCounters::default()
+                        };
+                        let llc_counters = ActivityCounters {
+                            llc_accesses: (n * e.llc_accesses) as u64,
+                            ..ActivityCounters::default()
+                        };
+                        let dram_counters = ActivityCounters {
+                            dram_accesses: (n * e.dram_accesses) as u64,
+                            ..ActivityCounters::default()
+                        };
+                        slice_dram_bytes += n * e.dram_accesses * 64.0;
+                        let activity = phase.activity();
+                        let model = self.chip_energy_model(spec);
+                        let e_core = model.dynamic_energy_with_activity(
+                            &core_counters,
+                            node,
+                            v_eff,
+                            activity,
+                        );
+                        let e_llc = model.dynamic_energy_with_activity(
+                            &llc_counters,
+                            node,
+                            v_eff,
+                            activity,
+                        );
+                        let e_dram = model.dynamic_energy_with_activity(
+                            &dram_counters,
+                            node,
+                            v_eff,
+                            activity,
+                        );
+                        meters.add(Structure::Core(c), e_core);
+                        meters.add(Structure::Llc, e_llc);
+                        meters.add(Structure::MemoryInterface, e_dram);
+                        dyn_energy += e_core + e_llc + e_dram;
+                    }
+                }
+            }
+
+            // Clock-tree energy for each busy core.
+            let model = self.chip_energy_model(spec);
+            for (c, &busy) in core_busy.iter().enumerate() {
+                if busy {
+                    let clk = ActivityCounters {
+                        active_cycles: (f_eff.value() * slice_s) as u64,
+                        ..ActivityCounters::default()
+                    };
+                    let e = model.dynamic_energy_with_activity(&clk, node, v_eff, 1.0);
+                    meters.add(Structure::Core(c), e);
+                    dyn_energy += e;
+                }
+            }
+
+            // Static power.
+            let idle_cores = cores - busy_cores.min(cores);
+            let disabled = spec.cores - cores;
+            let llc_mb = llc_total as f64 / (1024.0 * 1024.0);
+            let (p_core, p_llc, p_uncore) = model.static_power_parts(
+                &spec.power.statics,
+                node,
+                v_eff,
+                busy_cores.min(cores),
+                idle_cores,
+                disabled,
+                llc_mb,
+            );
+            let static_power = p_core + p_llc + p_uncore;
+            // Attribute static energy to meters (cores share equally).
+            meters.add(Structure::Llc, p_llc * slice);
+            meters.add(Structure::Uncore, p_uncore * slice);
+            for c in 0..cores {
+                meters.add(Structure::Core(c), (p_core / cores as f64) * slice);
+            }
+
+            let slice_power = dyn_energy / slice + static_power;
+            waveform.push(slice_power);
+            prev_power = slice_power;
+
+            // Bandwidth feedback for the next slice.
+            let demand_gbs = slice_dram_bytes / slice_s / 1e9;
+            bw_dilation = (demand_gbs / spec.mem.peak_bw_gbs).max(1.0);
+
+            elapsed_slices += 1;
+            if all_finished_now {
+                final_fraction = slice_fraction.clamp(1e-3, 1.0);
+            }
+            let _ = running_threads;
+        }
+
+        let full = elapsed_slices.saturating_sub(1) as f64;
+        let time = Seconds::new((full + final_fraction) * slice_s);
+        RunResult {
+            time,
+            waveform,
+            meters,
+            instructions: total_instructions,
+        }
+    }
+
+    /// The energy model specialized to one chip's event table.
+    fn chip_energy_model(&self, spec: &crate::catalog::ProcessorSpec) -> EnergyModel {
+        EnergyModel::new(spec.power.events, *self.energy_model.nodes())
+    }
+
+    /// Convenience: the supply voltage a config runs at (without Turbo).
+    #[must_use]
+    pub fn voltage_of(config: &ChipConfig) -> Volts {
+        config.voltage()
+    }
+
+    /// Convenience: run and return `(time, average power)`.
+    #[must_use]
+    pub fn measure(&self, config: &ChipConfig, workload: &Workload, seed: u64) -> (Seconds, Watts) {
+        let r = self.run(config, workload, seed);
+        (r.time, r.average_power())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::ProcessorId;
+    use lhr_workloads::by_name;
+
+    fn sim() -> ChipSimulator {
+        ChipSimulator::new().with_target_slices(60)
+    }
+
+    fn stock(id: ProcessorId) -> ChipConfig {
+        ChipConfig::stock(id.spec())
+    }
+
+    /// A scaled-down workload clone for fast tests.
+    fn small(name: &str) -> Workload {
+        by_name(name).expect("benchmark exists").clone()
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let w = small("jess");
+        let cfg = stock(ProcessorId::Core2DuoE6600);
+        let s = sim();
+        let a = s.run(&cfg, &w, 7);
+        let b = s.run(&cfg, &w, 7);
+        assert_eq!(a.time, b.time);
+        assert_eq!(a.waveform, b.waveform);
+        assert_eq!(a.instructions, b.instructions);
+    }
+
+    #[test]
+    fn different_seeds_jitter_slightly() {
+        let w = small("jess");
+        let cfg = stock(ProcessorId::Core2DuoE6600);
+        let s = sim();
+        let a = s.run(&cfg, &w, 1);
+        let b = s.run(&cfg, &w, 2);
+        let rel = (a.time.value() - b.time.value()).abs() / a.time.value();
+        assert!(rel > 0.0, "seeds must perturb Java runs");
+        assert!(rel < 0.2, "jitter should be small, got {rel}");
+    }
+
+    #[test]
+    fn power_is_positive_and_below_tdp_scale() {
+        for id in ProcessorId::ALL {
+            let w = small("mpegaudio");
+            let cfg = stock(id);
+            let r = sim().run(&cfg, &w, 3);
+            let p = r.average_power().value();
+            assert!(p > 0.1, "{id:?} power {p}");
+            assert!(
+                p < id.spec().power.tdp_w * 1.05,
+                "{id:?} power {p} exceeds TDP {}",
+                id.spec().power.tdp_w
+            );
+        }
+    }
+
+    #[test]
+    fn faster_chip_finishes_sooner() {
+        let w = small("jess");
+        let s = sim();
+        let atom = s.run(&stock(ProcessorId::Atom230), &w, 3);
+        let i7 = s.run(&stock(ProcessorId::CoreI7_920), &w, 3);
+        assert!(
+            i7.time.value() < atom.time.value() / 2.0,
+            "i7 {} vs Atom {}",
+            i7.time.value(),
+            atom.time.value()
+        );
+    }
+
+    #[test]
+    fn scalable_workload_speeds_up_with_cores() {
+        let w = small("mtrt"); // short dual-threaded benchmark
+        let spec = ProcessorId::CoreI7_920.spec();
+        let s = sim();
+        let one = ChipConfig::stock(spec)
+            .with_cores(1).unwrap()
+            .with_smt(false).unwrap()
+            .with_turbo(false).unwrap();
+        let two = ChipConfig::stock(spec)
+            .with_cores(2).unwrap()
+            .with_smt(false).unwrap()
+            .with_turbo(false).unwrap();
+        let t1 = s.run(&one, &w, 3).time.value();
+        let t2 = s.run(&two, &w, 3).time.value();
+        assert!(t2 < t1 * 0.8, "2C {t2} vs 1C {t1}");
+    }
+
+    #[test]
+    fn more_cores_draw_more_power_for_scalable_work() {
+        let w = small("sunflow");
+        let spec = ProcessorId::CoreI7_920.spec();
+        let s = sim();
+        let one = ChipConfig::stock(spec)
+            .with_cores(1).unwrap().with_smt(false).unwrap().with_turbo(false).unwrap();
+        let four = ChipConfig::stock(spec)
+            .with_cores(4).unwrap().with_smt(false).unwrap().with_turbo(false).unwrap();
+        let p1 = s.run(&one, &w, 3).average_power().value();
+        let p4 = s.run(&four, &w, 3).average_power().value();
+        assert!(p4 > p1 * 1.3, "4C {p4} vs 1C {p1}");
+    }
+
+    #[test]
+    fn single_threaded_java_gains_from_second_core() {
+        let w = small("db");
+        let spec = ProcessorId::CoreI7_920.spec();
+        let s = sim();
+        let one = ChipConfig::stock(spec)
+            .with_cores(1).unwrap().with_smt(false).unwrap().with_turbo(false).unwrap();
+        let two = ChipConfig::stock(spec)
+            .with_cores(2).unwrap().with_smt(false).unwrap().with_turbo(false).unwrap();
+        let t1 = s.run(&one, &w, 3).time.value();
+        let t2 = s.run(&two, &w, 3).time.value();
+        assert!(t2 < t1 * 0.95, "db 2C {t2} vs 1C {t1}: VM services must offload");
+    }
+
+    #[test]
+    fn single_threaded_native_gains_nothing_from_second_core() {
+        let w = small("hmmer");
+        let spec = ProcessorId::CoreI7_920.spec();
+        let s = sim();
+        let one = ChipConfig::stock(spec)
+            .with_cores(1).unwrap().with_smt(false).unwrap().with_turbo(false).unwrap();
+        let two = ChipConfig::stock(spec)
+            .with_cores(2).unwrap().with_smt(false).unwrap().with_turbo(false).unwrap();
+        let t1 = s.run(&one, &w, 3).time.value();
+        let t2 = s.run(&two, &w, 3).time.value();
+        let rel = (t1 - t2).abs() / t1;
+        assert!(rel < 0.03, "native ST must be core-count invariant, got {rel}");
+    }
+
+    #[test]
+    fn turbo_raises_power() {
+        let w = small("compress");
+        let spec = ProcessorId::CoreI7_920.spec();
+        let s = sim();
+        let on = ChipConfig::stock(spec);
+        let off = ChipConfig::stock(spec).with_turbo(false).unwrap();
+        let r_on = s.run(&on, &w, 3);
+        let r_off = s.run(&off, &w, 3);
+        assert!(r_on.average_power().value() > r_off.average_power().value());
+        assert!(r_on.time.value() < r_off.time.value());
+    }
+
+    #[test]
+    fn meters_account_for_total_energy() {
+        let w = small("jess");
+        let cfg = stock(ProcessorId::Core2DuoE6600);
+        let r = sim().run(&cfg, &w, 3);
+        let metered = r.meters.total_energy().value();
+        let waveform_e = r.waveform.energy().value();
+        let rel = (metered - waveform_e).abs() / waveform_e;
+        assert!(rel < 0.02, "meters {metered} vs waveform {waveform_e}");
+    }
+
+    #[test]
+    fn waveform_shape_matches_run() {
+        let w = small("jess");
+        let cfg = stock(ProcessorId::Core2DuoE6600);
+        let r = sim().run(&cfg, &w, 3);
+        assert!(r.waveform.len() >= 8);
+        assert!(r.waveform.duration().value() >= r.time.value() * 0.95);
+        assert!(r.instructions > 0);
+    }
+
+    #[test]
+    fn downclocking_stretches_time_and_cuts_power() {
+        let w = small("compress");
+        let spec = ProcessorId::Core2DuoE7600.spec();
+        let s = sim();
+        let fast = ChipConfig::stock(spec);
+        let slow = ChipConfig::stock(spec).with_clock(spec.min_clock).unwrap();
+        let rf = s.run(&fast, &w, 3);
+        let rs = s.run(&slow, &w, 3);
+        assert!(rs.time.value() > rf.time.value() * 1.4);
+        assert!(rs.average_power().value() < rf.average_power().value());
+    }
+}

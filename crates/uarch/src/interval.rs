@@ -1,0 +1,361 @@
+//! The interval performance model: one workload phase on one hardware
+//! context, decomposed into issue cycles and stall cycles.
+//!
+//! Interval analysis (Eyerman/Eeckhout-style) models a thread's CPI as a
+//! base issue component -- limited by the narrower of machine width and
+//! program ILP -- plus miss-event penalties: upper-level cache hits below
+//! L1, DRAM accesses (divided by exploitable memory-level parallelism),
+//! TLB walks, and branch-mispredict pipeline refills. Out-of-order cores
+//! hide a machine-dependent fraction of the mid-level stalls; in-order
+//! cores (Bonnell) expose nearly all of them. DRAM latency is constant in
+//! *nanoseconds*, so its cycle cost scales with the clock -- the mechanism
+//! behind every workload-dependent clock-scaling result in the paper.
+
+use lhr_trace::Phase;
+use lhr_units::Hertz;
+
+use crate::cache::{MissRateEstimator, Tlb};
+use crate::catalog::ProcessorSpec;
+
+/// The execution environment a phase sees on its context for one interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Environment {
+    /// The core clock.
+    pub clock: Hertz,
+    /// Effective fraction of private (L1/L2) capacity available
+    /// (1.0 solo; the spec's `smt_cache_share` when an SMT sibling co-runs).
+    pub private_cache_share: f64,
+    /// Effective shared-LLC capacity available to this thread, bytes.
+    pub llc_bytes_eff: u64,
+    /// Multiplier (>= 1) on miss rates from VM-service displacement.
+    pub displacement: f64,
+    /// Multiplier (>= 1) on DRAM latency from bandwidth saturation.
+    pub bw_dilation: f64,
+}
+
+impl Environment {
+    /// A solo environment: the whole machine to itself.
+    #[must_use]
+    pub fn solo(spec: &ProcessorSpec, clock: Hertz) -> Self {
+        Self {
+            clock,
+            private_cache_share: 1.0,
+            llc_bytes_eff: spec.mem.last_level_bytes(),
+            displacement: 1.0,
+            bw_dilation: 1.0,
+        }
+    }
+}
+
+/// Per-instruction event rates, aligned with the power model's counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct EventRates {
+    /// Integer ops per instruction.
+    pub int_ops: f64,
+    /// FP ops per instruction.
+    pub fp_ops: f64,
+    /// L1 data accesses per instruction (loads + stores).
+    pub l1_accesses: f64,
+    /// Private-L2 accesses per instruction (zero on 2-level chips).
+    pub l2_accesses: f64,
+    /// Shared-LLC accesses per instruction.
+    pub llc_accesses: f64,
+    /// DRAM accesses per instruction.
+    pub dram_accesses: f64,
+    /// Branches per instruction.
+    pub branches: f64,
+    /// Branch mispredicts per instruction.
+    pub branch_flushes: f64,
+    /// TLB misses per instruction.
+    pub tlb_misses: f64,
+}
+
+/// The decomposed performance of a phase in an environment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhasePerf {
+    /// Issue-bound CPI component.
+    pub base_cpi: f64,
+    /// Exposed stall CPI component.
+    pub stall_cpi: f64,
+    /// Fraction of issue slots this thread wants in its busy cycles.
+    pub issue_demand: f64,
+    /// Per-instruction event rates.
+    pub events: EventRates,
+}
+
+impl PhasePerf {
+    /// Total solo CPI.
+    #[must_use]
+    pub fn cpi(&self) -> f64 {
+        self.base_cpi + self.stall_cpi
+    }
+
+    /// Solo instructions per cycle.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        1.0 / self.cpi()
+    }
+
+    /// Fraction of cycles spent issuing (not stalled).
+    #[must_use]
+    pub fn busy_fraction(&self) -> f64 {
+        self.base_cpi / self.cpi()
+    }
+
+    /// CPI when co-running under SMT with the given combined slot pressure
+    /// (`>= 1` dilates the issue component) and structural overhead.
+    #[must_use]
+    pub fn cpi_corun(&self, slot_pressure: f64, smt_overhead: f64) -> f64 {
+        (self.base_cpi * slot_pressure.max(1.0) + self.stall_cpi) * smt_overhead
+    }
+}
+
+/// Computes the interval model for one phase in one environment.
+///
+/// # Panics
+///
+/// Panics if the environment is degenerate (non-positive clock or shares).
+#[must_use]
+pub fn phase_performance(
+    spec: &ProcessorSpec,
+    phase: &Phase,
+    env: &Environment,
+    estimator: &MissRateEstimator,
+) -> PhasePerf {
+    assert!(env.clock.value() > 0.0, "clock must be positive");
+    assert!(
+        env.private_cache_share > 0.0 && env.private_cache_share <= 1.0,
+        "cache share out of range"
+    );
+    assert!(env.llc_bytes_eff > 0, "LLC share must be positive");
+    assert!(env.displacement >= 1.0 && env.bw_dilation >= 1.0);
+
+    let core = &spec.core;
+    let mem_sys = &spec.mem;
+    let mix = phase.mix();
+    let locality = phase.locality();
+
+    // --- Issue component ----------------------------------------------.
+    let effective_ilp = phase.ilp().min(core.issue_width);
+    let base_cpi = 1.0 / effective_ilp;
+    let issue_demand = effective_ilp / core.issue_width;
+
+    // --- Cache miss chain (LRU inclusion lets levels be independent) ---.
+    let mem_per_inst = mix.memory_fraction();
+    let clamp = |m: f64| (m * env.displacement).clamp(0.0, 1.0);
+
+    let l1_bytes = ((mem_sys.l1d.size_bytes as f64) * env.private_cache_share) as u64;
+    let m1 = clamp(estimator.global_miss_rate(locality, l1_bytes.max(1024)));
+    let (m2, has_l2) = match mem_sys.l2 {
+        Some(l2) => {
+            let l2_bytes = ((l2.size_bytes as f64) * env.private_cache_share) as u64;
+            (
+                clamp(estimator.global_miss_rate(locality, l2_bytes.max(1024))).min(m1),
+                true,
+            )
+        }
+        None => (m1, false),
+    };
+    let m_last = match mem_sys.llc {
+        Some(_) => clamp(estimator.global_miss_rate(locality, env.llc_bytes_eff)).min(m2),
+        None => m2,
+    };
+
+    // Hit distribution across the hierarchy.
+    let next_hits = if has_l2 { m1 - m2 } else { 0.0 };
+    let llc_hits = m2 - m_last;
+    let dram = m_last;
+
+    // --- Stall components ----------------------------------------------.
+    let hide = if core.out_of_order { core.ooo_overlap } else { 0.0 };
+    let s_l2 = mem_per_inst * next_hits * mem_sys.l2_hit_cycles * (1.0 - hide);
+    let s_llc = mem_per_inst * llc_hits * mem_sys.llc_hit_cycles * (1.0 - hide);
+
+    let dram_cycles =
+        mem_sys.mem_latency_ns * 1e-9 * env.clock.value() * env.bw_dilation;
+    let mlp = phase.mlp().min(core.mlp_cap).max(1.0);
+    let s_dram = mem_per_inst * dram * dram_cycles / mlp;
+
+    let tlb = Tlb::new(mem_sys.dtlb_entries, 4096);
+    let tlb_miss = (tlb.miss_rate(locality) * env.displacement).clamp(0.0, 1.0);
+    let s_tlb = mem_per_inst * tlb_miss * mem_sys.tlb_miss_cycles;
+
+    let mispredict = (phase.branch_mispredict_rate() * core.predictor_factor).clamp(0.0, 1.0);
+    let s_branch = mix.branch_fraction() * mispredict * core.pipeline_depth * 0.7;
+
+    let stall_cpi = s_l2 + s_llc + s_dram + s_tlb + s_branch;
+
+    let events = EventRates {
+        int_ops: mix.fraction(lhr_trace::InstructionClass::IntAlu),
+        fp_ops: mix.fp_fraction(),
+        l1_accesses: mem_per_inst,
+        l2_accesses: if has_l2 { mem_per_inst * m1 } else { 0.0 },
+        llc_accesses: mem_per_inst * m2,
+        dram_accesses: mem_per_inst * dram,
+        branches: mix.branch_fraction(),
+        branch_flushes: mix.branch_fraction() * mispredict,
+        tlb_misses: mem_per_inst * tlb_miss,
+    };
+
+    PhasePerf {
+        base_cpi,
+        stall_cpi,
+        issue_demand,
+        events,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::ProcessorId;
+    use lhr_trace::{InstructionMix, LocalityProfile};
+
+    fn phase(ilp: f64, loc: LocalityProfile) -> Phase {
+        Phase::new("t", 1.0, InstructionMix::typical_int(), ilp, loc)
+            .with_branch_mispredict_rate(0.05)
+            .with_mlp(3.0)
+    }
+
+    fn est() -> MissRateEstimator {
+        MissRateEstimator::new()
+    }
+
+    #[test]
+    fn cache_resident_code_runs_near_issue_limit() {
+        let spec = ProcessorId::Core2DuoE6600.spec();
+        let p = phase(2.5, LocalityProfile::cache_resident(16 << 10));
+        let perf = phase_performance(spec, &p, &Environment::solo(spec, spec.base_clock), &est());
+        // Base CPI = 1/2.5 = 0.4; stalls should be small (branch only).
+        assert!(perf.base_cpi == 0.4);
+        assert!(perf.ipc() > 1.5, "ipc = {}", perf.ipc());
+        assert!(perf.events.dram_accesses < 0.01);
+    }
+
+    #[test]
+    fn memory_bound_code_is_dominated_by_dram_stalls() {
+        let spec = ProcessorId::Core2DuoE6600.spec();
+        let p = phase(2.0, LocalityProfile::pointer_chasing(512 << 20));
+        let perf = phase_performance(spec, &p, &Environment::solo(spec, spec.base_clock), &est());
+        assert!(perf.ipc() < 0.5, "ipc = {}", perf.ipc());
+        assert!(perf.events.dram_accesses > 0.2);
+        assert!(perf.busy_fraction() < 0.3);
+    }
+
+    #[test]
+    fn dram_stalls_scale_with_clock() {
+        // Memory-bound IPC falls as the clock rises (same ns latency costs
+        // more cycles); cache-resident IPC is clock-invariant.
+        let spec = ProcessorId::CoreI7_920.spec();
+        let memory = phase(2.0, LocalityProfile::pointer_chasing(512 << 20));
+        let compute = phase(2.5, LocalityProfile::cache_resident(16 << 10));
+        let e = est();
+        let lo = Environment::solo(spec, spec.min_clock);
+        let hi = Environment::solo(spec, spec.base_clock);
+        let mem_lo = phase_performance(spec, &memory, &lo, &e).ipc();
+        let mem_hi = phase_performance(spec, &memory, &hi, &e).ipc();
+        let cpu_lo = phase_performance(spec, &compute, &lo, &e).ipc();
+        let cpu_hi = phase_performance(spec, &compute, &hi, &e).ipc();
+        assert!(mem_hi < mem_lo, "{mem_hi} vs {mem_lo}");
+        assert!((cpu_hi - cpu_lo).abs() < 1e-9);
+    }
+
+    #[test]
+    fn in_order_exposes_more_stalls_than_out_of_order() {
+        let atom = ProcessorId::Atom230.spec();
+        let i7 = ProcessorId::CoreI7_920.spec();
+        let p = phase(2.0, LocalityProfile::hierarchical(
+            16 << 10, 256 << 10, 8 << 20, 0.5, 0.3,
+        ));
+        let e = est();
+        let perf_atom =
+            phase_performance(atom, &p, &Environment::solo(atom, atom.base_clock), &e);
+        let perf_i7 = phase_performance(i7, &p, &Environment::solo(i7, i7.base_clock), &e);
+        // Atom: narrower issue AND exposed stalls.
+        assert!(perf_atom.cpi() > perf_i7.cpi() * 1.5);
+        assert!(perf_atom.busy_fraction() < perf_i7.busy_fraction());
+    }
+
+    #[test]
+    fn displacement_inflates_misses_and_stalls() {
+        let spec = ProcessorId::CoreI7_920.spec();
+        let p = phase(1.6, LocalityProfile::hierarchical(
+            16 << 10, 2 << 20, 64 << 20, 0.45, 0.25,
+        ));
+        let e = est();
+        let clean = Environment::solo(spec, spec.base_clock);
+        let displaced = Environment {
+            displacement: 1.8,
+            ..clean
+        };
+        let perf_clean = phase_performance(spec, &p, &clean, &e);
+        let perf_disp = phase_performance(spec, &p, &displaced, &e);
+        assert!(perf_disp.cpi() > perf_clean.cpi() * 1.05);
+        assert!(perf_disp.events.tlb_misses > perf_clean.events.tlb_misses);
+    }
+
+    #[test]
+    fn llc_share_matters_for_llc_sized_working_sets() {
+        let spec = ProcessorId::CoreI7_920.spec();
+        // Working set ~ LLC size: halving the share hurts.
+        let p = phase(2.0, LocalityProfile::hierarchical(
+            0, 0, 6 << 20, 0.0, 0.0,
+        ).with_pointer_chase(1.0));
+        let e = est();
+        let full = Environment::solo(spec, spec.base_clock);
+        let half = Environment {
+            llc_bytes_eff: spec.mem.last_level_bytes() / 4,
+            ..full
+        };
+        let perf_full = phase_performance(spec, &p, &full, &e);
+        let perf_half = phase_performance(spec, &p, &half, &e);
+        assert!(
+            perf_half.events.dram_accesses > perf_full.events.dram_accesses,
+            "{} vs {}",
+            perf_half.events.dram_accesses,
+            perf_full.events.dram_accesses
+        );
+    }
+
+    #[test]
+    fn bandwidth_dilation_slows_memory_bound_threads() {
+        let spec = ProcessorId::Atom230.spec();
+        let p = phase(2.0, LocalityProfile::streaming(256 << 20));
+        let e = est();
+        let free = Environment::solo(spec, spec.base_clock);
+        let saturated = Environment {
+            bw_dilation: 2.0,
+            ..free
+        };
+        let f = phase_performance(spec, &p, &free, &e);
+        let s = phase_performance(spec, &p, &saturated, &e);
+        assert!(s.cpi() > f.cpi() * 1.3);
+    }
+
+    #[test]
+    fn corun_dilation_and_overhead() {
+        let spec = ProcessorId::CoreI7_920.spec();
+        let p = phase(2.0, LocalityProfile::cache_resident(8 << 10));
+        let perf =
+            phase_performance(spec, &p, &Environment::solo(spec, spec.base_clock), &est());
+        let solo = perf.cpi();
+        let corun = perf.cpi_corun(1.5, 1.02);
+        assert!(corun > solo);
+        // Pressure below 1 never speeds a thread up.
+        assert!(perf.cpi_corun(0.5, 1.0) >= solo - 1e-12);
+    }
+
+    #[test]
+    fn branchy_code_pays_pipeline_depth() {
+        let p4 = ProcessorId::Pentium4_130.spec();
+        let c2d = ProcessorId::Core2DuoE6600.spec();
+        let p = phase(2.0, LocalityProfile::cache_resident(8 << 10))
+            .with_branch_mispredict_rate(0.10);
+        let e = est();
+        let perf_p4 = phase_performance(p4, &p, &Environment::solo(p4, p4.base_clock), &e);
+        let perf_c2d =
+            phase_performance(c2d, &p, &Environment::solo(c2d, c2d.base_clock), &e);
+        // 31-stage NetBurst pays far more per mispredict than 14-stage Core.
+        assert!(perf_p4.stall_cpi > perf_c2d.stall_cpi * 1.8);
+    }
+}

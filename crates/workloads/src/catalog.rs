@@ -1,0 +1,654 @@
+//! The benchmark catalog: all 61 workloads of Table 1.
+//!
+//! Each entry records the benchmark's Table 1 identity (name, suite, group,
+//! reference running time in seconds) and a resource-usage *signature* --
+//! instruction mix, ILP/MLP, branch behaviour, working-set structure, thread
+//! scalability, and (for Java) the JVM service profile. Signatures follow
+//! the published characterization literature for each benchmark: `mcf` and
+//! `omnetpp` are pointer-chasing and memory-bound, `hmmer` and `namd` are
+//! ILP-rich and cache-resident, `lbm` and `libquantum` are bandwidth
+//! streamers, `fluidanimate` is the hot vectorized outlier, DaCapo heaps are
+//! large and pointer-rich, and so on. Absolute values are first-order; what
+//! the reproduction relies on is the *relative* structure.
+
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+use lhr_trace::{InstructionMix, LocalityProfile, Phase, ThreadTrace};
+
+use crate::types::{Group, ManagedProfile, Suite, ThreadModel};
+use crate::workload::Workload;
+
+/// Abstract instructions simulated per second of Table 1 reference time.
+///
+/// The trace generator sizes each benchmark's dynamic instruction count as
+/// `reference_seconds x` this rate, so a machine sustaining ~3 G abstract
+/// ops/s reproduces the reference time scale. Normalized results are
+/// independent of this constant (it cancels in every ratio); it only sets
+/// the absolute time axis.
+pub const SIM_INSTRUCTIONS_PER_REFERENCE_SECOND: f64 = 3.0e9;
+
+/// Workload signature: the knobs that differ per benchmark.
+#[derive(Clone, Copy)]
+struct Sig {
+    ilp: f64,
+    mlp: f64,
+    /// Baseline fraction of branches mispredicted.
+    mp: f64,
+    /// `[int, fp, load, store, branch]` fractions.
+    mix: [f64; 5],
+    hot_kb: u64,
+    warm_kb: u64,
+    total_mb: f64,
+    /// Fraction of accesses to the hot tier.
+    hf: f64,
+    /// Fraction of accesses to the warm tier.
+    wf: f64,
+    /// Pointer-chase fraction of cold accesses.
+    pc: f64,
+    /// Switching-activity factor.
+    act: f64,
+}
+
+impl Default for Sig {
+    fn default() -> Self {
+        Self {
+            ilp: 2.0,
+            mlp: 1.8,
+            mp: 0.04,
+            mix: MIX_INT,
+            hot_kb: 64,
+            warm_kb: 512,
+            total_mb: 32.0,
+            hf: 0.80,
+            wf: 0.12,
+            pc: 0.1,
+            act: 1.0,
+        }
+    }
+}
+
+const MIX_INT: [f64; 5] = [0.45, 0.02, 0.25, 0.10, 0.18];
+const MIX_INT_MEM: [f64; 5] = [0.38, 0.01, 0.33, 0.11, 0.17];
+const MIX_FP: [f64; 5] = [0.25, 0.33, 0.26, 0.09, 0.07];
+const MIX_FP_MEM: [f64; 5] = [0.22, 0.28, 0.31, 0.12, 0.07];
+const MIX_JAVA: [f64; 5] = [0.40, 0.02, 0.28, 0.12, 0.18];
+const MIX_JAVA_FP: [f64; 5] = [0.30, 0.20, 0.26, 0.10, 0.14];
+
+fn mix_of(parts: [f64; 5]) -> InstructionMix {
+    InstructionMix::builder()
+        .int_alu(parts[0])
+        .fp(parts[1])
+        .load(parts[2])
+        .store(parts[3])
+        .branch(parts[4])
+        .build()
+        .expect("catalog mixes are valid by construction")
+}
+
+fn locality_of(s: &Sig) -> LocalityProfile {
+    let total = ((s.total_mb * 1024.0 * 1024.0) as u64).max(8);
+    let hot = (s.hot_kb * 1024).min(total);
+    let warm = (s.warm_kb * 1024).min(total - hot);
+    LocalityProfile::hierarchical(hot, warm, total, s.hf, s.wf).with_pointer_chase(s.pc)
+}
+
+/// A native benchmark's trace: one steady phase.
+fn native_trace(s: &Sig, ref_seconds: f64) -> ThreadTrace {
+    let n = (ref_seconds * SIM_INSTRUCTIONS_PER_REFERENCE_SECOND) as u64;
+    let phase = Phase::new("steady", 1.0, mix_of(s.mix), s.ilp, locality_of(s))
+        .with_branch_mispredict_rate(s.mp)
+        .with_mlp(s.mlp)
+        .with_activity(s.act);
+    ThreadTrace::uniform(phase, n)
+}
+
+/// A Java benchmark's trace: a short warmup phase (residual compilation,
+/// cold caches; lower ILP, worse prediction) followed by steady state.
+fn java_trace(s: &Sig, ref_seconds: f64) -> ThreadTrace {
+    let n = (ref_seconds * SIM_INSTRUCTIONS_PER_REFERENCE_SECOND) as u64;
+    let warm = Phase::new("warmup", 0.08, mix_of(s.mix), (s.ilp * 0.75).max(1.0), locality_of(s))
+        .with_branch_mispredict_rate((s.mp * 1.5).min(1.0))
+        .with_mlp(s.mlp)
+        .with_activity(s.act * 0.95);
+    let steady = Phase::new("steady", 0.92, mix_of(s.mix), s.ilp, locality_of(s))
+        .with_branch_mispredict_rate(s.mp)
+        .with_mlp(s.mlp)
+        .with_activity(s.act);
+    ThreadTrace::new(vec![warm, steady], n).expect("weights sum to one")
+}
+
+/// Native non-scalable (SPEC CPU2006) entry.
+fn nn(name: &'static str, desc: &'static str, suite: Suite, ref_s: f64, s: Sig) -> Workload {
+    Workload::new(
+        name,
+        desc,
+        suite,
+        Group::NativeNonScalable,
+        ref_s,
+        native_trace(&s, ref_s),
+        ThreadModel::Single,
+        None,
+    )
+}
+
+/// Native scalable (PARSEC) entry.
+fn ns(
+    name: &'static str,
+    desc: &'static str,
+    ref_s: f64,
+    s: Sig,
+    parallel_fraction: f64,
+    sync: f64,
+) -> Workload {
+    Workload::new(
+        name,
+        desc,
+        Suite::Parsec,
+        Group::NativeScalable,
+        ref_s,
+        native_trace(&s, ref_s),
+        ThreadModel::parallel(parallel_fraction, sync),
+        None,
+    )
+}
+
+/// Java entry (group chosen by caller), with explicit thread model.
+#[allow(clippy::too_many_arguments)]
+fn java(
+    name: &'static str,
+    desc: &'static str,
+    suite: Suite,
+    group: Group,
+    ref_s: f64,
+    s: Sig,
+    threads: ThreadModel,
+    managed: ManagedProfile,
+) -> Workload {
+    Workload::new(
+        name,
+        desc,
+        suite,
+        group,
+        ref_s,
+        java_trace(&s, ref_s),
+        threads,
+        Some(managed),
+    )
+}
+
+fn build_catalog() -> Vec<Workload> {
+    use Suite::*;
+    let mut v = Vec::with_capacity(61);
+
+    // ---- Native Non-scalable: SPEC CINT2006 (12) --------------------------
+    v.push(nn("perlbench", "Perl programming language", SpecInt2006, 1037.0, Sig {
+        ilp: 2.1, mp: 0.055, hot_kb: 32, warm_kb: 512, total_mb: 50.0,
+        hf: 0.80, wf: 0.15, pc: 0.2, ..Sig::default()
+    }));
+    v.push(nn("bzip2", "bzip2 Compression", SpecInt2006, 1563.0, Sig {
+        ilp: 1.9, mp: 0.045, hot_kb: 256, warm_kb: 2048, total_mb: 8.0,
+        hf: 0.70, wf: 0.20, pc: 0.1, ..Sig::default()
+    }));
+    v.push(nn("gcc", "C optimizing compiler", SpecInt2006, 851.0, Sig {
+        ilp: 1.8, mp: 0.060, hot_kb: 64, warm_kb: 2048, total_mb: 90.0,
+        hf: 0.60, wf: 0.25, pc: 0.3, act: 0.95, ..Sig::default()
+    }));
+    v.push(nn("mcf", "Combinatorial opt/single-depot vehicle scheduling", SpecInt2006, 894.0, Sig {
+        ilp: 1.15, mlp: 2.8, mp: 0.050, mix: MIX_INT_MEM, hot_kb: 32, warm_kb: 4096,
+        total_mb: 680.0, hf: 0.35, wf: 0.20, pc: 0.85, act: 0.70, ..Sig::default()
+    }));
+    v.push(nn("gobmk", "AI: Go game", SpecInt2006, 1113.0, Sig {
+        ilp: 1.8, mp: 0.085, hot_kb: 64, warm_kb: 512, total_mb: 28.0,
+        hf: 0.80, wf: 0.15, pc: 0.1, ..Sig::default()
+    }));
+    v.push(nn("hmmer", "Search a gene sequence database", SpecInt2006, 1024.0, Sig {
+        ilp: 3.1, mp: 0.015, hot_kb: 32, warm_kb: 128, total_mb: 16.0,
+        hf: 0.92, wf: 0.06, pc: 0.0, act: 1.15, ..Sig::default()
+    }));
+    v.push(nn("sjeng", "AI: tree search & pattern recognition", SpecInt2006, 1315.0, Sig {
+        ilp: 1.9, mp: 0.080, hot_kb: 64, warm_kb: 512, total_mb: 170.0,
+        hf: 0.82, wf: 0.12, pc: 0.2, ..Sig::default()
+    }));
+    v.push(nn("libquantum", "Physics / Quantum Computing", SpecInt2006, 629.0, Sig {
+        ilp: 1.6, mlp: 3.5, mp: 0.010, mix: MIX_INT_MEM, hot_kb: 16, warm_kb: 64,
+        total_mb: 64.0, hf: 0.30, wf: 0.05, pc: 0.0, act: 0.85, ..Sig::default()
+    }));
+    v.push(nn("h264ref", "H.264/AVC video compression", SpecInt2006, 1533.0, Sig {
+        ilp: 2.9, mp: 0.030, hot_kb: 128, warm_kb: 1024, total_mb: 30.0,
+        hf: 0.85, wf: 0.12, pc: 0.0, act: 1.25, ..Sig::default()
+    }));
+    v.push(nn("omnetpp", "Ethernet network simulation based on OMNeT++", SpecInt2006, 905.0, Sig {
+        ilp: 1.3, mlp: 2.0, mp: 0.055, mix: MIX_INT_MEM, hot_kb: 64, warm_kb: 2048,
+        total_mb: 160.0, hf: 0.45, wf: 0.20, pc: 0.7, act: 0.70, ..Sig::default()
+    }));
+    v.push(nn("astar", "Portable 2D path-finding library", SpecInt2006, 1154.0, Sig {
+        ilp: 1.4, mlp: 2.0, mp: 0.050, mix: MIX_INT_MEM, hot_kb: 64, warm_kb: 1024,
+        total_mb: 200.0, hf: 0.55, wf: 0.20, pc: 0.6, act: 0.80, ..Sig::default()
+    }));
+    v.push(nn("xalancbmk", "XSLT processor for transforming XML", SpecInt2006, 787.0, Sig {
+        ilp: 1.7, mp: 0.060, hot_kb: 64, warm_kb: 1024, total_mb: 200.0,
+        hf: 0.60, wf: 0.20, pc: 0.5, act: 0.90, ..Sig::default()
+    }));
+
+    // ---- Native Non-scalable: SPEC CFP2006 (15) ---------------------------
+    v.push(nn("gamess", "Quantum chemical computations", SpecFp2006, 3505.0, Sig {
+        ilp: 3.2, mp: 0.012, mix: MIX_FP, hot_kb: 128, warm_kb: 1024, total_mb: 20.0,
+        hf: 0.90, wf: 0.08, pc: 0.0, act: 1.30, ..Sig::default()
+    }));
+    v.push(nn("milc", "Physics/quantum chromodynamics (QCD)", SpecFp2006, 640.0, Sig {
+        ilp: 1.5, mlp: 3.0, mp: 0.010, mix: MIX_FP_MEM, hot_kb: 32, warm_kb: 256,
+        total_mb: 680.0, hf: 0.30, wf: 0.10, pc: 0.05, act: 0.90, ..Sig::default()
+    }));
+    v.push(nn("zeusmp", "Physics/Magnetohydrodynamics based on ZEUS-MP", SpecFp2006, 1541.0, Sig {
+        ilp: 2.3, mlp: 2.5, mp: 0.015, mix: MIX_FP, hot_kb: 128, warm_kb: 2048,
+        total_mb: 500.0, hf: 0.55, wf: 0.20, pc: 0.0, act: 1.10, ..Sig::default()
+    }));
+    v.push(nn("gromacs", "Molecular dynamics simulation", SpecFp2006, 983.0, Sig {
+        ilp: 2.9, mp: 0.020, mix: MIX_FP, hot_kb: 128, warm_kb: 512, total_mb: 14.0,
+        hf: 0.88, wf: 0.10, pc: 0.0, act: 1.30, ..Sig::default()
+    }));
+    v.push(nn("cactusADM", "Cactus and BenchADM physics/relativity kernels", SpecFp2006, 1994.0, Sig {
+        ilp: 2.0, mlp: 3.2, mp: 0.008, mix: MIX_FP_MEM, hot_kb: 64, warm_kb: 1024,
+        total_mb: 700.0, hf: 0.40, wf: 0.15, pc: 0.0, act: 1.00, ..Sig::default()
+    }));
+    v.push(nn("leslie3d", "Linear-Eddy Model in 3D computational fluid dynamics", SpecFp2006, 1512.0, Sig {
+        ilp: 2.1, mlp: 3.0, mp: 0.010, mix: MIX_FP_MEM, hot_kb: 64, warm_kb: 1024,
+        total_mb: 130.0, hf: 0.45, wf: 0.18, pc: 0.0, act: 1.10, ..Sig::default()
+    }));
+    v.push(nn("namd", "Parallel simulation of large biomolecular systems", SpecFp2006, 1225.0, Sig {
+        ilp: 3.0, mp: 0.015, mix: MIX_FP, hot_kb: 256, warm_kb: 1024, total_mb: 50.0,
+        hf: 0.90, wf: 0.08, pc: 0.0, act: 1.35, ..Sig::default()
+    }));
+    v.push(nn("dealII", "PDEs with adaptive finite element method", SpecFp2006, 832.0, Sig {
+        ilp: 2.4, mp: 0.030, mix: MIX_FP, hot_kb: 128, warm_kb: 2048, total_mb: 800.0,
+        hf: 0.75, wf: 0.15, pc: 0.2, act: 1.10, ..Sig::default()
+    }));
+    v.push(nn("soplex", "Simplex linear program solver", SpecFp2006, 1024.0, Sig {
+        ilp: 1.6, mlp: 2.5, mp: 0.040, mix: MIX_FP_MEM, hot_kb: 64, warm_kb: 1024,
+        total_mb: 440.0, hf: 0.50, wf: 0.20, pc: 0.4, act: 0.85, ..Sig::default()
+    }));
+    v.push(nn("povray", "Ray-tracer", SpecFp2006, 636.0, Sig {
+        ilp: 2.7, mp: 0.045, mix: MIX_FP, hot_kb: 64, warm_kb: 512, total_mb: 6.0,
+        hf: 0.92, wf: 0.06, pc: 0.1, act: 1.30, ..Sig::default()
+    }));
+    v.push(nn("calculix", "Finite element code for linear and nonlinear 3D structural applications", SpecFp2006, 1130.0, Sig {
+        ilp: 2.8, mp: 0.020, mix: MIX_FP, hot_kb: 128, warm_kb: 1024, total_mb: 180.0,
+        hf: 0.80, wf: 0.12, pc: 0.0, act: 1.25, ..Sig::default()
+    }));
+    v.push(nn("GemsFDTD", "Solves the Maxwell equations in 3D in the time domain", SpecFp2006, 1648.0, Sig {
+        ilp: 1.9, mlp: 3.2, mp: 0.008, mix: MIX_FP_MEM, hot_kb: 64, warm_kb: 1024,
+        total_mb: 850.0, hf: 0.40, wf: 0.15, pc: 0.0, act: 1.00, ..Sig::default()
+    }));
+    v.push(nn("tonto", "Quantum crystallography", SpecFp2006, 1439.0, Sig {
+        ilp: 2.5, mp: 0.020, mix: MIX_FP, hot_kb: 128, warm_kb: 1024, total_mb: 45.0,
+        hf: 0.85, wf: 0.10, pc: 0.0, act: 1.20, ..Sig::default()
+    }));
+    v.push(nn("lbm", "Lattice Boltzmann Method for incompressible fluids", SpecFp2006, 1298.0, Sig {
+        ilp: 2.0, mlp: 3.5, mp: 0.005, mix: MIX_FP_MEM, hot_kb: 32, warm_kb: 256,
+        total_mb: 410.0, hf: 0.25, wf: 0.08, pc: 0.0, act: 1.05, ..Sig::default()
+    }));
+    v.push(nn("sphinx3", "Speech recognition", SpecFp2006, 2007.0, Sig {
+        ilp: 2.0, mlp: 2.2, mp: 0.030, mix: MIX_FP, hot_kb: 64, warm_kb: 1024,
+        total_mb: 45.0, hf: 0.70, wf: 0.20, pc: 0.1, act: 1.00, ..Sig::default()
+    }));
+
+    // ---- Native Scalable: PARSEC (11) -------------------------------------
+    v.push(ns("blackscholes", "Prices options with Black-Scholes PDE", 482.0, Sig {
+        ilp: 2.8, mp: 0.010, mix: MIX_FP, hot_kb: 128, warm_kb: 512, total_mb: 4.0,
+        hf: 0.90, wf: 0.08, pc: 0.0, act: 1.30, ..Sig::default()
+    }, 0.950, 0.005));
+    v.push(ns("bodytrack", "Tracks a markerless human body", 471.0, Sig {
+        ilp: 2.2, mp: 0.035, mix: MIX_FP, hot_kb: 128, warm_kb: 1024, total_mb: 32.0,
+        hf: 0.80, wf: 0.14, pc: 0.1, act: 1.10, ..Sig::default()
+    }, 0.900, 0.025));
+    v.push(ns("canneal", "Minimizes the routing cost of a chip design with cache-aware simulated annealing", 301.0, Sig {
+        ilp: 1.3, mlp: 2.5, mp: 0.040, mix: MIX_INT_MEM, hot_kb: 64, warm_kb: 2048,
+        total_mb: 900.0, hf: 0.35, wf: 0.15, pc: 0.85, act: 0.75, ..Sig::default()
+    }, 0.860, 0.025));
+    v.push(ns("facesim", "Simulates human face motions", 1230.0, Sig {
+        ilp: 2.2, mlp: 2.5, mp: 0.015, mix: MIX_FP, hot_kb: 128, warm_kb: 2048,
+        total_mb: 300.0, hf: 0.60, wf: 0.20, pc: 0.0, act: 1.15, ..Sig::default()
+    }, 0.880, 0.020));
+    v.push(ns("ferret", "Image search", 738.0, Sig {
+        ilp: 2.0, mp: 0.035, hot_kb: 128, warm_kb: 1024, total_mb: 60.0,
+        hf: 0.72, wf: 0.18, pc: 0.2, act: 1.05, ..Sig::default()
+    }, 0.910, 0.015));
+    v.push(ns("fluidanimate", "Fluid motion physics for realtime animation with SPH algorithm", 812.0, Sig {
+        ilp: 2.4, mp: 0.015, mix: MIX_FP, hot_kb: 256, warm_kb: 2048, total_mb: 120.0,
+        hf: 0.70, wf: 0.20, pc: 0.05, act: 1.50, ..Sig::default()
+    }, 0.930, 0.010));
+    v.push(ns("raytrace", "Uses physical simulation for visualization", 1970.0, Sig {
+        ilp: 2.3, mp: 0.030, mix: MIX_FP, hot_kb: 128, warm_kb: 2048, total_mb: 100.0,
+        hf: 0.80, wf: 0.14, pc: 0.2, act: 1.20, ..Sig::default()
+    }, 0.880, 0.020));
+    v.push(ns("streamcluster", "Computes an approximation for the optimal clustering of a stream of data points", 629.0, Sig {
+        ilp: 1.7, mlp: 3.0, mp: 0.010, mix: MIX_FP_MEM, hot_kb: 32, warm_kb: 256,
+        total_mb: 110.0, hf: 0.30, wf: 0.10, pc: 0.0, act: 0.95, ..Sig::default()
+    }, 0.910, 0.020));
+    v.push(ns("swaptions", "Prices a portfolio of swaptions with the Heath-Jarrow-Morton framework", 612.0, Sig {
+        ilp: 3.0, mp: 0.010, mix: MIX_FP, hot_kb: 64, warm_kb: 256, total_mb: 3.0,
+        hf: 0.93, wf: 0.05, pc: 0.0, act: 1.35, ..Sig::default()
+    }, 0.950, 0.005));
+    v.push(ns("vips", "Applies transformations to an image", 297.0, Sig {
+        ilp: 2.3, mp: 0.025, hot_kb: 128, warm_kb: 1024, total_mb: 50.0,
+        hf: 0.75, wf: 0.15, pc: 0.0, act: 1.10, ..Sig::default()
+    }, 0.920, 0.015));
+    v.push(ns("x264", "MPEG-4 AVC / H.264 video encoder", 265.0, Sig {
+        ilp: 2.7, mp: 0.030, hot_kb: 256, warm_kb: 1024, total_mb: 30.0,
+        hf: 0.82, wf: 0.14, pc: 0.0, act: 1.30, ..Sig::default()
+    }, 0.880, 0.025));
+
+    // ---- Java Non-scalable: SPECjvm (7) ------------------------------------
+    let jn = Group::JavaNonScalable;
+    v.push(java("compress", "Lempel-Ziv compression", SpecJvm, jn, 5.3, Sig {
+        ilp: 1.9, mp: 0.040, mix: MIX_JAVA, hot_kb: 128, warm_kb: 1024, total_mb: 30.0,
+        hf: 0.75, wf: 0.15, pc: 0.1, ..Sig::default()
+    }, ThreadModel::Single,
+        ManagedProfile::typical().with_gc(0.04).with_jit(0.02).with_displacement(1.25)));
+    v.push(java("jess", "Java expert system shell", SpecJvm, jn, 1.4, Sig {
+        ilp: 1.7, mp: 0.055, mix: MIX_JAVA, hot_kb: 64, warm_kb: 512, total_mb: 8.0,
+        hf: 0.80, wf: 0.12, pc: 0.2, ..Sig::default()
+    }, ThreadModel::Single,
+        ManagedProfile::typical().with_gc(0.06).with_jit(0.05).with_displacement(1.30)));
+    v.push(java("db", "Small data management program", SpecJvm, jn, 6.8, Sig {
+        ilp: 1.4, mlp: 2.0, mp: 0.050, mix: MIX_JAVA, hot_kb: 32, warm_kb: 2048,
+        total_mb: 40.0, hf: 0.45, wf: 0.25, pc: 0.6, act: 0.85, ..Sig::default()
+    }, ThreadModel::Single,
+        ManagedProfile::typical().with_gc(0.10).with_jit(0.02).with_displacement(2.60)));
+    v.push(java("javac", "The JDK 1.0.2 Java compiler", SpecJvm, jn, 3.0, Sig {
+        ilp: 1.7, mp: 0.060, mix: MIX_JAVA, hot_kb: 64, warm_kb: 1024, total_mb: 20.0,
+        hf: 0.70, wf: 0.18, pc: 0.3, ..Sig::default()
+    }, ThreadModel::Single,
+        ManagedProfile::typical().with_gc(0.10).with_jit(0.06).with_displacement(1.40)));
+    v.push(java("mpegaudio", "MPEG-3 audio stream decoder", SpecJvm, jn, 3.1, Sig {
+        ilp: 2.4, mp: 0.025, mix: MIX_JAVA_FP, hot_kb: 64, warm_kb: 256, total_mb: 4.0,
+        hf: 0.90, wf: 0.07, pc: 0.0, act: 1.15, ..Sig::default()
+    }, ThreadModel::Single,
+        ManagedProfile::typical().with_gc(0.02).with_jit(0.03).with_displacement(1.10)));
+    v.push(java("mtrt", "Dual-threaded raytracer", SpecJvm, jn, 0.8, Sig {
+        ilp: 2.0, mp: 0.035, mix: MIX_JAVA_FP, hot_kb: 64, warm_kb: 512, total_mb: 16.0,
+        hf: 0.82, wf: 0.12, pc: 0.1, act: 1.10, ..Sig::default()
+    }, ThreadModel::parallel_capped(2, 0.85, 0.010),
+        ManagedProfile::typical().with_gc(0.08).with_jit(0.05).with_displacement(1.30)));
+    v.push(java("jack", "Parser generator with lexical analysis", SpecJvm, jn, 2.4, Sig {
+        ilp: 1.6, mp: 0.070, mix: MIX_JAVA, hot_kb: 64, warm_kb: 512, total_mb: 12.0,
+        hf: 0.78, wf: 0.14, pc: 0.2, ..Sig::default()
+    }, ThreadModel::Single,
+        ManagedProfile::typical().with_gc(0.07).with_jit(0.05).with_displacement(1.35)));
+
+    // ---- Java Non-scalable: DaCapo 06-10-MR2 (2) ---------------------------
+    v.push(java("antlr", "Parser and translator generator", DaCapo06, jn, 2.9, Sig {
+        ilp: 1.7, mp: 0.060, mix: MIX_JAVA, hot_kb: 64, warm_kb: 1024, total_mb: 25.0,
+        hf: 0.72, wf: 0.16, pc: 0.3, ..Sig::default()
+    }, ThreadModel::Single,
+        // antlr spends ~50% of its time in the JVM (Section 3.1).
+        ManagedProfile::typical().with_gc(0.12).with_jit(0.25).with_displacement(1.50)));
+    v.push(java("bloat", "Java bytecode optimization and analysis tool", DaCapo06, jn, 7.6, Sig {
+        ilp: 1.6, mp: 0.055, mix: MIX_JAVA, hot_kb: 64, warm_kb: 1024, total_mb: 50.0,
+        hf: 0.68, wf: 0.18, pc: 0.35, ..Sig::default()
+    }, ThreadModel::Single,
+        ManagedProfile::typical().with_gc(0.09).with_jit(0.05).with_displacement(1.35)));
+
+    // ---- Java Non-scalable: DaCapo 9.12 (8) --------------------------------
+    v.push(java("avrora", "Simulates the AVR microcontroller", DaCapo9, jn, 11.3, Sig {
+        ilp: 1.5, mp: 0.050, mix: MIX_JAVA, hot_kb: 64, warm_kb: 256, total_mb: 16.0,
+        hf: 0.85, wf: 0.10, pc: 0.1, act: 0.90, ..Sig::default()
+    }, ThreadModel::parallel(0.28, 0.090),
+        ManagedProfile::typical().with_gc(0.05).with_jit(0.03).with_displacement(1.25)));
+    v.push(java("batik", "Scalable Vector Graphics (SVG) toolkit", DaCapo9, jn, 4.0, Sig {
+        ilp: 1.9, mp: 0.040, mix: MIX_JAVA_FP, hot_kb: 128, warm_kb: 1024, total_mb: 60.0,
+        hf: 0.75, wf: 0.15, pc: 0.2, act: 1.05, ..Sig::default()
+    }, ThreadModel::parallel_capped(2, 0.15, 0.030),
+        ManagedProfile::typical().with_gc(0.07).with_jit(0.05).with_displacement(1.30)));
+    v.push(java("fop", "Output-independent print formatter", DaCapo9, jn, 1.8, Sig {
+        ilp: 1.6, mp: 0.055, mix: MIX_JAVA, hot_kb: 64, warm_kb: 1024, total_mb: 40.0,
+        hf: 0.70, wf: 0.18, pc: 0.3, ..Sig::default()
+    }, ThreadModel::Single,
+        ManagedProfile::typical().with_gc(0.09).with_jit(0.08).with_displacement(1.40)));
+    v.push(java("h2", "An SQL relational database engine in Java", DaCapo9, jn, 14.4, Sig {
+        ilp: 1.4, mlp: 2.2, mp: 0.050, mix: MIX_JAVA, hot_kb: 64, warm_kb: 4096,
+        total_mb: 400.0, hf: 0.50, wf: 0.22, pc: 0.5, act: 0.85, ..Sig::default()
+    }, ThreadModel::parallel_capped(2, 0.02, 0.100),
+        ManagedProfile::typical().with_gc(0.12).with_jit(0.03).with_displacement(1.60)));
+    v.push(java("jython", "Python interpreter in Java", DaCapo9, jn, 8.5, Sig {
+        ilp: 1.6, mp: 0.065, mix: MIX_JAVA, hot_kb: 64, warm_kb: 1024, total_mb: 60.0,
+        hf: 0.72, wf: 0.16, pc: 0.3, ..Sig::default()
+    }, ThreadModel::parallel_capped(4, 0.35, 0.030),
+        ManagedProfile::typical().with_gc(0.08).with_jit(0.07).with_displacement(1.40)));
+    v.push(java("pmd", "Source code analyzer for Java", DaCapo9, jn, 6.9, Sig {
+        ilp: 1.6, mp: 0.055, mix: MIX_JAVA, hot_kb: 64, warm_kb: 1024, total_mb: 80.0,
+        hf: 0.68, wf: 0.18, pc: 0.4, ..Sig::default()
+    }, ThreadModel::parallel_capped(4, 0.06, 0.060),
+        ManagedProfile::typical().with_gc(0.08).with_jit(0.05).with_displacement(1.35)));
+    v.push(java("tradebeans", "Tradebeans Daytrader benchmark", DaCapo9, jn, 18.4, Sig {
+        ilp: 1.5, mp: 0.050, mix: MIX_JAVA, hot_kb: 64, warm_kb: 2048, total_mb: 200.0,
+        hf: 0.60, wf: 0.20, pc: 0.4, act: 0.90, ..Sig::default()
+    }, ThreadModel::parallel(0.48, 0.030),
+        ManagedProfile::typical().with_gc(0.12).with_jit(0.04).with_displacement(1.45)));
+    v.push(java("luindex", "A text indexing tool", DaCapo9, jn, 2.4, Sig {
+        ilp: 1.8, mp: 0.045, mix: MIX_JAVA, hot_kb: 128, warm_kb: 1024, total_mb: 20.0,
+        hf: 0.78, wf: 0.15, pc: 0.15, ..Sig::default()
+    }, ThreadModel::Single,
+        ManagedProfile::typical().with_gc(0.10).with_jit(0.06).with_displacement(1.40)));
+
+    // ---- Java Non-scalable: pjbb2005 (1) -----------------------------------
+    v.push(java("pjbb2005", "Transaction processing, based on SPECjbb2005", Pjbb2005, jn, 10.6, Sig {
+        ilp: 1.6, mp: 0.050, mix: MIX_JAVA, hot_kb: 64, warm_kb: 2048, total_mb: 300.0,
+        hf: 0.58, wf: 0.22, pc: 0.4, act: 0.95, ..Sig::default()
+    }, ThreadModel::parallel(0.78, 0.025),
+        ManagedProfile::typical().with_gc(0.12).with_jit(0.03).with_displacement(1.45)
+            .with_gc_threads(2)));
+
+    // ---- Java Scalable: DaCapo 9.12 (5) ------------------------------------
+    let js = Group::JavaScalable;
+    v.push(java("eclipse", "Integrated development environment", DaCapo9, js, 50.5, Sig {
+        ilp: 1.8, mp: 0.055, mix: MIX_JAVA, hot_kb: 128, warm_kb: 2048, total_mb: 350.0,
+        hf: 0.65, wf: 0.20, pc: 0.35, ..Sig::default()
+    }, ThreadModel::parallel(0.82, 0.015),
+        ManagedProfile::typical().with_gc(0.10).with_jit(0.08).with_displacement(1.40)));
+    v.push(java("lusearch", "Text search tool", DaCapo9, js, 7.9, Sig {
+        ilp: 1.8, mp: 0.045, mix: MIX_JAVA, hot_kb: 64, warm_kb: 1024, total_mb: 60.0,
+        hf: 0.70, wf: 0.18, pc: 0.25, ..Sig::default()
+    }, ThreadModel::parallel(0.86, 0.012),
+        ManagedProfile::typical().with_gc(0.12).with_jit(0.03).with_displacement(1.40)));
+    v.push(java("sunflow", "Photo-realistic rendering system", DaCapo9, js, 19.4, Sig {
+        ilp: 2.5, mp: 0.030, mix: MIX_JAVA_FP, hot_kb: 128, warm_kb: 1024, total_mb: 30.0,
+        hf: 0.82, wf: 0.12, pc: 0.1, act: 1.25, ..Sig::default()
+    }, ThreadModel::parallel(0.975, 0.002),
+        ManagedProfile::typical().with_gc(0.08).with_jit(0.04).with_displacement(1.30)));
+    v.push(java("tomcat", "Tomcat servlet container", DaCapo9, js, 8.6, Sig {
+        ilp: 1.7, mp: 0.050, mix: MIX_JAVA, hot_kb: 64, warm_kb: 1024, total_mb: 80.0,
+        hf: 0.70, wf: 0.18, pc: 0.3, ..Sig::default()
+    }, ThreadModel::parallel(0.93, 0.008),
+        ManagedProfile::typical().with_gc(0.08).with_jit(0.05).with_displacement(1.35)));
+    v.push(java("xalan", "XSLT processor for XML documents", DaCapo9, js, 6.9, Sig {
+        ilp: 1.7, mp: 0.050, mix: MIX_JAVA, hot_kb: 64, warm_kb: 1024, total_mb: 60.0,
+        hf: 0.68, wf: 0.18, pc: 0.3, ..Sig::default()
+    }, ThreadModel::parallel(0.96, 0.005),
+        ManagedProfile::typical().with_gc(0.10).with_jit(0.03).with_displacement(1.40)));
+
+    v
+}
+
+/// The full 61-benchmark catalog, in Table 1 order.
+#[must_use]
+pub fn catalog() -> &'static [Workload] {
+    static CATALOG: OnceLock<Vec<Workload>> = OnceLock::new();
+    CATALOG.get_or_init(build_catalog)
+}
+
+/// Looks a benchmark up by its Table 1 name.
+#[must_use]
+pub fn by_name(name: &str) -> Option<&'static Workload> {
+    static INDEX: OnceLock<HashMap<&'static str, usize>> = OnceLock::new();
+    let index = INDEX.get_or_init(|| {
+        catalog()
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (w.name(), i))
+            .collect()
+    });
+    index.get(name).map(|&i| &catalog()[i])
+}
+
+/// All members of one workload group, in catalog order.
+#[must_use]
+pub fn group_members(group: Group) -> Vec<&'static Workload> {
+    catalog().iter().filter(|w| w.group() == group).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Language, ThreadRole};
+
+    #[test]
+    fn sixty_one_benchmarks() {
+        assert_eq!(catalog().len(), 61);
+    }
+
+    #[test]
+    fn group_sizes_match_table1() {
+        assert_eq!(group_members(Group::NativeNonScalable).len(), 27);
+        assert_eq!(group_members(Group::NativeScalable).len(), 11);
+        assert_eq!(group_members(Group::JavaNonScalable).len(), 18);
+        assert_eq!(group_members(Group::JavaScalable).len(), 5);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = catalog().iter().map(|w| w.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 61);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(by_name("mcf").unwrap().reference_seconds(), 894.0);
+        assert_eq!(by_name("pjbb2005").unwrap().suite(), Suite::Pjbb2005);
+        assert!(by_name("no-such-benchmark").is_none());
+    }
+
+    #[test]
+    fn reference_times_match_table1_spot_checks() {
+        for (name, t) in [
+            ("perlbench", 1037.0),
+            ("gamess", 3505.0),
+            ("x264", 265.0),
+            ("compress", 5.3),
+            ("eclipse", 50.5),
+            ("tradebeans", 18.4),
+            ("mtrt", 0.8),
+        ] {
+            assert_eq!(by_name(name).unwrap().reference_seconds(), t, "{name}");
+        }
+    }
+
+    #[test]
+    fn language_profiles_are_consistent() {
+        for w in catalog() {
+            match w.language() {
+                Language::Java => assert!(w.managed().is_some(), "{}", w.name()),
+                Language::Native => assert!(w.managed().is_none(), "{}", w.name()),
+            }
+        }
+    }
+
+    #[test]
+    fn java_scalables_are_the_five_most_scalable() {
+        let names: Vec<&str> = group_members(Group::JavaScalable)
+            .iter()
+            .map(|w| w.name())
+            .collect();
+        for n in ["sunflow", "xalan", "tomcat", "lusearch", "eclipse"] {
+            assert!(names.contains(&n), "{n} missing from Java Scalable");
+        }
+    }
+
+    #[test]
+    fn natives_are_single_or_parallel_as_prescribed() {
+        for w in group_members(Group::NativeNonScalable) {
+            assert!(matches!(w.thread_model(), ThreadModel::Single), "{}", w.name());
+        }
+        for w in group_members(Group::NativeScalable) {
+            assert!(
+                matches!(w.thread_model(), ThreadModel::Parallel { .. }),
+                "{}",
+                w.name()
+            );
+        }
+    }
+
+    #[test]
+    fn memory_bound_benchmarks_have_big_footprints() {
+        for n in ["mcf", "milc", "cactusADM", "GemsFDTD", "lbm", "canneal"] {
+            let w = by_name(n).unwrap();
+            let fp = w.trace().phases().last().unwrap().locality().footprint_bytes();
+            assert!(fp > 100 << 20, "{n} footprint {fp}");
+        }
+        // And the cache-friendly ones stay small.
+        for n in ["povray", "swaptions", "blackscholes", "mpegaudio"] {
+            let w = by_name(n).unwrap();
+            let fp = w.trace().phases().last().unwrap().locality().footprint_bytes();
+            assert!(fp < 10 << 20, "{n} footprint {fp}");
+        }
+    }
+
+    #[test]
+    fn every_java_workload_spawns_services() {
+        for w in catalog().iter().filter(|w| w.language() == Language::Java) {
+            let threads = w.software_threads(8);
+            assert!(
+                threads.iter().any(|t| t.role == ThreadRole::GcService),
+                "{} lacks a GC thread",
+                w.name()
+            );
+            assert!(
+                threads.iter().any(|t| t.role == ThreadRole::JitService),
+                "{} lacks a JIT thread",
+                w.name()
+            );
+        }
+    }
+
+    #[test]
+    fn instruction_counts_scale_with_reference_time() {
+        let mcf = by_name("mcf").unwrap();
+        let expected = (894.0 * SIM_INSTRUCTIONS_PER_REFERENCE_SECOND) as u64;
+        assert_eq!(mcf.trace().total_instructions(), expected);
+    }
+
+    #[test]
+    fn antlr_is_jvm_heavy() {
+        let m = by_name("antlr").unwrap().managed().unwrap();
+        assert!(m.gc_work_fraction + m.jit_work_fraction > 0.3);
+    }
+
+    #[test]
+    fn db_has_the_largest_displacement() {
+        let db = by_name("db").unwrap().managed().unwrap().displacement_miss_factor;
+        for w in catalog().iter().filter(|w| w.language() == Language::Java) {
+            assert!(
+                w.managed().unwrap().displacement_miss_factor <= db,
+                "{} displaces more than db",
+                w.name()
+            );
+        }
+    }
+
+    #[test]
+    fn fluidanimate_is_the_activity_outlier() {
+        let f = by_name("fluidanimate").unwrap();
+        let act = f.trace().phases()[0].activity();
+        assert!(act >= 1.5);
+        for w in catalog() {
+            assert!(
+                w.trace().phases().last().unwrap().activity() <= act,
+                "{} is hotter than fluidanimate",
+                w.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! The 61-benchmark workload suite of the ASPLOS 2011 study.
+//!
+//! The paper draws 61 benchmarks from six suites -- SPEC CINT2006, SPEC
+//! CFP2006, PARSEC, SPECjvm, DaCapo (06-10-MR2 and 9.12), and pjbb2005 --
+//! and groups them into the cross product of (native | Java) x (scalable |
+//! non-scalable), weighting the four groups equally (Table 1, Section 2.1).
+//!
+//! The original binaries are proprietary or unbuildable here, so each
+//! benchmark is re-expressed as a [`Workload`]: its Table 1 identity
+//! (name, suite, group, reference time) plus a resource-usage signature
+//! (instruction mix, ILP, memory locality, branch behaviour, thread
+//! scalability) drawn from the published characterization literature for
+//! that benchmark, feeding the `lhr-trace` generators. Managed (Java)
+//! workloads additionally carry a [`ManagedProfile`] describing the JVM
+//! runtime services -- garbage collection and JIT compilation -- that run
+//! *concurrently* with the application; Workload Finding 1 of the paper
+//! (single-threaded Java speeds up on a second core) is a direct
+//! consequence of those services, so they are modelled as real extra
+//! software threads, not as a fudge factor.
+//!
+//! # Example
+//!
+//! ```
+//! use lhr_workloads::{catalog, Group};
+//!
+//! let all = catalog();
+//! assert_eq!(all.len(), 61);
+//! let mcf = lhr_workloads::by_name("mcf").unwrap();
+//! assert_eq!(mcf.group(), Group::NativeNonScalable);
+//! // Non-scalable natives spawn exactly one application thread.
+//! assert_eq!(mcf.software_threads(8).len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod catalog;
+mod types;
+mod workload;
+
+pub use catalog::{by_name, catalog, group_members, SIM_INSTRUCTIONS_PER_REFERENCE_SECOND};
+pub use types::{Group, Language, ManagedProfile, Suite, ThreadModel, ThreadRole};
+pub use workload::{SoftwareThread, Workload};

@@ -1,0 +1,509 @@
+//! The [`Workload`] descriptor and its expansion into software threads.
+
+use lhr_trace::{InstructionMix, Phase, ThreadTrace};
+
+use crate::types::{Group, Language, ManagedProfile, Suite, ThreadModel, ThreadRole};
+
+/// One runnable software thread of a workload: a role plus a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoftwareThread {
+    /// Human-readable thread name, e.g. `app0` or `gc1`.
+    pub name: String,
+    /// Application versus VM-service role (drives displacement modelling).
+    pub role: ThreadRole,
+    /// The thread's execution trace.
+    pub trace: ThreadTrace,
+}
+
+/// A benchmark of the study: Table 1 identity plus resource signature.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    name: &'static str,
+    description: &'static str,
+    suite: Suite,
+    group: Group,
+    reference_seconds: f64,
+    trace: ThreadTrace,
+    threads: ThreadModel,
+    managed: Option<ManagedProfile>,
+    native_noise_cv: f64,
+}
+
+impl Workload {
+    /// Assembles a workload descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a Java-group workload lacks a [`ManagedProfile`] or a
+    /// native-group workload carries one, or if the reference time is not
+    /// positive -- the catalog is static data, so these are programming
+    /// errors, not runtime conditions.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: &'static str,
+        description: &'static str,
+        suite: Suite,
+        group: Group,
+        reference_seconds: f64,
+        trace: ThreadTrace,
+        threads: ThreadModel,
+        managed: Option<ManagedProfile>,
+    ) -> Self {
+        assert!(
+            reference_seconds > 0.0,
+            "{name}: reference time must be positive"
+        );
+        match group.language() {
+            Language::Java => assert!(
+                managed.is_some(),
+                "{name}: Java workloads need a ManagedProfile"
+            ),
+            Language::Native => assert!(
+                managed.is_none(),
+                "{name}: native workloads must not have a ManagedProfile"
+            ),
+        }
+        Self {
+            name,
+            description,
+            suite,
+            group,
+            reference_seconds,
+            trace,
+            threads,
+            managed,
+            native_noise_cv: 0.006,
+        }
+    }
+
+    /// The benchmark's name as printed in Table 1.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// One-line description (Table 1's "Description" column).
+    #[must_use]
+    pub fn description(&self) -> &'static str {
+        self.description
+    }
+
+    /// The suite of origin.
+    #[must_use]
+    pub fn suite(&self) -> Suite {
+        self.suite
+    }
+
+    /// The workload group.
+    #[must_use]
+    pub fn group(&self) -> Group {
+        self.group
+    }
+
+    /// The implementation-language class.
+    #[must_use]
+    pub fn language(&self) -> Language {
+        self.group.language()
+    }
+
+    /// The Table 1 reference running time in seconds.
+    #[must_use]
+    pub fn reference_seconds(&self) -> f64 {
+        self.reference_seconds
+    }
+
+    /// The application's complete-trace description.
+    #[must_use]
+    pub fn trace(&self) -> &ThreadTrace {
+        &self.trace
+    }
+
+    /// The thread-scaling model.
+    #[must_use]
+    pub fn thread_model(&self) -> ThreadModel {
+        self.threads
+    }
+
+    /// The managed-runtime profile, for Java workloads.
+    #[must_use]
+    pub fn managed(&self) -> Option<&ManagedProfile> {
+        self.managed.as_ref()
+    }
+
+    /// Run-to-run coefficient of variation (JIT/GC nondeterminism for Java,
+    /// small system noise for natives). This is why the methodology runs
+    /// Java twenty times but natives only three to five.
+    #[must_use]
+    pub fn nondeterminism_cv(&self) -> f64 {
+        self.managed
+            .map_or(self.native_noise_cv, |m| m.nondeterminism_cv)
+    }
+
+    /// The number of measurement invocations the paper's methodology
+    /// prescribes for this workload: 3 for SPEC CPU2006, 5 for PARSEC, and
+    /// 20 for Java (Section 2).
+    #[must_use]
+    pub fn prescribed_invocations(&self) -> usize {
+        match self.suite {
+            Suite::SpecInt2006 | Suite::SpecFp2006 => 3,
+            Suite::Parsec => 5,
+            _ => 20,
+        }
+    }
+
+    /// Expands the workload into software threads for a machine exposing
+    /// `contexts` hardware contexts.
+    ///
+    /// Application work is split per the [`ThreadModel`] (Amdahl serial
+    /// portion on thread 0, per-peer sync overhead inflating parallel
+    /// shares). Managed workloads add GC and JIT service threads whose work
+    /// scales with application work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `contexts` is zero.
+    #[must_use]
+    pub fn software_threads(&self, contexts: usize) -> Vec<SoftwareThread> {
+        assert!(contexts > 0, "need at least one hardware context");
+        let n = self.threads.app_threads(contexts);
+        let total = self.trace.total_instructions() as f64;
+        let mut out = Vec::with_capacity(n + 2);
+        match self.threads {
+            ThreadModel::Single => out.push(SoftwareThread {
+                name: "app0".to_owned(),
+                role: ThreadRole::Application,
+                trace: self.trace.clone(),
+            }),
+            ThreadModel::Parallel {
+                parallel_fraction,
+                sync_overhead_per_thread,
+                ..
+            } => {
+                let serial = total * (1.0 - parallel_fraction);
+                let sync_inflation = 1.0 + sync_overhead_per_thread * (n as f64 - 1.0);
+                let parallel_share = total * parallel_fraction / n as f64 * sync_inflation;
+                for i in 0..n {
+                    let share = if i == 0 {
+                        serial + parallel_share
+                    } else {
+                        parallel_share
+                    };
+                    out.push(SoftwareThread {
+                        name: format!("app{i}"),
+                        role: ThreadRole::Application,
+                        trace: self.trace.scaled_instructions((share / total).max(1e-12)),
+                    });
+                }
+            }
+        }
+        if let Some(m) = self.managed {
+            let app_total: u64 = out.iter().map(|t| t.trace.total_instructions()).sum();
+            let gc_each = (app_total as f64 * m.gc_work_fraction / m.gc_threads as f64)
+                .max(1.0) as u64;
+            for g in 0..m.gc_threads {
+                out.push(SoftwareThread {
+                    name: format!("gc{g}"),
+                    role: ThreadRole::GcService,
+                    trace: self.gc_trace(gc_each),
+                });
+            }
+            let jit = (app_total as f64 * m.jit_work_fraction).max(1.0) as u64;
+            out.push(SoftwareThread {
+                name: "jit0".to_owned(),
+                role: ThreadRole::JitService,
+                trace: Self::jit_trace(jit),
+            });
+        }
+        out
+    }
+
+    /// Returns a clone with the VM services *ablated*: GC/JIT work and the
+    /// displacement effect are zeroed while the managed identity is kept.
+    ///
+    /// This is the control condition for Workload Finding 1 -- with the
+    /// services removed, a single-threaded Java benchmark should behave
+    /// like a native one and gain nothing from a second core. The paper
+    /// established the same attribution by instrumenting HotSpot to count
+    /// VM versus application cycles (Section 3.1).
+    ///
+    /// Returns the workload unchanged for native workloads.
+    #[must_use]
+    pub fn with_services_ablated(&self) -> Workload {
+        let mut out = self.clone();
+        if let Some(m) = out.managed.as_mut() {
+            m.gc_work_fraction = 0.0;
+            m.jit_work_fraction = 0.0;
+            m.displacement_miss_factor = 1.0;
+        }
+        out
+    }
+
+    /// Returns a clone with a different managed-runtime profile, keeping
+    /// the application signature. Models switching JVMs: the paper
+    /// observed aggregate power differences of up to 10% between HotSpot,
+    /// JRockit, and J9.
+    ///
+    /// # Panics
+    ///
+    /// Panics on native workloads, which have no runtime to swap.
+    #[must_use]
+    pub fn with_managed_profile(&self, profile: ManagedProfile) -> Workload {
+        assert!(
+            self.managed.is_some(),
+            "{}: cannot swap the JVM under a native workload",
+            self.name
+        );
+        let mut out = self.clone();
+        out.managed = Some(profile);
+        out
+    }
+
+    /// Scales the application trace's instruction budget in place,
+    /// preserving phase structure and all other characteristics. Used by
+    /// fast harness modes; normalized results are invariant to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive and finite.
+    pub fn scale_trace(&mut self, factor: f64) {
+        self.trace = self.trace.scaled_instructions(factor);
+    }
+
+    /// The GC service trace: load/store-heavy sweeps over a region somewhat
+    /// larger than the application's steady-state footprint (the collector
+    /// walks the whole heap), with substantial pointer chasing.
+    fn gc_trace(&self, instructions: u64) -> ThreadTrace {
+        let steady = self
+            .trace
+            .phases()
+            .last()
+            .expect("traces are validated non-empty");
+        let heap = steady.locality().scaled(1.3).with_pointer_chase(0.55);
+        let mix = InstructionMix::builder()
+            .int_alu(0.34)
+            .fp(0.0)
+            .load(0.40)
+            .store(0.16)
+            .branch(0.10)
+            .build()
+            .expect("static gc mix is valid");
+        let phase = Phase::new("gc-sweep", 1.0, mix, 1.7, heap)
+            .with_branch_mispredict_rate(0.04)
+            .with_mlp(2.5)
+            .with_activity(0.9);
+        ThreadTrace::uniform(phase, instructions)
+    }
+
+    /// The JIT service trace: compiler-like integer code over a small,
+    /// cache-resident working set.
+    fn jit_trace(instructions: u64) -> ThreadTrace {
+        let mix = InstructionMix::builder()
+            .int_alu(0.47)
+            .fp(0.0)
+            .load(0.27)
+            .store(0.11)
+            .branch(0.15)
+            .build()
+            .expect("static jit mix is valid");
+        let phase = Phase::new(
+            "jit-compile",
+            1.0,
+            mix,
+            2.0,
+            lhr_trace::LocalityProfile::hierarchical(
+                96 << 10,
+                512 << 10,
+                2 << 20,
+                0.75,
+                0.18,
+            ),
+        )
+        .with_branch_mispredict_rate(0.06);
+        ThreadTrace::uniform(phase, instructions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lhr_trace::LocalityProfile;
+
+    fn app_trace(n: u64) -> ThreadTrace {
+        ThreadTrace::uniform(
+            Phase::new(
+                "steady",
+                1.0,
+                InstructionMix::typical_int(),
+                2.0,
+                LocalityProfile::cache_resident(1 << 16),
+            ),
+            n,
+        )
+    }
+
+    fn native_single() -> Workload {
+        Workload::new(
+            "toy",
+            "a toy",
+            Suite::SpecInt2006,
+            Group::NativeNonScalable,
+            100.0,
+            app_trace(1_000_000),
+            ThreadModel::Single,
+            None,
+        )
+    }
+
+    #[test]
+    fn single_thread_expansion() {
+        let w = native_single();
+        let ts = w.software_threads(8);
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts[0].role, ThreadRole::Application);
+        assert_eq!(ts[0].trace.total_instructions(), 1_000_000);
+        assert_eq!(w.prescribed_invocations(), 3);
+        assert_eq!(w.language(), Language::Native);
+        assert!(w.nondeterminism_cv() < 0.01);
+    }
+
+    #[test]
+    fn parallel_expansion_conserves_work_modulo_overheads() {
+        let w = Workload::new(
+            "ptoy",
+            "parallel toy",
+            Suite::Parsec,
+            Group::NativeScalable,
+            100.0,
+            app_trace(8_000_000),
+            ThreadModel::parallel(0.9, 0.0),
+            None,
+        );
+        let ts = w.software_threads(4);
+        assert_eq!(ts.len(), 4);
+        let total: u64 = ts.iter().map(|t| t.trace.total_instructions()).sum();
+        // With zero sync overhead the split conserves total work.
+        let err = (total as f64 - 8_000_000.0).abs() / 8_000_000.0;
+        assert!(err < 1e-3, "total = {total}");
+        // Thread 0 carries the serial portion.
+        assert!(ts[0].trace.total_instructions() > ts[1].trace.total_instructions());
+        assert_eq!(w.prescribed_invocations(), 5);
+    }
+
+    #[test]
+    fn sync_overhead_inflates_parallel_work() {
+        let mk = |s| {
+            Workload::new(
+                "ptoy",
+                "parallel toy",
+                Suite::Parsec,
+                Group::NativeScalable,
+                100.0,
+                app_trace(8_000_000),
+                ThreadModel::parallel(1.0, s),
+                None,
+            )
+        };
+        let lean: u64 = mk(0.0)
+            .software_threads(8)
+            .iter()
+            .map(|t| t.trace.total_instructions())
+            .sum();
+        let heavy: u64 = mk(0.05)
+            .software_threads(8)
+            .iter()
+            .map(|t| t.trace.total_instructions())
+            .sum();
+        assert!(heavy > lean, "{heavy} vs {lean}");
+        // 7 peers at 5% each = 35% inflation.
+        assert!((heavy as f64 / lean as f64 - 1.35).abs() < 0.01);
+    }
+
+    #[test]
+    fn managed_workloads_spawn_services() {
+        let w = Workload::new(
+            "jtoy",
+            "java toy",
+            Suite::DaCapo9,
+            Group::JavaNonScalable,
+            10.0,
+            app_trace(10_000_000),
+            ThreadModel::Single,
+            Some(ManagedProfile::typical().with_gc(0.10).with_jit(0.02)),
+        );
+        let ts = w.software_threads(8);
+        assert_eq!(ts.len(), 3); // app + gc + jit
+        let gc = ts.iter().find(|t| t.role == ThreadRole::GcService).unwrap();
+        let jit = ts.iter().find(|t| t.role == ThreadRole::JitService).unwrap();
+        assert_eq!(gc.trace.total_instructions(), 1_000_000);
+        assert_eq!(jit.trace.total_instructions(), 200_000);
+        // GC walks a larger footprint than the app.
+        let app_fp = w.trace().phases()[0].locality().footprint_bytes();
+        assert!(gc.trace.phases()[0].locality().footprint_bytes() > app_fp);
+        assert_eq!(w.prescribed_invocations(), 20);
+    }
+
+    #[test]
+    fn gc_threads_split_gc_work() {
+        let w = Workload::new(
+            "jtoy2",
+            "java toy",
+            Suite::Pjbb2005,
+            Group::JavaNonScalable,
+            10.0,
+            app_trace(10_000_000),
+            ThreadModel::Single,
+            Some(ManagedProfile::typical().with_gc(0.10).with_gc_threads(2)),
+        );
+        let ts = w.software_threads(8);
+        let gcs: Vec<_> = ts.iter().filter(|t| t.role == ThreadRole::GcService).collect();
+        assert_eq!(gcs.len(), 2);
+        assert_eq!(gcs[0].trace.total_instructions(), 500_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "need a ManagedProfile")]
+    fn java_without_profile_panics() {
+        let _ = Workload::new(
+            "bad",
+            "bad",
+            Suite::DaCapo9,
+            Group::JavaScalable,
+            1.0,
+            app_trace(1),
+            ThreadModel::Single,
+            None,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must not have a ManagedProfile")]
+    fn native_with_profile_panics() {
+        let _ = Workload::new(
+            "bad",
+            "bad",
+            Suite::Parsec,
+            Group::NativeScalable,
+            1.0,
+            app_trace(1),
+            ThreadModel::Single,
+            Some(ManagedProfile::typical()),
+        );
+    }
+
+    #[test]
+    fn parallel_capped_by_contexts() {
+        let w = Workload::new(
+            "ptoy",
+            "parallel toy",
+            Suite::Parsec,
+            Group::NativeScalable,
+            100.0,
+            app_trace(1_000_000),
+            ThreadModel::parallel(0.95, 0.01),
+            None,
+        );
+        assert_eq!(w.software_threads(2).len(), 2);
+        assert_eq!(w.software_threads(1).len(), 1);
+    }
+}

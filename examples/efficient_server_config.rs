@@ -1,0 +1,72 @@
+//! Scenario: pick the most energy-efficient hardware configuration for a
+//! Java transaction-processing server.
+//!
+//! This is the use the paper's Pareto analysis (Section 4.2) motivates:
+//! given real workloads and a space of configurations (core counts, SMT,
+//! clock, Turbo), find the settings that are not dominated in both
+//! performance and energy -- and notice how much the answer depends on the
+//! workload (Workload Finding 4).
+//!
+//! Run with: `cargo run --release --example efficient_server_config`
+
+use lhr::core::experiments::pareto;
+use lhr::core::{configs, Harness, Runner};
+use lhr::workloads::by_name;
+
+fn main() {
+    // A server-side mix: transaction processing, a servlet container, a
+    // search service, and the SQL engine.
+    let server_mix = ["pjbb2005", "tomcat", "lusearch", "h2"]
+        .iter()
+        .map(|n| by_name(n).expect("catalog benchmark"))
+        .collect();
+
+    let harness = Harness::new(
+        Runner::new()
+            .with_invocations(3)
+            .with_instruction_scale(0.05),
+    )
+    .with_workloads(server_mix);
+
+    println!("evaluating the 29-configuration 45nm space on the server mix...");
+    let analysis = pareto::run_configs(&harness, &configs::pareto_45nm_configs());
+
+    println!("\nPareto-efficient configurations (average over the mix):");
+    for label in analysis.efficient_labels(pareto::AVERAGE) {
+        println!("  {label}");
+    }
+
+    println!("\nFull frontier detail:");
+    println!("{}", analysis.render_figure12());
+
+    // The cheapest-energy point and the fastest point bracket the choice;
+    // everything between them is a legitimate deployment depending on the
+    // latency target.
+    let frontier = analysis.all_efficient();
+    let fastest = frontier
+        .iter()
+        .max_by(|&&a, &&b| {
+            analysis.candidates[a]
+                .metrics
+                .perf_w
+                .total_cmp(&analysis.candidates[b].metrics.perf_w)
+        })
+        .expect("frontier is non-empty");
+    let thriftiest = frontier
+        .iter()
+        .min_by(|&&a, &&b| {
+            analysis.candidates[a]
+                .metrics
+                .energy_w
+                .total_cmp(&analysis.candidates[b].metrics.energy_w)
+        })
+        .expect("frontier is non-empty");
+    println!(
+        "fastest efficient point    : {}",
+        analysis.candidates[*fastest].label
+    );
+    println!(
+        "lowest-energy efficient pt : {}",
+        analysis.candidates[*thriftiest].label
+    );
+}

@@ -1,0 +1,53 @@
+//! Scenario: why architects must evaluate managed *and* native workloads.
+//!
+//! The study's first theme: native workloads do not approximate managed
+//! ones. This example demonstrates the sharpest instance -- Workload
+//! Finding 1: an ostensibly single-threaded Java benchmark speeds up when
+//! a second core is enabled, because the JVM's garbage collector and JIT
+//! compiler are concurrent threads and stop displacing the application's
+//! cache and TLB state. The equivalent native benchmark gains nothing.
+//!
+//! Run with: `cargo run --release --example managed_vs_native`
+
+use lhr::core::Runner;
+use lhr::uarch::{ChipConfig, ProcessorId};
+use lhr::workloads::by_name;
+
+fn main() {
+    let runner = Runner::new()
+        .with_invocations(5)
+        .with_instruction_scale(0.05);
+    let spec = ProcessorId::CoreI7_920.spec();
+    let base = ChipConfig::stock(spec)
+        .with_smt(false)
+        .expect("i7 supports SMT control")
+        .with_turbo(false)
+        .expect("i7 supports Turbo control");
+    let one_core = base.clone().with_cores(1).expect("1 core");
+    let two_cores = base.with_cores(2).expect("2 cores");
+
+    println!("single-threaded benchmarks, i7 (45), 1 core vs 2 cores (SMT/Turbo off)\n");
+    println!(
+        "{:<12} {:>10} {:>12} {:>12} {:>9}",
+        "benchmark", "language", "t(1C)", "t(2C)", "speedup"
+    );
+    for name in ["hmmer", "povray", "db", "antlr", "compress"] {
+        let w = by_name(name).expect("catalog benchmark");
+        let t1 = runner.measure(&one_core, w).seconds();
+        let t2 = runner.measure(&two_cores, w).seconds();
+        println!(
+            "{:<12} {:>10} {:>11.2}s {:>11.2}s {:>8.2}x",
+            name,
+            w.language().to_string(),
+            t1.value(),
+            t2.value(),
+            t1.value() / t2.value()
+        );
+    }
+
+    println!(
+        "\nThe native codes are flat at 1.00x; the Java codes gain up to tens of\n\
+         percent because GC/JIT service threads migrate to the spare core --\n\
+         the paper measured up to 60% for antlr-class workloads, ~30% for db."
+    );
+}

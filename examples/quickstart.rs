@@ -1,0 +1,48 @@
+//! Quickstart: measure one benchmark on one processor, the way the study
+//! measured everything -- repeated invocations, a calibrated Hall-effect
+//! rig on the 12 V rail, and per-structure power meters.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use lhr::core::Runner;
+use lhr::uarch::{ChipConfig, ChipSimulator, ProcessorId};
+use lhr::workloads::by_name;
+
+fn main() {
+    // The DaCapo `sunflow` renderer on a stock Core i7-920.
+    let workload = by_name("sunflow").expect("sunflow is in the catalog");
+    let config = ChipConfig::stock(ProcessorId::CoreI7_920.spec());
+
+    println!("benchmark : {} ({})", workload.name(), workload.description());
+    println!("group     : {}", workload.group());
+    println!("machine   : {} [{}]", config.spec().name, config.label());
+    println!();
+
+    // High-level measurement: the paper's methodology (20 invocations for
+    // Java, each timed and power-sampled through the calibrated rig).
+    let runner = Runner::new().with_instruction_scale(0.05); // quick demo
+    let m = runner.measure(&config, workload);
+    println!("time      : {}", m.time);
+    println!("power     : {}", m.power);
+    println!("energy    : {:.1}", m.joules());
+    println!();
+
+    // Low-level access: a single run's waveform and on-chip power meters --
+    // the structure-specific meters the paper asks hardware vendors for.
+    let sim = ChipSimulator::new();
+    let mut demo = workload.clone();
+    demo.scale_trace(0.05);
+    let run = sim.run(&config, &demo, 42);
+    let stats = run.waveform.stats();
+    println!(
+        "waveform  : {} samples, min {:.1}, avg {:.1}, max {:.1}",
+        run.waveform.len(),
+        stats.min,
+        stats.average,
+        stats.max
+    );
+    println!("meters    :");
+    for (structure, share) in run.meters.breakdown() {
+        println!("  {structure:<8} {:5.1}%", share * 100.0);
+    }
+}

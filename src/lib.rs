@@ -1,0 +1,67 @@
+//! # lhr -- Looking Back on the Language and Hardware Revolutions, in Rust
+//!
+//! A complete, simulated reproduction of *Esmaeilzadeh, Cao, Yang,
+//! Blackburn, McKinley: "Looking Back on the Language and Hardware
+//! Revolutions: Measured Power, Performance, and Scaling" (ASPLOS 2011)* --
+//! the study that measured chip power and performance for 61 native and
+//! managed benchmarks across eight Intel IA32 processors spanning five
+//! process generations (130nm to 32nm) and 45 hardware configurations.
+//!
+//! The paper's substrate was physical: retail processors, BIOS switches,
+//! and a Hall-effect current sensor on each motherboard's isolated 12 V
+//! CPU rail. This crate rebuilds every layer of that experiment as
+//! calibrated models so the entire methodology -- benchmarks, machines,
+//! measurement rig, normalization, aggregation, and analysis -- runs as
+//! ordinary Rust:
+//!
+//! * [`workloads`] -- the 61 benchmarks of Table 1 as resource-usage
+//!   signatures, including the JVM's concurrent GC/JIT services,
+//! * [`uarch`] -- the eight processors of Table 3 as an interval simulator
+//!   with real set-associative cache simulation, SMT, CMP, DVFS, and
+//!   Turbo Boost,
+//! * [`power`] -- the event-energy and leakage power model with
+//!   per-structure meters (the paper's headline hardware recommendation),
+//! * [`sensors`] -- the ACS714 Hall sensor, 10-bit ADC, 50 Hz logger, and
+//!   least-squares calibration procedure of Section 2.5,
+//! * [`core`] -- the measurement harness, the four-machine reference
+//!   normalization, the equal-group-weight aggregation, and one module per
+//!   table and figure of the evaluation,
+//! * [`stats`], [`trace`], [`units`] -- the supporting substrates.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use lhr::core::{Harness, Runner};
+//! use lhr::uarch::{ChipConfig, ProcessorId};
+//!
+//! // Measure the stock Core i7-920 over the full 61-benchmark suite with
+//! // the paper's methodology (3/5/20 invocations, calibrated rig).
+//! let harness = Harness::new(Runner::new());
+//! let metrics = harness.group_metrics(&ChipConfig::stock(ProcessorId::CoreI7_920.spec()));
+//! println!(
+//!     "i7 (45): perf {:.2}x reference at {:.1} W",
+//!     metrics.perf_w, metrics.power_w
+//! );
+//! ```
+//!
+//! A fast, deterministic variant for exploration ([`core::Harness::quick`])
+//! runs a representative 12-benchmark subset in a couple of seconds.
+//!
+//! # Reproducing the paper
+//!
+//! Each table and figure has a regenerator under [`core::experiments`] and
+//! a matching binary in the `lhr-bench` crate (`table4`, `figure7`,
+//! `repro_all`, ...). EXPERIMENTS.md in the repository root records
+//! paper-versus-measured values for all of them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use lhr_core as core;
+pub use lhr_power as power;
+pub use lhr_sensors as sensors;
+pub use lhr_stats as stats;
+pub use lhr_trace as trace;
+pub use lhr_uarch as uarch;
+pub use lhr_units as units;
+pub use lhr_workloads as workloads;

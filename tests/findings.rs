@@ -1,0 +1,176 @@
+//! Integration tests: the paper's workload and architecture findings must
+//! emerge from the full pipeline (catalog -> simulator -> sensing rig ->
+//! statistics -> aggregation), not from any single crate.
+
+use lhr::core::{Harness, Runner};
+use lhr::uarch::{ChipConfig, ProcessorId};
+use lhr::units::TechNode;
+use lhr::workloads::{by_name, catalog, Group, Language};
+
+fn quick() -> Harness {
+    Harness::quick()
+}
+
+/// TDP is strictly above measured power and a poor predictor of it
+/// (Section 2.5, Figure 2).
+#[test]
+fn tdp_never_predicts_measured_power() {
+    let harness = quick();
+    for id in [
+        ProcessorId::Atom230,
+        ProcessorId::Core2DuoE6600,
+        ProcessorId::CoreI7_920,
+    ] {
+        let config = ChipConfig::stock(id.spec());
+        let tdp = id.spec().power.tdp_w;
+        let mut max_power: f64 = 0.0;
+        for w in harness.workloads() {
+            let p = harness.measure(&config, w).watts().value();
+            assert!(p < tdp, "{:?}: {} drew {p} W >= TDP {tdp}", id, w.name());
+            max_power = max_power.max(p);
+        }
+        assert!(
+            max_power < 0.9 * tdp,
+            "{id:?}: even the hungriest benchmark ({max_power} W) sits well under TDP {tdp}"
+        );
+    }
+}
+
+/// Workload Finding 3: Native Non-scalable draws the least power of the
+/// four groups on the Nehalems.
+#[test]
+fn native_non_scalable_is_the_power_outlier_on_nehalem() {
+    let harness = quick();
+    for id in [ProcessorId::CoreI7_920, ProcessorId::CoreI5_670] {
+        let m = harness.group_metrics(&ChipConfig::stock(id.spec()));
+        let nn = m.power[&Group::NativeNonScalable];
+        for g in [Group::NativeScalable, Group::JavaScalable] {
+            assert!(
+                nn < m.power[&g],
+                "{id:?}: NN power {nn} must undercut {g} ({})",
+                m.power[&g]
+            );
+        }
+    }
+}
+
+/// The managed runtime injects parallelism; natives are inert
+/// (Workload Finding 1, end to end through the rig).
+#[test]
+fn jvm_parallelism_is_a_managed_language_phenomenon() {
+    let runner = Runner::fast();
+    let spec = ProcessorId::CoreI7_920.spec();
+    let one = ChipConfig::stock(spec)
+        .with_cores(1)
+        .unwrap()
+        .with_smt(false)
+        .unwrap()
+        .with_turbo(false)
+        .unwrap();
+    let two = ChipConfig::stock(spec)
+        .with_cores(2)
+        .unwrap()
+        .with_smt(false)
+        .unwrap()
+        .with_turbo(false)
+        .unwrap();
+    let speedup = |name: &str| {
+        let w = by_name(name).unwrap();
+        runner.measure(&one, w).seconds().value() / runner.measure(&two, w).seconds().value()
+    };
+    // Every single-threaded Java benchmark gains; no native one does.
+    for name in ["antlr", "db", "luindex", "fop"] {
+        let s = speedup(name);
+        assert!(s > 1.05, "{name}: Java ST speedup {s}");
+    }
+    for name in ["hmmer", "mcf", "povray"] {
+        let s = speedup(name);
+        assert!(
+            (s - 1.0).abs() < 0.03,
+            "{name}: native ST must be flat, got {s}"
+        );
+    }
+}
+
+/// Both die shrinks (65->45 and 45->32) cut energy heavily at matched
+/// clocks (Architecture Findings 4 and 5).
+#[test]
+fn die_shrinks_cut_energy_across_both_generations() {
+    let harness = quick();
+    let results = lhr::core::experiments::figure8_dieshrink::run(&harness);
+    for r in &results {
+        assert!(
+            r.matched.energy < 0.8,
+            "{}: matched-clock energy ratio {}",
+            r.family,
+            r.matched.energy
+        );
+        // Both generations deliver the same class of savings.
+        assert!(r.matched.power < 0.75, "{}: power {}", r.family, r.matched.power);
+    }
+    let spread = (results[0].matched.energy - results[1].matched.energy).abs();
+    assert!(
+        spread < 0.35,
+        "the two generations' savings are of the same order (spread {spread})"
+    );
+}
+
+/// The four groups are populated exactly as in Table 1 and the language
+/// classes carry the right runtime structure.
+#[test]
+fn catalog_structure_is_table1() {
+    assert_eq!(catalog().len(), 61);
+    let count = |g| catalog().iter().filter(|w| w.group() == g).count();
+    assert_eq!(count(Group::NativeNonScalable), 27);
+    assert_eq!(count(Group::NativeScalable), 11);
+    assert_eq!(count(Group::JavaNonScalable), 18);
+    assert_eq!(count(Group::JavaScalable), 5);
+    for w in catalog() {
+        match w.language() {
+            Language::Java => assert!(w.managed().is_some()),
+            Language::Native => assert!(w.managed().is_none()),
+        }
+    }
+}
+
+/// The study's four technology nodes are all represented by the stock
+/// machines, and the 45nm node has the four chips of the Pareto study.
+#[test]
+fn technology_coverage() {
+    let nodes: Vec<TechNode> = ProcessorId::ALL.iter().map(|id| id.spec().node).collect();
+    for node in [TechNode::Nm130, TechNode::Nm65, TechNode::Nm45, TechNode::Nm32] {
+        assert!(nodes.contains(&node), "{node} missing");
+    }
+    assert_eq!(nodes.iter().filter(|&&n| n == TechNode::Nm45).count(), 4);
+}
+
+/// Energy accounting is conserved end to end: the per-structure meters,
+/// the waveform integral, and average-power x time all agree.
+#[test]
+fn energy_accounting_is_conserved() {
+    let sim = lhr::uarch::ChipSimulator::new().with_target_slices(64);
+    let mut w = by_name("jess").unwrap().clone();
+    w.scale_trace(0.05);
+    for id in [ProcessorId::Atom230, ProcessorId::CoreI7_920] {
+        let run = sim.run(&ChipConfig::stock(id.spec()), &w, 3);
+        let metered = run.meters.total_energy().value();
+        let integral = run.waveform.energy().value();
+        let avg_times_t = run.energy().value();
+        let rel1 = (metered - integral).abs() / integral;
+        let rel2 = (avg_times_t - integral).abs() / integral;
+        assert!(rel1 < 0.02, "{id:?}: meters vs integral {rel1}");
+        assert!(rel2 < 0.05, "{id:?}: avg x t vs integral {rel2}");
+    }
+}
+
+/// The whole pipeline is deterministic: two freshly constructed harnesses
+/// produce bit-identical measurements.
+#[test]
+fn full_pipeline_determinism() {
+    let spec = ProcessorId::Core2DuoE7600.spec();
+    let config = ChipConfig::stock(spec);
+    let w = by_name("xalan").unwrap();
+    let a = Runner::fast().measure(&config, w);
+    let b = Runner::fast().measure(&config, w);
+    assert_eq!(a, b);
+}

@@ -1,0 +1,162 @@
+//! Property-based tests on the core data structures and invariants,
+//! spanning crates.
+
+use proptest::prelude::*;
+
+use lhr::stats::{pareto_frontier, Dominance, ParetoPoint, Summary};
+use lhr::trace::{InstructionMix, LocalityProfile, Rng64, SplitMix64};
+use lhr::uarch::{Cache, CacheGeometry, MissRateEstimator, Tlb};
+use lhr::units::{Joules, Seconds, Watts};
+
+proptest! {
+    /// Power x time = energy, and energy / time = power, for any values.
+    #[test]
+    fn units_power_energy_algebra(p in 0.01f64..1e4, t in 0.01f64..1e6) {
+        let e: Joules = Watts::new(p) * Seconds::new(t);
+        let back = e / Seconds::new(t);
+        prop_assert!((back.value() - p).abs() / p < 1e-12);
+        let t_back = e / Watts::new(p);
+        prop_assert!((t_back.value() - t).abs() / t < 1e-12);
+    }
+
+    /// Summaries bound their mean by their extremes and keep CI >= 0.
+    #[test]
+    fn summary_bounds(xs in proptest::collection::vec(-1e6f64..1e6, 1..64)) {
+        let s = Summary::from_slice(&xs);
+        prop_assert!(s.mean() >= s.min() - 1e-9);
+        prop_assert!(s.mean() <= s.max() + 1e-9);
+        prop_assert!(s.ci95_halfwidth() >= 0.0);
+        prop_assert!(s.stddev() >= 0.0);
+    }
+
+    /// No Pareto frontier member is dominated by any point in the set.
+    #[test]
+    fn pareto_frontier_members_are_undominated(
+        pts in proptest::collection::vec((0.01f64..100.0, 0.01f64..100.0), 1..64)
+    ) {
+        let points: Vec<ParetoPoint> =
+            pts.iter().map(|&(p, c)| ParetoPoint::new(p, c)).collect();
+        let frontier = pareto_frontier(&points);
+        prop_assert!(!frontier.is_empty());
+        for &i in &frontier {
+            for p in &points {
+                prop_assert_ne!(
+                    p.dominance(&points[i]),
+                    Dominance::Dominates,
+                    "frontier member {} is dominated", i
+                );
+            }
+        }
+    }
+
+    /// Instruction-mix class counts always sum exactly to n.
+    #[test]
+    fn mix_counts_partition(n in 0u64..10_000_000) {
+        for mix in [InstructionMix::typical_int(), InstructionMix::typical_fp()] {
+            let total: u64 = mix.counts_for(n).iter().map(|&(_, k)| k).sum();
+            prop_assert_eq!(total, n);
+        }
+    }
+
+    /// Address streams never escape the declared footprint and are always
+    /// word-aligned, for arbitrary tier structures.
+    #[test]
+    fn address_streams_stay_in_bounds(
+        hot_kb in 1u64..128,
+        warm_kb in 0u64..1024,
+        extra_kb in 1u64..4096,
+        hf in 0.0f64..0.9,
+        wf in 0.0f64..0.1,
+        pc in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let hot = hot_kb << 10;
+        let warm = warm_kb << 10;
+        let total = hot + warm + (extra_kb << 10);
+        let profile = LocalityProfile::hierarchical(hot, warm, total, hf, wf)
+            .with_pointer_chase(pc);
+        let mut rng = SplitMix64::new(seed);
+        for addr in profile.address_stream(&mut rng).take(2_000) {
+            prop_assert!(addr < total);
+            prop_assert_eq!(addr % 8, 0);
+        }
+    }
+
+    /// Cache miss rates are probabilities, and a cache twice the size never
+    /// misses (meaningfully) more.
+    #[test]
+    fn cache_miss_rates_are_sane(
+        ws_kb in 4u64..2048,
+        cap_kb in 4u64..512,
+        pc in 0.0f64..1.0,
+    ) {
+        let profile = LocalityProfile::hierarchical(
+            (ws_kb << 10) / 4, 0, ws_kb << 10, 0.5, 0.0,
+        ).with_pointer_chase(pc);
+        let est = MissRateEstimator::new();
+        let small = est.global_miss_rate(&profile, cap_kb << 10);
+        let big = est.global_miss_rate(&profile, (cap_kb << 10) * 2);
+        prop_assert!((0.0..=1.0).contains(&small));
+        prop_assert!((0.0..=1.0).contains(&big));
+        // Sampling noise allowance.
+        prop_assert!(big <= small + 0.05, "big {} vs small {}", big, small);
+    }
+
+    /// A concrete LRU cache conserves accesses: hits + misses = accesses,
+    /// and re-running the same short stream entirely hits.
+    #[test]
+    fn cache_access_accounting(seed in any::<u64>()) {
+        let mut cache = Cache::new(CacheGeometry::new(16 << 10, 4, 64));
+        let mut rng = SplitMix64::new(seed);
+        // A stream small enough to be fully resident (32 lines).
+        let addrs: Vec<u64> = (0..32).map(|_| rng.next_below(32) * 64).collect();
+        for &a in &addrs {
+            cache.access(a);
+        }
+        prop_assert_eq!(cache.hits() + cache.misses(), addrs.len() as u64);
+        cache.reset_stats();
+        for &a in &addrs {
+            prop_assert!(cache.access(a), "resident line missed");
+        }
+    }
+
+    /// TLB miss rates are probabilities and shrink with reach.
+    #[test]
+    fn tlb_rates_are_probabilities(
+        footprint_mb in 1u64..512,
+        entries in 8usize..1024,
+    ) {
+        let profile = LocalityProfile::pointer_chasing(footprint_mb << 20);
+        let small = Tlb::new(entries, 4096).miss_rate(&profile);
+        let big = Tlb::new(entries * 2, 4096).miss_rate(&profile);
+        prop_assert!((0.0..=1.0).contains(&small));
+        prop_assert!(big <= small + 1e-9);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// For any benchmark, energy is conserved through the whole simulator
+    /// and scaling a trace down never changes measured power by much
+    /// (power is rate-based; time scales instead).
+    #[test]
+    fn simulation_scaling_invariant(idx in 0usize..61) {
+        use lhr::uarch::{ChipConfig, ChipSimulator, ProcessorId};
+        let w = &lhr::workloads::catalog()[idx];
+        let config = ChipConfig::stock(ProcessorId::Core2DuoE6600.spec());
+        let sim = ChipSimulator::new().with_target_slices(48);
+        let mut short = w.clone();
+        short.scale_trace(0.002);
+        let mut longer = w.clone();
+        longer.scale_trace(0.004);
+        let a = sim.run(&config, &short, 9);
+        let b = sim.run(&config, &longer, 9);
+        // Time roughly doubles...
+        let ratio = b.time.value() / a.time.value();
+        prop_assert!((1.6..=2.4).contains(&ratio), "time ratio {}", ratio);
+        // ...while average power stays put.
+        let p_ratio = b.average_power().value() / a.average_power().value();
+        prop_assert!((0.9..=1.1).contains(&p_ratio), "power ratio {}", p_ratio);
+    }
+}
