@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
 use lhr_sensors::MeasurementRig;
-use lhr_trace::{LocalityProfile, Rng64, SplitMix64};
+use lhr_trace::{LocalityProfile, SplitMix64};
 use lhr_uarch::{
     phase_performance, Cache, CacheGeometry, ChipConfig, ChipSimulator, Environment,
     MissRateEstimator, ProcessorId,

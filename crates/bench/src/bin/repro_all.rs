@@ -1,10 +1,16 @@
 //! Regenerates every table and figure in one pass and writes each to
 //! `repro_out/<name>.txt` (plus everything to stdout).
 //!
+//! Each experiment runs behind a panic guard: a faulted rig or dead cell
+//! skips that experiment's output file and the run continues, ending with
+//! the runner's health ledger. On a clean run the written files are
+//! byte-for-byte identical to the non-resilient pipeline's.
+//!
 //! Flags: `--quick` (12-benchmark subset), `--paper` (prescribed
 //! invocation counts). Default: full catalog, 3 invocations.
 
 use std::fs;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 use lhr_bench::{run_experiment, Fidelity, EXPERIMENTS};
@@ -16,12 +22,30 @@ fn main() {
     fs::create_dir_all(out_dir).expect("create repro_out/");
     println!("regenerating all tables and figures at {fidelity:?} fidelity\n");
     let t0 = Instant::now();
+    let mut failed: Vec<&str> = Vec::new();
     for name in EXPERIMENTS {
         let t = Instant::now();
-        let rendered = run_experiment(name, &harness);
-        let path = out_dir.join(format!("{name}.txt"));
-        fs::write(&path, &rendered).expect("write experiment output");
-        println!("=== {name} ({:.1?}) ===\n{rendered}", t.elapsed());
+        match catch_unwind(AssertUnwindSafe(|| run_experiment(name, &harness))) {
+            Ok(rendered) => {
+                let path = out_dir.join(format!("{name}.txt"));
+                fs::write(&path, &rendered).expect("write experiment output");
+                println!("=== {name} ({:.1?}) ===\n{rendered}", t.elapsed());
+            }
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| panic.downcast_ref::<&str>().map(|s| (*s).to_owned()))
+                    .unwrap_or_else(|| "opaque panic".to_owned());
+                println!("=== {name} FAILED ({:.1?}) ===\n{msg}\n", t.elapsed());
+                failed.push(name);
+            }
+        }
     }
     println!("total: {:.1?}; outputs in repro_out/", t0.elapsed());
+    println!("runner health: {}", harness.runner().health());
+    if !failed.is_empty() {
+        println!("failed experiments: {}", failed.join(", "));
+        std::process::exit(1);
+    }
 }

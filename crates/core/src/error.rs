@@ -1,0 +1,176 @@
+//! Typed errors and health accounting for the measurement pipeline.
+//!
+//! The resilient path ([`crate::Runner::try_measure`],
+//! [`crate::Harness::sweep`]) records *why* a cell degraded instead of
+//! panicking the whole sweep: a rig that could not be built, a sensor
+//! fault that survived the retry budget, or a worker thread that
+//! panicked outright.
+
+use std::error::Error;
+use std::fmt;
+
+use lhr_sensors::{CalibrationError, SensorError};
+
+/// Why one (configuration, workload) measurement failed for good.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasureError {
+    /// The benchmark being measured, when known.
+    pub workload: Option<&'static str>,
+    /// The configuration label.
+    pub config: String,
+    /// The failure itself.
+    pub kind: MeasureErrorKind,
+}
+
+/// The failure behind a [`MeasureError`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MeasureErrorKind {
+    /// The machine's rig could not be built and calibrated at all.
+    RigSetup(CalibrationError),
+    /// A sensor failure that retrying cannot fix (e.g. a recalibration
+    /// attempt that itself failed its acceptance test).
+    Sensor(SensorError),
+    /// Every retry was consumed and the last attempt still failed.
+    RetryBudgetExhausted {
+        /// The retry budget that was exhausted.
+        budget: usize,
+        /// The sensor error from the final attempt.
+        last: SensorError,
+    },
+    /// A measurement worker panicked; the panic was contained and
+    /// converted into this record.
+    WorkerPanic(String),
+}
+
+impl MeasureError {
+    /// A rig-setup failure for a whole machine.
+    #[must_use]
+    pub fn rig_setup(config: String, e: CalibrationError) -> Self {
+        Self {
+            workload: None,
+            config,
+            kind: MeasureErrorKind::RigSetup(e),
+        }
+    }
+}
+
+impl fmt::Display for MeasureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}", self.config)?;
+        if let Some(w) = self.workload {
+            write!(f, " / {w}")?;
+        }
+        write!(f, "] ")?;
+        match &self.kind {
+            MeasureErrorKind::RigSetup(e) => write!(f, "rig setup failed: {e}"),
+            MeasureErrorKind::Sensor(e) => write!(f, "sensor failure: {e}"),
+            MeasureErrorKind::RetryBudgetExhausted { budget, last } => {
+                write!(f, "retry budget ({budget}) exhausted; last error: {last}")
+            }
+            MeasureErrorKind::WorkerPanic(msg) => write!(f, "worker panicked: {msg}"),
+        }
+    }
+}
+
+impl Error for MeasureError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match &self.kind {
+            MeasureErrorKind::RigSetup(e) => Some(e),
+            MeasureErrorKind::Sensor(e) => Some(e),
+            MeasureErrorKind::RetryBudgetExhausted { last, .. } => Some(last),
+            MeasureErrorKind::WorkerPanic(_) => None,
+        }
+    }
+}
+
+/// Per-measurement resilience accounting: what it took to produce one
+/// accepted [`crate::RunMeasurement`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MeasureHealth {
+    /// Invocations re-run with a fresh seed (sensor rejections plus
+    /// outlier-fence rejections).
+    pub retries: usize,
+    /// Rig recalibrations triggered by drift.
+    pub recalibrations: usize,
+    /// Invocations rejected by the outlier fence.
+    pub rejected_outliers: usize,
+}
+
+impl MeasureHealth {
+    /// Whether the measurement needed no intervention at all.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.retries == 0 && self.recalibrations == 0 && self.rejected_outliers == 0
+    }
+
+    /// Accumulates another measurement's health into this one.
+    pub fn absorb(&mut self, other: &MeasureHealth) {
+        self.retries += other.retries;
+        self.recalibrations += other.recalibrations;
+        self.rejected_outliers += other.rejected_outliers;
+    }
+}
+
+/// Whole-runner resilience ledger, accumulated across every measurement
+/// the runner has performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunnerHealth {
+    /// Total invocation retries.
+    pub retries: usize,
+    /// Total rig recalibrations.
+    pub recalibrations: usize,
+    /// Total outlier-fence rejections.
+    pub rejected_outliers: usize,
+    /// Measurements that failed for good (budget exhausted or rig setup).
+    pub failed_measurements: usize,
+}
+
+impl fmt::Display for RunnerHealth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "retries {}, recalibrations {}, rejected outliers {}, failed measurements {}",
+            self.retries, self.recalibrations, self.rejected_outliers, self.failed_measurements
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_cell_and_cause() {
+        let e = MeasureError {
+            workload: Some("mcf"),
+            config: "i5 (32) 2C@3.46GHz".into(),
+            kind: MeasureErrorKind::RetryBudgetExhausted {
+                budget: 8,
+                last: SensorError::NoSamples,
+            },
+        };
+        let s = format!("{e}");
+        assert!(s.contains("mcf") && s.contains("i5 (32)") && s.contains("budget (8)"));
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn health_absorbs_and_reports_clean() {
+        let mut a = MeasureHealth::default();
+        assert!(a.is_clean());
+        a.absorb(&MeasureHealth {
+            retries: 2,
+            recalibrations: 1,
+            rejected_outliers: 1,
+        });
+        assert!(!a.is_clean());
+        assert_eq!(a.retries, 2);
+        let ledger = RunnerHealth {
+            retries: 2,
+            recalibrations: 1,
+            rejected_outliers: 1,
+            failed_measurements: 0,
+        };
+        assert!(format!("{ledger}").contains("retries 2"));
+    }
+}

@@ -246,7 +246,7 @@ mod tests {
     fn curve_panels_render_every_operating_point() {
         let harness = Harness::quick();
         let i5 = run_one(&harness, ProcessorId::CoreI5_670, 3);
-        let s = render_curves(&[i5.clone()]);
+        let s = render_curves(std::slice::from_ref(&i5));
         // Panel (c): one row per operating point; the base row reads 1.00.
         assert!(s.contains("(c) energy vs performance"));
         assert!(s.contains("1.00"));

@@ -1,6 +1,15 @@
 //! The evaluation harness: normalized metrics and group aggregation.
+//!
+//! Alongside the legacy panicking entry points ([`Harness::reference`],
+//! [`Harness::evaluate_config`]) the harness exposes a resilient sweep
+//! path: [`Harness::try_evaluate_config`] returns per-workload
+//! `Result`s plus per-cell health, and [`Harness::sweep`] runs a whole
+//! configuration space without ever aborting -- a degraded or dead cell
+//! is recorded in the [`SweepHealth`] summary while every healthy cell
+//! still reports its numbers.
 
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use parking_lot::Mutex;
 
@@ -8,6 +17,7 @@ use lhr_stats::arithmetic_mean;
 use lhr_uarch::ChipConfig;
 use lhr_workloads::{catalog, Group, Workload};
 
+use crate::error::{MeasureError, MeasureErrorKind, MeasureHealth};
 use crate::reference::ReferenceSet;
 use crate::runner::{RunMeasurement, Runner};
 
@@ -133,6 +143,131 @@ impl GroupMetrics {
     }
 }
 
+/// Resilience accounting for one configuration cell of a sweep.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CellHealth {
+    /// Invocation retries spent in this cell.
+    pub retries: usize,
+    /// Rig recalibrations triggered in this cell.
+    pub recalibrations: usize,
+    /// Outlier-fence rejections in this cell.
+    pub rejected_outliers: usize,
+    /// Workloads that failed for good in this cell.
+    pub failed: usize,
+}
+
+impl CellHealth {
+    /// Whether the cell needed no intervention and lost no workloads.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.retries == 0
+            && self.recalibrations == 0
+            && self.rejected_outliers == 0
+            && self.failed == 0
+    }
+
+    fn absorb(&mut self, h: &MeasureHealth) {
+        self.retries += h.retries;
+        self.recalibrations += h.recalibrations;
+        self.rejected_outliers += h.rejected_outliers;
+    }
+}
+
+/// One configuration's worth of a resilient sweep: per-workload results
+/// (in workload order) plus the cell's health.
+#[derive(Debug, Clone)]
+pub struct CellReport {
+    /// The configuration label.
+    pub label: String,
+    /// Per-workload outcomes, in the harness's workload order.
+    pub evaluations: Vec<Result<Evaluation, MeasureError>>,
+    /// What the cell cost to produce.
+    pub health: CellHealth,
+}
+
+impl CellReport {
+    /// The successful evaluations, in workload order.
+    #[must_use]
+    pub fn successes(&self) -> Vec<Evaluation> {
+        self.evaluations
+            .iter()
+            .filter_map(|r| r.as_ref().ok().cloned())
+            .collect()
+    }
+
+    /// The recorded failures.
+    pub fn failures(&self) -> impl Iterator<Item = &MeasureError> {
+        self.evaluations.iter().filter_map(|r| r.as_ref().err())
+    }
+
+    /// Group metrics over whatever succeeded; `None` if nothing did.
+    #[must_use]
+    pub fn metrics(&self) -> Option<GroupMetrics> {
+        let ok = self.successes();
+        if ok.is_empty() {
+            None
+        } else {
+            Some(GroupMetrics::aggregate(&ok))
+        }
+    }
+}
+
+/// Whole-sweep resilience summary: which cells degraded and what the
+/// sweep spent keeping itself alive.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SweepHealth {
+    /// Cells evaluated.
+    pub cells_total: usize,
+    /// Cells that needed retries/recalibrations or lost workloads.
+    pub cells_degraded: usize,
+    /// Individual workload measurements that failed for good.
+    pub failed_measurements: usize,
+    /// Total invocation retries across the sweep.
+    pub retries: usize,
+    /// Total rig recalibrations across the sweep.
+    pub recalibrations: usize,
+    /// Total outlier-fence rejections across the sweep.
+    pub rejected_outliers: usize,
+    /// Labels of the degraded cells, in sweep order.
+    pub degraded: Vec<String>,
+}
+
+impl SweepHealth {
+    /// Whether every cell came through untouched.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.cells_degraded == 0 && self.failed_measurements == 0
+    }
+
+    /// A one-paragraph human-readable summary.
+    #[must_use]
+    pub fn render(&self) -> String {
+        if self.is_clean() {
+            return format!("sweep health: all {} cells clean", self.cells_total);
+        }
+        format!(
+            "sweep health: {}/{} cells degraded ({}); {} retries, {} recalibrations, \
+             {} rejected outliers, {} failed measurements",
+            self.cells_degraded,
+            self.cells_total,
+            self.degraded.join(", "),
+            self.retries,
+            self.recalibrations,
+            self.rejected_outliers,
+            self.failed_measurements,
+        )
+    }
+}
+
+/// A full resilient sweep: every cell's report plus the health summary.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Per-configuration reports, in input order.
+    pub cells: Vec<CellReport>,
+    /// The sweep-wide health summary.
+    pub health: SweepHealth,
+}
+
 /// The central evaluation harness: a runner, a workload set, and the
 /// lazily computed reference normalization.
 #[derive(Debug)]
@@ -201,12 +336,28 @@ impl Harness {
     }
 
     /// The reference set, computing it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a reference measurement fails; [`Harness::try_reference`]
+    /// is the non-panicking form.
     pub fn reference(&self) -> ReferenceSet {
+        self.try_reference()
+            .unwrap_or_else(|e| panic!("reference computation failed: {e}"))
+    }
+
+    /// The reference set, computing it on first use and reporting any
+    /// measurement failure instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// The first [`MeasureError`] hit on the four reference machines.
+    pub fn try_reference(&self) -> Result<ReferenceSet, MeasureError> {
         let mut guard = self.reference.lock();
         if guard.is_none() {
-            *guard = Some(ReferenceSet::compute(&self.runner, &self.workloads));
+            *guard = Some(ReferenceSet::try_compute(&self.runner, &self.workloads)?);
         }
-        guard.clone().expect("just computed")
+        Ok(guard.clone().expect("just computed"))
     }
 
     /// Raw (unnormalized) measurement of one workload.
@@ -217,48 +368,149 @@ impl Harness {
 
     /// Evaluates every workload on a configuration, in parallel, returning
     /// normalized results in workload order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first recorded measurement failure;
+    /// [`Harness::try_evaluate_config`] is the non-panicking form.
     #[must_use]
     pub fn evaluate_config(&self, config: &ChipConfig) -> Vec<Evaluation> {
-        let refs = self.reference();
+        self.try_evaluate_config(config)
+            .evaluations
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|e| panic!("evaluation failed: {e}")))
+            .collect()
+    }
+
+    /// Evaluates every workload on a configuration, in parallel, without
+    /// ever aborting: each workload independently resolves to an
+    /// [`Evaluation`] or a recorded [`MeasureError`] (worker panics are
+    /// contained and recorded the same way), and the cell's resilience
+    /// cost is summed into its [`CellHealth`].
+    #[must_use]
+    pub fn try_evaluate_config(&self, config: &ChipConfig) -> CellReport {
+        let label = config.label();
+        let refs = match self.try_reference() {
+            Ok(refs) => refs,
+            Err(e) => {
+                // No reference, no normalization: every workload in the
+                // cell reports the same root cause.
+                return CellReport {
+                    label,
+                    evaluations: self.workloads.iter().map(|_| Err(e.clone())).collect(),
+                    health: CellHealth {
+                        failed: self.workloads.len(),
+                        ..CellHealth::default()
+                    },
+                };
+            }
+        };
         let n = self.workloads.len();
-        let results: Vec<Mutex<Option<Evaluation>>> =
-            (0..n).map(|_| Mutex::new(None)).collect();
+        type Slot = Option<Result<(Evaluation, MeasureHealth), MeasureError>>;
+        let results: Vec<Mutex<Slot>> = (0..n).map(|_| Mutex::new(None)).collect();
         let threads = std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(4)
             .min(n);
         let next = std::sync::atomic::AtomicUsize::new(0);
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..threads {
-                scope.spawn(|_| loop {
+                scope.spawn(|| loop {
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if i >= n {
                         break;
                     }
                     let w = self.workloads[i];
-                    let measurement = self.runner.measure(config, w);
-                    let perf_norm = refs.seconds(w.name()) / measurement.time.mean();
-                    let energy_norm = measurement.power.mean() * measurement.time.mean()
-                        / refs.joules(w.name());
-                    *results[i].lock() = Some(Evaluation {
-                        measurement,
-                        perf_norm,
-                        energy_norm,
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        self.runner.try_measure(config, w)
+                    }))
+                    .unwrap_or_else(|panic| {
+                        Err(MeasureError {
+                            workload: Some(w.name()),
+                            config: config.label(),
+                            kind: MeasureErrorKind::WorkerPanic(panic_message(&panic)),
+                        })
+                    })
+                    .map(|(measurement, health)| {
+                        let perf_norm = refs.seconds(w.name()) / measurement.time.mean();
+                        let energy_norm = measurement.power.mean() * measurement.time.mean()
+                            / refs.joules(w.name());
+                        (
+                            Evaluation {
+                                measurement,
+                                perf_norm,
+                                energy_norm,
+                            },
+                            health,
+                        )
                     });
+                    *results[i].lock() = Some(outcome);
                 });
             }
-        })
-        .expect("evaluation threads do not panic");
-        results
+        });
+        let mut health = CellHealth::default();
+        let evaluations: Vec<Result<Evaluation, MeasureError>> = results
             .into_iter()
             .map(|m| m.into_inner().expect("all indices evaluated"))
-            .collect()
+            .map(|outcome| match outcome {
+                Ok((eval, h)) => {
+                    health.absorb(&h);
+                    Ok(eval)
+                }
+                Err(e) => {
+                    health.failed += 1;
+                    Err(e)
+                }
+            })
+            .collect();
+        CellReport {
+            label,
+            evaluations,
+            health,
+        }
+    }
+
+    /// Sweeps a whole configuration space resiliently: every cell is
+    /// evaluated (degraded or not), nothing aborts, and the returned
+    /// [`SweepHealth`] names each degraded cell with what it cost.
+    #[must_use]
+    pub fn sweep(&self, configs: &[ChipConfig]) -> SweepReport {
+        let cells: Vec<CellReport> = configs
+            .iter()
+            .map(|c| self.try_evaluate_config(c))
+            .collect();
+        let mut health = SweepHealth {
+            cells_total: cells.len(),
+            ..SweepHealth::default()
+        };
+        for cell in &cells {
+            health.retries += cell.health.retries;
+            health.recalibrations += cell.health.recalibrations;
+            health.rejected_outliers += cell.health.rejected_outliers;
+            health.failed_measurements += cell.health.failed;
+            if !cell.health.is_clean() {
+                health.cells_degraded += 1;
+                health.degraded.push(cell.label.clone());
+            }
+        }
+        SweepReport { cells, health }
     }
 
     /// Evaluates a configuration and aggregates to group metrics.
     #[must_use]
     pub fn group_metrics(&self, config: &ChipConfig) -> GroupMetrics {
         GroupMetrics::aggregate(&self.evaluate_config(config))
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_owned()
     }
 }
 
@@ -314,5 +566,88 @@ mod tests {
     #[should_panic(expected = "no evaluations")]
     fn empty_aggregate_panics() {
         let _ = GroupMetrics::aggregate(&[]);
+    }
+
+    #[test]
+    fn try_evaluate_config_matches_legacy_on_a_clean_harness() {
+        let h = Harness::quick();
+        let cfg = ChipConfig::stock(ProcessorId::CoreI7_920.spec());
+        let report = h.try_evaluate_config(&cfg);
+        assert!(report.health.is_clean());
+        let resilient: Vec<Evaluation> =
+            report.evaluations.into_iter().map(Result::unwrap).collect();
+        assert_eq!(resilient, h.evaluate_config(&cfg));
+    }
+
+    #[test]
+    fn sweep_survives_a_faulted_machine_and_reports_it() {
+        use lhr_sensors::faults::{FaultPlan, Saturation};
+
+        // Clip the C2D's rig so tightly every run flatlines: that cell
+        // must fail, every other cell must come through, and the health
+        // summary must name the degraded cell.
+        let plan = FaultPlan::new(13).with_saturation(Saturation::new(2.49, 2.5));
+        let runner = Runner::fast().with_fault_plan(ProcessorId::Core2DuoE6600, plan);
+        let names = ["hmmer", "swaptions", "db", "sunflow"];
+        let ws: Vec<&'static Workload> = names
+            .iter()
+            .map(|n| lhr_workloads::by_name(n).expect("subset exists"))
+            .collect();
+        let h = Harness::new(runner).with_workloads(ws);
+        let configs = [
+            ChipConfig::stock(ProcessorId::Atom230.spec()),
+            ChipConfig::stock(ProcessorId::Core2DuoE6600.spec()),
+            ChipConfig::stock(ProcessorId::CoreI7_920.spec()),
+        ];
+        let report = h.sweep(&configs);
+        assert_eq!(report.health.cells_total, 3);
+        // The C2D is one of the four reference machines, so its death
+        // poisons the Section 2.6 normalization for every cell: the
+        // sweep still completes, with each cell recording the root
+        // cause instead of panicking.
+        assert_eq!(report.health.cells_degraded, 3);
+        assert!(!report.health.is_clean());
+        assert!(report.health.failed_measurements > 0);
+        assert!(!report.health.degraded.is_empty());
+        // Nothing panicked: every cell produced a report.
+        assert_eq!(report.cells.len(), 3);
+    }
+
+    #[test]
+    fn sweep_survives_a_faulted_non_reference_machine() {
+        use lhr_sensors::faults::{FaultPlan, Saturation};
+
+        // Kill a machine that is NOT part of the reference four: only
+        // its own cell degrades; the healthy cells report full numbers.
+        let plan = FaultPlan::new(13).with_saturation(Saturation::new(2.49, 2.5));
+        let runner = Runner::fast().with_fault_plan(ProcessorId::CoreI7_920, plan);
+        let names = ["hmmer", "swaptions", "db", "sunflow"];
+        let ws: Vec<&'static Workload> = names
+            .iter()
+            .map(|n| lhr_workloads::by_name(n).expect("subset exists"))
+            .collect();
+        let h = Harness::new(runner).with_workloads(ws);
+        let i7 = ChipConfig::stock(ProcessorId::CoreI7_920.spec());
+        let configs = [
+            ChipConfig::stock(ProcessorId::Atom230.spec()),
+            i7.clone(),
+            ChipConfig::stock(ProcessorId::Core2DuoE6600.spec()),
+        ];
+        let report = h.sweep(&configs);
+        assert_eq!(report.health.cells_total, 3);
+        assert_eq!(report.health.cells_degraded, 1);
+        assert_eq!(report.health.degraded, vec![i7.label()]);
+        assert!(report.health.render().contains(&i7.label()));
+        // The dead cell records per-workload errors but still exists.
+        let dead = &report.cells[1];
+        assert_eq!(dead.health.failed, 4);
+        assert!(dead.metrics().is_none());
+        assert!(dead.failures().count() == 4);
+        // Healthy cells are complete and aggregatable.
+        for cell in [&report.cells[0], &report.cells[2]] {
+            assert!(cell.health.is_clean(), "{}: {:?}", cell.label, cell.health);
+            assert_eq!(cell.successes().len(), 4);
+            assert!(cell.metrics().is_some());
+        }
     }
 }

@@ -33,13 +33,15 @@
 #![warn(missing_docs)]
 
 pub mod configs;
+mod error;
 pub mod experiments;
 mod harness;
 mod reference;
 mod report;
 mod runner;
 
-pub use harness::{Evaluation, GroupMetrics, Harness};
+pub use error::{MeasureError, MeasureErrorKind, MeasureHealth, RunnerHealth};
+pub use harness::{CellHealth, CellReport, Evaluation, GroupMetrics, Harness, SweepHealth, SweepReport};
 pub use reference::{ReferenceSet, REFERENCE_PROCESSORS};
 pub use report::{fmt2, fmt_pct, Table};
-pub use runner::{RunMeasurement, Runner};
+pub use runner::{RunMeasurement, Runner, DEFAULT_RETRY_BUDGET};

@@ -13,6 +13,7 @@ use std::collections::HashMap;
 use lhr_uarch::{ChipConfig, ProcessorId};
 use lhr_workloads::Workload;
 
+use crate::error::MeasureError;
 use crate::runner::Runner;
 
 /// The four reference machines.
@@ -33,15 +34,36 @@ pub struct ReferenceSet {
 impl ReferenceSet {
     /// Computes the references for a set of workloads by running each on
     /// the four reference machines in their stock configurations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a reference measurement fails;
+    /// [`ReferenceSet::try_compute`] is the non-panicking form.
     #[must_use]
     pub fn compute(runner: &Runner, workloads: &[&'static Workload]) -> Self {
+        Self::try_compute(runner, workloads)
+            .unwrap_or_else(|e| panic!("reference computation failed: {e}"))
+    }
+
+    /// Computes the references, reporting the first failed measurement
+    /// instead of panicking. A broken reference machine invalidates the
+    /// whole normalization (Section 2.6 averages over exactly four
+    /// machines), so any failure here fails the set.
+    ///
+    /// # Errors
+    ///
+    /// The first [`MeasureError`] hit on any reference machine.
+    pub fn try_compute(
+        runner: &Runner,
+        workloads: &[&'static Workload],
+    ) -> Result<Self, MeasureError> {
         let mut seconds = HashMap::new();
         let mut joules = HashMap::new();
         for w in workloads {
             let mut times = Vec::with_capacity(4);
             let mut powers = Vec::with_capacity(4);
             for id in REFERENCE_PROCESSORS {
-                let m = runner.measure(&ChipConfig::stock(id.spec()), w);
+                let (m, _) = runner.try_measure(&ChipConfig::stock(id.spec()), w)?;
                 times.push(m.seconds().value());
                 powers.push(m.watts().value());
             }
@@ -50,7 +72,7 @@ impl ReferenceSet {
             seconds.insert(w.name(), avg_time);
             joules.insert(w.name(), avg_power * avg_time);
         }
-        Self { seconds, joules }
+        Ok(Self { seconds, joules })
     }
 
     /// The reference time for a benchmark.

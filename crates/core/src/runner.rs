@@ -4,15 +4,41 @@
 //! 5 for PARSEC, and 20 for Java (adaptive JIT and GC make Java runs
 //! nondeterministic), reporting means. Every power figure passes through
 //! the calibrated Hall-effect rig, never straight from the waveform.
+//!
+//! The runner has two faces. [`Runner::measure`] is the legacy panicking
+//! path; [`Runner::try_measure`] is the resilient one: it audits each
+//! invocation through the rig's validating path, retries rejected
+//! invocations with fresh seeds under a bounded budget, recalibrates a
+//! rig whose drift self-check trips, fences invocation-level outliers
+//! with a Tukey/MAD test, and falls back to a recorded [`MeasureError`]
+//! only when the budget is spent. With no fault plans armed the two
+//! paths produce bit-for-bit identical measurements.
 
 use std::collections::HashMap;
-use std::sync::Mutex;
 
-use lhr_sensors::MeasurementRig;
-use lhr_stats::{Summary, SummaryBuilder};
+use parking_lot::Mutex;
+
+use lhr_sensors::{faults::FaultPlan, MeasurementRig, SensorError};
+use lhr_stats::{median, median_abs_deviation, Summary, SummaryBuilder};
 use lhr_uarch::{ChipConfig, ChipSimulator, ProcessorId};
 use lhr_units::{Joules, Seconds, Watts};
 use lhr_workloads::{Group, Workload};
+
+use crate::error::{MeasureError, MeasureErrorKind, MeasureHealth, RunnerHealth};
+
+/// Default number of extra invocations a measurement may spend on
+/// retries before giving up.
+pub const DEFAULT_RETRY_BUDGET: usize = 8;
+
+/// MAD multiplier of the outlier fence (3.5 robust sigmas: Tukey's far
+/// fence for normal-ish invocation spreads).
+const FENCE_MAD_SIGMAS: f64 = 3.5 * 1.4826;
+
+/// Floor of the outlier fence as a fraction of the median. Clean
+/// invocation spreads (seeded JIT/GC jitter plus sensor noise) sit well
+/// inside 25% of the median, so the fence can never reject a healthy
+/// invocation -- which is what keeps the no-fault path bit-identical.
+const FENCE_FLOOR_FRACTION: f64 = 0.25;
 
 /// One benchmark's measured behaviour on one configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -49,6 +75,9 @@ impl RunMeasurement {
     }
 }
 
+/// Cache key: (config label, workload name, seed fingerprint).
+type MeasureKey = (String, &'static str, u64);
+
 /// Runs benchmarks with the prescribed repetition and rig measurement.
 #[derive(Debug)]
 pub struct Runner {
@@ -56,11 +85,14 @@ pub struct Runner {
     invocations: Option<usize>,
     instruction_scale: f64,
     base_seed: u64,
+    retry_budget: usize,
+    fault_plans: HashMap<ProcessorId, FaultPlan>,
     rigs: Mutex<HashMap<ProcessorId, MeasurementRig>>,
     /// Lab notebook: measurements are pure functions of (configuration,
     /// workload) under a fixed seed policy, so repeats across experiments
     /// (every figure touches the stock machines) are served from cache.
-    cache: Mutex<HashMap<(String, &'static str, u64), RunMeasurement>>,
+    cache: Mutex<HashMap<MeasureKey, (RunMeasurement, MeasureHealth)>>,
+    health: Mutex<RunnerHealth>,
 }
 
 impl Default for Runner {
@@ -78,8 +110,11 @@ impl Runner {
             invocations: None,
             instruction_scale: 1.0,
             base_seed: 0x1bad_b002,
+            retry_budget: DEFAULT_RETRY_BUDGET,
+            fault_plans: HashMap::new(),
             rigs: Mutex::new(HashMap::new()),
             cache: Mutex::new(HashMap::new()),
+            health: Mutex::new(RunnerHealth::default()),
         }
     }
 
@@ -88,14 +123,11 @@ impl Runner {
     /// identical (the model is deterministic up to seeded jitter).
     #[must_use]
     pub fn fast() -> Self {
-        Self {
-            sim: ChipSimulator::new().with_target_slices(80),
-            invocations: Some(2),
-            instruction_scale: 0.02,
-            base_seed: 0x1bad_b002,
-            rigs: Mutex::new(HashMap::new()),
-            cache: Mutex::new(HashMap::new()),
-        }
+        let mut r = Self::new();
+        r.sim = ChipSimulator::new().with_target_slices(80);
+        r.invocations = Some(2);
+        r.instruction_scale = 0.02;
+        r
     }
 
     /// Fixes the invocation count instead of following the methodology.
@@ -122,11 +154,53 @@ impl Runner {
         self
     }
 
-    /// Overrides the simulator slice budget.
+    /// Overrides the simulator slice budget, preserving any other
+    /// simulator customization already applied.
     #[must_use]
     pub fn with_target_slices(mut self, n: usize) -> Self {
-        self.sim = ChipSimulator::new().with_target_slices(n);
+        self.sim = self.sim.with_target_slices(n);
         self
+    }
+
+    /// Bounds how many extra invocations a measurement may spend on
+    /// retries (sensor rejections and outlier re-runs) before failing.
+    #[must_use]
+    pub fn with_retry_budget(mut self, budget: usize) -> Self {
+        self.retry_budget = budget;
+        self
+    }
+
+    /// Arms a fault plan on one machine's rig: every measurement taken on
+    /// that processor passes through the injected faults. All-default
+    /// plans are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine's rig was already built (plans must be armed
+    /// before first use -- a lab would not hot-swap a sensor mid-study).
+    #[must_use]
+    pub fn with_fault_plan(self, id: ProcessorId, plan: FaultPlan) -> Self {
+        assert!(
+            !self.rigs.lock().contains_key(&id),
+            "fault plan for {id:?} armed after its rig was built"
+        );
+        let mut me = self;
+        if !plan.is_none() {
+            me.fault_plans.insert(id, plan);
+        }
+        me
+    }
+
+    /// The retry budget in force.
+    #[must_use]
+    pub fn retry_budget(&self) -> usize {
+        self.retry_budget
+    }
+
+    /// A snapshot of the runner's cumulative resilience ledger.
+    #[must_use]
+    pub fn health(&self) -> RunnerHealth {
+        *self.health.lock()
     }
 
     /// The invocation count used for a workload.
@@ -138,23 +212,79 @@ impl Runner {
 
     /// Measures one benchmark on one configuration: `n` invocations, each
     /// timed and power-sampled through the chip's calibrated rig.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resilient path records a failure (see
+    /// [`Runner::try_measure`] for the non-panicking form).
     #[must_use]
     pub fn measure(&self, config: &ChipConfig, workload: &Workload) -> RunMeasurement {
-        let key = (config.label(), workload.name(), fingerprint(workload));
-        if let Some(hit) = self.cache.lock().expect("measurement cache").get(&key) {
-            return hit.clone();
+        match self.try_measure(config, workload) {
+            Ok((m, _)) => m,
+            Err(e) => panic!("measurement failed: {e}"),
         }
+    }
+
+    /// The resilient measurement path: validated invocations, seeded
+    /// retries, drift-triggered recalibration, and a Tukey/MAD outlier
+    /// fence, all under a bounded retry budget.
+    ///
+    /// Returns the accepted measurement plus what it cost to obtain
+    /// ([`MeasureHealth`]; zeroed for cache hits, whose work was already
+    /// accounted). With no fault plan armed for the machine, the result
+    /// is bit-for-bit identical to the legacy path.
+    ///
+    /// # Errors
+    ///
+    /// A [`MeasureError`] when the rig cannot be built, a failure is not
+    /// retryable, or the retry budget is exhausted.
+    pub fn try_measure(
+        &self,
+        config: &ChipConfig,
+        workload: &Workload,
+    ) -> Result<(RunMeasurement, MeasureHealth), MeasureError> {
+        let key = (config.label(), workload.name(), fingerprint(workload));
+        if let Some((hit, _)) = self.cache.lock().get(&key) {
+            return Ok((hit.clone(), MeasureHealth::default()));
+        }
+        let result = self.measure_uncached(config, workload);
+        match &result {
+            Ok((measurement, health)) => {
+                let mut ledger = self.health.lock();
+                ledger.retries += health.retries;
+                ledger.recalibrations += health.recalibrations;
+                ledger.rejected_outliers += health.rejected_outliers;
+                drop(ledger);
+                self.cache
+                    .lock()
+                    .insert(key, (measurement.clone(), *health));
+            }
+            Err(_) => self.health.lock().failed_measurements += 1,
+        }
+        result
+    }
+
+    fn measure_uncached(
+        &self,
+        config: &ChipConfig,
+        workload: &Workload,
+    ) -> Result<(RunMeasurement, MeasureHealth), MeasureError> {
         let spec = config.spec();
         // One rig per machine, calibrated on first use, as in the lab.
         {
-            let mut rigs = self.rigs.lock().expect("rig registry");
-            rigs.entry(spec.id).or_insert_with(|| {
-                MeasurementRig::for_max_power(
+            let mut rigs = self.rigs.lock();
+            if let std::collections::hash_map::Entry::Vacant(slot) = rigs.entry(spec.id) {
+                let rig = MeasurementRig::for_max_power(
                     Watts::new(spec.power.tdp_w),
-                    0xd1e5_ee0 ^ spec.id as u64,
+                    0x0d1e_5ee0 ^ spec.id as u64,
                 )
-                .expect("factory sensors calibrate successfully")
-            });
+                .map_err(|e| MeasureError::rig_setup(config.label(), e))?;
+                let rig = match self.fault_plans.get(&spec.id) {
+                    Some(plan) => rig.with_fault_plan(plan.clone()),
+                    None => rig,
+                };
+                slot.insert(rig);
+            }
         }
 
         let scaled;
@@ -166,16 +296,49 @@ impl Runner {
         };
 
         let n = self.invocations_for(workload);
+        let mut health = MeasureHealth::default();
+        let mut times = vec![0.0f64; n];
+        let mut powers = vec![0.0f64; n];
+        let mut attempts = 0usize; // distinct seeds consumed beyond attempt 0
+        for k in 0..n {
+            let (t, p) =
+                self.run_invocation(config, w, workload, k, &mut attempts, &mut health)?;
+            times[k] = t;
+            powers[k] = p;
+        }
+
+        // Tukey/MAD outlier fence on the per-invocation power means: a
+        // faulted invocation (spike, partial flatline) lands far outside
+        // the robust spread of its siblings and is re-run on a fresh
+        // seed. Clean spreads sit far inside the fence floor, so a
+        // healthy measurement is never touched. If the budget runs out
+        // while outliers remain, the data is kept and the rejection count
+        // records the degradation.
+        if n >= 3 {
+            loop {
+                let med = median(&powers);
+                let mad = median_abs_deviation(&powers);
+                let fence = (FENCE_MAD_SIGMAS * mad).max(FENCE_FLOOR_FRACTION * med.abs());
+                let outlier = (0..n).find(|&k| (powers[k] - med).abs() > fence);
+                let Some(k) = outlier else { break };
+                if health.retries >= self.retry_budget {
+                    break;
+                }
+                health.rejected_outliers += 1;
+                health.retries += 1;
+                attempts += 1;
+                let (t, p) =
+                    self.run_invocation_once(config, w, workload, k, attempts, &mut health)?;
+                times[k] = t;
+                powers[k] = p;
+            }
+        }
+
         let mut time = SummaryBuilder::new();
         let mut power = SummaryBuilder::new();
         for k in 0..n {
-            let seed = seed_for(self.base_seed, workload.name(), &config.label(), k);
-            let result = self.sim.run(config, w, seed);
-            let rigs = self.rigs.lock().expect("rig registry");
-            let rig = rigs.get(&spec.id).expect("inserted above");
-            let measured = rig.measure(&result.waveform, seed ^ 0x50_c3);
-            time.push(result.time.value());
-            power.push(measured.average_power.value());
+            time.push(times[k]);
+            power.push(powers[k]);
         }
         let measurement = RunMeasurement {
             workload: workload.name(),
@@ -184,11 +347,131 @@ impl Runner {
             time: time.build(),
             power: power.build(),
         };
-        self.cache
-            .lock()
-            .expect("measurement cache")
-            .insert(key, measurement.clone());
-        measurement
+        Ok((measurement, health))
+    }
+
+    /// Runs invocation `k` until the rig accepts it or the budget dies:
+    /// drift rejections trigger a recalibration and a same-seed repeat;
+    /// other sensor rejections burn a retry and a fresh seed.
+    fn run_invocation(
+        &self,
+        config: &ChipConfig,
+        w: &Workload,
+        workload: &Workload,
+        k: usize,
+        attempts: &mut usize,
+        health: &mut MeasureHealth,
+    ) -> Result<(f64, f64), MeasureError> {
+        let mut attempt = 0usize;
+        loop {
+            match self.run_invocation_once(config, w, workload, k, attempt, health) {
+                Ok(sample) => return Ok(sample),
+                Err(e) => {
+                    // A failed recalibration is terminal: the channel is
+                    // too broken for fresh seeds to help.
+                    if matches!(e.kind, MeasureErrorKind::Sensor(_))
+                        || health.retries >= self.retry_budget
+                    {
+                        return Err(self.budget_exhausted(config, workload, e));
+                    }
+                    health.retries += 1;
+                    *attempts += 1;
+                    attempt = *attempts;
+                }
+            }
+        }
+    }
+
+    /// One simulated run plus one rig pass for invocation `k`, on the
+    /// seed derived from `attempt` (attempt 0 is the legacy seed).
+    /// Recalibrates -- without consuming the attempt -- when the rig
+    /// reports drift.
+    fn run_invocation_once(
+        &self,
+        config: &ChipConfig,
+        w: &Workload,
+        workload: &Workload,
+        k: usize,
+        attempt: usize,
+        health: &mut MeasureHealth,
+    ) -> Result<(f64, f64), MeasureError> {
+        let spec = config.spec();
+        let base = seed_for(self.base_seed, workload.name(), &config.label(), k);
+        let seed = if attempt == 0 {
+            base
+        } else {
+            retry_seed(base, attempt)
+        };
+        let result = self.sim.run(config, w, seed);
+        let mut rigs = self.rigs.lock();
+        let rig = rigs.get_mut(&spec.id).expect("inserted before invocations");
+        match rig.try_measure(&result.waveform, seed ^ 0x50_c3) {
+            Ok(m) => Ok((result.time.value(), m.average_power.value())),
+            Err(SensorError::ExcessiveDrift { .. }) => {
+                // The fit no longer matches the channel: recalibrate and
+                // repeat this attempt, as the paper's lab did.
+                health.recalibrations += 1;
+                rig.recalibrate().map_err(|e| MeasureError {
+                    workload: Some(workload.name()),
+                    config: config.label(),
+                    kind: MeasureErrorKind::Sensor(e),
+                })?;
+                drop(rigs);
+                self.retry_after_recalibration(config, w, workload, seed)
+            }
+            Err(e) => Err(MeasureError {
+                workload: Some(workload.name()),
+                config: config.label(),
+                kind: MeasureErrorKind::RetryBudgetExhausted {
+                    budget: self.retry_budget,
+                    last: e,
+                },
+            }),
+        }
+    }
+
+    /// Repeats a drift-rejected invocation on its own seed, against the
+    /// freshly recalibrated rig.
+    fn retry_after_recalibration(
+        &self,
+        config: &ChipConfig,
+        w: &Workload,
+        workload: &Workload,
+        seed: u64,
+    ) -> Result<(f64, f64), MeasureError> {
+        let spec = config.spec();
+        let result = self.sim.run(config, w, seed);
+        let mut rigs = self.rigs.lock();
+        let rig = rigs.get_mut(&spec.id).expect("inserted before invocations");
+        match rig.try_measure(&result.waveform, seed ^ 0x50_c3) {
+            Ok(m) => Ok((result.time.value(), m.average_power.value())),
+            Err(e) => Err(MeasureError {
+                workload: Some(workload.name()),
+                config: config.label(),
+                kind: MeasureErrorKind::RetryBudgetExhausted {
+                    budget: self.retry_budget,
+                    last: e,
+                },
+            }),
+        }
+    }
+
+    fn budget_exhausted(
+        &self,
+        config: &ChipConfig,
+        workload: &Workload,
+        underlying: MeasureError,
+    ) -> MeasureError {
+        match underlying.kind {
+            MeasureErrorKind::RetryBudgetExhausted { .. } | MeasureErrorKind::Sensor(_) => {
+                underlying
+            }
+            _ => MeasureError {
+                workload: Some(workload.name()),
+                config: config.label(),
+                kind: underlying.kind,
+            },
+        }
     }
 }
 
@@ -229,9 +512,16 @@ fn seed_for(base: u64, workload: &str, config: &str, invocation: usize) -> u64 {
     h ^ (invocation as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
+/// A fresh, decorrelated seed for retry attempt `attempt` (>= 1) of an
+/// invocation whose attempt-0 seed is `base`.
+fn retry_seed(base: u64, attempt: usize) -> u64 {
+    base.rotate_left(17) ^ (attempt as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lhr_sensors::faults::{Drift, FaultPlan, Saturation, Spikes};
     use lhr_uarch::ProcessorId;
     use lhr_workloads::by_name;
 
@@ -290,5 +580,109 @@ mod tests {
         let s3 = seed_for(1, "b", "c", 0);
         assert_ne!(s1, s2);
         assert_ne!(s1, s3);
+        assert_ne!(retry_seed(s1, 1), s1);
+        assert_ne!(retry_seed(s1, 1), retry_seed(s1, 2));
+    }
+
+    #[test]
+    fn target_slice_override_preserves_other_customization() {
+        // Regression test: with_target_slices used to rebuild the
+        // simulator from scratch, silently discarding prior overrides.
+        let r = Runner::fast().with_target_slices(120);
+        let plain = Runner::fast();
+        // fast()'s other knobs must survive the slice override.
+        assert_eq!(r.invocations, plain.invocations);
+        assert!((r.instruction_scale - plain.instruction_scale).abs() < 1e-12);
+        let m = r.measure(&cfg(), by_name("jess").unwrap());
+        assert!(m.watts().value() > 0.0);
+    }
+
+    #[test]
+    fn try_measure_matches_measure_without_faults() {
+        let validated = Runner::fast();
+        let legacy = Runner::fast();
+        let w = by_name("jess").unwrap();
+        let (m, health) = validated.try_measure(&cfg(), w).unwrap();
+        assert_eq!(m, legacy.measure(&cfg(), w));
+        assert!(health.is_clean(), "clean run, clean health: {health:?}");
+        assert_eq!(validated.health(), RunnerHealth::default());
+    }
+
+    #[test]
+    fn cache_hits_report_zero_cost() {
+        let r = Runner::fast();
+        let w = by_name("jess").unwrap();
+        let (a, _) = r.try_measure(&cfg(), w).unwrap();
+        let (b, health) = r.try_measure(&cfg(), w).unwrap();
+        assert_eq!(a, b);
+        assert!(health.is_clean());
+    }
+
+    #[test]
+    fn spike_outliers_are_fenced_and_converge_to_the_clean_mean() {
+        // A rail spike afflicting roughly a third of invocations on the
+        // C2D rig: attempt-0 runs that draw a spike read ~10 W high and
+        // must be fenced out and re-run on fresh seeds.
+        let w = by_name("hmmer").unwrap();
+        let clean = Runner::fast().with_invocations(6);
+        let clean_mean = clean.measure(&cfg(), w).watts().value();
+
+        let plan = FaultPlan::new(0xbad).with_spikes(Spikes {
+            per_run_probability: 0.35,
+            magnitude_v: -0.15,
+        });
+        let faulted = Runner::fast()
+            .with_invocations(6)
+            .with_fault_plan(ProcessorId::Core2DuoE6600, plan);
+        let (m, health) = faulted.try_measure(&cfg(), w).expect("must converge");
+        assert!(
+            health.rejected_outliers > 0,
+            "spiked invocations must be fenced: {health:?}"
+        );
+        assert!(health.retries <= faulted.retry_budget());
+        let drift = (m.watts().value() - clean_mean).abs() / clean_mean;
+        assert!(
+            drift < 0.01,
+            "fenced mean within 1% of clean mean (got {:.3}% off)",
+            drift * 100.0
+        );
+        let ledger = faulted.health();
+        assert_eq!(ledger.rejected_outliers, health.rejected_outliers);
+        assert_eq!(ledger.failed_measurements, 0);
+    }
+
+    #[test]
+    fn drift_triggers_recalibration_not_failure() {
+        let plan = FaultPlan::new(7).with_drift(Drift::new(0.004, 0.0015));
+        let r = Runner::fast()
+            .with_invocations(8)
+            .with_fault_plan(ProcessorId::Core2DuoE6600, plan);
+        let w = by_name("hmmer").unwrap();
+        let (m, health) = r.try_measure(&cfg(), w).expect("recalibration recovers");
+        assert!(m.watts().value() > 0.0);
+        // The drifting rig must eventually trip the self-check at least
+        // once across eight invocations.
+        assert!(
+            health.recalibrations > 0,
+            "drift must recalibrate: {health:?}"
+        );
+    }
+
+    #[test]
+    fn hopeless_rig_fails_with_recorded_error_not_panic() {
+        // Clipping so tight every run flatlines: no retry can save it.
+        let plan = FaultPlan::new(1).with_saturation(Saturation::new(2.49, 2.5));
+        let r = Runner::fast().with_fault_plan(ProcessorId::Core2DuoE6600, plan);
+        let w = by_name("hmmer").unwrap();
+        let err = r.try_measure(&cfg(), w).unwrap_err();
+        assert!(matches!(
+            err.kind,
+            MeasureErrorKind::RetryBudgetExhausted { .. }
+        ));
+        assert_eq!(err.workload, Some("hmmer"));
+        assert_eq!(r.health().failed_measurements, 1);
+        // Other machines are unaffected.
+        let other = ChipConfig::stock(ProcessorId::Atom230.spec());
+        assert!(r.try_measure(&other, w).is_ok());
     }
 }

@@ -198,6 +198,7 @@ impl EnergyModel {
     /// * `disabled_cores` draw `disabled_core_fraction`;
     /// * the uncore and LLC are always on.
     #[must_use]
+    #[allow(clippy::too_many_arguments)]
     pub fn static_power(
         &self,
         p: &StaticPowerParams,
@@ -292,8 +293,10 @@ mod tests {
     #[test]
     fn activity_factor_scales_execution_not_clock() {
         let m = model();
-        let mut a = ActivityCounters::default();
-        a.active_cycles = 1_000_000;
+        let mut a = ActivityCounters {
+            active_cycles: 1_000_000,
+            ..ActivityCounters::default()
+        };
         let v = Volts::new(1.25);
         // Pure clock activity is unaffected by the workload activity factor.
         let e1 = m.dynamic_energy_with_activity(&a, TechNode::Nm65, v, 1.0);

@@ -75,6 +75,29 @@ impl Calibration {
         lo: Amperes,
         hi: Amperes,
     ) -> Result<Self, CalibrationError> {
+        Self::calibrate_channel(|amps| adc.quantize(sensor.output(amps)), n, lo, hi)
+    }
+
+    /// Calibrates an arbitrary amps-to-code channel: the same reference
+    /// currents and per-point averaging as [`Calibration::calibrate`],
+    /// but reading codes through `read_code`. This is how a rig
+    /// recalibrates a channel whose faults (drift, clipping) sit between
+    /// the sensor and the ADC: the fit absorbs whatever the channel has
+    /// become, exactly as a bench recalibration would.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Calibration::calibrate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or the current range is empty.
+    pub fn calibrate_channel(
+        mut read_code: impl FnMut(Amperes) -> u16,
+        n: usize,
+        lo: Amperes,
+        hi: Amperes,
+    ) -> Result<Self, CalibrationError> {
         assert!(n >= 2, "need at least two reference currents");
         assert!(hi.value() > lo.value(), "empty calibration range");
         let points: Vec<(f64, f64)> = (0..n)
@@ -83,7 +106,7 @@ impl Calibration {
                 // Average a few samples per reference point, as a bench
                 // calibration would, to suppress output noise.
                 let mean_code = (0..16)
-                    .map(|_| f64::from(adc.quantize(sensor.output(Amperes::new(amps)))))
+                    .map(|_| f64::from(read_code(Amperes::new(amps))))
                     .sum::<f64>()
                     / 16.0;
                 (amps, mean_code)
@@ -205,6 +228,24 @@ mod tests {
         let max = codes.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         assert!((385.0..=415.0).contains(&min), "min code {min}");
         assert!((490.0..=515.0).contains(&max), "max code {max}");
+    }
+
+    #[test]
+    fn calibrate_channel_matches_sensor_calibration_exactly() {
+        // The closure form draws the same samples in the same order, so
+        // the resulting fit is bit-for-bit the direct sensor fit.
+        let adc = Adc::avr_10bit();
+        let mut direct = HallSensor::acs714_5a(33);
+        let a = Calibration::paper_procedure(&mut direct, &adc).unwrap();
+        let mut via_channel = HallSensor::acs714_5a(33);
+        let b = Calibration::calibrate_channel(
+            |amps| adc.quantize(via_channel.output(amps)),
+            28,
+            Amperes::from_ma(300.0),
+            Amperes::new(3.0),
+        )
+        .unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! Typed errors for the measurement path.
+//!
+//! The rig's validating path ([`crate::MeasurementRig::try_measure`])
+//! never panics on bad data: every way a channel can go wrong in the lab
+//! -- a pegged sensor, a thermally drifted fit, a logger dropping frames
+//! -- maps to a [`SensorError`] variant the caller can retry, recalibrate
+//! around, or record as a failure.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::calibration::CalibrationError;
+
+/// Why a measurement attempt was rejected by the rig.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SensorError {
+    /// Too many samples flatlined at the edge of the log: the sensor (or
+    /// the ADC) spent part of the run pegged rather than tracking current.
+    Saturated {
+        /// Fraction of logged samples in a flatlined run.
+        fraction: f64,
+        /// The policy limit that was exceeded.
+        limit: f64,
+    },
+    /// The channel's self-check disagrees with the calibration fit by more
+    /// than the policy allows: the transfer function has drifted since
+    /// calibration (thermal gain/offset walk).
+    ExcessiveDrift {
+        /// Self-check residual against the fit, in ADC codes.
+        codes: f64,
+        /// The policy limit that was exceeded.
+        limit: f64,
+    },
+    /// The logger delivered too few of the samples the run should have
+    /// produced (dropped frames on the USB link).
+    LowYield {
+        /// Fraction of expected samples actually logged.
+        achieved: f64,
+        /// The policy minimum.
+        required: f64,
+    },
+    /// Every sample of the run was dropped; there is nothing to average.
+    NoSamples,
+    /// A logged code fell where the calibration fit cannot be inverted
+    /// (zero-slope fit; only reachable with a corrupted calibration).
+    Uninvertible {
+        /// The offending code.
+        code: u16,
+    },
+    /// A recalibration attempt itself failed its acceptance test.
+    Recalibration(CalibrationError),
+}
+
+impl fmt::Display for SensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SensorError::Saturated { fraction, limit } => write!(
+                f,
+                "sensor saturated: {:.1}% of samples flatlined (limit {:.1}%)",
+                fraction * 100.0,
+                limit * 100.0
+            ),
+            SensorError::ExcessiveDrift { codes, limit } => write!(
+                f,
+                "channel drifted {codes:.2} codes from its calibration (limit {limit:.2})"
+            ),
+            SensorError::LowYield { achieved, required } => write!(
+                f,
+                "logger yield {:.1}% below required {:.1}%",
+                achieved * 100.0,
+                required * 100.0
+            ),
+            SensorError::NoSamples => write!(f, "logger delivered no samples"),
+            SensorError::Uninvertible { code } => {
+                write!(f, "code {code} not invertible under the calibration fit")
+            }
+            SensorError::Recalibration(e) => write!(f, "recalibration failed: {e}"),
+        }
+    }
+}
+
+impl Error for SensorError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SensorError::Recalibration(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CalibrationError> for SensorError {
+    fn from(e: CalibrationError) -> Self {
+        SensorError::Recalibration(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_carry_the_numbers() {
+        let e = SensorError::Saturated {
+            fraction: 0.25,
+            limit: 0.05,
+        };
+        assert!(format!("{e}").contains("25.0%"));
+        let e = SensorError::ExcessiveDrift {
+            codes: 4.2,
+            limit: 3.0,
+        };
+        assert!(format!("{e}").contains("4.20"));
+        let e = SensorError::LowYield {
+            achieved: 0.4,
+            required: 0.5,
+        };
+        assert!(format!("{e}").contains("40.0%"));
+    }
+
+    #[test]
+    fn recalibration_wraps_calibration_error() {
+        let cal = CalibrationError::PoorFit {
+            r_squared: 0.9,
+            threshold: 0.999,
+        };
+        let e = SensorError::from(cal.clone());
+        assert_eq!(e, SensorError::Recalibration(cal));
+        assert!(Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,421 @@
+//! Deterministic fault injection for the sensing rig.
+//!
+//! Real rigs misbehave: sensors peg at the edge of their range, gain and
+//! offset walk with temperature, ADC channels latch a stuck code, rails
+//! pick up transient spikes, and USB loggers drop frames. A [`FaultPlan`]
+//! describes which of those afflictions a rig suffers; a [`FaultInjector`]
+//! owns the slow state (the thermal clock) across measurements; a
+//! [`FaultSession`] applies the plan to one run.
+//!
+//! Everything is seeded and reproducible: the fault stream is derived
+//! from `plan seed ^ run seed` with [`SplitMix64`], entirely separate
+//! from the sensor's own noise stream, so an all-default ("no-fault")
+//! plan leaves every measurement bit-for-bit identical to a rig without
+//! an injector at all.
+
+use lhr_trace::{Rng64, SplitMix64};
+use lhr_units::Volts;
+
+/// Clipping limits on the sensor's analog output, modelling a channel
+/// that saturates before the ADC's full range.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Saturation {
+    low_v: f64,
+    high_v: f64,
+}
+
+impl Saturation {
+    /// Clipping at the given analog limits.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= low < high`.
+    #[must_use]
+    pub fn new(low_v: f64, high_v: f64) -> Self {
+        assert!(low_v >= 0.0 && low_v < high_v, "need 0 <= low < high");
+        Self { low_v, high_v }
+    }
+
+    /// Clipping that confines the channel to the paper's observed
+    /// calibration code band (400-503 on the 10-bit/5 V ADC): the output
+    /// can never quantize outside the codes a healthy channel produces,
+    /// but any current past the band pegs.
+    #[must_use]
+    pub fn paper_band() -> Self {
+        // 400 * 5/1024 = 1.953 V and 504 * 5/1024 = 2.461 V; stay a few
+        // millivolts inside so quantization lands strictly in 400..=503.
+        Self::new(1.955, 2.455)
+    }
+
+    /// The lower clip limit in volts.
+    #[must_use]
+    pub fn low(&self) -> f64 {
+        self.low_v
+    }
+
+    /// The upper clip limit in volts.
+    #[must_use]
+    pub fn high(&self) -> f64 {
+        self.high_v
+    }
+
+    fn clamp(&self, v: f64) -> f64 {
+        v.clamp(self.low_v, self.high_v)
+    }
+}
+
+/// Slow thermal drift of the sensor transfer function: gain and offset
+/// walk linearly with powered-on time, exactly the failure mode the
+/// paper's R-squared >= 0.999 calibration gate exists to catch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Drift {
+    /// Fractional gain change per second of rig uptime.
+    pub gain_per_s: f64,
+    /// Output offset change per second of rig uptime, in volts.
+    pub offset_v_per_s: f64,
+}
+
+impl Drift {
+    /// Drift with the given per-second rates.
+    #[must_use]
+    pub fn new(gain_per_s: f64, offset_v_per_s: f64) -> Self {
+        Self {
+            gain_per_s,
+            offset_v_per_s,
+        }
+    }
+}
+
+/// An ADC channel that latches one fixed code for a whole invocation,
+/// with the given per-invocation probability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StuckCode {
+    /// The code the channel latches to.
+    pub code: u16,
+    /// Probability that any given invocation is affected.
+    pub per_run_probability: f64,
+}
+
+/// A transient electrical excursion on the sensed rail: with the given
+/// per-invocation probability, the whole invocation's analog output is
+/// shifted by `magnitude_v` (negative shifts read as *higher* power on
+/// this rig's wiring), turning that invocation into an outlier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Spikes {
+    /// Probability that any given invocation is affected.
+    pub per_run_probability: f64,
+    /// The voltage excursion applied while the spike is active.
+    pub magnitude_v: f64,
+}
+
+/// The logger dropping samples (lost frames on the USB link), each
+/// sample independently with the given probability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Drops {
+    /// Per-sample drop probability.
+    pub probability: f64,
+}
+
+/// A seeded, deterministic description of everything wrong with a rig.
+///
+/// The default plan ([`FaultPlan::none`]) injects nothing and is the
+/// identity on every measurement.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    saturation: Option<Saturation>,
+    drift: Option<Drift>,
+    stuck: Option<StuckCode>,
+    spikes: Option<Spikes>,
+    drops: Option<Drops>,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults, bit-for-bit identical measurements.
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// An empty plan carrying a seed for its (future) fault streams.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Adds output saturation.
+    #[must_use]
+    pub fn with_saturation(mut self, s: Saturation) -> Self {
+        self.saturation = Some(s);
+        self
+    }
+
+    /// Adds thermal gain/offset drift.
+    #[must_use]
+    pub fn with_drift(mut self, d: Drift) -> Self {
+        self.drift = Some(d);
+        self
+    }
+
+    /// Adds a probabilistically stuck ADC code.
+    #[must_use]
+    pub fn with_stuck_code(mut self, s: StuckCode) -> Self {
+        self.stuck = Some(s);
+        self
+    }
+
+    /// Adds transient rail spikes.
+    #[must_use]
+    pub fn with_spikes(mut self, s: Spikes) -> Self {
+        self.spikes = Some(s);
+        self
+    }
+
+    /// Adds logger sample drops.
+    #[must_use]
+    pub fn with_drops(mut self, d: Drops) -> Self {
+        self.drops = Some(d);
+        self
+    }
+
+    /// Whether the plan injects nothing at all.
+    #[must_use]
+    pub fn is_none(&self) -> bool {
+        self.saturation.is_none()
+            && self.drift.is_none()
+            && self.stuck.is_none()
+            && self.spikes.is_none()
+            && self.drops.is_none()
+    }
+
+    /// The plan's fault-stream seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+/// Owns a plan plus the slow state that persists across measurements:
+/// the rig's powered-on clock, which thermal drift accumulates against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    clock_s: f64,
+}
+
+impl FaultInjector {
+    /// An injector at power-on (clock zero).
+    #[must_use]
+    pub fn new(plan: FaultPlan) -> Self {
+        Self { plan, clock_s: 0.0 }
+    }
+
+    /// The plan being injected.
+    #[must_use]
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Seconds of rig uptime accumulated so far.
+    #[must_use]
+    pub fn clock(&self) -> f64 {
+        self.clock_s
+    }
+
+    /// Advances the uptime clock (called once per measured run).
+    pub fn advance(&mut self, seconds: f64) {
+        self.clock_s += seconds.max(0.0);
+    }
+
+    /// The deterministic (RNG-free) part of the analog transform at the
+    /// current clock: drift about the ACS714's 2.5 V center, then
+    /// saturation clipping. Used both per-sample and by the rig's drift
+    /// self-check, so the check sees exactly what measurements see.
+    #[must_use]
+    pub fn settled_volts(&self, v: Volts) -> Volts {
+        let mut x = v.value();
+        if let Some(d) = self.plan.drift {
+            let gain = 1.0 + d.gain_per_s * self.clock_s;
+            x = 2.5 + (x - 2.5) * gain + d.offset_v_per_s * self.clock_s;
+        }
+        if let Some(s) = self.plan.saturation {
+            x = s.clamp(x);
+        }
+        Volts::new(x.clamp(0.0, 5.0))
+    }
+
+    /// Starts a per-run fault session. The session's stream is
+    /// `plan seed ^ run seed`, so it is reproducible per invocation and
+    /// independent of the sensor's own noise stream.
+    #[must_use]
+    pub fn session(&self, run_seed: u64) -> FaultSession {
+        let mut rng = SplitMix64::new(self.plan.seed ^ run_seed ^ 0xfa17_5eed);
+        let spike_v = match self.plan.spikes {
+            Some(s) if rng.next_bool(s.per_run_probability) => Some(s.magnitude_v),
+            _ => None,
+        };
+        let stuck_code = match self.plan.stuck {
+            Some(s) if rng.next_bool(s.per_run_probability) => Some(s.code),
+            _ => None,
+        };
+        FaultSession {
+            injector: self.clone(),
+            rng,
+            spike_v,
+            stuck_code,
+            drop_p: self.plan.drops.map_or(0.0, |d| d.probability),
+        }
+    }
+}
+
+/// One run's worth of fault application.
+///
+/// Per-run events (spike, stuck code) are decided at session start; the
+/// only per-sample random draw is the drop decision, taken *after* the
+/// sensor has produced its sample so the sensor noise stream is
+/// unaffected by whether drops are configured.
+#[derive(Debug, Clone)]
+pub struct FaultSession {
+    injector: FaultInjector,
+    rng: SplitMix64,
+    spike_v: Option<f64>,
+    stuck_code: Option<u16>,
+    drop_p: f64,
+}
+
+impl FaultSession {
+    /// Applies the analog-side faults to one sensor output sample.
+    #[must_use]
+    pub fn volts(&self, v: Volts) -> Volts {
+        let mut x = v.value();
+        if let Some(d) = self.injector.plan.drift {
+            let gain = 1.0 + d.gain_per_s * self.injector.clock_s;
+            x = 2.5 + (x - 2.5) * gain + d.offset_v_per_s * self.injector.clock_s;
+        }
+        if let Some(s) = self.spike_v {
+            x += s;
+        }
+        if let Some(s) = self.injector.plan.saturation {
+            x = s.clamp(x);
+        }
+        Volts::new(x.clamp(0.0, 5.0))
+    }
+
+    /// Applies the digital-side faults to one quantized code.
+    #[must_use]
+    pub fn code(&self, code: u16) -> u16 {
+        self.stuck_code.unwrap_or(code)
+    }
+
+    /// Whether the logger keeps the next sample (draws the per-sample
+    /// drop decision; always `true` when no drops are configured).
+    pub fn keep(&mut self) -> bool {
+        self.drop_p <= 0.0 || !self.rng.next_bool(self.drop_p)
+    }
+
+    /// Whether this run drew a transient spike.
+    #[must_use]
+    pub fn spiked(&self) -> bool {
+        self.spike_v.is_some()
+    }
+
+    /// Whether this run drew a stuck ADC code.
+    #[must_use]
+    pub fn stuck(&self) -> bool {
+        self.stuck_code.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_plan_is_the_identity() {
+        let inj = FaultInjector::new(FaultPlan::none());
+        assert!(inj.plan().is_none());
+        let mut s = inj.session(42);
+        let v = Volts::new(2.31);
+        assert_eq!(s.volts(v), v);
+        assert_eq!(s.code(477), 477);
+        for _ in 0..100 {
+            assert!(s.keep());
+        }
+    }
+
+    #[test]
+    fn sessions_are_deterministic_per_run_seed() {
+        let plan = FaultPlan::new(9)
+            .with_spikes(Spikes {
+                per_run_probability: 0.5,
+                magnitude_v: -0.2,
+            })
+            .with_drops(Drops { probability: 0.3 });
+        let inj = FaultInjector::new(plan);
+        let mut a = inj.session(7);
+        let mut b = inj.session(7);
+        assert_eq!(a.spiked(), b.spiked());
+        for _ in 0..50 {
+            assert_eq!(a.keep(), b.keep());
+        }
+    }
+
+    #[test]
+    fn saturation_clamps_to_band() {
+        let s = Saturation::paper_band();
+        assert!(s.low() < s.high());
+        let plan = FaultPlan::new(1).with_saturation(s);
+        let sess = FaultInjector::new(plan).session(0);
+        assert_eq!(sess.volts(Volts::new(0.4)).value(), s.low());
+        assert_eq!(sess.volts(Volts::new(4.9)).value(), s.high());
+        let inside = Volts::new(2.2);
+        assert_eq!(sess.volts(inside), inside);
+    }
+
+    #[test]
+    fn drift_accumulates_with_the_clock() {
+        let plan = FaultPlan::new(1).with_drift(Drift::new(0.0, 0.001));
+        let mut inj = FaultInjector::new(plan);
+        let v = Volts::new(2.3);
+        assert_eq!(inj.settled_volts(v), v); // no uptime, no drift
+        inj.advance(10.0);
+        let drifted = inj.settled_volts(v).value();
+        assert!((drifted - 2.31).abs() < 1e-12, "got {drifted}");
+        assert_eq!(inj.session(3).volts(v).value(), drifted);
+    }
+
+    #[test]
+    fn spike_probability_one_always_fires() {
+        let plan = FaultPlan::new(5).with_spikes(Spikes {
+            per_run_probability: 1.0,
+            magnitude_v: -0.1,
+        });
+        let inj = FaultInjector::new(plan);
+        for seed in 0..20 {
+            let s = inj.session(seed);
+            assert!(s.spiked());
+            assert!((s.volts(Volts::new(2.4)).value() - 2.3).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn stuck_code_overrides_every_sample() {
+        let plan = FaultPlan::new(5).with_stuck_code(StuckCode {
+            code: 441,
+            per_run_probability: 1.0,
+        });
+        let s = FaultInjector::new(plan).session(0);
+        assert!(s.stuck());
+        assert_eq!(s.code(500), 441);
+        assert_eq!(s.code(400), 441);
+    }
+
+    #[test]
+    #[should_panic(expected = "need 0 <= low < high")]
+    fn inverted_saturation_band_panics() {
+        let _ = Saturation::new(3.0, 2.0);
+    }
+}

@@ -39,7 +39,7 @@ impl HallSensor {
     }
 
     fn with_sensitivity(v_per_a: f64, range_a: f64, device_seed: u64) -> Self {
-        let mut dev = SplitMix64::new(device_seed ^ 0xac57_14u64);
+        let mut dev = SplitMix64::new(device_seed ^ 0x00ac_5714_u64);
         // Datasheet-scale imperfections: +/-1.5% gain, +/-15 mV offset.
         let gain_error = dev.next_normal(0.0, 0.007).clamp(-0.015, 0.015);
         let offset_error_v = dev.next_normal(0.0, 0.007).clamp(-0.015, 0.015);

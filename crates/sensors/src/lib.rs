@@ -14,6 +14,14 @@
 //! and a [`MeasurementRig`] tying them together so every wattage the
 //! harness reports has passed through the same pipeline the paper's did.
 //!
+//! The rig also carries a deterministic fault-injection layer
+//! ([`faults`]): seeded saturation, thermal drift, stuck ADC codes,
+//! transient spikes, and dropped logger samples, with a validating
+//! [`MeasurementRig::try_measure`] path that audits every run
+//! ([`QualityReport`] / [`QualityPolicy`]) and returns typed
+//! [`SensorError`]s instead of panicking. A rig with no fault plan
+//! measures bit-for-bit identically to one without the layer at all.
+//!
 //! # Example
 //!
 //! ```
@@ -37,12 +45,18 @@
 
 mod adc;
 mod calibration;
+mod error;
+pub mod faults;
 mod hall;
 mod logger;
+mod quality;
 mod rig;
 
 pub use adc::Adc;
 pub use calibration::{Calibration, CalibrationError};
+pub use error::SensorError;
+pub use faults::{FaultInjector, FaultPlan, FaultSession};
 pub use hall::HallSensor;
 pub use logger::DataLogger;
+pub use quality::{QualityPolicy, QualityReport};
 pub use rig::{Measurement, MeasurementRig};

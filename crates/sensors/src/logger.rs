@@ -4,6 +4,7 @@ use lhr_power::PowerWaveform;
 use lhr_units::{Seconds, Volts};
 
 use crate::adc::Adc;
+use crate::faults::FaultSession;
 use crate::hall::HallSensor;
 
 /// Samples a sensor watching a supply rail at a fixed rate.
@@ -68,6 +69,35 @@ impl DataLogger {
             })
             .collect()
     }
+
+    /// Logs a run through a fault session: each sensor output passes
+    /// through the session's analog faults before quantization, each
+    /// quantized code through its digital faults, and each sample may be
+    /// dropped (`None`). The sensor is sampled for every slot -- dropped
+    /// or not -- so the sensor's noise stream advances exactly as in
+    /// [`DataLogger::log_run`] and drop decisions cannot perturb the
+    /// values of surviving samples.
+    #[must_use]
+    pub fn log_run_faulted(
+        &self,
+        waveform: &PowerWaveform,
+        sensor: &mut HallSensor,
+        adc: &Adc,
+        session: &mut FaultSession,
+    ) -> Vec<Option<u16>> {
+        let duration = waveform.duration().value();
+        let period = 1.0 / self.sample_hz;
+        let n = ((duration / period).floor() as usize).max(1);
+        (0..n)
+            .map(|k| {
+                let t = Seconds::new(k as f64 * period);
+                let current = waveform.power_at(t) / self.supply;
+                let volts = session.volts(sensor.output(current));
+                let code = session.code(adc.quantize(volts));
+                session.keep().then_some(code)
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -128,5 +158,45 @@ mod tests {
     #[should_panic(expected = "sample rate must be positive")]
     fn zero_rate_panics() {
         let _ = DataLogger::new(0.0, Volts::new(12.0));
+    }
+
+    #[test]
+    fn faulted_log_with_no_faults_matches_plain_log() {
+        use crate::faults::{FaultInjector, FaultPlan};
+        let logger = DataLogger::paper_rig();
+        let w = steady_waveform(24.0, 500);
+        let adc = Adc::avr_10bit();
+        let mut plain_sensor = HallSensor::acs714_5a(1);
+        let plain = logger.log_run(&w, &mut plain_sensor, &adc);
+        let mut faulted_sensor = HallSensor::acs714_5a(1);
+        let mut session = FaultInjector::new(FaultPlan::none()).session(99);
+        let faulted = logger.log_run_faulted(&w, &mut faulted_sensor, &adc, &mut session);
+        assert_eq!(
+            plain,
+            faulted.into_iter().map(Option::unwrap).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn drops_thin_the_log_without_changing_surviving_codes() {
+        use crate::faults::{Drops, FaultInjector, FaultPlan};
+        let logger = DataLogger::paper_rig();
+        let w = steady_waveform(24.0, 1000);
+        let adc = Adc::avr_10bit();
+        let mut plain_sensor = HallSensor::acs714_5a(1);
+        let plain = logger.log_run(&w, &mut plain_sensor, &adc);
+        let plan = FaultPlan::new(4).with_drops(Drops { probability: 0.2 });
+        let mut faulted_sensor = HallSensor::acs714_5a(1);
+        let mut session = FaultInjector::new(plan).session(5);
+        let faulted = logger.log_run_faulted(&w, &mut faulted_sensor, &adc, &mut session);
+        assert_eq!(faulted.len(), plain.len());
+        let kept = faulted.iter().flatten().count();
+        assert!(kept < plain.len(), "some samples must drop");
+        assert!(kept > plain.len() / 2, "most samples must survive");
+        for (p, f) in plain.iter().zip(&faulted) {
+            if let Some(code) = f {
+                assert_eq!(code, p, "surviving samples are byte-identical");
+            }
+        }
     }
 }

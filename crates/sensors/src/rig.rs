@@ -2,12 +2,20 @@
 
 use lhr_power::PowerWaveform;
 use lhr_stats::Summary;
-use lhr_units::{Seconds, Watts};
+use lhr_units::{Amperes, Seconds, Watts};
 
 use crate::adc::Adc;
 use crate::calibration::{Calibration, CalibrationError};
+use crate::error::SensorError;
+use crate::faults::{FaultInjector, FaultPlan};
 use crate::hall::HallSensor;
 use crate::logger::DataLogger;
+use crate::quality::{QualityPolicy, QualityReport};
+
+/// The mid-band reference current (amperes) the drift self-check drives
+/// through the channel: the center of the paper's 0.3-3 A calibration
+/// range.
+const SELF_CHECK_AMPS: f64 = 1.65;
 
 /// One benchmark run as seen through the rig.
 #[derive(Debug, Clone, PartialEq)]
@@ -19,6 +27,9 @@ pub struct Measurement {
     pub samples: Vec<Watts>,
     /// The run duration (from the waveform; timing used a separate clock).
     pub duration: Seconds,
+    /// Data-quality accounting for the run: yield, gaps, flatlining, and
+    /// the channel's drift self-check.
+    pub quality: QualityReport,
 }
 
 impl Measurement {
@@ -42,12 +53,16 @@ pub struct MeasurementRig {
     adc: Adc,
     logger: DataLogger,
     calibration: Calibration,
+    injector: Option<FaultInjector>,
+    policy: QualityPolicy,
 }
 
 impl MeasurementRig {
     /// Builds and calibrates a rig whose sensor range suits the chip's
     /// maximum power draw on the 12 V rail, as the paper did (a +/-5 A
-    /// ACS714 normally; +/-30 A for the i7-920).
+    /// ACS714 normally; +/-30 A for the i7-920). The factory calibration
+    /// always runs fault-free: faults afflict a rig in service, not on
+    /// the calibration bench.
     ///
     /// # Errors
     ///
@@ -67,7 +82,28 @@ impl MeasurementRig {
             adc,
             logger: DataLogger::paper_rig(),
             calibration,
+            injector: None,
+            policy: QualityPolicy::default(),
         })
+    }
+
+    /// Arms the rig with a fault plan. An all-default plan is discarded
+    /// (the rig stays on the exact fault-free code path).
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.injector = if plan.is_none() {
+            None
+        } else {
+            Some(FaultInjector::new(plan))
+        };
+        self
+    }
+
+    /// Overrides the acceptance policy used by [`MeasurementRig::try_measure`].
+    #[must_use]
+    pub fn with_quality_policy(mut self, policy: QualityPolicy) -> Self {
+        self.policy = policy;
+        self
     }
 
     /// The rig's calibration record.
@@ -76,9 +112,25 @@ impl MeasurementRig {
         &self.calibration
     }
 
+    /// The rig's fault injector, if armed.
+    #[must_use]
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.injector.as_ref()
+    }
+
+    /// The acceptance policy in force.
+    #[must_use]
+    pub fn quality_policy(&self) -> &QualityPolicy {
+        &self.policy
+    }
+
     /// Measures one run: logs the waveform at 50 Hz, inverts the codes to
     /// currents via the calibration fit, multiplies by the rail voltage,
     /// and averages over the run (Section 2.5's procedure exactly).
+    ///
+    /// This is the raw legacy path: it ignores any armed fault plan and
+    /// panics rather than reporting errors. [`MeasurementRig::try_measure`]
+    /// is the validating equivalent.
     ///
     /// The `_seed` parameter is reserved for future per-run rig noise; the
     /// sensor already carries its own deterministic noise stream.
@@ -86,6 +138,8 @@ impl MeasurementRig {
     pub fn measure(&self, waveform: &PowerWaveform, _seed: u64) -> Measurement {
         let mut sensor = self.sensor.clone();
         let codes = self.logger.log_run(waveform, &mut sensor, &self.adc);
+        let log: Vec<Option<u16>> = codes.iter().map(|&c| Some(c)).collect();
+        let quality = QualityReport::from_log(&log, self.drift_residual_codes(false));
         let supply = self.logger.supply();
         let samples: Vec<Watts> = codes
             .iter()
@@ -102,13 +156,118 @@ impl MeasurementRig {
             average_power: Watts::new(avg),
             samples,
             duration: waveform.duration(),
+            quality,
         }
+    }
+
+    /// The validating measurement path: applies the armed fault plan (if
+    /// any), audits the log against the rig's [`QualityPolicy`], and
+    /// returns a typed error instead of panicking.
+    ///
+    /// With no fault plan armed this delegates to the exact code path of
+    /// [`MeasurementRig::measure`]: same sensor draws, same codes, same
+    /// floating-point operations -- bit-for-bit identical results.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SensorError`] the policy audit raises, or
+    /// [`SensorError::Uninvertible`] for a corrupt calibration.
+    pub fn try_measure(
+        &mut self,
+        waveform: &PowerWaveform,
+        seed: u64,
+    ) -> Result<Measurement, SensorError> {
+        if self.injector.is_none() {
+            let m = self.measure(waveform, seed);
+            m.quality.check(&self.policy)?;
+            return Ok(m);
+        }
+        let injector = self.injector.as_ref().expect("checked above");
+        let mut session = injector.session(seed);
+        let drift = self.drift_residual_codes(true);
+        let mut sensor = self.sensor.clone();
+        let log = self
+            .logger
+            .log_run_faulted(waveform, &mut sensor, &self.adc, &mut session);
+        // The thermal clock runs whether or not the run is accepted.
+        self.injector
+            .as_mut()
+            .expect("checked above")
+            .advance(waveform.duration().value());
+        let quality = QualityReport::from_log(&log, drift);
+        quality.check(&self.policy)?;
+        let supply = self.logger.supply();
+        let mut samples = Vec::with_capacity(quality.logged_samples);
+        for code in log.iter().flatten() {
+            let amps = self
+                .calibration
+                .amps_from_code(*code)
+                .ok_or(SensorError::Uninvertible { code: *code })?;
+            samples.push(supply * amps);
+        }
+        let avg = samples.iter().map(|w| w.value()).sum::<f64>() / samples.len() as f64;
+        Ok(Measurement {
+            average_power: Watts::new(avg),
+            samples,
+            duration: waveform.duration(),
+            quality,
+        })
+    }
+
+    /// Recalibrates the channel in place, as the paper's lab would after
+    /// a sensor went bad ("re-solder and recalibrate"): the reference
+    /// currents are driven through the channel *as it now is* -- thermal
+    /// drift and clipping included -- so the new fit absorbs them.
+    /// Transient faults (spikes, stuck codes, drops) do not afflict the
+    /// quiet calibration bench.
+    ///
+    /// # Errors
+    ///
+    /// [`SensorError::Recalibration`] if the refit fails the R-squared
+    /// acceptance test (a channel too broken to recalibrate around).
+    pub fn recalibrate(&mut self) -> Result<(), SensorError> {
+        let mut sensor = self.sensor.clone();
+        let injector = self.injector.clone();
+        let adc = self.adc;
+        let calibration = Calibration::calibrate_channel(
+            |amps| {
+                let v = sensor.output(amps);
+                let v = match &injector {
+                    Some(inj) => inj.settled_volts(v),
+                    None => v,
+                };
+                adc.quantize(v)
+            },
+            28,
+            Amperes::from_ma(300.0),
+            Amperes::new(3.0),
+        )
+        .map_err(SensorError::Recalibration)?;
+        self.calibration = calibration;
+        Ok(())
+    }
+
+    /// The drift self-check: drives the mid-band reference current
+    /// through the channel's noiseless transfer (drifted if `faulted`),
+    /// quantizes it, and returns the absolute residual against the
+    /// calibration fit's prediction, in ADC codes. RNG-free, so the
+    /// check never perturbs any noise stream.
+    fn drift_residual_codes(&self, faulted: bool) -> f64 {
+        let amps = Amperes::new(SELF_CHECK_AMPS);
+        let ideal = self.sensor.ideal_output(amps);
+        let v = match (&self.injector, faulted) {
+            (Some(inj), true) => inj.settled_volts(ideal),
+            _ => ideal,
+        };
+        let code = f64::from(self.adc.quantize(v));
+        (code - self.calibration.fit().predict(amps.value())).abs()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::{Drift, Drops, FaultPlan, Saturation, Spikes, StuckCode};
 
     fn waveform(powers: &[f64]) -> PowerWaveform {
         let mut w = PowerWaveform::new(Seconds::from_ms(20.0));
@@ -127,6 +286,10 @@ mod tests {
         let err = (m.average_power.value() - truth).abs() / truth;
         assert!(err < 0.02, "err = {err}");
         assert_eq!(m.samples.len(), 500);
+        assert_eq!(m.quality.logged_samples, 500);
+        assert!((m.quality.sample_yield - 1.0).abs() < 1e-12);
+        assert_eq!(m.quality.gap_count, 0);
+        assert!(m.quality.drift_codes < 2.0, "clean rig near its fit");
     }
 
     #[test]
@@ -180,5 +343,128 @@ mod tests {
             .measure(&w, 1);
         let diff = (a.average_power.value() - b.average_power.value()).abs() / 30.0;
         assert!(diff < 0.02, "rig disagreement {diff}");
+    }
+
+    #[test]
+    fn try_measure_without_faults_is_bit_identical_to_measure() {
+        let rig = MeasurementRig::for_max_power(Watts::new(50.0), 42).unwrap();
+        let w = waveform(&vec![26.4; 500]);
+        let legacy = rig.measure(&w, 17);
+        let mut validating = rig.clone();
+        let m = validating.try_measure(&w, 17).expect("clean rig accepts");
+        assert_eq!(legacy, m);
+        // An explicit all-default plan is also the identity.
+        let mut none_plan = rig.clone().with_fault_plan(FaultPlan::none());
+        assert!(none_plan.fault_injector().is_none());
+        assert_eq!(legacy, none_plan.try_measure(&w, 17).unwrap());
+    }
+
+    #[test]
+    fn heavy_saturation_is_rejected_with_a_typed_error() {
+        // Clip the channel so hard that a 40 W run pegs at the low limit.
+        let plan = FaultPlan::new(3).with_saturation(Saturation::new(2.2, 2.48));
+        let mut rig = MeasurementRig::for_max_power(Watts::new(50.0), 42)
+            .unwrap()
+            .with_fault_plan(plan);
+        let w = waveform(&vec![40.0; 500]);
+        match rig.try_measure(&w, 1) {
+            Err(SensorError::Saturated { fraction, .. }) => {
+                assert!(fraction > 0.5, "pegged run, got {fraction}");
+            }
+            other => panic!("expected saturation rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_band_saturation_keeps_codes_in_band_and_measures_midrange() {
+        let plan = FaultPlan::new(3).with_saturation(Saturation::paper_band());
+        let mut rig = MeasurementRig::for_max_power(Watts::new(50.0), 42)
+            .unwrap()
+            .with_fault_plan(plan);
+        // 20 W = 1.67 A: mid-band, unaffected by the band clip.
+        let w = waveform(&vec![20.0; 500]);
+        let m = rig.try_measure(&w, 1).expect("mid-band run passes");
+        let err = (m.average_power.value() - 20.0).abs() / 20.0;
+        assert!(err < 0.02, "err = {err}");
+    }
+
+    #[test]
+    fn drift_is_detected_and_recalibration_recovers() {
+        // Aggressive thermal drift: ~0.5% gain and 2 mV of offset per
+        // second of uptime.
+        let plan = FaultPlan::new(11).with_drift(Drift::new(0.005, 0.002));
+        let mut rig = MeasurementRig::for_max_power(Watts::new(50.0), 42)
+            .unwrap()
+            .with_fault_plan(plan);
+        let truth = 26.4;
+        let w = waveform(&vec![truth; 500]); // 10 s per run
+        // Run the rig until the self-check trips the policy.
+        let mut tripped = false;
+        for seed in 0..12 {
+            match rig.try_measure(&w, seed) {
+                Ok(_) => {}
+                Err(SensorError::ExcessiveDrift { codes, limit }) => {
+                    assert!(codes > limit);
+                    tripped = true;
+                    break;
+                }
+                Err(other) => panic!("unexpected error {other}"),
+            }
+        }
+        assert!(tripped, "drift must eventually trip the self-check");
+        rig.recalibrate().expect("drifted channel refits");
+        let m = rig.try_measure(&w, 99).expect("recalibrated rig accepts");
+        let err = (m.average_power.value() - truth).abs() / truth;
+        assert!(err < 0.03, "post-recalibration err = {err}");
+    }
+
+    #[test]
+    fn stuck_code_reads_as_saturation() {
+        let plan = FaultPlan::new(2).with_stuck_code(StuckCode {
+            code: 430,
+            per_run_probability: 1.0,
+        });
+        let mut rig = MeasurementRig::for_max_power(Watts::new(50.0), 42)
+            .unwrap()
+            .with_fault_plan(plan);
+        let w = waveform(&vec![26.4; 500]);
+        assert!(matches!(
+            rig.try_measure(&w, 1),
+            Err(SensorError::Saturated { .. })
+        ));
+    }
+
+    #[test]
+    fn spiked_run_is_accepted_but_biased() {
+        let plan = FaultPlan::new(6).with_spikes(Spikes {
+            per_run_probability: 1.0,
+            magnitude_v: -0.15,
+        });
+        let mut rig = MeasurementRig::for_max_power(Watts::new(50.0), 42)
+            .unwrap()
+            .with_fault_plan(plan);
+        let truth = 26.4;
+        let w = waveform(&vec![truth; 500]);
+        let m = rig.try_measure(&w, 1).expect("a spike is not a flatline");
+        // -150 mV reads as roughly +0.8 A = ~10 W of phantom power.
+        assert!(
+            m.average_power.value() > truth + 5.0,
+            "spike must bias the run, got {}",
+            m.average_power.value()
+        );
+    }
+
+    #[test]
+    fn drops_reduce_yield_and_count_gaps() {
+        let plan = FaultPlan::new(8).with_drops(Drops { probability: 0.2 });
+        let mut rig = MeasurementRig::for_max_power(Watts::new(50.0), 42)
+            .unwrap()
+            .with_fault_plan(plan);
+        let w = waveform(&vec![26.4; 1000]);
+        let m = rig.try_measure(&w, 1).expect("20% drops pass a 50% floor");
+        assert!(m.quality.sample_yield < 1.0);
+        assert!(m.quality.sample_yield > 0.6);
+        assert!(m.quality.gap_count > 0);
+        assert_eq!(m.samples.len(), m.quality.logged_samples);
     }
 }

@@ -31,4 +31,6 @@ mod summary;
 pub use pareto::{pareto_frontier, pareto_frontier_by, Dominance, ParetoPoint};
 pub use rank::{rank_dense, Direction};
 pub use regression::{LinearFit, RegressionError};
-pub use summary::{arithmetic_mean, geometric_mean, Summary, SummaryBuilder};
+pub use summary::{
+    arithmetic_mean, geometric_mean, median, median_abs_deviation, Summary, SummaryBuilder,
+};

@@ -283,9 +283,65 @@ pub fn geometric_mean(xs: &[f64]) -> f64 {
     (log_sum / xs.len() as f64).exp()
 }
 
+/// Median of a slice (the lower-middle element for even lengths, i.e.
+/// the average of the two central order statistics).
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+#[must_use]
+pub fn median(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "median of empty slice");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    }
+}
+
+/// Median absolute deviation from the median -- the robust spread
+/// estimator behind Tukey-style outlier fences. Returned raw (multiply
+/// by 1.4826 for a normal-consistent sigma estimate).
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+#[must_use]
+pub fn median_abs_deviation(xs: &[f64]) -> f64 {
+    let m = median(xs);
+    let devs: Vec<f64> = xs.iter().map(|&x| (x - m).abs()).collect();
+    median(&devs)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn median_handles_odd_even_and_unsorted_input() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+        assert_eq!(median(&[7.0]), 7.0);
+    }
+
+    #[test]
+    fn mad_is_robust_to_a_wild_outlier() {
+        let clean = [10.0, 10.1, 9.9, 10.05, 9.95];
+        let mut spiked = clean.to_vec();
+        spiked.push(1e6);
+        assert!(median_abs_deviation(&clean) < 0.11);
+        // One wild point barely moves the MAD, unlike the stddev.
+        assert!(median_abs_deviation(&spiked) < 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "median of empty slice")]
+    fn empty_median_panics() {
+        let _ = median(&[]);
+    }
 
     #[test]
     fn single_observation_has_zero_spread() {

@@ -180,7 +180,7 @@ impl BranchWorkload {
             // history plus the site -- learnable with history, coin-flip-ish
             // without it.
             let taken = if correlated {
-                ((history ^ (pc >> 2)) & 0b111).count_ones() % 2 == 0
+                ((history ^ (pc >> 2)) & 0b111).count_ones().is_multiple_of(2)
             } else {
                 rng.next_bool(bias)
             };

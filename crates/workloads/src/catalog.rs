@@ -11,6 +11,11 @@
 //! large and pointer-rich, and so on. Absolute values are first-order; what
 //! the reproduction relies on is the *relative* structure.
 
+// Every signature literal ends in `..Sig::default()` so entries stay
+// uniform as fields are added, even where all current fields are spelled
+// out.
+#![allow(clippy::needless_update)]
+
 use std::collections::HashMap;
 use std::sync::OnceLock;
 

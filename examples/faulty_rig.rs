@@ -1,0 +1,119 @@
+//! Scenario: a measurement campaign on degrading hardware.
+//!
+//! Section 2.5's rig lives on a motherboard for months: sensors warm up
+//! and drift, channels clip, loggers drop samples. This example arms the
+//! simulated rig with those faults and walks the three layers of defense
+//! the pipeline mounts:
+//!
+//! 1. the rig audits every log against a [`QualityPolicy`] and returns a
+//!    typed [`SensorError`] instead of a silently wrong number,
+//! 2. drift beyond the calibration's R-squared >= 0.999 bound triggers an
+//!    in-place recalibration (the lab's "re-solder and recalibrate"),
+//! 3. the runner retries rejected invocations under a bounded budget and
+//!    fences statistical outliers, so a whole sweep survives one bad rig
+//!    and reports the degradation instead of aborting.
+//!
+//! Run with: `cargo run --release --example faulty_rig`
+
+use lhr::core::{Harness, Runner};
+use lhr::sensors::faults::{Drift, Drops, FaultPlan, Spikes};
+use lhr::sensors::{MeasurementRig, SensorError};
+use lhr::uarch::{ChipConfig, ProcessorId};
+use lhr::units::{Seconds, Watts};
+use lhr::workloads::by_name;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1. A drifting channel: detection and recalibration. -------------
+    // ~0.4% of gain and 1.5 mV of offset error per second of uptime --
+    // a sensor with a bad thermal path.
+    let plan = FaultPlan::new(0xD21F7)
+        .with_drift(Drift::new(0.004, 0.0015))
+        .with_drops(Drops { probability: 0.02 });
+    let mut rig = MeasurementRig::for_max_power(Watts::new(50.0), 0xBEEF)?
+        .with_fault_plan(plan);
+
+    let truth = 26.4;
+    let mut w = lhr::power::PowerWaveform::new(Seconds::from_ms(20.0));
+    for _ in 0..500 {
+        w.push(Watts::new(truth)); // a 10 s steady run
+    }
+
+    println!("--- drifting rig, 26.4 W ground truth ---");
+    for run in 0.. {
+        match rig.try_measure(&w, run) {
+            Ok(m) => println!(
+                "run {run}: {:.2} (yield {:.0}%, drift {:.1} codes)",
+                m.average_power,
+                m.quality.sample_yield * 100.0,
+                m.quality.drift_codes
+            ),
+            Err(SensorError::ExcessiveDrift { codes, limit }) => {
+                println!("run {run}: REJECTED -- drift {codes:.1} codes exceeds {limit:.1}");
+                rig.recalibrate()?;
+                let m = rig.try_measure(&w, run)?;
+                println!(
+                    "run {run}: {:.2} after recalibration (drift {:.1} codes)",
+                    m.average_power, m.quality.drift_codes
+                );
+                break;
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+
+    // --- 2. A spiking rig behind the runner's outlier fence. --------------
+    // Every invocation on the C2D's rig has a 35% chance of a -150 mV
+    // excursion (~+10 W of phantom power). The runner's Tukey/MAD fence
+    // rejects the biased invocations and re-runs them on fresh seeds.
+    let spiky = FaultPlan::new(0xBAD)
+        .with_spikes(Spikes { per_run_probability: 0.35, magnitude_v: -0.15 });
+    let runner = Runner::fast()
+        .with_invocations(6)
+        .with_fault_plan(ProcessorId::Core2DuoE6600, spiky);
+    let clean = Runner::fast().with_invocations(6);
+
+    let hmmer = by_name("hmmer").expect("catalog benchmark");
+    let c2d = ChipConfig::stock(ProcessorId::Core2DuoE6600.spec());
+    let (clean_m, _) = clean.try_measure(&c2d, hmmer)?;
+    let (m, health) = runner.try_measure(&c2d, hmmer)?;
+    println!("\n--- spiking C2D rig, hmmer x6 invocations ---");
+    println!("clean rig : {:.2}", clean_m.watts());
+    println!(
+        "spiky rig : {:.2} ({} outliers fenced, {} retries)",
+        m.watts(),
+        health.rejected_outliers,
+        health.retries
+    );
+
+    // --- 3. A sweep that survives a dead cell. ----------------------------
+    // Saturate the Atom D510's channel into uselessness; the sweep still
+    // completes and the health summary names the degraded cell.
+    let hopeless = FaultPlan::new(9)
+        .with_saturation(lhr::sensors::faults::Saturation::new(2.49, 2.50));
+    let runner = Runner::fast().with_fault_plan(ProcessorId::AtomD510, hopeless);
+    let harness = Harness::new(runner).with_workloads(vec![
+        by_name("hmmer").unwrap(),
+        by_name("db").unwrap(),
+    ]);
+    let configs: Vec<ChipConfig> = [
+        ProcessorId::Core2DuoE6600,
+        ProcessorId::AtomD510,
+        ProcessorId::CoreI5_670,
+    ]
+    .iter()
+    .map(|id| ChipConfig::stock(id.spec()))
+    .collect();
+    let report = harness.sweep(&configs);
+    println!("\n--- sweep with a saturated Atom D510 channel ---");
+    for cell in &report.cells {
+        match cell.metrics() {
+            Some(m) => println!(
+                "{:<24} perf {:.2}x reference at {:.1} W",
+                cell.label, m.perf_w, m.power_w
+            ),
+            None => println!("{:<24} NO DATA ({} failures)", cell.label, cell.failures().count()),
+        }
+    }
+    println!("{}", report.health.render());
+    Ok(())
+}

@@ -135,7 +135,129 @@ proptest! {
 }
 
 proptest! {
+    /// A channel clipped to the paper's analog band can only ever produce
+    /// ADC codes inside the paper's observed 400..=503 window, no matter
+    /// what voltage the sensor asks for, how far the channel has drifted,
+    /// or which per-run transients fire.
+    #[test]
+    fn saturated_channel_codes_stay_in_the_paper_band(
+        v in -1.0f64..6.0,
+        uptime in 0.0f64..5_000.0,
+        gain in -0.01f64..0.01,
+        offset in -0.005f64..0.005,
+        plan_seed in any::<u64>(),
+        run_seed in any::<u64>(),
+    ) {
+        use lhr::sensors::faults::{Drift, FaultInjector, FaultPlan, Saturation};
+        use lhr::sensors::Adc;
+        use lhr::units::Volts;
+
+        let plan = FaultPlan::new(plan_seed)
+            .with_saturation(Saturation::paper_band())
+            .with_drift(Drift::new(gain, offset));
+        let mut injector = FaultInjector::new(plan);
+        injector.advance(uptime);
+        let adc = Adc::avr_10bit();
+        // The settled (drift + clip) transfer...
+        let settled = adc.quantize(injector.settled_volts(Volts::new(v)));
+        prop_assert!((400..=503).contains(&settled), "settled code {}", settled);
+        // ...and a full per-run session on top of it.
+        let session = injector.session(run_seed);
+        let code = session.code(adc.quantize(session.volts(Volts::new(v))));
+        prop_assert!((400..=503).contains(&code), "session code {}", code);
+    }
+
+    /// Quality accounting is consistent for any log the rig could emit:
+    /// yield is a probability, logged + gaps partition the slots, and the
+    /// saturation fraction is a probability.
+    #[test]
+    fn quality_report_invariants(
+        slots in proptest::collection::vec((0u16..1024, any::<bool>()), 1..400),
+        drift in 0.0f64..10.0,
+    ) {
+        use lhr::sensors::QualityReport;
+        let log: Vec<Option<u16>> =
+            slots.iter().map(|&(c, keep)| keep.then_some(c)).collect();
+        let q = QualityReport::from_log(&log, drift);
+        let dropped = log.iter().filter(|s| s.is_none()).count();
+        prop_assert_eq!(q.expected_samples, log.len());
+        prop_assert!(q.sample_yield >= 0.0 && q.sample_yield <= 1.0);
+        prop_assert_eq!(q.logged_samples, log.len() - dropped);
+        // Gaps are contiguous runs of drops: at least one gap iff any
+        // sample dropped, and never more gaps than dropped samples.
+        prop_assert_eq!(q.gap_count > 0, dropped > 0);
+        prop_assert!(q.gap_count <= dropped);
+        prop_assert!((0.0..=1.0).contains(&q.saturated_fraction));
+        prop_assert!((q.drift_codes - drift).abs() < 1e-12);
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// An armed-but-empty fault plan is the identity: for any device and
+    /// plan seed, the validating path reproduces the legacy measurement
+    /// bit for bit.
+    #[test]
+    fn no_fault_plan_reproduces_the_baseline_exactly(
+        device_seed in any::<u64>(),
+        plan_seed in any::<u64>(),
+        run_seed in any::<u64>(),
+        power in 5.0f64..45.0,
+    ) {
+        use lhr::power::PowerWaveform;
+        use lhr::sensors::faults::FaultPlan;
+        use lhr::sensors::MeasurementRig;
+
+        let mut w = PowerWaveform::new(Seconds::from_ms(20.0));
+        for _ in 0..200 {
+            w.push(Watts::new(power));
+        }
+        let rig = MeasurementRig::for_max_power(Watts::new(50.0), device_seed)
+            .expect("calibration converges");
+        let baseline = rig.measure(&w, run_seed);
+        let mut armed = rig.with_fault_plan(FaultPlan::new(plan_seed));
+        let validated = armed.try_measure(&w, run_seed).expect("clean channel accepts");
+        prop_assert_eq!(baseline, validated);
+    }
+
+    /// The runner's fence and retry machinery respects its budget: a
+    /// measurement either converges with at most `budget` retries or
+    /// fails with a typed budget/sensor error -- never a panic.
+    #[test]
+    fn retries_never_exceed_the_budget(
+        plan_seed in any::<u64>(),
+        spike_p in 0.05f64..0.6,
+        budget in 1usize..6,
+    ) {
+        use lhr::core::{MeasureErrorKind, Runner};
+        use lhr::sensors::faults::{FaultPlan, Spikes};
+        use lhr::uarch::{ChipConfig, ProcessorId};
+
+        let plan = FaultPlan::new(plan_seed).with_spikes(Spikes {
+            per_run_probability: spike_p,
+            magnitude_v: -0.15,
+        });
+        let runner = Runner::fast()
+            .with_invocations(3)
+            .with_retry_budget(budget)
+            .with_fault_plan(ProcessorId::Core2DuoE6600, plan);
+        let config = ChipConfig::stock(ProcessorId::Core2DuoE6600.spec());
+        let w = lhr::workloads::by_name("hmmer").expect("catalog benchmark");
+        match runner.try_measure(&config, w) {
+            Ok((_, health)) => {
+                prop_assert!(health.retries <= budget, "retries {} > budget {}", health.retries, budget);
+                prop_assert!(health.rejected_outliers <= health.retries);
+            }
+            Err(e) => prop_assert!(
+                matches!(
+                    e.kind,
+                    MeasureErrorKind::RetryBudgetExhausted { .. } | MeasureErrorKind::Sensor(_)
+                ),
+                "unexpected failure kind: {}", e
+            ),
+        }
+    }
 
     /// For any benchmark, energy is conserved through the whole simulator
     /// and scaling a trace down never changes measured power by much

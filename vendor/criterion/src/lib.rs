@@ -1,0 +1,200 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no network access, so the real `criterion`
+//! cannot be fetched. This shim keeps the bench sources compiling and
+//! running (`cargo bench`) with the same surface -- `Criterion`,
+//! `benchmark_group`/`bench_function`, `Bencher::iter`/`iter_batched`,
+//! `criterion_group!`/`criterion_main!` -- but replaces the statistical
+//! engine with a plain min/mean-over-samples timer printed to stdout. No
+//! HTML reports, no outlier analysis, no baselines.
+
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+/// Prevents the optimizer from discarding a value (same contract as the
+/// real crate's `black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost. The shim runs one routine call
+/// per batch regardless, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch in the real crate.
+    SmallInput,
+    /// Large inputs: few per batch.
+    LargeInput,
+    /// Exactly one input per routine call.
+    PerIteration,
+}
+
+/// The bench context handed to each target function.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Overrides the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "need at least two samples");
+        self.sample_size = n;
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_owned(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+
+    /// Times one benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_benchmark(id, self.sample_size, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing a sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "need at least two samples");
+        self.sample_size = n;
+        self
+    }
+
+    /// Times one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_benchmark(&format!("{}/{id}", self.name), self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (the shim has no cross-group state to flush).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, samples: usize, mut f: F) {
+    let mut bencher = Bencher {
+        samples,
+        times_ns: Vec::with_capacity(samples),
+    };
+    f(&mut bencher);
+    let times = &bencher.times_ns;
+    if times.is_empty() {
+        println!("{id:<50} (no samples)");
+        return;
+    }
+    let min = times.iter().copied().fold(f64::INFINITY, f64::min);
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    println!("{id:<50} min {:>12} mean {:>12}", fmt_ns(min), fmt_ns(mean));
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Runs and times the benchmark routine.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    times_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed warm-up call.
+        black_box(routine());
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            black_box(routine());
+            self.times_ns.push(t.elapsed().as_nanos() as f64);
+        }
+    }
+
+    /// Times `routine` with a fresh un-timed `setup` product per sample.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.times_ns.push(t.elapsed().as_nanos() as f64);
+        }
+    }
+}
+
+/// Bundles bench target functions under one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_records_the_sample_count() {
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn groups_run_their_benches() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
+        });
+        group.finish();
+    }
+}

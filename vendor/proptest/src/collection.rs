@@ -1,0 +1,44 @@
+//! Collection strategies: `proptest::collection::vec`.
+
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy for vectors with element strategy `S` and a length range.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+/// A vector whose length is drawn from `len` and whose elements are drawn
+/// from `element`.
+#[must_use]
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    assert!(len.start < len.end, "empty vec length range");
+    VecStrategy { element, len }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        let n = self.len.clone().sample(rng);
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_and_elements_obey_their_strategies() {
+        let mut rng = TestRng::from_seed(5);
+        for _ in 0..100 {
+            let v = vec(1u64..4, 1..10).sample(&mut rng);
+            assert!((1..10).contains(&v.len()));
+            assert!(v.iter().all(|&x| (1..4).contains(&x)));
+        }
+    }
+}

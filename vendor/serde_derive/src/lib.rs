@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! This workspace builds in an environment with no network access and no
+//! crates.io mirror, so the real `serde_derive` cannot be fetched. The
+//! codebase only uses `#[derive(Serialize, Deserialize)]` as annotation
+//! (nothing serializes at runtime yet), so these derives accept the same
+//! syntax -- including `#[serde(...)]` helper attributes -- and expand to
+//! nothing. Swap back to the real crates by restoring the registry entries
+//! in the workspace `Cargo.toml`.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and `#[serde(...)]` attributes; emits no code.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and `#[serde(...)]` attributes; emits no code.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
