@@ -6,11 +6,12 @@
 //! SKIP instead of aborting the audit, and the runner's health ledger is
 //! printed at the end.
 //!
-//! Usage: `cargo run --release -p lhr-bench --bin findings [--quick|--paper]`
+//! Usage: `cargo run --release -p lhr-bench --bin findings
+//! [--quick|--paper] [--trace <path>]`
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use lhr_bench::Fidelity;
+use lhr_bench::{Fidelity, Observability};
 use lhr_core::experiments::{
     figure10_turbo, figure4_cmp, figure5_smt, figure6_jvm, figure7_clock, figure8_dieshrink,
     figure9_uarch, figure11_history, pareto, table4,
@@ -43,10 +44,14 @@ impl Audit {
     }
 }
 
-/// Runs one experiment behind a panic guard: a failure yields `None`
-/// (plus a diagnostic) instead of killing the audit.
-fn guarded<T>(name: &str, f: impl FnOnce() -> T) -> Option<T> {
-    match catch_unwind(AssertUnwindSafe(f)) {
+/// Runs one experiment behind a panic guard and an `experiment.<name>`
+/// span: a failure yields `None` (plus a diagnostic) instead of killing
+/// the audit.
+fn guarded<T>(obs: &Observability, name: &str, f: impl FnOnce() -> T) -> Option<T> {
+    let span = obs.experiment_span(name);
+    let outcome = catch_unwind(AssertUnwindSafe(f));
+    span.end();
+    match outcome {
         Ok(v) => Some(v),
         Err(panic) => {
             let msg = panic
@@ -62,11 +67,12 @@ fn guarded<T>(name: &str, f: impl FnOnce() -> T) -> Option<T> {
 
 #[allow(clippy::too_many_lines)]
 fn main() {
-    let harness: Harness = Fidelity::from_args().harness();
+    let observability = Observability::from_args();
+    let harness: Harness = observability.arm(Fidelity::from_args().harness());
     let mut audit = Audit { passed: 0, failed: 0, skipped: 0 };
 
     // ---- Workload findings -------------------------------------------------
-    if let Some(fig6) = guarded("figure6", || figure6_jvm::run(&harness)) {
+    if let Some(fig6) = guarded(&observability, "figure6", || figure6_jvm::run(&harness)) {
         let avg_gain: f64 =
             fig6.iter().map(|r| r.speedup).sum::<f64>() / fig6.len() as f64;
         let max_gain = fig6.iter().map(|r| r.speedup).fold(0.0f64, f64::max);
@@ -79,7 +85,7 @@ fn main() {
         audit.skip("W1: JVM induces parallelism in single-threaded Java", "figure6 failed");
     }
 
-    let fig5 = guarded("figure5", || figure5_smt::run(&harness));
+    let fig5 = guarded(&observability, "figure5", || figure5_smt::run(&harness));
     let p4 = fig5
         .as_ref()
         .and_then(|f| f.iter().find(|r| r.processor.contains("Pentium4")));
@@ -95,7 +101,7 @@ fn main() {
         audit.skip("W2: SMT on Pentium 4 treats Java Non-scalable worst", "figure5 failed");
     }
 
-    let fig7 = guarded("figure7", || figure7_clock::run(&harness));
+    let fig7 = guarded(&observability, "figure7", || figure7_clock::run(&harness));
     let i5_clock = fig7
         .as_ref()
         .and_then(|f| f.iter().find(|r| r.processor == "i5 (32)"));
@@ -117,7 +123,7 @@ fn main() {
         );
     }
 
-    if let Some(par) = guarded("pareto", || pareto::run(&harness)) {
+    if let Some(par) = guarded(&observability, "pareto", || pareto::run(&harness)) {
         let group_sets: Vec<Vec<usize>> = Group::ALL
             .iter()
             .filter_map(|&g| par.frontiers.get(&Some(g)).cloned())
@@ -136,7 +142,7 @@ fn main() {
     }
 
     // ---- Architecture findings ---------------------------------------------
-    if let Some(fig4) = guarded("figure4", || figure4_cmp::run(&harness)) {
+    if let Some(fig4) = guarded(&observability, "figure4", || figure4_cmp::run(&harness)) {
         let (i7c, i5c) = (&fig4[0], &fig4[1]);
         audit.check(
             "A1: enabling a core is not consistently energy efficient",
@@ -187,7 +193,7 @@ fn main() {
         audit.skip("A3: clocking up costs the i7 dearly, the i5 nothing", "figure7 failed");
     }
 
-    if let Some(fig8) = guarded("figure8", || figure8_dieshrink::run(&harness)) {
+    if let Some(fig8) = guarded(&observability, "figure8", || figure8_dieshrink::run(&harness)) {
         audit.check(
             "A4: die shrink cuts energy even at matched clocks",
             format!(
@@ -209,7 +215,7 @@ fn main() {
         audit.skip("A5: 45->32nm repeated the previous generation's savings", "figure8 failed");
     }
 
-    if let Some(fig9) = guarded("figure9", || figure9_uarch::run(&harness)) {
+    if let Some(fig9) = guarded(&observability, "figure9", || figure9_uarch::run(&harness)) {
         let core45 = fig9.iter().find(|r| r.label.starts_with("Core: i7")).expect("present");
         audit.check(
             "A6: Nehalem ~14% faster than Core at matched configuration",
@@ -230,7 +236,7 @@ fn main() {
         audit.skip("A7: similar energy across 45nm microarchitectures", "figure9 failed");
     }
 
-    if let Some(fig10) = guarded("figure10", || figure10_turbo::run(&harness)) {
+    if let Some(fig10) = guarded(&observability, "figure10", || figure10_turbo::run(&harness)) {
         let i7_tb = &fig10[0];
         let i5_tb = &fig10[2];
         audit.check(
@@ -248,7 +254,7 @@ fn main() {
         );
     }
 
-    if let Some(fig11) = guarded("figure11", || figure11_history::run(&harness)) {
+    if let Some(fig11) = guarded(&observability, "figure11", || figure11_history::run(&harness)) {
         let p4_ppt = fig11
             .iter()
             .find(|p| p.processor.contains("Pentium4"))
@@ -272,7 +278,7 @@ fn main() {
     }
 
     // TDP, for good measure (Section 2.5).
-    if let Some(t4) = guarded("table4", || table4::run(&harness)) {
+    if let Some(t4) = guarded(&observability, "table4", || table4::run(&harness)) {
         let tdp_ok = t4.rows.iter().all(|r| {
             let spec = ProcessorId::ALL
                 .iter()
@@ -295,6 +301,11 @@ fn main() {
         audit.passed, audit.failed, audit.skipped
     );
     println!("runner health: {}", harness.runner().health());
+    if observability.tracing() {
+        println!("{}", observability.profile_summary());
+    } else {
+        observability.flush();
+    }
     if audit.failed > 0 || audit.skipped > 0 {
         std::process::exit(1);
     }

@@ -7,17 +7,20 @@
 //! byte-for-byte identical to the non-resilient pipeline's.
 //!
 //! Flags: `--quick` (12-benchmark subset), `--paper` (prescribed
-//! invocation counts). Default: full catalog, 3 invocations.
+//! invocation counts), `--trace <path>` (stream pipeline events as JSON
+//! lines and print the profile summary). Default: full catalog, 3
+//! invocations.
 
 use std::fs;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
-use lhr_bench::{run_experiment, Fidelity, EXPERIMENTS};
+use lhr_bench::{run_experiment, Fidelity, Observability, EXPERIMENTS};
 
 fn main() {
     let fidelity = Fidelity::from_args();
-    let harness = fidelity.harness();
+    let observability = Observability::from_args();
+    let harness = observability.arm(fidelity.harness());
     let out_dir = std::path::Path::new("repro_out");
     fs::create_dir_all(out_dir).expect("create repro_out/");
     println!("regenerating all tables and figures at {fidelity:?} fidelity\n");
@@ -25,7 +28,10 @@ fn main() {
     let mut failed: Vec<&str> = Vec::new();
     for name in EXPERIMENTS {
         let t = Instant::now();
-        match catch_unwind(AssertUnwindSafe(|| run_experiment(name, &harness))) {
+        let span = observability.experiment_span(name);
+        let outcome = catch_unwind(AssertUnwindSafe(|| run_experiment(name, &harness)));
+        span.end();
+        match outcome {
             Ok(rendered) => {
                 let path = out_dir.join(format!("{name}.txt"));
                 fs::write(&path, &rendered).expect("write experiment output");
@@ -44,6 +50,7 @@ fn main() {
     }
     println!("total: {:.1?}; outputs in repro_out/", t0.elapsed());
     println!("runner health: {}", harness.runner().health());
+    println!("{}", observability.profile_summary());
     if !failed.is_empty() {
         println!("failed experiments: {}", failed.join(", "));
         std::process::exit(1);

@@ -8,9 +8,20 @@
 //! `--quick` (12-benchmark subset, 2 invocations) for a fast look; the
 //! default runs the full 61-benchmark catalog with a reduced invocation
 //! count, and `--paper` uses the exact prescribed 3/5/20 invocations.
+//!
+//! Every binary also accepts `--trace <path>`: the run's pipeline events
+//! (spans, counters, histograms, marks from `lhr-obs`) stream to `path`
+//! as JSON lines, and an end-of-run profile summary prints to stdout.
+//! Tracing never changes a number in the rendered outputs (see the
+//! `zero_perturbation` integration test).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use lhr_obs::{JsonLinesRecorder, MemoryRecorder, MetricsSnapshot, Obs, Span, SpanStats};
 
 use lhr_core::experiments::{
     figure10_turbo, figure11_history, figure1_scalability, figure2_tdp, figure3_scatter,
@@ -52,6 +63,174 @@ impl Fidelity {
             Fidelity::Standard => Harness::new(Runner::new().with_invocations(3)),
             Fidelity::Paper => Harness::new(Runner::new()),
         }
+    }
+}
+
+/// The `--trace <path>` argument, if present.
+///
+/// # Panics
+///
+/// Panics if `--trace` is the last argument (it needs a path).
+#[must_use]
+pub fn trace_path_from_args() -> Option<PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == "--trace").map(|i| {
+        PathBuf::from(
+            args.get(i + 1)
+                .expect("--trace requires a path argument")
+                .as_str(),
+        )
+    })
+}
+
+/// The observability rig the regenerator binaries arm: an in-memory
+/// aggregator (always, for the end-of-run profile summary) plus an
+/// optional JSON-lines stream when `--trace <path>` is given, fanned out
+/// behind one [`Obs`] handle.
+///
+/// Arming it never changes a rendered number -- the recorders only watch
+/// values the pipeline already computed (locked in by the
+/// `zero_perturbation` integration test).
+pub struct Observability {
+    obs: Obs,
+    memory: Arc<MemoryRecorder>,
+    trace: Option<(PathBuf, Arc<JsonLinesRecorder>)>,
+}
+
+impl Observability {
+    /// Builds from the process arguments (`--trace <path>`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `--trace` is missing its path or the file cannot be
+    /// created.
+    #[must_use]
+    pub fn from_args() -> Self {
+        Self::with_trace_path(trace_path_from_args().as_deref())
+    }
+
+    /// Builds with an explicit trace destination (`None` = memory only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace file cannot be created.
+    #[must_use]
+    pub fn with_trace_path(path: Option<&Path>) -> Self {
+        let memory = Arc::new(MemoryRecorder::default());
+        match path {
+            None => Self {
+                obs: Obs::recording(memory.clone()),
+                memory,
+                trace: None,
+            },
+            Some(p) => {
+                let json = Arc::new(
+                    JsonLinesRecorder::create(p)
+                        .unwrap_or_else(|e| panic!("--trace {}: {e}", p.display())),
+                );
+                Self {
+                    obs: Obs::fanout(vec![memory.clone(), json.clone()]),
+                    memory,
+                    trace: Some((p.to_owned(), json)),
+                }
+            }
+        }
+    }
+
+    /// Whether a `--trace` stream is armed.
+    #[must_use]
+    pub fn tracing(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Arms the rig's handle on a harness (see
+    /// [`lhr_core::Harness::with_observer`]).
+    #[must_use]
+    pub fn arm(&self, harness: Harness) -> Harness {
+        harness.with_observer(self.obs.clone())
+    }
+
+    /// Opens an `experiment.<name>` span; its wall time feeds the
+    /// profile summary and the trace stream.
+    pub fn experiment_span(&self, name: &str) -> Span {
+        self.obs.span(&format!("experiment.{name}"))
+    }
+
+    /// A point-in-time copy of the aggregated metrics.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.memory.snapshot()
+    }
+
+    /// Flushes every recorder (drains the trace stream to disk).
+    pub fn flush(&self) {
+        self.obs.flush();
+    }
+
+    /// Flushes and renders the end-of-run profile summary: wall time per
+    /// experiment (slowest first), sweep throughput, and the resilience
+    /// totals (retries, recalibrations, degraded cells, worker panics).
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn profile_summary(&self) -> String {
+        use std::fmt::Write as _;
+
+        self.flush();
+        let snap = self.snapshot();
+        let mut out = String::from("profile summary:\n");
+        let mut experiments: Vec<(&str, &SpanStats)> = snap
+            .spans
+            .iter()
+            .filter_map(|(n, s)| n.strip_prefix("experiment.").map(|n| (n, s)))
+            .collect();
+        experiments.sort_by_key(|(_, s)| std::cmp::Reverse(s.total_nanos));
+        let width = experiments.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        for (name, s) in &experiments {
+            let _ = writeln!(out, "  {name:<width$}  {:>8.2} s", s.total_seconds());
+        }
+        let cells = snap.counter("harness.cells");
+        let cell_secs = snap
+            .spans
+            .get("harness.cell")
+            .map_or(0.0, SpanStats::total_seconds);
+        let rate = if cell_secs > 0.0 {
+            cells as f64 / cell_secs
+        } else {
+            0.0
+        };
+        let _ = writeln!(out, "  cells evaluated   {cells} ({rate:.1} cells/sec)");
+        let _ = writeln!(
+            out,
+            "  measurements      {} ({} served from cache)",
+            snap.counter("runner.measurements"),
+            snap.counter("runner.cache_hits"),
+        );
+        let _ = writeln!(out, "  retries           {}", snap.counter("runner.retries"));
+        let _ = writeln!(
+            out,
+            "  recalibrations    {}",
+            snap.counter("runner.recalibrations")
+        );
+        let _ = writeln!(
+            out,
+            "  degraded cells    {}",
+            snap.counter("harness.cells_degraded")
+        );
+        let _ = writeln!(
+            out,
+            "  worker panics     {}",
+            snap.counter("sweep.worker_panics")
+        );
+        if let Some((path, json)) = &self.trace {
+            let _ = writeln!(
+                out,
+                "  trace             {} ({} lines, {} write errors)",
+                path.display(),
+                json.lines_written(),
+                json.write_errors(),
+            );
+        }
+        out
     }
 }
 
@@ -107,11 +286,21 @@ pub fn run_experiment(name: &str, harness: &Harness) -> String {
 }
 
 /// Entry point shared by the thin per-experiment binaries.
+///
+/// Honors `--quick`/`--paper` for fidelity and `--trace <path>` for a
+/// JSON-lines event stream; with tracing on, the profile summary prints
+/// after the experiment's output.
 pub fn main_for(name: &str) {
     let fidelity = Fidelity::from_args();
-    let harness = fidelity.harness();
+    let observability = Observability::from_args();
+    let harness = observability.arm(fidelity.harness());
     println!("=== {name} ({fidelity:?}) ===\n");
+    let span = observability.experiment_span(name);
     println!("{}", run_experiment(name, &harness));
+    span.end();
+    if observability.tracing() {
+        println!("{}", observability.profile_summary());
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,63 @@
+//! Locks in the observability layer's central guarantee: an armed
+//! recorder watches the pipeline without changing a single byte of what
+//! it produces.
+
+use std::fs;
+
+use lhr_bench::{run_experiment, Observability};
+use lhr_core::Harness;
+
+/// The experiments the byte-compare covers: one sweep-heavy table and
+/// one ratio figure, both exercising the rig, runner, and harness layers.
+const PROBES: [&str; 2] = ["figure4", "figure7"];
+
+#[test]
+fn armed_recorder_never_changes_a_rendered_byte() {
+    let silent = Harness::quick();
+    let observability = Observability::with_trace_path(None);
+    let observed = observability.arm(Harness::quick());
+    for name in PROBES {
+        let a = run_experiment(name, &silent);
+        let b = run_experiment(name, &observed);
+        assert_eq!(a, b, "{name}: observed output must be byte-identical");
+    }
+    // The comparison is only meaningful if the recorder actually saw the
+    // pipeline at work.
+    let snap = observability.snapshot();
+    assert!(snap.events_recorded > 0, "recorder saw nothing");
+    assert!(snap.counter("runner.measurements") > 0);
+    assert!(snap.counter("harness.cells") > 0);
+    assert!(snap.spans.contains_key("harness.cell"));
+}
+
+#[test]
+fn trace_stream_and_profile_summary_round_trip() {
+    let path = std::env::temp_dir().join(format!(
+        "lhr-trace-test-{}.jsonl",
+        std::process::id()
+    ));
+    let observability = Observability::with_trace_path(Some(&path));
+    assert!(observability.tracing());
+    let harness = observability.arm(Harness::quick());
+    {
+        let _span = observability.experiment_span("figure4");
+        let _ = run_experiment("figure4", &harness);
+    }
+    let summary = observability.profile_summary();
+    assert!(summary.contains("figure4"), "per-experiment time:\n{summary}");
+    assert!(summary.contains("cells/sec"), "throughput line:\n{summary}");
+    assert!(summary.contains("retries"), "resilience totals:\n{summary}");
+    assert!(summary.contains("degraded cells"), "{summary}");
+
+    let trace = fs::read_to_string(&path).expect("trace file written");
+    fs::remove_file(&path).ok();
+    assert!(!trace.is_empty());
+    for line in trace.lines() {
+        assert!(line.starts_with('{') && line.ends_with('}'), "bad line {line:?}");
+    }
+    assert!(trace.contains(r#""name":"experiment.figure4""#));
+    assert!(trace.contains(r#""ev":"span_end""#));
+    assert!(trace.contains(r#""ev":"counter""#));
+    let lines = trace.lines().count() as u64;
+    assert!(summary.contains(&format!("{lines} lines")), "{summary}");
+}

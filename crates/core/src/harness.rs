@@ -13,6 +13,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use parking_lot::Mutex;
 
+use lhr_obs::Obs;
 use lhr_stats::arithmetic_mean;
 use lhr_uarch::ChipConfig;
 use lhr_workloads::{catalog, Group, Workload};
@@ -323,6 +324,20 @@ impl Harness {
         Harness::new(Runner::fast()).with_workloads(ws)
     }
 
+    /// Arms an observer on the harness's runner (and every rig it will
+    /// build): cell wall time, degraded cells, worker-panic recoveries,
+    /// and sweep throughput report through it alongside the runner's own
+    /// events. See [`Runner::with_observer`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a rig was already built (observers arm before first use).
+    #[must_use]
+    pub fn with_observer(mut self, obs: Obs) -> Self {
+        self.runner = self.runner.with_observer(obs);
+        self
+    }
+
     /// The harness's workload set.
     #[must_use]
     pub fn workloads(&self) -> &[&'static Workload] {
@@ -389,6 +404,21 @@ impl Harness {
     /// cost is summed into its [`CellHealth`].
     #[must_use]
     pub fn try_evaluate_config(&self, config: &ChipConfig) -> CellReport {
+        let obs = self.runner.observer();
+        let span = obs.span("harness.cell");
+        let report = self.evaluate_cell(config);
+        span.end();
+        obs.counter("harness.cells", 1);
+        if !report.health.is_clean() {
+            obs.counter("harness.cells_degraded", 1);
+            if obs.enabled() {
+                obs.mark("harness.degraded", &report.label);
+            }
+        }
+        report
+    }
+
+    fn evaluate_cell(&self, config: &ChipConfig) -> CellReport {
         let label = config.label();
         let refs = match self.try_reference() {
             Ok(refs) => refs,
@@ -425,10 +455,16 @@ impl Harness {
                         self.runner.try_measure(config, w)
                     }))
                     .unwrap_or_else(|panic| {
+                        let message = panic_message(&panic);
+                        let obs = self.runner.observer();
+                        obs.counter("sweep.worker_panics", 1);
+                        if obs.enabled() {
+                            obs.mark("sweep.worker_panic", &message);
+                        }
                         Err(MeasureError {
                             workload: Some(w.name()),
                             config: config.label(),
-                            kind: MeasureErrorKind::WorkerPanic(panic_message(&panic)),
+                            kind: MeasureErrorKind::WorkerPanic(message),
                         })
                     })
                     .map(|(measurement, health)| {
@@ -473,12 +509,35 @@ impl Harness {
     /// Sweeps a whole configuration space resiliently: every cell is
     /// evaluated (degraded or not), nothing aborts, and the returned
     /// [`SweepHealth`] names each degraded cell with what it cost.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use lhr_core::Harness;
+    /// use lhr_uarch::{ChipConfig, ProcessorId};
+    ///
+    /// let harness = Harness::quick();
+    /// let configs = [
+    ///     ChipConfig::stock(ProcessorId::Atom230.spec()),
+    ///     ChipConfig::stock(ProcessorId::CoreI7_920.spec()),
+    /// ];
+    /// let report = harness.sweep(&configs);
+    /// assert_eq!(report.cells.len(), 2);
+    /// assert!(report.health.is_clean(), "no faults armed, no degradation");
+    /// let atom = report.cells[0].metrics().unwrap();
+    /// let i7 = report.cells[1].metrics().unwrap();
+    /// assert!(i7.perf_w > atom.perf_w, "the i7 outperforms the Atom");
+    /// ```
     #[must_use]
     pub fn sweep(&self, configs: &[ChipConfig]) -> SweepReport {
+        let obs = self.runner.observer();
+        let span = obs.span("harness.sweep");
         let cells: Vec<CellReport> = configs
             .iter()
             .map(|c| self.try_evaluate_config(c))
             .collect();
+        span.end();
+        obs.counter("sweep.cells", cells.len() as u64);
         let mut health = SweepHealth {
             cells_total: cells.len(),
             ..SweepHealth::default()
@@ -611,6 +670,58 @@ mod tests {
         assert!(!report.health.degraded.is_empty());
         // Nothing panicked: every cell produced a report.
         assert_eq!(report.cells.len(), 3);
+    }
+
+    #[test]
+    fn observer_counters_match_the_sweep_health() {
+        use lhr_obs::MemoryRecorder;
+        use lhr_sensors::faults::{FaultPlan, Saturation};
+        use std::sync::Arc;
+
+        let memory = Arc::new(MemoryRecorder::default());
+        let plan = FaultPlan::new(13).with_saturation(Saturation::new(2.49, 2.5));
+        let runner = Runner::fast().with_fault_plan(ProcessorId::CoreI7_920, plan);
+        let names = ["hmmer", "swaptions", "db", "sunflow"];
+        let ws: Vec<&'static Workload> = names
+            .iter()
+            .map(|n| lhr_workloads::by_name(n).expect("subset exists"))
+            .collect();
+        let h = Harness::new(runner)
+            .with_workloads(ws)
+            .with_observer(Obs::recording(memory.clone()));
+        let configs = [
+            ChipConfig::stock(ProcessorId::Atom230.spec()),
+            ChipConfig::stock(ProcessorId::CoreI7_920.spec()),
+        ];
+        let report = h.sweep(&configs);
+
+        let snap = memory.snapshot();
+        assert_eq!(snap.counter("harness.cells"), report.health.cells_total as u64);
+        assert_eq!(
+            snap.counter("harness.cells_degraded"),
+            report.health.cells_degraded as u64
+        );
+        assert_eq!(snap.counter("sweep.cells"), 2);
+        assert_eq!(snap.counter("sweep.worker_panics"), 0);
+        assert_eq!(
+            snap.counter("runner.failed_measurements"),
+            report.health.failed_measurements as u64
+        );
+        // Each cell was spanned inside the sweep span; wall time nests.
+        assert_eq!(snap.spans["harness.cell"].count, 2);
+        assert_eq!(snap.spans["harness.sweep"].count, 1);
+        assert!(
+            snap.spans["harness.sweep"].total_nanos
+                >= snap.spans["harness.cell"].total_nanos
+        );
+        // The degraded cell was named.
+        let degraded: Vec<_> = snap
+            .marks
+            .iter()
+            .filter(|m| m.0 == "harness.degraded")
+            .collect();
+        assert_eq!(degraded.len(), 1);
+        assert_eq!(degraded[0].1, report.health.degraded[0]);
     }
 
     #[test]

@@ -15,8 +15,15 @@
 //!   Pareto space,
 //! * [`experiments`]: one module per table and figure (Tables 1-5,
 //!   Figures 1-12), each rendering the paper's rows/series,
-//! * [`report`]: text tables and csv, mirroring the paper's published
-//!   companion data.
+//! * report helpers ([`Table`], [`fmt2`], [`fmt_pct`]): text tables and
+//!   csv, mirroring the paper's published companion data.
+//!
+//! The runner and harness double as the study's lab notebook: arm an
+//! `lhr-obs` observer ([`Runner::with_observer`] /
+//! [`Harness::with_observer`]) and every measurement, cache hit, retry,
+//! recalibration, outlier re-run, cell wall time, degraded cell, and
+//! contained worker panic is reported as a structured event -- without
+//! changing a single measured byte (the default observer is a no-op).
 //!
 //! # Example
 //!

@@ -18,6 +18,7 @@ use std::collections::HashMap;
 
 use parking_lot::Mutex;
 
+use lhr_obs::Obs;
 use lhr_sensors::{faults::FaultPlan, MeasurementRig, SensorError};
 use lhr_stats::{median, median_abs_deviation, Summary, SummaryBuilder};
 use lhr_uarch::{ChipConfig, ChipSimulator, ProcessorId};
@@ -93,6 +94,7 @@ pub struct Runner {
     /// (every figure touches the stock machines) are served from cache.
     cache: Mutex<HashMap<MeasureKey, (RunMeasurement, MeasureHealth)>>,
     health: Mutex<RunnerHealth>,
+    obs: Obs,
 }
 
 impl Default for Runner {
@@ -115,6 +117,7 @@ impl Runner {
             rigs: Mutex::new(HashMap::new()),
             cache: Mutex::new(HashMap::new()),
             health: Mutex::new(RunnerHealth::default()),
+            obs: Obs::none(),
         }
     }
 
@@ -191,6 +194,33 @@ impl Runner {
         me
     }
 
+    /// Arms an observer on the runner and on every rig it builds from
+    /// now on: measurements, cache hits, retry-budget spend, outlier
+    /// re-runs, recalibrations, and failures are reported through it.
+    /// The default ([`Obs::none`]) records nothing and costs nothing;
+    /// an armed observer never changes a measured number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any machine's rig was already built (observers must be
+    /// armed before first use, like fault plans).
+    #[must_use]
+    pub fn with_observer(self, obs: Obs) -> Self {
+        assert!(
+            self.rigs.lock().is_empty(),
+            "observer armed after rigs were built"
+        );
+        let mut me = self;
+        me.obs = obs;
+        me
+    }
+
+    /// The observer in force ([`Obs::none`] by default).
+    #[must_use]
+    pub fn observer(&self) -> &Obs {
+        &self.obs
+    }
+
     /// The retry budget in force.
     #[must_use]
     pub fn retry_budget(&self) -> usize {
@@ -238,6 +268,22 @@ impl Runner {
     ///
     /// A [`MeasureError`] when the rig cannot be built, a failure is not
     /// retryable, or the retry budget is exhausted.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use lhr_core::Runner;
+    /// use lhr_uarch::{ChipConfig, ProcessorId};
+    ///
+    /// let runner = Runner::fast();
+    /// let config = ChipConfig::stock(ProcessorId::Core2DuoE6600.spec());
+    /// let jess = lhr_workloads::by_name("jess").unwrap();
+    /// let (m, health) = runner.try_measure(&config, jess)?;
+    /// let watts = m.watts().value();
+    /// assert!(watts > 10.0 && watts < 65.0, "C2D-class draw, got {watts}");
+    /// assert!(health.is_clean(), "no faults armed, no interventions");
+    /// # Ok::<(), lhr_core::MeasureError>(())
+    /// ```
     pub fn try_measure(
         &self,
         config: &ChipConfig,
@@ -245,9 +291,12 @@ impl Runner {
     ) -> Result<(RunMeasurement, MeasureHealth), MeasureError> {
         let key = (config.label(), workload.name(), fingerprint(workload));
         if let Some((hit, _)) = self.cache.lock().get(&key) {
+            self.obs.counter("runner.cache_hits", 1);
             return Ok((hit.clone(), MeasureHealth::default()));
         }
+        let span = self.obs.span("runner.measure");
         let result = self.measure_uncached(config, workload);
+        span.end();
         match &result {
             Ok((measurement, health)) => {
                 let mut ledger = self.health.lock();
@@ -255,11 +304,28 @@ impl Runner {
                 ledger.recalibrations += health.recalibrations;
                 ledger.rejected_outliers += health.rejected_outliers;
                 drop(ledger);
+                self.obs.counter("runner.measurements", 1);
+                if !health.is_clean() {
+                    self.obs
+                        .counter("runner.retries", health.retries as u64);
+                    self.obs
+                        .counter("runner.recalibrations", health.recalibrations as u64);
+                    self.obs.counter(
+                        "runner.outlier_reruns",
+                        health.rejected_outliers as u64,
+                    );
+                }
                 self.cache
                     .lock()
                     .insert(key, (measurement.clone(), *health));
             }
-            Err(_) => self.health.lock().failed_measurements += 1,
+            Err(e) => {
+                self.health.lock().failed_measurements += 1;
+                self.obs.counter("runner.failed_measurements", 1);
+                if self.obs.enabled() {
+                    self.obs.mark("runner.failed", &e.to_string());
+                }
+            }
         }
         result
     }
@@ -283,7 +349,7 @@ impl Runner {
                     Some(plan) => rig.with_fault_plan(plan.clone()),
                     None => rig,
                 };
-                slot.insert(rig);
+                slot.insert(rig.with_observer(self.obs.clone()));
             }
         }
 
@@ -649,6 +715,59 @@ mod tests {
         let ledger = faulted.health();
         assert_eq!(ledger.rejected_outliers, health.rejected_outliers);
         assert_eq!(ledger.failed_measurements, 0);
+    }
+
+    #[test]
+    fn observer_counters_match_the_health_ledger() {
+        use lhr_obs::MemoryRecorder;
+        use std::sync::Arc;
+
+        let memory = Arc::new(MemoryRecorder::default());
+        let plan = FaultPlan::new(0xbad).with_spikes(Spikes {
+            per_run_probability: 0.35,
+            magnitude_v: -0.15,
+        });
+        let r = Runner::fast()
+            .with_invocations(6)
+            .with_fault_plan(ProcessorId::Core2DuoE6600, plan)
+            .with_observer(Obs::recording(memory.clone()));
+        let w = by_name("hmmer").unwrap();
+        let (_, health) = r.try_measure(&cfg(), w).expect("must converge");
+        let _ = r.try_measure(&cfg(), w).expect("cache hit");
+
+        let snap = memory.snapshot();
+        assert_eq!(snap.counter("runner.measurements"), 1);
+        assert_eq!(snap.counter("runner.cache_hits"), 1);
+        assert_eq!(snap.counter("runner.retries"), health.retries as u64);
+        assert_eq!(
+            snap.counter("runner.outlier_reruns"),
+            health.rejected_outliers as u64
+        );
+        assert_eq!(
+            snap.counter("runner.recalibrations"),
+            health.recalibrations as u64
+        );
+        // The rig armed by the runner reports through the same observer.
+        assert_eq!(snap.counter("rig.faulted_runs"), snap.counter("rig.runs"));
+        assert!(snap.counter("rig.runs") >= 6);
+        // Exactly one uncached measurement was spanned and timed.
+        let span = &snap.spans["runner.measure"];
+        assert_eq!(span.count, 1);
+        assert!(span.total_nanos > 0);
+    }
+
+    #[test]
+    fn observer_is_transparent_to_measurements() {
+        use lhr_obs::MemoryRecorder;
+        use std::sync::Arc;
+
+        let silent = Runner::fast();
+        let observed =
+            Runner::fast().with_observer(Obs::recording(Arc::new(MemoryRecorder::default())));
+        let w = by_name("jess").unwrap();
+        let (a, _) = silent.try_measure(&cfg(), w).unwrap();
+        let (b, _) = observed.try_measure(&cfg(), w).unwrap();
+        assert_eq!(a, b, "an armed observer never changes a measured number");
     }
 
     #[test]

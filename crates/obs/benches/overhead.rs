@@ -1,0 +1,45 @@
+//! Recorder overhead: what one instrumentation call costs with the
+//! default no-op handle (the measurement pipeline's hot path) versus an
+//! armed in-memory recorder.
+//!
+//! The no-op numbers are the ones that matter for the zero-perturbation
+//! guarantee: a disabled counter/span must be branch-on-`None` cheap.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lhr_obs::{MemoryRecorder, Obs};
+
+fn bench_noop(c: &mut Criterion) {
+    let obs = Obs::none();
+    let mut g = c.benchmark_group("obs_noop");
+    g.bench_function("counter", |b| {
+        b.iter(|| black_box(&obs).counter(black_box("runner.retries"), black_box(1)));
+    });
+    g.bench_function("histogram", |b| {
+        b.iter(|| black_box(&obs).histogram(black_box("rig.sample_yield"), black_box(0.98)));
+    });
+    g.bench_function("span", |b| {
+        b.iter(|| drop(black_box(&obs).span(black_box("runner.measure"))));
+    });
+    g.finish();
+}
+
+fn bench_memory(c: &mut Criterion) {
+    let recorder = Arc::new(MemoryRecorder::default());
+    let obs = Obs::recording(recorder);
+    let mut g = c.benchmark_group("obs_memory");
+    g.bench_function("counter", |b| {
+        b.iter(|| black_box(&obs).counter(black_box("runner.retries"), black_box(1)));
+    });
+    g.bench_function("histogram", |b| {
+        b.iter(|| black_box(&obs).histogram(black_box("rig.sample_yield"), black_box(0.98)));
+    });
+    g.bench_function("span", |b| {
+        b.iter(|| drop(black_box(&obs).span(black_box("runner.measure"))));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_noop, bench_memory);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! The event vocabulary every recorder consumes.
+//!
+//! Instrumentation sites borrow their names and payloads; recorders that
+//! need to keep events beyond the call must copy what they need (see
+//! [`crate::MemoryRecorder`]). Keeping the wire type borrowed means a
+//! disabled pipeline never allocates.
+
+/// One observation, emitted by an instrumentation site.
+///
+/// The `name` is a dot-separated path identifying the site
+/// (`"runner.retries"`, `"experiment.table4"`); the full vocabulary used
+/// by the measurement pipeline is documented in DESIGN.md's
+/// "Observability" section.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event<'a> {
+    /// Dot-separated event name, e.g. `"rig.recalibrations"`.
+    pub name: &'a str,
+    /// The payload.
+    pub kind: EventKind<'a>,
+}
+
+/// The payload of an [`Event`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind<'a> {
+    /// A timed region opened. `id` pairs the start with its end.
+    SpanStart {
+        /// Process-unique span id.
+        id: u64,
+    },
+    /// A timed region closed after `nanos` nanoseconds of wall time.
+    SpanEnd {
+        /// The id issued by the matching [`EventKind::SpanStart`].
+        id: u64,
+        /// Wall-clock duration of the region in nanoseconds.
+        nanos: u64,
+    },
+    /// A monotonic counter moved forward by `delta`.
+    Counter {
+        /// How far the counter advanced (usually 1).
+        delta: u64,
+    },
+    /// One sample of a distribution (a yield, a duration, a ratio).
+    Histogram {
+        /// The observed value.
+        value: f64,
+    },
+    /// A free-form annotation (e.g. the label of a degraded sweep cell).
+    Mark {
+        /// Human-readable detail.
+        detail: &'a str,
+    },
+}
+
+impl EventKind<'_> {
+    /// The schema tag used by the JSON-lines encoding (`"span_start"`,
+    /// `"span_end"`, `"counter"`, `"histogram"`, `"mark"`).
+    #[must_use]
+    pub fn tag(&self) -> &'static str {
+        match self {
+            EventKind::SpanStart { .. } => "span_start",
+            EventKind::SpanEnd { .. } => "span_end",
+            EventKind::Counter { .. } => "counter",
+            EventKind::Histogram { .. } => "histogram",
+            EventKind::Mark { .. } => "mark",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_cover_every_variant() {
+        let kinds = [
+            EventKind::SpanStart { id: 1 },
+            EventKind::SpanEnd { id: 1, nanos: 2 },
+            EventKind::Counter { delta: 1 },
+            EventKind::Histogram { value: 0.5 },
+            EventKind::Mark { detail: "x" },
+        ];
+        let tags: Vec<&str> = kinds.iter().map(EventKind::tag).collect();
+        assert_eq!(
+            tags,
+            ["span_start", "span_end", "counter", "histogram", "mark"]
+        );
+    }
+}

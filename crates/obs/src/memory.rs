@@ -1,0 +1,176 @@
+//! An in-memory recorder: keeps the raw event stream and aggregates
+//! counters, histograms, and span timings for tests and end-of-run
+//! profile summaries.
+
+use std::sync::Mutex;
+
+use crate::event::{Event, EventKind};
+use crate::recorder::Recorder;
+use crate::snapshot::{HistogramSummary, MetricsSnapshot, SpanStats};
+
+/// An owned copy of one recorded event (the borrowed wire type is
+/// [`Event`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OwnedEvent {
+    /// The event name.
+    pub name: String,
+    /// The owned payload.
+    pub kind: OwnedEventKind,
+}
+
+/// Owned counterpart of [`EventKind`].
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // field meanings documented on `EventKind`
+pub enum OwnedEventKind {
+    SpanStart { id: u64 },
+    SpanEnd { id: u64, nanos: u64 },
+    Counter { delta: u64 },
+    Histogram { value: f64 },
+    Mark { detail: String },
+}
+
+#[derive(Debug, Default)]
+struct State {
+    events: Vec<OwnedEvent>,
+    snapshot: MetricsSnapshot,
+}
+
+/// Aggregating in-memory [`Recorder`].
+///
+/// Keeps every event (in arrival order) plus running aggregates; a
+/// [`MemoryRecorder::snapshot`] is cheap and can be taken mid-run.
+#[derive(Debug, Default)]
+pub struct MemoryRecorder {
+    state: Mutex<State>,
+}
+
+impl MemoryRecorder {
+    /// A copy of the aggregates so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a recording thread panicked while holding the internal
+    /// lock (recorders never panic in normal operation).
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.state.lock().expect("recorder lock poisoned").snapshot.clone()
+    }
+
+    /// A copy of the raw event stream, in arrival order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a recording thread panicked while holding the internal
+    /// lock.
+    #[must_use]
+    pub fn events(&self) -> Vec<OwnedEvent> {
+        self.state.lock().expect("recorder lock poisoned").events.clone()
+    }
+}
+
+impl Recorder for MemoryRecorder {
+    fn record(&self, event: &Event<'_>) {
+        let Ok(mut state) = self.state.lock() else {
+            return; // a poisoned notebook must not kill the measurement
+        };
+        let snap = &mut state.snapshot;
+        snap.events_recorded += 1;
+        match event.kind {
+            EventKind::SpanStart { .. } => {}
+            EventKind::SpanEnd { nanos, .. } => {
+                let stats = snap
+                    .spans
+                    .entry(event.name.to_owned())
+                    .or_insert_with(SpanStats::empty);
+                stats.observe(nanos);
+            }
+            EventKind::Counter { delta } => {
+                *snap.counters.entry(event.name.to_owned()).or_insert(0) += delta;
+            }
+            EventKind::Histogram { value } => {
+                let h = snap
+                    .histograms
+                    .entry(event.name.to_owned())
+                    .or_insert_with(HistogramSummary::empty);
+                h.observe(value);
+            }
+            EventKind::Mark { detail } => {
+                snap.marks.push((event.name.to_owned(), detail.to_owned()));
+            }
+        }
+        let owned = OwnedEvent {
+            name: event.name.to_owned(),
+            kind: match event.kind {
+                EventKind::SpanStart { id } => OwnedEventKind::SpanStart { id },
+                EventKind::SpanEnd { id, nanos } => OwnedEventKind::SpanEnd { id, nanos },
+                EventKind::Counter { delta } => OwnedEventKind::Counter { delta },
+                EventKind::Histogram { value } => OwnedEventKind::Histogram { value },
+                EventKind::Mark { detail } => OwnedEventKind::Mark {
+                    detail: detail.to_owned(),
+                },
+            },
+        };
+        state.events.push(owned);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_counters_histograms_and_marks() {
+        let r = MemoryRecorder::default();
+        r.record(&Event {
+            name: "c",
+            kind: EventKind::Counter { delta: 2 },
+        });
+        r.record(&Event {
+            name: "c",
+            kind: EventKind::Counter { delta: 3 },
+        });
+        r.record(&Event {
+            name: "h",
+            kind: EventKind::Histogram { value: 1.0 },
+        });
+        r.record(&Event {
+            name: "h",
+            kind: EventKind::Histogram { value: 3.0 },
+        });
+        r.record(&Event {
+            name: "m",
+            kind: EventKind::Mark { detail: "cell X" },
+        });
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("c"), 5);
+        assert_eq!(snap.counter("absent"), 0);
+        let h = &snap.histograms["h"];
+        assert_eq!(h.count, 2);
+        assert!((h.mean() - 2.0).abs() < 1e-12);
+        assert!((h.min - 1.0).abs() < 1e-12 && (h.max - 3.0).abs() < 1e-12);
+        assert_eq!(snap.marks, vec![("m".to_owned(), "cell X".to_owned())]);
+        assert_eq!(snap.events_recorded, 5);
+        assert_eq!(r.events().len(), 5);
+    }
+
+    #[test]
+    fn span_stats_accumulate_durations() {
+        let r = MemoryRecorder::default();
+        for (id, nanos) in [(1, 100), (2, 300)] {
+            r.record(&Event {
+                name: "s",
+                kind: EventKind::SpanStart { id },
+            });
+            r.record(&Event {
+                name: "s",
+                kind: EventKind::SpanEnd { id, nanos },
+            });
+        }
+        let stats = &r.snapshot().spans["s"];
+        assert_eq!(stats.count, 2);
+        assert_eq!(stats.total_nanos, 400);
+        assert_eq!(stats.min_nanos, 100);
+        assert_eq!(stats.max_nanos, 300);
+        assert!((stats.mean_nanos() - 200.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,186 @@
+//! Aggregated metrics: counter totals, histogram summaries, span
+//! timings, and a text rendering for end-of-run profile summaries.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Running summary of one histogram (count/min/max/sum; enough for the
+/// yields, ratios, and durations the pipeline records).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSummary {
+    /// Samples observed.
+    pub count: u64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Sum of all samples.
+    pub sum: f64,
+}
+
+impl HistogramSummary {
+    pub(crate) fn empty() -> Self {
+        Self {
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
+    }
+
+    pub(crate) fn observe(&mut self, value: f64) {
+        self.count += 1;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.sum += value;
+    }
+
+    /// Arithmetic mean of the samples (NaN when empty).
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn mean(&self) -> f64 {
+        self.sum / self.count as f64
+    }
+}
+
+/// Accumulated wall-clock statistics for one span name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Completed spans.
+    pub count: u64,
+    /// Total nanoseconds across all completions.
+    pub total_nanos: u64,
+    /// Fastest completion.
+    pub min_nanos: u64,
+    /// Slowest completion.
+    pub max_nanos: u64,
+}
+
+impl SpanStats {
+    pub(crate) fn empty() -> Self {
+        Self {
+            count: 0,
+            total_nanos: 0,
+            min_nanos: u64::MAX,
+            max_nanos: 0,
+        }
+    }
+
+    pub(crate) fn observe(&mut self, nanos: u64) {
+        self.count += 1;
+        self.total_nanos += nanos;
+        self.min_nanos = self.min_nanos.min(nanos);
+        self.max_nanos = self.max_nanos.max(nanos);
+    }
+
+    /// Total time in seconds.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn total_seconds(&self) -> f64 {
+        self.total_nanos as f64 / 1e9
+    }
+
+    /// Mean completion time in nanoseconds (NaN when empty).
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn mean_nanos(&self) -> f64 {
+        self.total_nanos as f64 / self.count as f64
+    }
+}
+
+/// A point-in-time copy of a [`crate::MemoryRecorder`]'s aggregates.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+    /// Span timings by name.
+    pub spans: BTreeMap<String, SpanStats>,
+    /// Mark events, in arrival order, as `(name, detail)`.
+    pub marks: Vec<(String, String)>,
+    /// Raw events seen (all kinds, including span starts).
+    pub events_recorded: usize,
+}
+
+impl MetricsSnapshot {
+    /// A counter's total, 0 if never touched.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Renders the snapshot as an aligned text profile: span timings
+    /// first (slowest total first), then counters, then histogram means.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if !self.spans.is_empty() {
+            let mut spans: Vec<(&String, &SpanStats)> = self.spans.iter().collect();
+            spans.sort_by_key(|(_, s)| std::cmp::Reverse(s.total_nanos));
+            let width = spans.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+            out.push_str("spans (total time, count, mean):\n");
+            for (name, s) in spans {
+                let _ = writeln!(
+                    out,
+                    "  {name:<width$}  {:>9.3} s  x{:<5}  {:>9.3} ms",
+                    s.total_seconds(),
+                    s.count,
+                    s.mean_nanos() / 1e6,
+                );
+            }
+        }
+        if !self.counters.is_empty() {
+            let width = self.counters.keys().map(String::len).max().unwrap_or(0);
+            out.push_str("counters:\n");
+            for (name, total) in &self.counters {
+                let _ = writeln!(out, "  {name:<width$}  {total:>10}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            let width = self.histograms.keys().map(String::len).max().unwrap_or(0);
+            out.push_str("histograms (mean [min, max], count):\n");
+            for (name, h) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {name:<width$}  {:>10.4} [{:.4}, {:.4}]  x{}",
+                    h.mean(),
+                    h.min,
+                    h.max,
+                    h.count,
+                );
+            }
+        }
+        if out.is_empty() {
+            out.push_str("no events recorded\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_orders_spans_by_total_time() {
+        let mut snap = MetricsSnapshot::default();
+        let mut fast = SpanStats::empty();
+        fast.observe(1_000_000);
+        let mut slow = SpanStats::empty();
+        slow.observe(5_000_000_000);
+        snap.spans.insert("fast".into(), fast);
+        snap.spans.insert("slow".into(), slow);
+        snap.counters.insert("hits".into(), 7);
+        let text = snap.render();
+        let slow_at = text.find("slow").unwrap();
+        let fast_at = text.find("fast").unwrap();
+        assert!(slow_at < fast_at, "slowest span first:\n{text}");
+        assert!(text.contains("hits") && text.contains('7'));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_a_placeholder() {
+        assert_eq!(MetricsSnapshot::default().render(), "no events recorded\n");
+    }
+}

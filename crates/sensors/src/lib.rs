@@ -22,6 +22,13 @@
 //! [`SensorError`]s instead of panicking. A rig with no fault plan
 //! measures bit-for-bit identically to one without the layer at all.
 //!
+//! The rig keeps a lab notebook too: arm an `lhr-obs` observer
+//! ([`MeasurementRig::with_observer`]) and it reports per-run sample
+//! yield and drift codes, fault activations, rejections, and
+//! recalibration outcomes as structured events. The default observer
+//! drops everything for free, and an armed one never changes a measured
+//! number.
+//!
 //! # Example
 //!
 //! ```

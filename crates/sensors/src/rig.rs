@@ -1,5 +1,6 @@
 //! The complete measurement rig: calibrated sensor + logger on one rail.
 
+use lhr_obs::Obs;
 use lhr_power::PowerWaveform;
 use lhr_stats::Summary;
 use lhr_units::{Amperes, Seconds, Watts};
@@ -55,6 +56,7 @@ pub struct MeasurementRig {
     calibration: Calibration,
     injector: Option<FaultInjector>,
     policy: QualityPolicy,
+    obs: Obs,
 }
 
 impl MeasurementRig {
@@ -84,6 +86,7 @@ impl MeasurementRig {
             calibration,
             injector: None,
             policy: QualityPolicy::default(),
+            obs: Obs::none(),
         })
     }
 
@@ -103,6 +106,17 @@ impl MeasurementRig {
     #[must_use]
     pub fn with_quality_policy(mut self, policy: QualityPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Arms an observer: [`MeasurementRig::try_measure`] and
+    /// [`MeasurementRig::recalibrate`] report per-run sample yield,
+    /// fault activity, rejections, and recalibration events through it.
+    /// The default ([`Obs::none`]) records nothing and costs nothing;
+    /// an armed observer never changes a measured value.
+    #[must_use]
+    pub fn with_observer(mut self, obs: Obs) -> Self {
+        self.obs = obs;
         self
     }
 
@@ -172,6 +186,26 @@ impl MeasurementRig {
     ///
     /// Any [`SensorError`] the policy audit raises, or
     /// [`SensorError::Uninvertible`] for a corrupt calibration.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use lhr_power::PowerWaveform;
+    /// use lhr_sensors::MeasurementRig;
+    /// use lhr_units::{Seconds, Watts};
+    ///
+    /// // A steady 26 W chip sampled for 4 s at 50 Hz.
+    /// let mut w = PowerWaveform::new(Seconds::from_ms(20.0));
+    /// for _ in 0..200 {
+    ///     w.push(Watts::new(26.0));
+    /// }
+    /// let mut rig = MeasurementRig::for_max_power(Watts::new(60.0), 42)?;
+    /// let m = rig.try_measure(&w, 7)?;
+    /// let err = (m.average_power.value() - 26.0).abs() / 26.0;
+    /// assert!(err < 0.02, "calibrated rig reads within ~1-2%");
+    /// assert_eq!(m.quality.gap_count, 0); // no faults armed, no gaps
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
     pub fn try_measure(
         &mut self,
         waveform: &PowerWaveform,
@@ -179,7 +213,11 @@ impl MeasurementRig {
     ) -> Result<Measurement, SensorError> {
         if self.injector.is_none() {
             let m = self.measure(waveform, seed);
-            m.quality.check(&self.policy)?;
+            self.note_run(&m.quality);
+            if let Err(e) = m.quality.check(&self.policy) {
+                self.note_rejection(&e);
+                return Err(e);
+            }
             return Ok(m);
         }
         let injector = self.injector.as_ref().expect("checked above");
@@ -195,7 +233,12 @@ impl MeasurementRig {
             .expect("checked above")
             .advance(waveform.duration().value());
         let quality = QualityReport::from_log(&log, drift);
-        quality.check(&self.policy)?;
+        self.note_run(&quality);
+        self.obs.counter("rig.faulted_runs", 1);
+        if let Err(e) = quality.check(&self.policy) {
+            self.note_rejection(&e);
+            return Err(e);
+        }
         let supply = self.logger.supply();
         let mut samples = Vec::with_capacity(quality.logged_samples);
         for code in log.iter().flatten() {
@@ -242,9 +285,40 @@ impl MeasurementRig {
             Amperes::from_ma(300.0),
             Amperes::new(3.0),
         )
-        .map_err(SensorError::Recalibration)?;
-        self.calibration = calibration;
-        Ok(())
+        .map_err(SensorError::Recalibration);
+        match calibration {
+            Ok(calibration) => {
+                self.obs.counter("rig.recalibrations", 1);
+                self.calibration = calibration;
+                Ok(())
+            }
+            Err(e) => {
+                self.obs.counter("rig.recalibration_failures", 1);
+                Err(e)
+            }
+        }
+    }
+
+    /// Reports one validated run's data quality to the observer.
+    fn note_run(&self, quality: &QualityReport) {
+        if !self.obs.enabled() {
+            return;
+        }
+        self.obs.counter("rig.runs", 1);
+        self.obs
+            .counter("rig.samples_logged", quality.logged_samples as u64);
+        self.obs.histogram("rig.sample_yield", quality.sample_yield);
+        self.obs
+            .histogram("rig.drift_codes", quality.drift_codes);
+    }
+
+    /// Reports a policy rejection to the observer.
+    fn note_rejection(&self, e: &SensorError) {
+        if !self.obs.enabled() {
+            return;
+        }
+        self.obs.counter("rig.rejected_runs", 1);
+        self.obs.mark("rig.rejected", &e.to_string());
     }
 
     /// The drift self-check: drives the mid-band reference current
@@ -452,6 +526,58 @@ mod tests {
             "spike must bias the run, got {}",
             m.average_power.value()
         );
+    }
+
+    #[test]
+    fn observer_sees_runs_rejections_and_recalibrations() {
+        use lhr_obs::{MemoryRecorder, Obs};
+        use std::sync::Arc;
+
+        let memory = Arc::new(MemoryRecorder::default());
+        let plan = FaultPlan::new(11).with_drift(Drift::new(0.005, 0.002));
+        let mut rig = MeasurementRig::for_max_power(Watts::new(50.0), 42)
+            .unwrap()
+            .with_fault_plan(plan)
+            .with_observer(Obs::recording(memory.clone()));
+        let w = waveform(&vec![26.4; 500]);
+        let mut rejections = 0;
+        for seed in 0..12 {
+            match rig.try_measure(&w, seed) {
+                Ok(_) => {}
+                Err(SensorError::ExcessiveDrift { .. }) => {
+                    rejections += 1;
+                    rig.recalibrate().expect("drifted channel refits");
+                }
+                Err(other) => panic!("unexpected error {other}"),
+            }
+        }
+        let snap = memory.snapshot();
+        assert_eq!(snap.counter("rig.runs"), 12);
+        assert_eq!(snap.counter("rig.faulted_runs"), 12);
+        assert_eq!(snap.counter("rig.rejected_runs"), rejections);
+        assert_eq!(snap.counter("rig.recalibrations"), rejections);
+        assert!(rejections > 0, "drift must trip at least once");
+        let yields = &snap.histograms["rig.sample_yield"];
+        assert_eq!(yields.count, 12);
+        assert!((yields.mean() - 1.0).abs() < 1e-9, "drift drops no samples");
+        assert_eq!(snap.marks.len(), rejections as usize);
+        assert!(snap.marks.iter().all(|(name, _)| name == "rig.rejected"));
+    }
+
+    #[test]
+    fn observer_is_transparent_to_rig_equality_and_results() {
+        use lhr_obs::{MemoryRecorder, Obs};
+        use std::sync::Arc;
+
+        let silent = MeasurementRig::for_max_power(Watts::new(50.0), 42).unwrap();
+        let observed = silent
+            .clone()
+            .with_observer(Obs::recording(Arc::new(MemoryRecorder::default())));
+        assert_eq!(silent, observed);
+        let w = waveform(&vec![26.4; 300]);
+        let a = silent.clone().try_measure(&w, 5).unwrap();
+        let b = observed.clone().try_measure(&w, 5).unwrap();
+        assert_eq!(a, b, "observation must not perturb the measurement");
     }
 
     #[test]

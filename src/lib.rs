@@ -26,6 +26,9 @@
 //! * [`core`] -- the measurement harness, the four-machine reference
 //!   normalization, the equal-group-weight aggregation, and one module per
 //!   table and figure of the evaluation,
+//! * [`obs`] -- the lab notebook: zero-perturbation spans, counters, and
+//!   histograms the rig, runner, and harness report through (armed via
+//!   `with_observer`, streamed by the binaries' `--trace` flag),
 //! * [`stats`], [`trace`], [`units`] -- the supporting substrates.
 //!
 //! # Quickstart
@@ -58,6 +61,7 @@
 #![warn(missing_docs)]
 
 pub use lhr_core as core;
+pub use lhr_obs as obs;
 pub use lhr_power as power;
 pub use lhr_sensors as sensors;
 pub use lhr_stats as stats;
