@@ -40,6 +40,8 @@ fn main() {
     }
     std::fs::create_dir_all("repro_out").expect("create repro_out/");
     let csv = table.to_csv();
-    std::fs::write("repro_out/dataset.csv", &csv).expect("write dataset.csv");
+    // Crash-safe: an interrupted export leaves the previous csv intact.
+    lhr_bench::artifact::write_atomic(std::path::Path::new("repro_out/dataset.csv"), csv.as_bytes())
+        .expect("write dataset.csv");
     println!("{} rows -> repro_out/dataset.csv", table.len());
 }

@@ -1,40 +1,79 @@
-//! Regenerates every table and figure in one pass and writes each to
+//! Regenerates every table and figure in one pass as a supervised,
+//! resumable campaign, writing each artifact crash-safely to
 //! `repro_out/<name>.txt` (plus everything to stdout).
 //!
-//! Each experiment runs behind a panic guard: a faulted rig or dead cell
-//! skips that experiment's output file and the run continues, ending with
-//! the runner's health ledger. On a clean run the written files are
-//! byte-for-byte identical to the non-resilient pipeline's.
+//! The study grid (45 configurations x the catalog) is measured first
+//! under the campaign supervisor, with every resolved cell appended to
+//! a write-ahead journal (`repro_out/campaign.jsonl` by default). Kill
+//! the run at any point and `--resume` replays the journal, re-executing
+//! only the missing cells -- and regenerating byte-identical artifacts,
+//! verified against the journal's recorded checksums.
+//!
+//! Each experiment then runs behind a panic guard: a faulted rig or dead
+//! cell skips that experiment's output file and the run continues,
+//! ending with the runner's health ledger. On a clean run the written
+//! files are byte-for-byte identical to the non-resilient pipeline's.
 //!
 //! Flags: `--quick` (12-benchmark subset), `--paper` (prescribed
 //! invocation counts), `--trace <path>` (stream pipeline events as JSON
-//! lines and print the profile summary). Default: full catalog, 3
-//! invocations.
+//! lines), `--journal <path>`, `--resume`, `--max-cell-seconds <s>`,
+//! `--jobs <n>`, `--abort-after <n>`, `--out-dir <path>`. Default: full
+//! catalog, 3 invocations, artifacts in `repro_out/`.
+//!
+//! Exit codes: 0 clean; 1 failed experiments; 2 artifact checksum
+//! mismatch against the journal; 3 campaign aborted (resume to finish).
 
-use std::fs;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
+use lhr_bench::artifact::{fnv64, write_atomic};
+use lhr_bench::campaign::{self, CampaignOptions};
 use lhr_bench::{run_experiment, Fidelity, Observability, EXPERIMENTS};
 
 fn main() {
     let fidelity = Fidelity::from_args();
     let observability = Observability::from_args();
-    let harness = observability.arm(fidelity.harness());
-    let out_dir = std::path::Path::new("repro_out");
-    fs::create_dir_all(out_dir).expect("create repro_out/");
+    let mut opts = CampaignOptions::from_args();
+    // repro_all is the multi-day campaign: the journal is always on.
+    if opts.journal.is_none() {
+        opts.journal = Some(opts.out_dir.join(campaign::DEFAULT_JOURNAL));
+    }
+    let out_dir = opts.out_dir.clone();
+    std::fs::create_dir_all(&out_dir).expect("create output dir");
     println!("regenerating all tables and figures at {fidelity:?} fidelity\n");
     let t0 = Instant::now();
+
+    let prepared = campaign::prepare(fidelity, &observability, &opts);
+    if prepared.aborted() {
+        println!(
+            "total: {:.1?}; campaign aborted before artifact generation",
+            t0.elapsed()
+        );
+        std::process::exit(campaign::EXIT_ABORTED);
+    }
+
     let mut failed: Vec<&str> = Vec::new();
+    let mut mismatched: Vec<String> = Vec::new();
     for name in EXPERIMENTS {
         let t = Instant::now();
         let span = observability.experiment_span(name);
-        let outcome = catch_unwind(AssertUnwindSafe(|| run_experiment(name, &harness)));
+        let outcome = catch_unwind(AssertUnwindSafe(|| run_experiment(name, &prepared.harness)));
         span.end();
         match outcome {
             Ok(rendered) => {
-                let path = out_dir.join(format!("{name}.txt"));
-                fs::write(&path, &rendered).expect("write experiment output");
+                let file = format!("{name}.txt");
+                let path = out_dir.join(&file);
+                // A resumed run must reproduce the interrupted run's
+                // bytes: compare against the journaled checksum before
+                // overwriting, and report the first divergence if not.
+                if let Some(prior) = prepared.prior_artifact(&file) {
+                    if prior != fnv64(rendered.as_bytes()) {
+                        let old = std::fs::read_to_string(&path).unwrap_or_default();
+                        mismatched.push(campaign::diff_summary(&file, &old, &rendered));
+                    }
+                }
+                write_atomic(&path, rendered.as_bytes()).expect("write experiment output");
+                prepared.record_artifact(&file, rendered.as_bytes());
                 println!("=== {name} ({:.1?}) ===\n{rendered}", t.elapsed());
             }
             Err(panic) => {
@@ -48,9 +87,16 @@ fn main() {
             }
         }
     }
-    println!("total: {:.1?}; outputs in repro_out/", t0.elapsed());
-    println!("runner health: {}", harness.runner().health());
+    println!("total: {:.1?}; outputs in {}", t0.elapsed(), out_dir.display());
+    println!("runner health: {}", prepared.harness.runner().health());
     println!("{}", observability.profile_summary());
+    if !mismatched.is_empty() {
+        println!(
+            "artifact checksum mismatches against the campaign journal:\n{}",
+            mismatched.join("\n")
+        );
+        std::process::exit(campaign::EXIT_CHECKSUM_MISMATCH);
+    }
     if !failed.is_empty() {
         println!("failed experiments: {}", failed.join(", "));
         std::process::exit(1);

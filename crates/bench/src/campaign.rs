@@ -1,0 +1,883 @@
+//! Resumable, supervised sweep campaigns: the write-ahead journal and
+//! the campaign driver the regenerator binaries share.
+//!
+//! # Why a journal
+//!
+//! The source study's numbers came from a multi-day measurement
+//! campaign over real machines. At that scale the campaign *will* be
+//! interrupted -- a wedged logger, a reboot, an operator `^C` -- and
+//! the only acceptable cost of an interruption is the cells not yet
+//! measured. This module makes the reproduction behave the same way:
+//! every resolved `(configuration, workload)` cell is appended to a
+//! crash-safe JSON-lines journal (`campaign.jsonl`) the moment it
+//! resolves, and `--resume` replays the journal into the runner's
+//! measurement cache so only the missing cells re-execute.
+//!
+//! Because measurements are pure functions of their cell under the
+//! fixed seed policy, and the journal stores every `f64` in Rust's
+//! shortest round-trippable form (see [`lhr_obs::push_json_number`]),
+//! a resumed campaign regenerates outputs **byte-identical** to an
+//! uninterrupted one -- locked in by the `campaign_resume` integration
+//! test.
+//!
+//! # Journal format
+//!
+//! One JSON object per line, each ending in a `"crc"` field holding the
+//! FNV-1a 64 checksum (16 hex digits) of everything before it:
+//!
+//! * a header line (`"campaign"`, `"version"`, `"fidelity"`, grid
+//!   shape) -- resume refuses a journal recorded at another fidelity;
+//! * one line per resolved cell: `"status":"ok"` with time/power
+//!   summaries (`[n, mean, stddev, min, max]`) and health counters, or
+//!   `"status":"err"` with the error text (re-executed on resume);
+//! * one line per written artifact: name, size, and content checksum,
+//!   letting a resumed run verify it reproduced the same bytes.
+//!
+//! Lines that fail the checksum -- a torn tail from a crash mid-append
+//! -- are skipped, costing only that cell's re-measurement.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt::Write as _;
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use lhr_core::{
+    configs, grid_units, AbortHandle, CampaignReport, CampaignSink, Harness, MeasureHealth,
+    RetryPolicy, RunMeasurement, Supervisor, UnitOutcome, UnitReport,
+};
+use lhr_obs::{push_json_number, push_json_string};
+use lhr_stats::Summary;
+
+use crate::artifact::fnv64;
+use crate::{Fidelity, Observability};
+
+/// Journal file name used when `--journal` is not given: it lives next
+/// to the artifacts in the output directory (and is gitignored there --
+/// resolution order is timing-dependent, so the journal is not
+/// byte-reproducible even though the data in it is).
+pub const DEFAULT_JOURNAL: &str = "campaign.jsonl";
+
+/// Process exit code for a run that stopped on a checksum mismatch:
+/// a resumed campaign failed to reproduce the journaled artifact bytes.
+pub const EXIT_CHECKSUM_MISMATCH: i32 = 2;
+
+/// Process exit code for a campaign stopped by `--abort-after` (or any
+/// abort): the journal is intact and `--resume` will pick up from it.
+pub const EXIT_ABORTED: i32 = 3;
+
+/// Campaign-related command-line options shared by `repro_all` and the
+/// per-experiment binaries.
+#[derive(Debug, Clone)]
+pub struct CampaignOptions {
+    /// `--journal <path>`: where the write-ahead journal lives
+    /// (default: `<out-dir>/campaign.jsonl`).
+    pub journal: Option<PathBuf>,
+    /// `--resume`: replay the journal, re-executing only missing cells.
+    pub resume: bool,
+    /// `--max-cell-seconds <s>`: watchdog deadline for a 3-invocation
+    /// cell; other cells scale by their prescribed invocation count.
+    pub max_cell_seconds: Option<f64>,
+    /// `--jobs <n>`: cap on concurrent measurement workers.
+    pub jobs: Option<usize>,
+    /// `--abort-after <n>`: deterministically abort the campaign after
+    /// `n` cells resolve (the kill half of the kill-and-resume test).
+    pub abort_after: Option<usize>,
+    /// `--out-dir <path>`: artifact directory (default `repro_out`).
+    pub out_dir: PathBuf,
+}
+
+impl CampaignOptions {
+    /// Parses the process arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a flag is missing its value or the value is malformed.
+    #[must_use]
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        Self::parse(&args)
+    }
+
+    /// Parses an explicit argument list (exposed for tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a flag is missing its value or the value is malformed.
+    #[must_use]
+    pub fn parse(args: &[String]) -> Self {
+        fn value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+            args.iter().position(|a| a == flag).map(|i| {
+                args.get(i + 1)
+                    .unwrap_or_else(|| panic!("{flag} requires a value"))
+                    .as_str()
+            })
+        }
+        let max_cell_seconds = value(args, "--max-cell-seconds").map(|v| {
+            let s: f64 = v.parse().unwrap_or_else(|_| panic!("--max-cell-seconds: bad number {v:?}"));
+            assert!(s > 0.0 && s.is_finite(), "--max-cell-seconds must be positive");
+            s
+        });
+        let jobs = value(args, "--jobs").map(|v| {
+            let n: usize = v.parse().unwrap_or_else(|_| panic!("--jobs: bad count {v:?}"));
+            assert!(n > 0, "--jobs must be at least 1");
+            n
+        });
+        let abort_after = value(args, "--abort-after").map(|v| {
+            v.parse::<usize>()
+                .unwrap_or_else(|_| panic!("--abort-after: bad count {v:?}"))
+        });
+        Self {
+            journal: value(args, "--journal").map(PathBuf::from),
+            resume: args.iter().any(|a| a == "--resume"),
+            max_cell_seconds,
+            jobs,
+            abort_after,
+            out_dir: value(args, "--out-dir").map_or_else(|| PathBuf::from("repro_out"), PathBuf::from),
+        }
+    }
+
+    /// Whether any campaign feature was requested: a journal, a resume,
+    /// a watchdog deadline, or a deterministic abort. (`--jobs` alone
+    /// only caps harness parallelism -- no campaign needed.)
+    #[must_use]
+    pub fn armed(&self) -> bool {
+        self.journal.is_some()
+            || self.resume
+            || self.max_cell_seconds.is_some()
+            || self.abort_after.is_some()
+    }
+
+    /// The journal path in force.
+    #[must_use]
+    pub fn journal_path(&self) -> PathBuf {
+        self.journal
+            .clone()
+            .unwrap_or_else(|| self.out_dir.join(DEFAULT_JOURNAL))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Journal encoding
+// ---------------------------------------------------------------------
+
+/// Appends the line-integrity checksum and terminator to a record body
+/// (everything up to but excluding `,"crc":...}`) and returns the
+/// complete line.
+fn seal_line(mut body: String) -> String {
+    let crc = fnv64(body.as_bytes());
+    let _ = write!(body, ",\"crc\":\"{crc:016x}\"}}");
+    body
+}
+
+/// Splits a sealed line into its body and checksum, verifying
+/// integrity. Returns `None` for torn or tampered lines.
+fn open_line(line: &str) -> Option<&str> {
+    let at = line.rfind(",\"crc\":\"")?;
+    let (body, tail) = line.split_at(at);
+    let hex = tail.strip_prefix(",\"crc\":\"")?.strip_suffix("\"}")?;
+    let crc = u64::from_str_radix(hex, 16).ok()?;
+    (fnv64(body.as_bytes()) == crc).then_some(body)
+}
+
+fn push_summary(body: &mut String, s: &Summary) {
+    let _ = write!(body, "[{},", s.n());
+    push_json_number(body, s.mean());
+    body.push(',');
+    push_json_number(body, s.stddev());
+    body.push(',');
+    push_json_number(body, s.min());
+    body.push(',');
+    push_json_number(body, s.max());
+    body.push(']');
+}
+
+/// Locates `"key":` in a record and returns the text after the colon.
+fn after_key<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    line.find(&needle).map(|i| &line[i + needle.len()..])
+}
+
+/// Parses the JSON string literal a key points at, unescaping RFC 8259
+/// escapes (the inverse of [`push_json_string`]).
+fn parse_str(line: &str, key: &str) -> Option<String> {
+    let rest = after_key(line, key)?.strip_prefix('"')?;
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    loop {
+        match chars.next()? {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                '/' => out.push('/'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    let code = u32::from_str_radix(&hex, 16).ok()?;
+                    out.push(char::from_u32(code)?);
+                }
+                _ => return None,
+            },
+            c => out.push(c),
+        }
+    }
+}
+
+/// Parses the number a key points at.
+fn parse_num(line: &str, key: &str) -> Option<f64> {
+    let rest = after_key(line, key)?;
+    let end = rest
+        .find([',', '}', ']'])
+        .unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Parses the 5-element `[n, mean, stddev, min, max]` array a key
+/// points at, reconstructing the summary bit-exactly.
+fn parse_summary(line: &str, key: &str) -> Option<Summary> {
+    let rest = after_key(line, key)?.strip_prefix('[')?;
+    let end = rest.find(']')?;
+    let parts: Vec<f64> = rest[..end]
+        .split(',')
+        .map(|p| p.trim().parse().ok())
+        .collect::<Option<_>>()?;
+    let [n, mean, stddev, min, max] = parts.as_slice() else {
+        return None;
+    };
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let n = *n as usize;
+    (n >= 1).then(|| Summary::from_parts(n, *mean, *stddev, *min, *max))
+}
+
+// ---------------------------------------------------------------------
+// Journal writer
+// ---------------------------------------------------------------------
+
+/// Append-only, fsync-per-line journal writer: once a line's write
+/// returns, the record survives a crash (the definition of write-ahead).
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: Mutex<fs::File>,
+}
+
+impl JournalWriter {
+    /// Starts a fresh journal (truncating any previous one) and writes
+    /// the header line.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error creating or writing the file.
+    pub fn fresh(path: &Path, fidelity: &str, configs: usize, workloads: usize) -> io::Result<Self> {
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            fs::create_dir_all(dir)?;
+        }
+        let file = fs::File::create(path)?;
+        let me = Self { file: Mutex::new(file) };
+        let mut body = String::from("{\"campaign\":\"lhr-study\",\"version\":1,\"fidelity\":");
+        push_json_string(&mut body, fidelity);
+        let _ = write!(body, ",\"configs\":{configs},\"workloads\":{workloads}");
+        me.write_line(body)?;
+        Ok(me)
+    }
+
+    /// Reopens an existing journal for appending (the resume path).
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error opening the file.
+    pub fn append(path: &Path) -> io::Result<Self> {
+        let file = fs::OpenOptions::new().append(true).open(path)?;
+        Ok(Self { file: Mutex::new(file) })
+    }
+
+    /// Seals and appends one record body, fsyncing before returning.
+    fn write_line(&self, body: String) -> io::Result<()> {
+        let line = seal_line(body);
+        let mut file = self.file.lock().expect("journal lock");
+        file.write_all(line.as_bytes())?;
+        file.write_all(b"\n")?;
+        file.sync_data()
+    }
+
+    /// Journals one resolved campaign unit. Skipped units (abort) are
+    /// deliberately not recorded -- they are the cells resume re-runs.
+    fn record_unit(&self, unit: &UnitReport) -> io::Result<()> {
+        let mut body = String::from("{\"cell\":");
+        push_json_string(&mut body, &unit.config_label);
+        body.push_str(",\"workload\":");
+        push_json_string(&mut body, unit.workload);
+        match &unit.outcome {
+            UnitOutcome::Completed { evaluation, health } => {
+                let _ = write!(
+                    body,
+                    ",\"status\":\"ok\",\"attempts\":{},\"deadline_misses\":{},\
+                     \"retries\":{},\"recalibrations\":{},\"rejected_outliers\":{}",
+                    unit.attempts,
+                    unit.deadline_misses,
+                    health.retries,
+                    health.recalibrations,
+                    health.rejected_outliers,
+                );
+                body.push_str(",\"time\":");
+                push_summary(&mut body, &evaluation.measurement.time);
+                body.push_str(",\"power\":");
+                push_summary(&mut body, &evaluation.measurement.power);
+            }
+            UnitOutcome::Failed { error } => {
+                let _ = write!(
+                    body,
+                    ",\"status\":\"err\",\"attempts\":{},\"deadline_misses\":{},\"error\":",
+                    unit.attempts, unit.deadline_misses,
+                );
+                push_json_string(&mut body, &error.to_string());
+            }
+            UnitOutcome::Skipped => return Ok(()),
+        }
+        self.write_line(body)
+    }
+
+    /// Journals an artifact's name, size, and content checksum.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error appending the record.
+    pub fn record_artifact(&self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        let mut body = String::from("{\"artifact\":");
+        push_json_string(&mut body, name);
+        let _ = write!(body, ",\"bytes\":{},\"sum\":\"{:016x}\"", bytes.len(), fnv64(bytes));
+        self.write_line(body)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Journal reader
+// ---------------------------------------------------------------------
+
+/// One journaled `"status":"ok"` cell, ready to preload.
+#[derive(Debug, Clone)]
+pub struct OkCell {
+    /// The configuration label.
+    pub config: String,
+    /// The workload name.
+    pub workload: String,
+    /// The runner-level cost recorded for the cell.
+    pub health: MeasureHealth,
+    /// Execution-time summary, bit-exact.
+    pub time: Summary,
+    /// Power summary, bit-exact.
+    pub power: Summary,
+}
+
+/// Everything a journal replay recovered.
+#[derive(Debug, Default)]
+pub struct LoadedJournal {
+    /// The header's fidelity string, when the header survived.
+    pub fidelity: Option<String>,
+    /// Completed cells, in journal (resolution) order.
+    pub ok_cells: Vec<OkCell>,
+    /// Cells journaled as failed (they re-execute on resume).
+    pub err_cells: usize,
+    /// Artifact name -> content checksum.
+    pub artifacts: BTreeMap<String, u64>,
+    /// Lines dropped by the integrity check (torn tail, tampering).
+    pub skipped_lines: usize,
+}
+
+/// Replays a journal, tolerating a torn tail: any line that fails its
+/// checksum or does not parse is counted in
+/// [`LoadedJournal::skipped_lines`] and otherwise ignored (its cell
+/// simply re-executes).
+///
+/// # Errors
+///
+/// Only on failing to read the file itself.
+pub fn load_journal(path: &Path) -> io::Result<LoadedJournal> {
+    let text = fs::read_to_string(path)?;
+    let mut out = LoadedJournal::default();
+    for line in text.lines() {
+        let Some(body) = open_line(line) else {
+            out.skipped_lines += 1;
+            continue;
+        };
+        if body.starts_with("{\"campaign\":") {
+            out.fidelity = parse_str(body, "fidelity");
+        } else if body.starts_with("{\"artifact\":") {
+            let parsed = parse_str(body, "artifact").and_then(|name| {
+                let hex = parse_str(body, "sum")?;
+                Some((name, u64::from_str_radix(&hex, 16).ok()?))
+            });
+            match parsed {
+                Some((name, sum)) => {
+                    out.artifacts.insert(name, sum);
+                }
+                None => out.skipped_lines += 1,
+            }
+        } else if body.starts_with("{\"cell\":") {
+            match parse_cell(body) {
+                Some(Ok(cell)) => out.ok_cells.push(cell),
+                Some(Err(())) => out.err_cells += 1,
+                None => out.skipped_lines += 1,
+            }
+        } else {
+            out.skipped_lines += 1;
+        }
+    }
+    Ok(out)
+}
+
+/// Parses one cell record: `Ok` cells carry data, `Err(())` marks a
+/// journaled failure, `None` a malformed line.
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+fn parse_cell(body: &str) -> Option<Result<OkCell, ()>> {
+    let config = parse_str(body, "cell")?;
+    let workload = parse_str(body, "workload")?;
+    match parse_str(body, "status")?.as_str() {
+        "err" => Some(Err(())),
+        "ok" => {
+            let health = MeasureHealth {
+                retries: parse_num(body, "retries")? as usize,
+                recalibrations: parse_num(body, "recalibrations")? as usize,
+                rejected_outliers: parse_num(body, "rejected_outliers")? as usize,
+            };
+            Some(Ok(OkCell {
+                config,
+                workload,
+                health,
+                time: parse_summary(body, "time")?,
+                power: parse_summary(body, "power")?,
+            }))
+        }
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Progress sink
+// ---------------------------------------------------------------------
+
+/// The supervisor sink the binaries use: journals every resolved unit,
+/// prints periodic progress (cells done/remaining, retries, ETA), and
+/// trips the abort handle when `--abort-after` says so.
+struct ProgressSink {
+    writer: Arc<JournalWriter>,
+    total: usize,
+    already_done: usize,
+    resolved: AtomicUsize,
+    retries: AtomicUsize,
+    started: Instant,
+    last_print: Mutex<Instant>,
+    abort_after: Option<usize>,
+    abort: AbortHandle,
+}
+
+impl ProgressSink {
+    fn new(
+        writer: Arc<JournalWriter>,
+        total: usize,
+        already_done: usize,
+        abort_after: Option<usize>,
+        abort: AbortHandle,
+    ) -> Self {
+        let now = Instant::now();
+        Self {
+            writer,
+            total,
+            already_done,
+            resolved: AtomicUsize::new(0),
+            retries: AtomicUsize::new(0),
+            started: now,
+            last_print: Mutex::new(now),
+            abort_after,
+            abort,
+        }
+    }
+}
+
+impl CampaignSink for ProgressSink {
+    #[allow(clippy::cast_precision_loss)]
+    fn unit_resolved(&self, unit: &UnitReport) {
+        if let Err(e) = self.writer.record_unit(unit) {
+            eprintln!("[campaign] journal append failed: {e}");
+        }
+        let fresh = self.resolved.fetch_add(1, Ordering::Relaxed) + 1;
+        let retries = self
+            .retries
+            .fetch_add(unit.attempts.saturating_sub(1) as usize, Ordering::Relaxed)
+            + unit.attempts.saturating_sub(1) as usize;
+        let done = self.already_done + fresh;
+        let mut last = self.last_print.lock().expect("progress lock");
+        if last.elapsed().as_secs_f64() >= 2.0 || done == self.total {
+            *last = Instant::now();
+            let eta = self.started.elapsed().as_secs_f64() / fresh as f64
+                * (self.total - done) as f64;
+            println!(
+                "[campaign] {done}/{} cells done, {} remaining, {retries} retries, ETA {eta:.0}s",
+                self.total,
+                self.total - done,
+            );
+        }
+        drop(last);
+        if let Some(n) = self.abort_after {
+            if fresh >= n {
+                self.abort.abort();
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Campaign driver
+// ---------------------------------------------------------------------
+
+/// A prepared (possibly resumed, possibly aborted) campaign: the warmed
+/// harness plus the journal handles the artifact phase needs.
+pub struct Campaign {
+    /// The harness, its measurement cache warmed by the campaign (and
+    /// by the journal replay on resume).
+    pub harness: Arc<Harness>,
+    /// The supervisor's report, when a campaign ran (`None` when no
+    /// campaign feature was requested).
+    pub report: Option<CampaignReport>,
+    /// Cells preloaded from the journal instead of re-measured.
+    pub preloaded: usize,
+    /// Artifact checksums recovered from the journal on resume.
+    prior_artifacts: BTreeMap<String, u64>,
+    writer: Option<Arc<JournalWriter>>,
+}
+
+impl Campaign {
+    /// Whether the campaign was aborted before completing (exit with
+    /// [`EXIT_ABORTED`]; the journal supports `--resume`).
+    #[must_use]
+    pub fn aborted(&self) -> bool {
+        self.report.as_ref().is_some_and(|r| r.aborted)
+    }
+
+    /// The journaled checksum of an artifact from the interrupted run,
+    /// if the journal recorded one.
+    #[must_use]
+    pub fn prior_artifact(&self, name: &str) -> Option<u64> {
+        self.prior_artifacts.get(name).copied()
+    }
+
+    /// Journals a freshly written artifact's checksum.
+    pub fn record_artifact(&self, name: &str, bytes: &[u8]) {
+        if let Some(w) = &self.writer {
+            if let Err(e) = w.record_artifact(name, bytes) {
+                eprintln!("[campaign] artifact record failed: {e}");
+            }
+        }
+    }
+}
+
+/// Builds the harness for `fidelity` (applying `--jobs`), and -- when a
+/// campaign feature is armed -- replays the journal (on `--resume`) and
+/// runs the supervised campaign over the full study grid
+/// ([`configs::all_study_configs`] x the harness workloads), journaling
+/// every resolved cell. The returned harness's cache then serves the
+/// experiment renders, so supervision never touches rendered bytes.
+///
+/// # Panics
+///
+/// Panics if the journal cannot be created, or exits with
+/// [`EXIT_CHECKSUM_MISMATCH`] when resuming against a journal recorded
+/// at a different fidelity.
+#[must_use]
+pub fn prepare(fidelity: Fidelity, observability: &Observability, opts: &CampaignOptions) -> Campaign {
+    let mut harness = fidelity.harness();
+    if let Some(jobs) = opts.jobs {
+        harness = harness.with_jobs(jobs);
+    }
+    let harness = observability.arm(harness);
+    if !opts.armed() {
+        return Campaign {
+            harness: Arc::new(harness),
+            report: None,
+            preloaded: 0,
+            prior_artifacts: BTreeMap::new(),
+            writer: None,
+        };
+    }
+
+    let path = opts.journal_path();
+    let fidelity_name = format!("{fidelity:?}");
+    let mut done: HashSet<(String, String)> = HashSet::new();
+    let mut preloaded = 0usize;
+    let mut prior_artifacts = BTreeMap::new();
+    let resuming = opts.resume && path.exists();
+    if resuming {
+        let journal = load_journal(&path).unwrap_or_else(|e| panic!("--resume {}: {e}", path.display()));
+        if let Some(recorded) = &journal.fidelity {
+            if *recorded != fidelity_name {
+                eprintln!(
+                    "cannot resume: journal {} was recorded at {recorded} fidelity, this run is {fidelity_name}",
+                    path.display()
+                );
+                std::process::exit(EXIT_CHECKSUM_MISMATCH);
+            }
+        }
+        // The journal records configurations by label; the study grid's
+        // labels are unique, so each maps back to one real ChipConfig
+        // (needed for the cache key's structural config fingerprint).
+        let study: HashMap<String, lhr_uarch::ChipConfig> = configs::all_study_configs()
+            .into_iter()
+            .map(|c| (c.label(), c))
+            .collect();
+        for cell in &journal.ok_cells {
+            let Some(w) = lhr_workloads::by_name(&cell.workload) else {
+                continue; // a workload this build no longer knows
+            };
+            let Some(config) = study.get(&cell.config) else {
+                continue; // a configuration this build no longer measures
+            };
+            harness.runner().preload(
+                config,
+                w,
+                RunMeasurement {
+                    workload: w.name(),
+                    group: w.group(),
+                    config: cell.config.clone(),
+                    time: cell.time,
+                    power: cell.power,
+                },
+                cell.health,
+            );
+            done.insert((cell.config.clone(), cell.workload.clone()));
+            preloaded += 1;
+        }
+        prior_artifacts = journal.artifacts;
+        println!(
+            "[campaign] resumed {}: {preloaded} cells replayed, {} failed cells to retry, {} torn/invalid lines skipped",
+            path.display(),
+            journal.err_cells,
+            journal.skipped_lines,
+        );
+    }
+
+    let harness = Arc::new(harness);
+    let grid = grid_units(&configs::all_study_configs(), harness.workloads());
+    let grid_total = grid.len();
+    let units: Vec<_> = grid
+        .into_iter()
+        .filter(|u| !done.contains(&(u.config.label(), u.workload.name().to_owned())))
+        .collect();
+
+    let writer = Arc::new(
+        if resuming {
+            JournalWriter::append(&path)
+        } else {
+            JournalWriter::fresh(&path, &fidelity_name, configs::all_study_configs().len(), harness.workloads().len())
+        }
+        .unwrap_or_else(|e| panic!("journal {}: {e}", path.display())),
+    );
+
+    let mut supervisor = Supervisor::new(Arc::clone(&harness)).with_policy(RetryPolicy::default());
+    if let Some(s) = opts.max_cell_seconds {
+        supervisor = supervisor.with_max_cell_seconds(s);
+    }
+    if let Some(jobs) = opts.jobs {
+        supervisor = supervisor.with_jobs(jobs);
+    }
+    let abort = AbortHandle::new();
+    let sink = ProgressSink::new(
+        Arc::clone(&writer),
+        grid_total,
+        preloaded,
+        opts.abort_after,
+        abort.clone(),
+    );
+    println!(
+        "[campaign] supervising {} cells ({} already journaled), journal {}",
+        units.len(),
+        preloaded,
+        path.display()
+    );
+    let report = supervisor.run(&units, &sink, &abort);
+    let health = report.sweep_health();
+    if report.aborted {
+        println!(
+            "[campaign] aborted with {} cells resolved this run; resume with --resume --journal {}",
+            report.completed + report.failed,
+            path.display()
+        );
+    } else if !health.is_clean() {
+        println!("[campaign] {}", health.render());
+    }
+    Campaign {
+        harness,
+        report: Some(report),
+        preloaded,
+        prior_artifacts,
+        writer: Some(writer),
+    }
+}
+
+/// A human-readable first-divergence summary between a journaled
+/// artifact and its regeneration, for the checksum-mismatch report.
+#[must_use]
+pub fn diff_summary(name: &str, old: &str, new: &str) -> String {
+    let o: Vec<&str> = old.lines().collect();
+    let n: Vec<&str> = new.lines().collect();
+    let mut differing = 0usize;
+    let mut first = None;
+    for i in 0..o.len().max(n.len()) {
+        let a = o.get(i).copied();
+        let b = n.get(i).copied();
+        if a != b {
+            differing += 1;
+            if first.is_none() {
+                first = Some(i);
+            }
+        }
+    }
+    match first {
+        None => format!("  {name}: lines identical, trailing bytes differ"),
+        Some(i) => format!(
+            "  {name}: {differing} differing line(s), first at line {}:\n    before: {}\n    after:  {}",
+            i + 1,
+            o.get(i).copied().unwrap_or("<absent>"),
+            n.get(i).copied().unwrap_or("<absent>"),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lhr_core::MeasureError;
+    use lhr_core::MeasureErrorKind;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("lhr-campaign-{}", std::process::id()));
+        fs::create_dir_all(&dir).expect("scratch dir");
+        dir.join(name)
+    }
+
+    fn sample_unit(ok: bool) -> UnitReport {
+        let harness = Harness::quick();
+        let w = lhr_workloads::by_name("hmmer").unwrap();
+        let config = lhr_uarch::ChipConfig::stock(lhr_uarch::ProcessorId::Atom230.spec());
+        let outcome = if ok {
+            let (evaluation, health) = harness.try_evaluate_workload(&config, w).unwrap();
+            UnitOutcome::Completed { evaluation, health }
+        } else {
+            UnitOutcome::Failed {
+                error: MeasureError {
+                    workload: Some(w.name()),
+                    config: config.label(),
+                    kind: MeasureErrorKind::DeadlineExceeded { deadline_s: 1.5 },
+                },
+            }
+        };
+        UnitReport {
+            config_label: config.label(),
+            workload: w.name(),
+            attempts: if ok { 1 } else { 3 },
+            deadline_misses: u32::from(!ok),
+            outcome,
+        }
+    }
+
+    #[test]
+    fn journal_round_trips_cells_bit_exactly() {
+        let path = scratch("roundtrip.jsonl");
+        let writer = JournalWriter::fresh(&path, "Quick", 45, 12).unwrap();
+        let ok = sample_unit(true);
+        let err = sample_unit(false);
+        writer.record_unit(&ok).unwrap();
+        writer.record_unit(&err).unwrap();
+        writer.record_artifact("table4.txt", b"rendered bytes").unwrap();
+
+        let journal = load_journal(&path).unwrap();
+        assert_eq!(journal.fidelity.as_deref(), Some("Quick"));
+        assert_eq!(journal.ok_cells.len(), 1);
+        assert_eq!(journal.err_cells, 1);
+        assert_eq!(journal.skipped_lines, 0);
+        assert_eq!(journal.artifacts["table4.txt"], fnv64(b"rendered bytes"));
+
+        let cell = &journal.ok_cells[0];
+        let UnitOutcome::Completed { evaluation, health } = &ok.outcome else {
+            unreachable!()
+        };
+        assert_eq!(cell.config, ok.config_label);
+        assert_eq!(cell.workload, "hmmer");
+        assert_eq!(cell.health, *health);
+        // The f64 round trip is exact: shortest-repr format + parse
+        // recovers identical bits, the keystone of byte-identical resume.
+        assert_eq!(cell.time, evaluation.measurement.time);
+        assert_eq!(cell.power, evaluation.measurement.power);
+        assert_eq!(
+            cell.time.mean().to_bits(),
+            evaluation.measurement.time.mean().to_bits()
+        );
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_and_tampered_lines_are_skipped_not_fatal() {
+        let path = scratch("torn.jsonl");
+        let writer = JournalWriter::fresh(&path, "Quick", 45, 12).unwrap();
+        writer.record_unit(&sample_unit(true)).unwrap();
+        writer.record_unit(&sample_unit(true)).unwrap();
+        drop(writer);
+        // Crash mid-append: the last line is cut short.
+        let mut text = fs::read_to_string(&path).unwrap();
+        text.truncate(text.len() - 25);
+        // And an earlier line is tampered with (bit rot): flip a digit
+        // inside the second record's attempts field.
+        let tampered = text.replacen("\"attempts\":1", "\"attempts\":7", 1);
+        fs::write(&path, &tampered).unwrap();
+
+        let journal = load_journal(&path).unwrap();
+        assert_eq!(journal.fidelity.as_deref(), Some("Quick"));
+        assert_eq!(
+            journal.ok_cells.len(),
+            0,
+            "both data lines dropped: one torn, one failing its checksum"
+        );
+        assert_eq!(journal.skipped_lines, 2);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn options_parse_all_campaign_flags() {
+        let args: Vec<String> = [
+            "repro_all", "--quick", "--resume", "--journal", "/tmp/j.jsonl",
+            "--max-cell-seconds", "2.5", "--jobs", "4", "--abort-after", "40",
+            "--out-dir", "out",
+        ]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+        let opts = CampaignOptions::parse(&args);
+        assert!(opts.resume && opts.armed());
+        assert_eq!(opts.journal_path(), PathBuf::from("/tmp/j.jsonl"));
+        assert_eq!(opts.max_cell_seconds, Some(2.5));
+        assert_eq!(opts.jobs, Some(4));
+        assert_eq!(opts.abort_after, Some(40));
+        assert_eq!(opts.out_dir, PathBuf::from("out"));
+
+        let plain = CampaignOptions::parse(&["x".to_owned()]);
+        assert!(!plain.armed(), "no campaign flags, no campaign");
+        assert_eq!(plain.journal_path(), PathBuf::from("repro_out/campaign.jsonl"));
+        let jobs_only = CampaignOptions::parse(&["x".to_owned(), "--jobs".to_owned(), "2".to_owned()]);
+        assert!(!jobs_only.armed(), "--jobs alone only caps parallelism");
+    }
+
+    #[test]
+    fn diff_summary_points_at_the_first_divergence() {
+        let old = "alpha\nbeta\ngamma\n";
+        let new = "alpha\nBETA\ngamma\ndelta\n";
+        let s = diff_summary("table2.txt", old, new);
+        assert!(s.contains("2 differing line(s)"), "{s}");
+        assert!(s.contains("first at line 2"), "{s}");
+        assert!(s.contains("before: beta"), "{s}");
+        assert!(s.contains("after:  BETA"), "{s}");
+    }
+}

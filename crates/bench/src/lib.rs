@@ -14,9 +14,21 @@
 //! as JSON lines, and an end-of-run profile summary prints to stdout.
 //! Tracing never changes a number in the rendered outputs (see the
 //! `zero_perturbation` integration test).
+//!
+//! Long regenerations run as supervised campaigns (see [`campaign`]):
+//! `--journal <path>` arms a crash-safe write-ahead journal of resolved
+//! cells, `--resume` replays it so only missing cells re-execute,
+//! `--max-cell-seconds <s>` puts a watchdog deadline on each cell,
+//! `--jobs <n>` caps worker threads, and `--abort-after <n>` aborts
+//! deterministically (the kill half of the kill-and-resume test). None
+//! of these change a rendered byte: supervision schedules measurements,
+//! it never touches their values.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod artifact;
+pub mod campaign;
 
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -287,16 +299,25 @@ pub fn run_experiment(name: &str, harness: &Harness) -> String {
 
 /// Entry point shared by the thin per-experiment binaries.
 ///
-/// Honors `--quick`/`--paper` for fidelity and `--trace <path>` for a
-/// JSON-lines event stream; with tracing on, the profile summary prints
-/// after the experiment's output.
+/// Honors `--quick`/`--paper` for fidelity, `--trace <path>` for a
+/// JSON-lines event stream (with the profile summary printed after the
+/// experiment's output), and the campaign flags (`--journal`,
+/// `--resume`, `--max-cell-seconds`, `--jobs`, `--abort-after`): when a
+/// campaign feature is armed, the study grid is measured under the
+/// supervisor first -- journaled, deadline-watched, resumable -- and
+/// the experiment then renders from the warmed cache.
 pub fn main_for(name: &str) {
     let fidelity = Fidelity::from_args();
     let observability = Observability::from_args();
-    let harness = observability.arm(fidelity.harness());
+    let opts = campaign::CampaignOptions::from_args();
+    let prepared = campaign::prepare(fidelity, &observability, &opts);
+    if prepared.aborted() {
+        println!("{}", observability.profile_summary());
+        std::process::exit(campaign::EXIT_ABORTED);
+    }
     println!("=== {name} ({fidelity:?}) ===\n");
     let span = observability.experiment_span(name);
-    println!("{}", run_experiment(name, &harness));
+    println!("{}", run_experiment(name, &prepared.harness));
     span.end();
     if observability.tracing() {
         println!("{}", observability.profile_summary());

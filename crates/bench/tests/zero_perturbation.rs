@@ -3,9 +3,10 @@
 //! it produces.
 
 use std::fs;
+use std::sync::Arc;
 
 use lhr_bench::{run_experiment, Observability};
-use lhr_core::Harness;
+use lhr_core::{configs, grid_units, AbortHandle, Harness, Supervisor};
 
 /// The experiments the byte-compare covers: one sweep-heavy table and
 /// one ratio figure, both exercising the rig, runner, and harness layers.
@@ -28,6 +29,29 @@ fn armed_recorder_never_changes_a_rendered_byte() {
     assert!(snap.counter("runner.measurements") > 0);
     assert!(snap.counter("harness.cells") > 0);
     assert!(snap.spans.contains_key("harness.cell"));
+}
+
+#[test]
+fn supervised_campaign_never_changes_a_rendered_byte() {
+    // The supervision guarantee mirrors the observability one: the
+    // campaign supervisor schedules, journals, and deadline-watches the
+    // grid, but the measurements it warms into the cache -- and every
+    // artifact rendered from them -- stay byte-identical to an
+    // unsupervised run.
+    let silent = Harness::quick();
+    let supervised = Arc::new(Harness::quick());
+    let units = grid_units(&configs::stock_configs(), supervised.workloads());
+    let supervisor = Supervisor::new(supervised.clone()).with_max_cell_seconds(120.0);
+    let report = supervisor.run(&units, &(), &AbortHandle::new());
+    assert!(!report.aborted, "generous deadlines never abort");
+    assert_eq!(report.failed, 0, "a healthy rig fails no cells");
+    assert_eq!(report.completed, units.len());
+    assert!(report.sweep_health().is_clean(), "no degradation on a clean rig");
+    for name in PROBES {
+        let a = run_experiment(name, &silent);
+        let b = run_experiment(name, &supervised);
+        assert_eq!(a, b, "{name}: supervised output must be byte-identical");
+    }
 }
 
 #[test]

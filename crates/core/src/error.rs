@@ -40,6 +40,29 @@ pub enum MeasureErrorKind {
     /// A measurement worker panicked; the panic was contained and
     /// converted into this record.
     WorkerPanic(String),
+    /// The supervising watchdog's per-cell deadline expired before the
+    /// measurement finished (a wedged rig or a runaway simulation). The
+    /// worker was abandoned, never aborted: if it completes late its
+    /// result is still accepted.
+    DeadlineExceeded {
+        /// The deadline that expired, in seconds.
+        deadline_s: f64,
+    },
+}
+
+impl MeasureErrorKind {
+    /// Whether a supervisor retry could plausibly succeed. Deadline
+    /// misses and contained worker panics are environmental and worth a
+    /// backoff-spaced re-run; rig-setup failures, terminal sensor
+    /// faults, and an exhausted retry budget already spent their second
+    /// chances inside the runner and will only recur.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            MeasureErrorKind::WorkerPanic(_) | MeasureErrorKind::DeadlineExceeded { .. }
+        )
+    }
 }
 
 impl MeasureError {
@@ -68,6 +91,9 @@ impl fmt::Display for MeasureError {
                 write!(f, "retry budget ({budget}) exhausted; last error: {last}")
             }
             MeasureErrorKind::WorkerPanic(msg) => write!(f, "worker panicked: {msg}"),
+            MeasureErrorKind::DeadlineExceeded { deadline_s } => {
+                write!(f, "watchdog deadline ({deadline_s:.1} s) exceeded")
+            }
         }
     }
 }
@@ -79,6 +105,7 @@ impl Error for MeasureError {
             MeasureErrorKind::Sensor(e) => Some(e),
             MeasureErrorKind::RetryBudgetExhausted { last, .. } => Some(last),
             MeasureErrorKind::WorkerPanic(_) => None,
+            MeasureErrorKind::DeadlineExceeded { .. } => None,
         }
     }
 }
@@ -152,6 +179,25 @@ mod tests {
         let s = format!("{e}");
         assert!(s.contains("mcf") && s.contains("i5 (32)") && s.contains("budget (8)"));
         assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn transience_classifies_supervisor_retries() {
+        assert!(MeasureErrorKind::WorkerPanic("boom".into()).is_transient());
+        assert!(MeasureErrorKind::DeadlineExceeded { deadline_s: 30.0 }.is_transient());
+        assert!(!MeasureErrorKind::Sensor(SensorError::NoSamples).is_transient());
+        assert!(!MeasureErrorKind::RetryBudgetExhausted {
+            budget: 8,
+            last: SensorError::NoSamples,
+        }
+        .is_transient());
+        let e = MeasureError {
+            workload: None,
+            config: "X".into(),
+            kind: MeasureErrorKind::DeadlineExceeded { deadline_s: 12.5 },
+        };
+        assert!(format!("{e}").contains("watchdog deadline (12.5 s)"));
+        assert!(Error::source(&e).is_none());
     }
 
     #[test]

@@ -153,6 +153,9 @@ pub struct CellHealth {
     pub recalibrations: usize,
     /// Outlier-fence rejections in this cell.
     pub rejected_outliers: usize,
+    /// Watchdog deadline misses in this cell (supervised campaigns only;
+    /// always zero on the plain sweep path).
+    pub deadline_misses: usize,
     /// Workloads that failed for good in this cell.
     pub failed: usize,
 }
@@ -164,10 +167,11 @@ impl CellHealth {
         self.retries == 0
             && self.recalibrations == 0
             && self.rejected_outliers == 0
+            && self.deadline_misses == 0
             && self.failed == 0
     }
 
-    fn absorb(&mut self, h: &MeasureHealth) {
+    pub(crate) fn absorb(&mut self, h: &MeasureHealth) {
         self.retries += h.retries;
         self.recalibrations += h.recalibrations;
         self.rejected_outliers += h.rejected_outliers;
@@ -229,6 +233,8 @@ pub struct SweepHealth {
     pub recalibrations: usize,
     /// Total outlier-fence rejections across the sweep.
     pub rejected_outliers: usize,
+    /// Total watchdog deadline misses (supervised campaigns only).
+    pub deadline_misses: usize,
     /// Labels of the degraded cells, in sweep order.
     pub degraded: Vec<String>,
 }
@@ -246,7 +252,7 @@ impl SweepHealth {
         if self.is_clean() {
             return format!("sweep health: all {} cells clean", self.cells_total);
         }
-        format!(
+        let mut summary = format!(
             "sweep health: {}/{} cells degraded ({}); {} retries, {} recalibrations, \
              {} rejected outliers, {} failed measurements",
             self.cells_degraded,
@@ -256,7 +262,11 @@ impl SweepHealth {
             self.recalibrations,
             self.rejected_outliers,
             self.failed_measurements,
-        )
+        );
+        if self.deadline_misses > 0 {
+            summary.push_str(&format!(", {} deadline misses", self.deadline_misses));
+        }
+        summary
     }
 }
 
@@ -276,6 +286,7 @@ pub struct Harness {
     runner: Runner,
     workloads: Vec<&'static Workload>,
     reference: Mutex<Option<ReferenceSet>>,
+    jobs: Option<usize>,
 }
 
 impl Harness {
@@ -286,6 +297,7 @@ impl Harness {
             runner,
             workloads: catalog().iter().collect(),
             reference: Mutex::new(None),
+            jobs: None,
         }
     }
 
@@ -338,6 +350,27 @@ impl Harness {
         self
     }
 
+    /// Caps the number of worker threads a cell evaluation (and any
+    /// supervisor built over this harness) may use. Thread count never
+    /// affects a measured value -- every invocation's seed is a pure
+    /// function of its cell -- only wall-clock time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn with_jobs(mut self, n: usize) -> Self {
+        assert!(n > 0, "need at least one worker");
+        self.jobs = Some(n);
+        self
+    }
+
+    /// The worker-thread cap in force (`None` = available parallelism).
+    #[must_use]
+    pub fn jobs(&self) -> Option<usize> {
+        self.jobs
+    }
+
     /// The harness's workload set.
     #[must_use]
     pub fn workloads(&self) -> &[&'static Workload] {
@@ -379,6 +412,25 @@ impl Harness {
     #[must_use]
     pub fn measure(&self, config: &ChipConfig, workload: &Workload) -> RunMeasurement {
         self.runner.measure(config, workload)
+    }
+
+    /// Evaluates a single `(configuration, workload)` cell: one
+    /// measurement through the resilient runner path, normalized against
+    /// the four-machine reference. This is the unit a campaign
+    /// supervisor schedules, deadlines, and retries individually.
+    ///
+    /// # Errors
+    ///
+    /// The [`MeasureError`] from the reference computation or the
+    /// measurement itself.
+    pub fn try_evaluate_workload(
+        &self,
+        config: &ChipConfig,
+        workload: &Workload,
+    ) -> Result<(Evaluation, MeasureHealth), MeasureError> {
+        let refs = self.try_reference()?;
+        let (measurement, health) = self.runner.try_measure(config, workload)?;
+        Ok((normalize(&refs, measurement), health))
     }
 
     /// Evaluates every workload on a configuration, in parallel, returning
@@ -438,9 +490,13 @@ impl Harness {
         let n = self.workloads.len();
         type Slot = Option<Result<(Evaluation, MeasureHealth), MeasureError>>;
         let results: Vec<Mutex<Slot>> = (0..n).map(|_| Mutex::new(None)).collect();
-        let threads = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(4)
+        let threads = self
+            .jobs
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(4)
+            })
             .min(n);
         let next = std::sync::atomic::AtomicUsize::new(0);
         std::thread::scope(|scope| {
@@ -467,19 +523,7 @@ impl Harness {
                             kind: MeasureErrorKind::WorkerPanic(message),
                         })
                     })
-                    .map(|(measurement, health)| {
-                        let perf_norm = refs.seconds(w.name()) / measurement.time.mean();
-                        let energy_norm = measurement.power.mean() * measurement.time.mean()
-                            / refs.joules(w.name());
-                        (
-                            Evaluation {
-                                measurement,
-                                perf_norm,
-                                energy_norm,
-                            },
-                            health,
-                        )
-                    });
+                    .map(|(measurement, health)| (normalize(&refs, measurement), health));
                     *results[i].lock() = Some(outcome);
                 });
             }
@@ -546,6 +590,7 @@ impl Harness {
             health.retries += cell.health.retries;
             health.recalibrations += cell.health.recalibrations;
             health.rejected_outliers += cell.health.rejected_outliers;
+            health.deadline_misses += cell.health.deadline_misses;
             health.failed_measurements += cell.health.failed;
             if !cell.health.is_clean() {
                 health.cells_degraded += 1;
@@ -562,8 +607,21 @@ impl Harness {
     }
 }
 
+/// Normalizes one raw measurement against the reference set
+/// (Section 2.6: `reference time / time`; `energy / reference energy`).
+fn normalize(refs: &ReferenceSet, measurement: RunMeasurement) -> Evaluation {
+    let name = measurement.workload;
+    let perf_norm = refs.seconds(name) / measurement.time.mean();
+    let energy_norm = measurement.power.mean() * measurement.time.mean() / refs.joules(name);
+    Evaluation {
+        measurement,
+        perf_norm,
+        energy_norm,
+    }
+}
+
 /// Best-effort extraction of a panic payload's message.
-fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = panic.downcast_ref::<&str>() {
         (*s).to_owned()
     } else if let Some(s) = panic.downcast_ref::<String>() {
@@ -636,6 +694,28 @@ mod tests {
         let resilient: Vec<Evaluation> =
             report.evaluations.into_iter().map(Result::unwrap).collect();
         assert_eq!(resilient, h.evaluate_config(&cfg));
+    }
+
+    #[test]
+    fn single_workload_path_and_job_cap_are_transparent() {
+        let h = Harness::quick();
+        let cfg = ChipConfig::stock(ProcessorId::Atom230.spec());
+        let cell = h.try_evaluate_config(&cfg);
+        // A serial harness (one worker) produces the same bytes: thread
+        // count is pure wall-clock, never data.
+        let serial = Harness::quick().with_jobs(1);
+        assert_eq!(serial.jobs(), Some(1));
+        let serial_cell = serial.try_evaluate_config(&cfg);
+        for (a, b) in cell.evaluations.iter().zip(&serial_cell.evaluations) {
+            assert_eq!(a.as_ref().unwrap(), b.as_ref().unwrap());
+        }
+        // The supervisor's per-unit path agrees with the cell path.
+        let workloads = serial.workloads().to_vec();
+        for (i, w) in workloads.iter().enumerate() {
+            let (eval, health) = serial.try_evaluate_workload(&cfg, w).unwrap();
+            assert_eq!(&eval, cell.evaluations[i].as_ref().unwrap());
+            assert!(health.is_clean());
+        }
     }
 
     #[test]

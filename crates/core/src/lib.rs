@@ -46,9 +46,14 @@ mod harness;
 mod reference;
 mod report;
 mod runner;
+mod supervisor;
 
 pub use error::{MeasureError, MeasureErrorKind, MeasureHealth, RunnerHealth};
 pub use harness::{CellHealth, CellReport, Evaluation, GroupMetrics, Harness, SweepHealth, SweepReport};
 pub use reference::{ReferenceSet, REFERENCE_PROCESSORS};
 pub use report::{fmt2, fmt_pct, Table};
 pub use runner::{RunMeasurement, Runner, DEFAULT_RETRY_BUDGET};
+pub use supervisor::{
+    grid_units, AbortHandle, CampaignReport, CampaignSink, CampaignUnit, RetryPolicy, Supervisor,
+    UnitOutcome, UnitReport,
+};

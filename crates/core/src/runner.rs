@@ -15,6 +15,7 @@
 //! paths produce bit-for-bit identical measurements.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 
@@ -76,8 +77,10 @@ impl RunMeasurement {
     }
 }
 
-/// Cache key: (config label, workload name, seed fingerprint).
-type MeasureKey = (String, &'static str, u64);
+/// Cache key: (config label, config fingerprint, workload name, workload
+/// fingerprint). The config fingerprint disambiguates configurations
+/// whose one-decimal labels collide (e.g. 2.66 vs 2.71 GHz DVFS points).
+type MeasureKey = (String, u64, &'static str, u64);
 
 /// Runs benchmarks with the prescribed repetition and rig measurement.
 #[derive(Debug)]
@@ -88,7 +91,11 @@ pub struct Runner {
     base_seed: u64,
     retry_budget: usize,
     fault_plans: HashMap<ProcessorId, FaultPlan>,
-    rigs: Mutex<HashMap<ProcessorId, MeasurementRig>>,
+    /// One rig per machine, each behind its own lock so a stalled or
+    /// slow rig blocks only measurements on its machine -- the map lock
+    /// is held just long enough to find (or build) the rig, never
+    /// across a measurement.
+    rigs: Mutex<HashMap<ProcessorId, Arc<Mutex<MeasurementRig>>>>,
     /// Lab notebook: measurements are pure functions of (configuration,
     /// workload) under a fixed seed policy, so repeats across experiments
     /// (every figure touches the stock machines) are served from cache.
@@ -289,7 +296,12 @@ impl Runner {
         config: &ChipConfig,
         workload: &Workload,
     ) -> Result<(RunMeasurement, MeasureHealth), MeasureError> {
-        let key = (config.label(), workload.name(), fingerprint(workload));
+        let key = (
+            config.label(),
+            config_fingerprint(config),
+            workload.name(),
+            fingerprint(workload),
+        );
         if let Some((hit, _)) = self.cache.lock().get(&key) {
             self.obs.counter("runner.cache_hits", 1);
             return Ok((hit.clone(), MeasureHealth::default()));
@@ -330,6 +342,55 @@ impl Runner {
         result
     }
 
+    /// Pre-seeds the measurement cache with a previously recorded result
+    /// (the campaign journal's resume path). Subsequent
+    /// [`Runner::try_measure`] calls for the same cell are served from
+    /// cache exactly as if this runner had measured the cell earlier in
+    /// the process -- which, under the fixed seed policy, produces the
+    /// same bytes either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the measurement's workload name or configuration label
+    /// does not match `workload`/`config` (a corrupt or misattributed
+    /// journal record).
+    pub fn preload(
+        &self,
+        config: &ChipConfig,
+        workload: &Workload,
+        measurement: RunMeasurement,
+        health: MeasureHealth,
+    ) {
+        assert_eq!(
+            measurement.workload,
+            workload.name(),
+            "preloaded measurement belongs to another workload"
+        );
+        assert_eq!(
+            measurement.config,
+            config.label(),
+            "preloaded measurement belongs to another configuration"
+        );
+        let key = (
+            measurement.config.clone(),
+            config_fingerprint(config),
+            workload.name(),
+            fingerprint(workload),
+        );
+        self.cache.lock().insert(key, (measurement, health));
+        self.obs.counter("runner.preloads", 1);
+    }
+
+    /// The machine's rig handle (built before first invocation).
+    fn rig_for(&self, id: ProcessorId) -> Arc<Mutex<MeasurementRig>> {
+        Arc::clone(
+            self.rigs
+                .lock()
+                .get(&id)
+                .expect("inserted before invocations"),
+        )
+    }
+
     fn measure_uncached(
         &self,
         config: &ChipConfig,
@@ -349,7 +410,7 @@ impl Runner {
                     Some(plan) => rig.with_fault_plan(plan.clone()),
                     None => rig,
                 };
-                slot.insert(rig.with_observer(self.obs.clone()));
+                slot.insert(Arc::new(Mutex::new(rig.with_observer(self.obs.clone()))));
             }
         }
 
@@ -469,8 +530,8 @@ impl Runner {
             retry_seed(base, attempt)
         };
         let result = self.sim.run(config, w, seed);
-        let mut rigs = self.rigs.lock();
-        let rig = rigs.get_mut(&spec.id).expect("inserted before invocations");
+        let rig = self.rig_for(spec.id);
+        let mut rig = rig.lock();
         match rig.try_measure(&result.waveform, seed ^ 0x50_c3) {
             Ok(m) => Ok((result.time.value(), m.average_power.value())),
             Err(SensorError::ExcessiveDrift { .. }) => {
@@ -482,7 +543,7 @@ impl Runner {
                     config: config.label(),
                     kind: MeasureErrorKind::Sensor(e),
                 })?;
-                drop(rigs);
+                drop(rig);
                 self.retry_after_recalibration(config, w, workload, seed)
             }
             Err(e) => Err(MeasureError {
@@ -507,8 +568,8 @@ impl Runner {
     ) -> Result<(f64, f64), MeasureError> {
         let spec = config.spec();
         let result = self.sim.run(config, w, seed);
-        let mut rigs = self.rigs.lock();
-        let rig = rigs.get_mut(&spec.id).expect("inserted before invocations");
+        let rig = self.rig_for(spec.id);
+        let mut rig = rig.lock();
         match rig.try_measure(&result.waveform, seed ^ 0x50_c3) {
             Ok(m) => Ok((result.time.value(), m.average_power.value())),
             Err(e) => Err(MeasureError {
@@ -539,6 +600,26 @@ impl Runner {
             },
         }
     }
+}
+
+/// A structural fingerprint of a configuration for the measurement
+/// cache. The human-readable label rounds the clock to one decimal, so
+/// nearby DVFS points (2.66 vs 2.71 GHz) share a label while simulating
+/// differently; the fingerprint keeps their cache entries apart.
+fn config_fingerprint(c: &ChipConfig) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    };
+    for b in c.spec().short.bytes() {
+        mix(u64::from(b));
+    }
+    mix(c.active_cores() as u64);
+    mix(u64::from(c.smt_enabled()));
+    mix(u64::from(c.turbo_enabled()));
+    mix(c.clock().value().to_bits());
+    h
 }
 
 /// A cheap structural fingerprint distinguishing modified clones of a
@@ -682,6 +763,34 @@ mod tests {
         let (b, health) = r.try_measure(&cfg(), w).unwrap();
         assert_eq!(a, b);
         assert!(health.is_clean());
+    }
+
+    #[test]
+    fn preload_serves_cache_hits_identical_to_live_measurement() {
+        let live = Runner::fast();
+        let w = by_name("jess").unwrap();
+        let (m, h) = live.try_measure(&cfg(), w).unwrap();
+        let resumed = Runner::fast();
+        resumed.preload(&cfg(), w, m.clone(), h);
+        let (replayed, cost) = resumed.try_measure(&cfg(), w).unwrap();
+        assert_eq!(replayed, m, "a preloaded cell replays byte-identically");
+        assert!(cost.is_clean(), "cache hits cost nothing");
+        // A workload the journal never covered is measured live and
+        // still matches an untouched runner.
+        let other = by_name("mcf").unwrap();
+        assert_eq!(
+            resumed.try_measure(&cfg(), other).unwrap().0,
+            live.try_measure(&cfg(), other).unwrap().0,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "another workload")]
+    fn preload_rejects_misattributed_records() {
+        let r = Runner::fast();
+        let w = by_name("jess").unwrap();
+        let (m, h) = r.try_measure(&cfg(), w).unwrap();
+        Runner::fast().preload(&cfg(), by_name("mcf").unwrap(), m, h);
     }
 
     #[test]

@@ -1,0 +1,176 @@
+//! Property tests for the campaign supervisor: the retry policy's
+//! jitter schedule is a pure function of (seed, cell, attempt) with
+//! bounded, monotone envelopes, and FaultPlan-injected stalls are
+//! contained -- transient faults heal within the retry budget, permanent
+//! faults degrade to a failed cell instead of looping or aborting.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use lhr_core::{
+    grid_units, AbortHandle, Harness, MeasureErrorKind, RetryPolicy, Runner, Supervisor,
+    UnitOutcome,
+};
+use lhr_sensors::faults::{FaultPlan, Stall};
+use lhr_uarch::{ChipConfig, ProcessorId};
+
+/// Representative cell keys, shaped like the supervisor's
+/// `"config label / workload"` keys.
+const CELLS: [&str; 6] = [
+    "i7 (45) / mcf",
+    "i7 (45) / hmmer",
+    "Atom (45) / db",
+    "P4 (130) / tradebeans",
+    "C2D (65) / libquantum",
+    "i5 (32) / specjbb",
+];
+
+proptest! {
+    /// The jitter schedule replays exactly for a fixed seed: same
+    /// (seed, cell, attempt) -> bit-identical delay, and a different
+    /// seed decorrelates the stream.
+    #[test]
+    fn jitter_schedule_is_reproducible_for_a_fixed_seed(
+        seed in any::<u64>(),
+        cell_idx in 0usize..6,
+        attempt in 1u32..12,
+    ) {
+        let cell = CELLS[cell_idx];
+        let policy = RetryPolicy { seed, ..RetryPolicy::default() };
+        let replay = RetryPolicy { seed, ..RetryPolicy::default() };
+        prop_assert_eq!(
+            policy.delay_s(cell, attempt).to_bits(),
+            replay.delay_s(cell, attempt).to_bits(),
+            "the schedule must replay bit-exactly"
+        );
+        let other = RetryPolicy { seed: seed ^ 0x9e37_79b9_7f4a_7c15, ..RetryPolicy::default() };
+        prop_assert_ne!(
+            policy.delay_s(cell, attempt).to_bits(),
+            other.delay_s(cell, attempt).to_bits(),
+            "a different seed draws different jitter"
+        );
+    }
+
+    /// Every delay lands in [0.5, 1.0] x envelope, and the envelope
+    /// itself doubles monotonically up to the ceiling -- the schedule
+    /// is bounded above by `max_delay_s` no matter the attempt count.
+    #[test]
+    fn jitter_is_monotonically_bounded_by_the_envelope(
+        seed in any::<u64>(),
+        base in 0.01f64..0.5,
+        ceiling_factor in 1.0f64..32.0,
+        cell_idx in 0usize..6,
+    ) {
+        let cell = CELLS[cell_idx];
+        let policy = RetryPolicy {
+            max_attempts: 16,
+            base_delay_s: base,
+            max_delay_s: base * ceiling_factor,
+            seed,
+        };
+        let mut previous_envelope = 0.0f64;
+        for attempt in 1..=16 {
+            let envelope = policy.envelope_s(attempt);
+            prop_assert!(
+                envelope >= previous_envelope,
+                "envelope must never shrink: {envelope} < {previous_envelope}"
+            );
+            prop_assert!(
+                envelope <= policy.max_delay_s + 1e-12,
+                "envelope saturates at the ceiling"
+            );
+            let delay = policy.delay_s(cell, attempt);
+            prop_assert!(
+                delay >= 0.5 * envelope - 1e-12 && delay <= envelope + 1e-12,
+                "delay {delay} escapes [0.5, 1.0] x envelope {envelope}"
+            );
+            previous_envelope = envelope;
+        }
+    }
+}
+
+proptest! {
+    // The stall tests sleep for real wall-clock time; a handful of cases
+    // keeps the suite fast while still sampling the fault space.
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// A transient stall -- the rig wedges once, then recovers -- always
+    /// heals inside the retry budget: the unit completes (degraded, with
+    /// the deadline miss on the books), never fails, never aborts.
+    #[test]
+    fn transient_stall_heals_within_the_retry_budget(
+        fault_seed in any::<u64>(),
+        stall_s in 0.9f64..1.4,
+    ) {
+        let plan = FaultPlan::new(fault_seed).with_stall(Stall::transient(1, stall_s));
+        let runner = Runner::fast().with_fault_plan(ProcessorId::CoreI7_920, plan);
+        let ws = vec![lhr_workloads::by_name("hmmer").expect("exists")];
+        let harness = Arc::new(Harness::new(runner).with_workloads(ws));
+        let configs = [ChipConfig::stock(ProcessorId::CoreI7_920.spec())];
+        let units = grid_units(&configs, harness.workloads());
+        let supervisor = Supervisor::new(Arc::clone(&harness))
+            .with_max_cell_seconds(0.6)
+            .with_policy(RetryPolicy {
+                max_attempts: 4,
+                base_delay_s: 0.02,
+                max_delay_s: 0.1,
+                seed: fault_seed,
+            });
+        let report = supervisor.run(&units, &(), &AbortHandle::new());
+        prop_assert!(!report.aborted, "a contained fault never aborts the campaign");
+        prop_assert_eq!(report.completed, 1, "the transient wedge must heal");
+        prop_assert_eq!(report.failed, 0);
+        prop_assert!(report.deadline_misses >= 1, "the miss is still recorded");
+        prop_assert!(report.units[0].attempts <= 4, "healing stays inside the budget");
+        prop_assert_eq!(report.sweep_health().cells_degraded, 1, "healed is degraded");
+    }
+
+    /// A permanent stall -- the rig wedges on every run -- degrades to a
+    /// failed unit after exactly the retry budget: no infinite retry
+    /// loop, no process abort, and the healthy machine's cells complete.
+    #[test]
+    fn permanent_stall_degrades_instead_of_looping(
+        fault_seed in any::<u64>(),
+        max_attempts in 1u32..4,
+    ) {
+        let plan = FaultPlan::new(fault_seed).with_stall(Stall::permanent(60.0));
+        let runner = Runner::fast().with_fault_plan(ProcessorId::CoreI7_920, plan);
+        let ws = vec![lhr_workloads::by_name("hmmer").expect("exists")];
+        let harness = Arc::new(Harness::new(runner).with_workloads(ws));
+        let configs = [
+            ChipConfig::stock(ProcessorId::Atom230.spec()),
+            ChipConfig::stock(ProcessorId::CoreI7_920.spec()),
+        ];
+        let units = grid_units(&configs, harness.workloads());
+        let supervisor = Supervisor::new(Arc::clone(&harness))
+            .with_max_cell_seconds(0.3)
+            .with_policy(RetryPolicy {
+                max_attempts,
+                base_delay_s: 0.02,
+                max_delay_s: 0.1,
+                seed: fault_seed,
+            });
+        let report = supervisor.run(&units, &(), &AbortHandle::new());
+        prop_assert!(!report.aborted, "the watchdog contains, never aborts");
+        prop_assert_eq!(report.completed, 1, "the healthy Atom cell completes");
+        prop_assert_eq!(report.failed, 1, "the wedged unit fails exactly once");
+        let wedged = report
+            .units
+            .iter()
+            .find(|u| u.config_label.contains("i7"))
+            .expect("i7 unit reported");
+        match &wedged.outcome {
+            UnitOutcome::Failed { error } => prop_assert!(
+                matches!(error.kind, MeasureErrorKind::DeadlineExceeded { .. }),
+                "the failure names the deadline: {error}"
+            ),
+            other => prop_assert!(false, "expected a deadline failure, got {other:?}"),
+        }
+        prop_assert_eq!(
+            wedged.attempts, max_attempts,
+            "the budget is spent exactly, then the loop stops"
+        );
+        prop_assert!(report.sweep_health().deadline_misses >= max_attempts as usize);
+    }
+}

@@ -39,6 +39,13 @@ pub enum EventKind<'a> {
         /// How far the counter advanced (usually 1).
         delta: u64,
     },
+    /// A level that can move both ways (campaign progress, queue depth,
+    /// an ETA). Unlike a counter, the latest observation replaces the
+    /// previous one.
+    Gauge {
+        /// The current level.
+        value: f64,
+    },
     /// One sample of a distribution (a yield, a duration, a ratio).
     Histogram {
         /// The observed value.
@@ -53,13 +60,14 @@ pub enum EventKind<'a> {
 
 impl EventKind<'_> {
     /// The schema tag used by the JSON-lines encoding (`"span_start"`,
-    /// `"span_end"`, `"counter"`, `"histogram"`, `"mark"`).
+    /// `"span_end"`, `"counter"`, `"gauge"`, `"histogram"`, `"mark"`).
     #[must_use]
     pub fn tag(&self) -> &'static str {
         match self {
             EventKind::SpanStart { .. } => "span_start",
             EventKind::SpanEnd { .. } => "span_end",
             EventKind::Counter { .. } => "counter",
+            EventKind::Gauge { .. } => "gauge",
             EventKind::Histogram { .. } => "histogram",
             EventKind::Mark { .. } => "mark",
         }
@@ -76,13 +84,14 @@ mod tests {
             EventKind::SpanStart { id: 1 },
             EventKind::SpanEnd { id: 1, nanos: 2 },
             EventKind::Counter { delta: 1 },
+            EventKind::Gauge { value: 3.0 },
             EventKind::Histogram { value: 0.5 },
             EventKind::Mark { detail: "x" },
         ];
         let tags: Vec<&str> = kinds.iter().map(EventKind::tag).collect();
         assert_eq!(
             tags,
-            ["span_start", "span_end", "counter", "histogram", "mark"]
+            ["span_start", "span_end", "counter", "gauge", "histogram", "mark"]
         );
     }
 }

@@ -91,6 +91,10 @@ impl Recorder for JsonLinesRecorder {
                 line.push_str(",\"delta\":");
                 line.push_str(&delta.to_string());
             }
+            EventKind::Gauge { value } => {
+                line.push_str(",\"value\":");
+                push_json_number(&mut line, value);
+            }
             EventKind::Histogram { value } => {
                 line.push_str(",\"value\":");
                 push_json_number(&mut line, value);
@@ -132,7 +136,10 @@ impl std::fmt::Debug for JsonLinesRecorder {
 }
 
 /// Appends `s` as a JSON string literal (RFC 8259 escaping).
-fn push_json_string(out: &mut String, s: &str) {
+///
+/// Public so other JSON-lines writers in the workspace (e.g. the campaign
+/// journal in `lhr-bench`) share one escaping implementation.
+pub fn push_json_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -152,7 +159,12 @@ fn push_json_string(out: &mut String, s: &str) {
 
 /// Appends `v` as a JSON number; non-finite values (which JSON cannot
 /// express) become `null`.
-fn push_json_number(out: &mut String, v: f64) {
+///
+/// Finite values use Rust's shortest round-trippable formatting, so a
+/// reader that parses the text back with [`str::parse`] recovers the
+/// identical bits -- the property the campaign journal's byte-identical
+/// resume relies on.
+pub fn push_json_number(out: &mut String, v: f64) {
     if v.is_finite() {
         let _ = std::fmt::Write::write_fmt(out, format_args!("{v}"));
     } else {
@@ -205,6 +217,10 @@ mod tests {
             kind: EventKind::Counter { delta: 4 },
         });
         r.record(&Event {
+            name: "g",
+            kind: EventKind::Gauge { value: 7.5 },
+        });
+        r.record(&Event {
             name: "h",
             kind: EventKind::Histogram { value: 0.5 },
         });
@@ -214,13 +230,14 @@ mod tests {
         });
         r.flush();
         let lines = lines_of(&buf);
-        assert_eq!(lines.len(), 5);
+        assert_eq!(lines.len(), 6);
         assert_eq!(lines[0], r#"{"ev":"span_start","name":"s","id":3}"#);
         assert_eq!(lines[1], r#"{"ev":"span_end","name":"s","id":3,"ns":250}"#);
         assert_eq!(lines[2], r#"{"ev":"counter","name":"c","delta":4}"#);
-        assert_eq!(lines[3], r#"{"ev":"histogram","name":"h","value":0.5}"#);
-        assert_eq!(lines[4], r#"{"ev":"mark","name":"m","detail":"x"}"#);
-        assert_eq!(r.lines_written(), 5);
+        assert_eq!(lines[3], r#"{"ev":"gauge","name":"g","value":7.5}"#);
+        assert_eq!(lines[4], r#"{"ev":"histogram","name":"h","value":0.5}"#);
+        assert_eq!(lines[5], r#"{"ev":"mark","name":"m","detail":"x"}"#);
+        assert_eq!(r.lines_written(), 6);
         assert_eq!(r.write_errors(), 0);
     }
 

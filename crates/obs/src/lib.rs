@@ -87,7 +87,7 @@ mod recorder;
 mod snapshot;
 
 pub use event::{Event, EventKind};
-pub use json::JsonLinesRecorder;
+pub use json::{push_json_number, push_json_string, JsonLinesRecorder};
 pub use memory::{MemoryRecorder, OwnedEvent, OwnedEventKind};
 pub use recorder::{Obs, Recorder, Span, Tee};
 pub use snapshot::{HistogramSummary, MetricsSnapshot, SpanStats};

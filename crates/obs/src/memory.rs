@@ -25,6 +25,7 @@ pub enum OwnedEventKind {
     SpanStart { id: u64 },
     SpanEnd { id: u64, nanos: u64 },
     Counter { delta: u64 },
+    Gauge { value: f64 },
     Histogram { value: f64 },
     Mark { detail: String },
 }
@@ -87,6 +88,9 @@ impl Recorder for MemoryRecorder {
             EventKind::Counter { delta } => {
                 *snap.counters.entry(event.name.to_owned()).or_insert(0) += delta;
             }
+            EventKind::Gauge { value } => {
+                snap.gauges.insert(event.name.to_owned(), value);
+            }
             EventKind::Histogram { value } => {
                 let h = snap
                     .histograms
@@ -104,6 +108,7 @@ impl Recorder for MemoryRecorder {
                 EventKind::SpanStart { id } => OwnedEventKind::SpanStart { id },
                 EventKind::SpanEnd { id, nanos } => OwnedEventKind::SpanEnd { id, nanos },
                 EventKind::Counter { delta } => OwnedEventKind::Counter { delta },
+                EventKind::Gauge { value } => OwnedEventKind::Gauge { value },
                 EventKind::Histogram { value } => OwnedEventKind::Histogram { value },
                 EventKind::Mark { detail } => OwnedEventKind::Mark {
                     detail: detail.to_owned(),
@@ -141,16 +146,26 @@ mod tests {
             name: "m",
             kind: EventKind::Mark { detail: "cell X" },
         });
+        r.record(&Event {
+            name: "g",
+            kind: EventKind::Gauge { value: 10.0 },
+        });
+        r.record(&Event {
+            name: "g",
+            kind: EventKind::Gauge { value: 4.0 },
+        });
         let snap = r.snapshot();
         assert_eq!(snap.counter("c"), 5);
         assert_eq!(snap.counter("absent"), 0);
+        assert_eq!(snap.gauge("g"), Some(4.0), "latest gauge level wins");
+        assert_eq!(snap.gauge("absent"), None);
         let h = &snap.histograms["h"];
         assert_eq!(h.count, 2);
         assert!((h.mean() - 2.0).abs() < 1e-12);
         assert!((h.min - 1.0).abs() < 1e-12 && (h.max - 3.0).abs() < 1e-12);
         assert_eq!(snap.marks, vec![("m".to_owned(), "cell X".to_owned())]);
-        assert_eq!(snap.events_recorded, 5);
-        assert_eq!(r.events().len(), 5);
+        assert_eq!(snap.events_recorded, 7);
+        assert_eq!(r.events().len(), 7);
     }
 
     #[test]

@@ -77,6 +77,17 @@ impl Obs {
         }
     }
 
+    /// Sets the gauge `name` to `value` (the latest level replaces any
+    /// previous one -- use for progress, queue depth, an ETA).
+    pub fn gauge(&self, name: &str, value: f64) {
+        if let Some(r) = &self.0 {
+            r.record(&Event {
+                name,
+                kind: EventKind::Gauge { value },
+            });
+        }
+    }
+
     /// Records one sample of the distribution `name`.
     pub fn histogram(&self, name: &str, value: f64) {
         if let Some(r) = &self.0 {

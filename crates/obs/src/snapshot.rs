@@ -93,6 +93,8 @@ impl SpanStats {
 pub struct MetricsSnapshot {
     /// Counter totals by name.
     pub counters: BTreeMap<String, u64>,
+    /// Latest gauge level by name (last observation wins).
+    pub gauges: BTreeMap<String, f64>,
     /// Histogram summaries by name.
     pub histograms: BTreeMap<String, HistogramSummary>,
     /// Span timings by name.
@@ -108,6 +110,12 @@ impl MetricsSnapshot {
     #[must_use]
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A gauge's latest level, `None` if never set.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
     }
 
     /// Renders the snapshot as an aligned text profile: span timings
@@ -135,6 +143,13 @@ impl MetricsSnapshot {
             out.push_str("counters:\n");
             for (name, total) in &self.counters {
                 let _ = writeln!(out, "  {name:<width$}  {total:>10}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            let width = self.gauges.keys().map(String::len).max().unwrap_or(0);
+            out.push_str("gauges (latest level):\n");
+            for (name, level) in &self.gauges {
+                let _ = writeln!(out, "  {name:<width$}  {level:>10.2}");
             }
         }
         if !self.histograms.is_empty() {

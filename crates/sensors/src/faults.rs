@@ -116,6 +116,42 @@ pub struct Drops {
     pub probability: f64,
 }
 
+/// A wedged logger: affected runs hang for a fixed wall-clock delay
+/// before any data moves. The stall perturbs *time only* -- the codes,
+/// samples, and quality report of a stalled run are identical to the
+/// un-stalled run -- which is exactly the failure mode a supervising
+/// watchdog has to catch, since no data-quality gate ever will.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stall {
+    /// Runs affected: `Some(n)` stalls only the first `n` measured runs
+    /// (a transient wedge that clears, e.g. after a bus reset); `None`
+    /// wedges the logger permanently, stalling every run.
+    pub first_runs: Option<u32>,
+    /// Wall-clock seconds each affected run hangs for.
+    pub seconds: f64,
+}
+
+impl Stall {
+    /// A transient wedge: the first `n` runs hang for `seconds` each,
+    /// after which the logger recovers.
+    #[must_use]
+    pub fn transient(n: u32, seconds: f64) -> Self {
+        Self {
+            first_runs: Some(n),
+            seconds,
+        }
+    }
+
+    /// A permanent wedge: every run hangs for `seconds`.
+    #[must_use]
+    pub fn permanent(seconds: f64) -> Self {
+        Self {
+            first_runs: None,
+            seconds,
+        }
+    }
+}
+
 /// A seeded, deterministic description of everything wrong with a rig.
 ///
 /// The default plan ([`FaultPlan::none`]) injects nothing and is the
@@ -128,6 +164,7 @@ pub struct FaultPlan {
     stuck: Option<StuckCode>,
     spikes: Option<Spikes>,
     drops: Option<Drops>,
+    stall: Option<Stall>,
 }
 
 impl FaultPlan {
@@ -181,6 +218,19 @@ impl FaultPlan {
         self
     }
 
+    /// Adds a logger stall (see [`Stall`]).
+    #[must_use]
+    pub fn with_stall(mut self, s: Stall) -> Self {
+        self.stall = Some(s);
+        self
+    }
+
+    /// The configured logger stall, if any.
+    #[must_use]
+    pub fn stall(&self) -> Option<Stall> {
+        self.stall
+    }
+
     /// Whether the plan injects nothing at all.
     #[must_use]
     pub fn is_none(&self) -> bool {
@@ -189,6 +239,7 @@ impl FaultPlan {
             && self.stuck.is_none()
             && self.spikes.is_none()
             && self.drops.is_none()
+            && self.stall.is_none()
     }
 
     /// The plan's fault-stream seed.
@@ -204,13 +255,18 @@ impl FaultPlan {
 pub struct FaultInjector {
     plan: FaultPlan,
     clock_s: f64,
+    runs_started: u64,
 }
 
 impl FaultInjector {
     /// An injector at power-on (clock zero).
     #[must_use]
     pub fn new(plan: FaultPlan) -> Self {
-        Self { plan, clock_s: 0.0 }
+        Self {
+            plan,
+            clock_s: 0.0,
+            runs_started: 0,
+        }
     }
 
     /// The plan being injected.
@@ -228,6 +284,26 @@ impl FaultInjector {
     /// Advances the uptime clock (called once per measured run).
     pub fn advance(&mut self, seconds: f64) {
         self.clock_s += seconds.max(0.0);
+    }
+
+    /// Measured runs started so far (the stall budget's counter).
+    #[must_use]
+    pub fn runs_started(&self) -> u64 {
+        self.runs_started
+    }
+
+    /// Counts the next measured run against the stall budget and returns
+    /// how long it hangs: `Some(seconds)` while the wedge is active,
+    /// `None` once a transient wedge has cleared (or no stall is
+    /// configured). The caller sleeps; the injector only decides.
+    pub fn next_stall(&mut self) -> Option<f64> {
+        let stall = self.plan.stall?;
+        let run = self.runs_started;
+        self.runs_started += 1;
+        match stall.first_runs {
+            Some(n) if run >= u64::from(n) => None,
+            _ => Some(stall.seconds.max(0.0)),
+        }
     }
 
     /// The deterministic (RNG-free) part of the analog transform at the
@@ -417,5 +493,33 @@ mod tests {
     #[should_panic(expected = "need 0 <= low < high")]
     fn inverted_saturation_band_panics() {
         let _ = Saturation::new(3.0, 2.0);
+    }
+
+    #[test]
+    fn transient_stall_clears_after_its_budget() {
+        let plan = FaultPlan::new(1).with_stall(Stall::transient(2, 0.5));
+        assert!(!plan.is_none());
+        assert_eq!(plan.stall(), Some(Stall::transient(2, 0.5)));
+        let mut inj = FaultInjector::new(plan);
+        assert_eq!(inj.next_stall(), Some(0.5));
+        assert_eq!(inj.next_stall(), Some(0.5));
+        assert_eq!(inj.next_stall(), None);
+        assert_eq!(inj.next_stall(), None);
+        assert_eq!(inj.runs_started(), 4);
+    }
+
+    #[test]
+    fn permanent_stall_never_clears() {
+        let mut inj = FaultInjector::new(FaultPlan::new(1).with_stall(Stall::permanent(0.25)));
+        for _ in 0..10 {
+            assert_eq!(inj.next_stall(), Some(0.25));
+        }
+    }
+
+    #[test]
+    fn no_stall_configured_never_counts_runs() {
+        let mut inj = FaultInjector::new(FaultPlan::new(1).with_drops(Drops { probability: 0.1 }));
+        assert_eq!(inj.next_stall(), None);
+        assert_eq!(inj.runs_started(), 0);
     }
 }

@@ -62,7 +62,7 @@ mod rig;
 pub use adc::Adc;
 pub use calibration::{Calibration, CalibrationError};
 pub use error::SensorError;
-pub use faults::{FaultInjector, FaultPlan, FaultSession};
+pub use faults::{FaultInjector, FaultPlan, FaultSession, Stall};
 pub use hall::HallSensor;
 pub use logger::DataLogger;
 pub use quality::{QualityPolicy, QualityReport};

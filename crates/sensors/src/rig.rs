@@ -220,6 +220,12 @@ impl MeasurementRig {
             }
             return Ok(m);
         }
+        // A wedged logger hangs before any data moves: wall-clock time
+        // only, never the measured values.
+        if let Some(stall_s) = self.injector.as_mut().expect("checked above").next_stall() {
+            self.obs.counter("rig.stalled_runs", 1);
+            std::thread::sleep(std::time::Duration::from_secs_f64(stall_s));
+        }
         let injector = self.injector.as_ref().expect("checked above");
         let mut session = injector.session(seed);
         let drift = self.drift_residual_codes(true);
@@ -578,6 +584,29 @@ mod tests {
         let a = silent.clone().try_measure(&w, 5).unwrap();
         let b = observed.clone().try_measure(&w, 5).unwrap();
         assert_eq!(a, b, "observation must not perturb the measurement");
+    }
+
+    #[test]
+    fn stall_burns_wall_clock_but_not_data() {
+        use crate::faults::Stall;
+
+        let clean = MeasurementRig::for_max_power(Watts::new(50.0), 42).unwrap();
+        let w = waveform(&vec![26.4; 300]);
+        let reference = clean.measure(&w, 5);
+        let mut wedged = clean.with_fault_plan(FaultPlan::new(4).with_stall(Stall::transient(1, 0.05)));
+        let t0 = std::time::Instant::now();
+        let stalled = wedged.try_measure(&w, 5).expect("a stall is not a data fault");
+        assert!(
+            t0.elapsed() >= std::time::Duration::from_millis(50),
+            "first run must hang for the stall duration"
+        );
+        assert_eq!(reference.average_power, stalled.average_power);
+        assert_eq!(reference.samples, stalled.samples);
+        // The wedge has cleared: the second run is fast.
+        let t1 = std::time::Instant::now();
+        let healed = wedged.try_measure(&w, 5).expect("recovered logger accepts");
+        assert!(t1.elapsed() < std::time::Duration::from_millis(50));
+        assert_eq!(reference.samples, healed.samples);
     }
 
     #[test]

@@ -168,6 +168,27 @@ impl Summary {
         b.build()
     }
 
+    /// Reassembles a summary from previously recorded parts -- the
+    /// campaign journal's replay path, where a summary written as text
+    /// must round-trip to the identical value. No statistics are
+    /// recomputed; the caller vouches that the parts came from a real
+    /// [`Summary`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero (a summary of nothing is not a value).
+    #[must_use]
+    pub fn from_parts(n: usize, mean: f64, stddev: f64, min: f64, max: f64) -> Self {
+        assert!(n > 0, "summary of zero observations");
+        Self {
+            n,
+            mean,
+            stddev,
+            min,
+            max,
+        }
+    }
+
     /// Number of observations.
     #[must_use]
     pub fn n(&self) -> usize {
@@ -435,6 +456,23 @@ mod tests {
     #[should_panic(expected = "positive values")]
     fn geometric_mean_rejects_nonpositive() {
         let _ = geometric_mean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn from_parts_round_trips_exactly() {
+        let s = Summary::from_slice(&[10.1, 9.9, 10.0, 10.2, 9.8]);
+        // Text round-trip via shortest-repr formatting recovers the
+        // identical bits, which is what the campaign journal relies on.
+        let mean: f64 = format!("{}", s.mean()).parse().unwrap();
+        let stddev: f64 = format!("{}", s.stddev()).parse().unwrap();
+        let rebuilt = Summary::from_parts(s.n(), mean, stddev, s.min(), s.max());
+        assert_eq!(s, rebuilt);
+    }
+
+    #[test]
+    #[should_panic(expected = "summary of zero observations")]
+    fn from_parts_rejects_zero_n() {
+        let _ = Summary::from_parts(0, 0.0, 0.0, 0.0, 0.0);
     }
 
     #[test]
