@@ -78,6 +78,46 @@ fn write_atomic_hooked(
     Ok(())
 }
 
+/// One entry of an artifact directory listing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArtifactEntry {
+    /// Bare file name (no directory components).
+    pub name: String,
+    /// Size in bytes.
+    pub bytes: u64,
+}
+
+/// Lists the regular files of an artifact directory (`repro_out/`),
+/// sorted by name. Subdirectories, temp files from in-flight
+/// [`write_atomic`] calls (leading `.`), and unreadable entries are
+/// skipped -- the listing only ever names complete, published
+/// artifacts. The serving layer's `/v1/artifacts` endpoint renders it.
+///
+/// # Errors
+///
+/// The [`io::Error`] from reading the directory itself (a missing
+/// directory is the caller's 404, not a panic).
+pub fn list_artifacts(dir: &Path) -> io::Result<Vec<ArtifactEntry>> {
+    let mut entries = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let Ok(entry) = entry else { continue };
+        let Ok(meta) = entry.metadata() else { continue };
+        if !meta.is_file() {
+            continue;
+        }
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.starts_with('.') {
+            continue;
+        }
+        entries.push(ArtifactEntry {
+            name,
+            bytes: meta.len(),
+        });
+    }
+    entries.sort_by(|a, b| a.name.cmp(&b.name));
+    Ok(entries)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,5 +171,23 @@ mod tests {
             .collect();
         assert!(leftovers.is_empty(), "no temp litter: {leftovers:?}");
         fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn listing_names_complete_artifacts_only() {
+        let dir = std::env::temp_dir().join(format!("lhr-listing-{}", std::process::id()));
+        fs::create_dir_all(dir.join("sub")).unwrap();
+        write_atomic(&dir.join("table4.txt"), b"rows\n").unwrap();
+        write_atomic(&dir.join("figure7.txt"), b"series\n").unwrap();
+        fs::write(dir.join(".figure7.txt.tmp.123"), b"torn").unwrap();
+        let listing = list_artifacts(&dir).unwrap();
+        assert_eq!(
+            listing.iter().map(|e| e.name.as_str()).collect::<Vec<_>>(),
+            vec!["figure7.txt", "table4.txt"],
+            "sorted, no temp files, no subdirectories"
+        );
+        assert_eq!(listing[1].bytes, 5);
+        assert!(list_artifacts(&dir.join("absent")).is_err());
+        fs::remove_dir_all(&dir).ok();
     }
 }

@@ -319,6 +319,14 @@ impl Harness {
     /// group), for tests and quick exploration.
     #[must_use]
     pub fn quick() -> Self {
+        Harness::new(Runner::fast()).with_workloads(Self::quick_set())
+    }
+
+    /// The representative 12-benchmark subset [`Harness::quick`] uses,
+    /// for callers (the serving layer, tests) that need the same
+    /// workload set over a customized runner.
+    #[must_use]
+    pub fn quick_set() -> Vec<&'static Workload> {
         let names = [
             // Native Non-scalable: compute-bound, branchy, memory-bound.
             "hmmer", "gobmk", "mcf",
@@ -329,11 +337,10 @@ impl Harness {
             // Java Scalable.
             "sunflow", "xalan", "lusearch",
         ];
-        let ws = names
+        names
             .iter()
             .map(|n| lhr_workloads::by_name(n).expect("quick-set benchmarks exist"))
-            .collect();
-        Harness::new(Runner::fast()).with_workloads(ws)
+            .collect()
     }
 
     /// Arms an observer on the harness's runner (and every rig it will

@@ -39,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod configs;
 mod error;
 pub mod experiments;
@@ -48,6 +49,7 @@ mod report;
 mod runner;
 mod supervisor;
 
+pub use cache::{CachedCell, CellCache, CellKey, ShardedLruCache, UnboundedCache};
 pub use error::{MeasureError, MeasureErrorKind, MeasureHealth, RunnerHealth};
 pub use harness::{CellHealth, CellReport, Evaluation, GroupMetrics, Harness, SweepHealth, SweepReport};
 pub use reference::{ReferenceSet, REFERENCE_PROCESSORS};

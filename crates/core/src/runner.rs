@@ -26,6 +26,7 @@ use lhr_uarch::{ChipConfig, ChipSimulator, ProcessorId};
 use lhr_units::{Joules, Seconds, Watts};
 use lhr_workloads::{Group, Workload};
 
+use crate::cache::{CellCache, CellKey, UnboundedCache};
 use crate::error::{MeasureError, MeasureErrorKind, MeasureHealth, RunnerHealth};
 
 /// Default number of extra invocations a measurement may spend on
@@ -77,11 +78,6 @@ impl RunMeasurement {
     }
 }
 
-/// Cache key: (config label, config fingerprint, workload name, workload
-/// fingerprint). The config fingerprint disambiguates configurations
-/// whose one-decimal labels collide (e.g. 2.66 vs 2.71 GHz DVFS points).
-type MeasureKey = (String, u64, &'static str, u64);
-
 /// Runs benchmarks with the prescribed repetition and rig measurement.
 #[derive(Debug)]
 pub struct Runner {
@@ -99,7 +95,9 @@ pub struct Runner {
     /// Lab notebook: measurements are pure functions of (configuration,
     /// workload) under a fixed seed policy, so repeats across experiments
     /// (every figure touches the stock machines) are served from cache.
-    cache: Mutex<HashMap<MeasureKey, (RunMeasurement, MeasureHealth)>>,
+    /// Campaigns keep the default unbounded notebook; the serving layer
+    /// swaps in a bounded sharded-LRU (see [`crate::cache`]).
+    cache: Arc<dyn CellCache>,
     health: Mutex<RunnerHealth>,
     obs: Obs,
 }
@@ -122,7 +120,7 @@ impl Runner {
             retry_budget: DEFAULT_RETRY_BUDGET,
             fault_plans: HashMap::new(),
             rigs: Mutex::new(HashMap::new()),
-            cache: Mutex::new(HashMap::new()),
+            cache: Arc::new(UnboundedCache::default()),
             health: Mutex::new(RunnerHealth::default()),
             obs: Obs::none(),
         }
@@ -178,6 +176,33 @@ impl Runner {
     pub fn with_retry_budget(mut self, budget: usize) -> Self {
         self.retry_budget = budget;
         self
+    }
+
+    /// Swaps the measurement cell cache. The default is an
+    /// [`UnboundedCache`] (right for finite campaign grids); a server
+    /// passes a bounded [`crate::cache::ShardedLruCache`] so a long-lived
+    /// process cannot grow without bound. Whatever the policy, cache
+    /// contents never change a measured byte -- an entry is exactly the
+    /// measurement that was inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the runner has already measured (or preloaded) a cell:
+    /// swapping a warm cache would silently discard paid-for work.
+    #[must_use]
+    pub fn with_cell_cache(mut self, cache: Arc<dyn CellCache>) -> Self {
+        assert!(
+            self.cache.is_empty(),
+            "cell cache swapped after cells were resolved"
+        );
+        self.cache = cache;
+        self
+    }
+
+    /// The cell cache in force.
+    #[must_use]
+    pub fn cell_cache(&self) -> &Arc<dyn CellCache> {
+        &self.cache
     }
 
     /// Arms a fault plan on one machine's rig: every measurement taken on
@@ -296,15 +321,10 @@ impl Runner {
         config: &ChipConfig,
         workload: &Workload,
     ) -> Result<(RunMeasurement, MeasureHealth), MeasureError> {
-        let key = (
-            config.label(),
-            config_fingerprint(config),
-            workload.name(),
-            fingerprint(workload),
-        );
-        if let Some((hit, _)) = self.cache.lock().get(&key) {
+        let key = CellKey::new(config, workload);
+        if let Some((hit, _)) = self.cache.get(&key) {
             self.obs.counter("runner.cache_hits", 1);
-            return Ok((hit.clone(), MeasureHealth::default()));
+            return Ok((hit, MeasureHealth::default()));
         }
         let span = self.obs.span("runner.measure");
         let result = self.measure_uncached(config, workload);
@@ -327,9 +347,7 @@ impl Runner {
                         health.rejected_outliers as u64,
                     );
                 }
-                self.cache
-                    .lock()
-                    .insert(key, (measurement.clone(), *health));
+                self.cache.insert(key, (measurement.clone(), *health));
             }
             Err(e) => {
                 self.health.lock().failed_measurements += 1;
@@ -371,13 +389,8 @@ impl Runner {
             config.label(),
             "preloaded measurement belongs to another configuration"
         );
-        let key = (
-            measurement.config.clone(),
-            config_fingerprint(config),
-            workload.name(),
-            fingerprint(workload),
-        );
-        self.cache.lock().insert(key, (measurement, health));
+        self.cache
+            .insert(CellKey::new(config, workload), (measurement, health));
         self.obs.counter("runner.preloads", 1);
     }
 
@@ -600,45 +613,6 @@ impl Runner {
             },
         }
     }
-}
-
-/// A structural fingerprint of a configuration for the measurement
-/// cache. The human-readable label rounds the clock to one decimal, so
-/// nearby DVFS points (2.66 vs 2.71 GHz) share a label while simulating
-/// differently; the fingerprint keeps their cache entries apart.
-fn config_fingerprint(c: &ChipConfig) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut mix = |v: u64| {
-        h ^= v;
-        h = h.wrapping_mul(0x1000_0000_01b3);
-    };
-    for b in c.spec().short.bytes() {
-        mix(u64::from(b));
-    }
-    mix(c.active_cores() as u64);
-    mix(u64::from(c.smt_enabled()));
-    mix(u64::from(c.turbo_enabled()));
-    mix(c.clock().value().to_bits());
-    h
-}
-
-/// A cheap structural fingerprint distinguishing modified clones of a
-/// catalog workload (ablated services, swapped JVM profiles, scaled
-/// traces) in the measurement cache.
-fn fingerprint(w: &Workload) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut mix = |v: u64| {
-        h ^= v;
-        h = h.wrapping_mul(0x1000_0000_01b3);
-    };
-    mix(w.trace().total_instructions());
-    if let Some(m) = w.managed() {
-        mix(m.gc_work_fraction.to_bits());
-        mix(m.jit_work_fraction.to_bits());
-        mix(m.displacement_miss_factor.to_bits());
-        mix(m.gc_threads as u64);
-    }
-    h
 }
 
 /// Builds a shortened clone of a workload (same signature, fewer

@@ -4,8 +4,29 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-/// Running summary of one histogram (count/min/max/sum; enough for the
-/// yields, ratios, and durations the pipeline records).
+/// Log-spaced buckets per decade of the quantile sketch. 48 buckets per
+/// factor of 10 bound the relative width of one bucket to
+/// `10^(1/48) - 1` (about 4.9%), which in turn bounds the quantile
+/// estimation error.
+const BUCKETS_PER_DECADE: usize = 48;
+
+/// Decades covered by the sketch: `1e-9 ..= 1e12` (nanoseconds to
+/// terawatt-scale; everything the pipeline records fits with room).
+const DECADES: usize = 21;
+
+/// Smallest positive value the sketch distinguishes; anything at or
+/// below it (including non-positive samples) lands in the first bucket.
+const SKETCH_FLOOR_LOG10: f64 = -9.0;
+
+/// Total sketch buckets.
+const SKETCH_BUCKETS: usize = BUCKETS_PER_DECADE * DECADES;
+
+/// Running summary of one histogram: count/min/max/sum plus a
+/// fixed-size log-bucketed sketch for quantile estimation
+/// ([`HistogramSummary::quantile`]). The sketch trades a bounded
+/// relative error (one bucket width, under 5%) for constant memory --
+/// the classic HDR-histogram design, hand-rolled because this crate
+/// takes no dependencies.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HistogramSummary {
     /// Samples observed.
@@ -16,6 +37,9 @@ pub struct HistogramSummary {
     pub max: f64,
     /// Sum of all samples.
     pub sum: f64,
+    /// Log-bucketed sample counts backing [`HistogramSummary::quantile`].
+    /// Allocated on first observation.
+    buckets: Vec<u64>,
 }
 
 impl HistogramSummary {
@@ -25,7 +49,28 @@ impl HistogramSummary {
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
             sum: 0.0,
+            buckets: Vec::new(),
         }
+    }
+
+    /// The sketch bucket a value falls into.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    fn bucket_index(value: f64) -> usize {
+        if !value.is_finite() || value <= 0.0 {
+            return 0;
+        }
+        let offset = (value.log10() - SKETCH_FLOOR_LOG10) * BUCKETS_PER_DECADE as f64;
+        if offset <= 0.0 {
+            0
+        } else {
+            (offset as usize).min(SKETCH_BUCKETS - 1)
+        }
+    }
+
+    /// The geometric midpoint of a bucket (its representative value).
+    #[allow(clippy::cast_precision_loss)]
+    fn bucket_value(index: usize) -> f64 {
+        10f64.powf(SKETCH_FLOOR_LOG10 + (index as f64 + 0.5) / BUCKETS_PER_DECADE as f64)
     }
 
     pub(crate) fn observe(&mut self, value: f64) {
@@ -33,6 +78,10 @@ impl HistogramSummary {
         self.min = self.min.min(value);
         self.max = self.max.max(value);
         self.sum += value;
+        if self.buckets.is_empty() {
+            self.buckets = vec![0; SKETCH_BUCKETS];
+        }
+        self.buckets[Self::bucket_index(value)] += 1;
     }
 
     /// Arithmetic mean of the samples (NaN when empty).
@@ -40,6 +89,57 @@ impl HistogramSummary {
     #[allow(clippy::cast_precision_loss)]
     pub fn mean(&self) -> f64 {
         self.sum / self.count as f64
+    }
+
+    /// Estimated `q`-quantile of the samples (`q` in `[0, 1]`; NaN when
+    /// empty). The estimate is the representative value of the sketch
+    /// bucket holding the rank-`ceil(q * count)` sample, clamped into
+    /// `[min, max]`, so its relative error is bounded by one bucket
+    /// width (under 5%) and the extremes are exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        if q == 0.0 {
+            return self.min;
+        }
+        if q == 1.0 {
+            return self.max;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::bucket_value(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Estimated median (see [`HistogramSummary::quantile`]).
+    #[must_use]
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// Estimated 95th percentile.
+    #[must_use]
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// Estimated 99th percentile.
+    #[must_use]
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
     }
 }
 
@@ -154,14 +254,17 @@ impl MetricsSnapshot {
         }
         if !self.histograms.is_empty() {
             let width = self.histograms.keys().map(String::len).max().unwrap_or(0);
-            out.push_str("histograms (mean [min, max], count):\n");
+            out.push_str("histograms (mean [min, max] p50/p95/p99, count):\n");
             for (name, h) in &self.histograms {
                 let _ = writeln!(
                     out,
-                    "  {name:<width$}  {:>10.4} [{:.4}, {:.4}]  x{}",
+                    "  {name:<width$}  {:>10.4} [{:.4}, {:.4}] {:.4}/{:.4}/{:.4}  x{}",
                     h.mean(),
                     h.min,
                     h.max,
+                    h.p50(),
+                    h.p95(),
+                    h.p99(),
                     h.count,
                 );
             }
@@ -197,5 +300,79 @@ mod tests {
     #[test]
     fn empty_snapshot_renders_a_placeholder() {
         assert_eq!(MetricsSnapshot::default().render(), "no events recorded\n");
+    }
+
+    #[test]
+    fn quantiles_match_a_known_uniform_distribution() {
+        // 1..=1000 uniformly: the exact quantiles are known, and the
+        // sketch's relative error is bounded by one bucket (< 5%).
+        let mut h = HistogramSummary::empty();
+        for v in 1..=1000 {
+            h.observe(f64::from(v));
+        }
+        for (q, exact) in [(0.50, 500.0), (0.95, 950.0), (0.99, 990.0)] {
+            let est = h.quantile(q);
+            let err = (est - exact).abs() / exact;
+            assert!(err < 0.05, "q={q}: estimated {est} vs exact {exact}");
+        }
+        // Extremes are exact, not sketched.
+        assert!((h.quantile(0.0) - 1.0).abs() < f64::EPSILON);
+        assert!((h.quantile(1.0) - 1000.0).abs() < f64::EPSILON);
+        assert!((h.p50() - h.quantile(0.5)).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn quantiles_land_in_the_right_mode_of_a_bimodal_distribution() {
+        // 95 fast samples near 1ms, 5 slow near 1s: p50 must sit in the
+        // fast mode, p99 in the slow mode -- the property that makes a
+        // serving latency histogram honest about its tail.
+        let mut h = HistogramSummary::empty();
+        for _ in 0..95 {
+            h.observe(0.001);
+        }
+        for _ in 0..5 {
+            h.observe(1.0);
+        }
+        assert!(h.p50() < 0.01, "p50 {} must be fast", h.p50());
+        assert!(h.p95() < 0.01, "p95 {} is the 95th of 100", h.p95());
+        assert!(h.p99() > 0.5, "p99 {} must expose the tail", h.p99());
+    }
+
+    #[test]
+    fn quantile_handles_edge_cases() {
+        let empty = HistogramSummary::empty();
+        assert!(empty.quantile(0.5).is_nan());
+        let mut single = HistogramSummary::empty();
+        single.observe(42.0);
+        assert!((single.p50() - 42.0).abs() / 42.0 < 0.05);
+        // Non-positive and non-finite samples are clamped into the
+        // floor bucket rather than lost or panicking.
+        let mut odd = HistogramSummary::empty();
+        odd.observe(0.0);
+        odd.observe(-3.0);
+        odd.observe(f64::INFINITY);
+        assert_eq!(odd.count, 3);
+        assert!(odd.quantile(0.5).is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn quantile_rejects_out_of_range_q() {
+        let mut h = HistogramSummary::empty();
+        h.observe(1.0);
+        let _ = h.quantile(1.5);
+    }
+
+    #[test]
+    fn render_includes_quantiles() {
+        let mut snap = MetricsSnapshot::default();
+        let mut h = HistogramSummary::empty();
+        for v in 1..=100 {
+            h.observe(f64::from(v));
+        }
+        snap.histograms.insert("lat".into(), h);
+        let text = snap.render();
+        assert!(text.contains("p50/p95/p99"), "{text}");
+        assert!(text.contains("lat"), "{text}");
     }
 }

@@ -1,0 +1,138 @@
+//! The `lhr_serve` binary: boot the measurement-query server.
+//!
+//! ```text
+//! lhr_serve [--addr HOST:PORT] [--jobs N] [--queue-depth N]
+//!           [--cache-cells N] [--max-cell-seconds S] [--trace PATH]
+//! ```
+//!
+//! Serves until `SIGINT`/`SIGTERM` or `POST /admin/drain`, then drains
+//! gracefully (in-flight requests complete, the trace flushes) and
+//! exits 0. A final metrics snapshot is printed on the way out.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use lhr_core::{Harness, Runner, ShardedLruCache};
+use lhr_obs::{JsonLinesRecorder, MemoryRecorder, Obs, Recorder};
+use lhr_serve::{signal, ServerConfig};
+
+struct Args {
+    config: ServerConfig,
+    cache_cells: usize,
+    trace: Option<String>,
+}
+
+fn usage() -> &'static str {
+    "usage: lhr_serve [--addr HOST:PORT] [--jobs N] [--queue-depth N] \
+     [--cache-cells N] [--max-cell-seconds S] [--trace PATH]"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        config: ServerConfig {
+            addr: "127.0.0.1:7011".to_owned(),
+            ..ServerConfig::default()
+        },
+        cache_cells: 1024,
+        trace: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => args.config.addr = value("--addr")?,
+            "--jobs" => {
+                args.config.jobs = value("--jobs")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?;
+            }
+            "--queue-depth" => {
+                args.config.queue_depth = value("--queue-depth")?
+                    .parse()
+                    .map_err(|e| format!("--queue-depth: {e}"))?;
+            }
+            "--cache-cells" => {
+                args.cache_cells = value("--cache-cells")?
+                    .parse()
+                    .map_err(|e| format!("--cache-cells: {e}"))?;
+            }
+            "--max-cell-seconds" => {
+                let secs: f64 = value("--max-cell-seconds")?
+                    .parse()
+                    .map_err(|e| format!("--max-cell-seconds: {e}"))?;
+                if secs <= 0.0 || !secs.is_finite() {
+                    return Err("--max-cell-seconds must be positive".to_owned());
+                }
+                args.config.max_cell = Duration::from_secs_f64(secs);
+            }
+            "--trace" => args.trace = Some(value("--trace")?),
+            "--help" | "-h" => return Err(usage().to_owned()),
+            other => return Err(format!("unknown flag {other:?}\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // /metrics always snapshots from memory; --trace additionally
+    // streams every event to a JSON-lines file via a fanout.
+    let recorder = Arc::new(MemoryRecorder::default());
+    let mut sinks: Vec<Arc<dyn Recorder>> = vec![recorder.clone()];
+    if let Some(path) = &args.trace {
+        match JsonLinesRecorder::create(path) {
+            Ok(jsonl) => sinks.push(Arc::new(jsonl)),
+            Err(e) => {
+                eprintln!("cannot open trace file {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let obs = Obs::fanout(sinks);
+
+    // Serving is open-ended, so the cell cache must be bounded: the
+    // sharded LRU keeps hot cells instant and memory flat.
+    let runner = Runner::fast()
+        .with_cell_cache(Arc::new(ShardedLruCache::new(args.cache_cells, 8)))
+        .with_observer(obs);
+    let harness = Harness::new(runner).with_workloads(Harness::quick_set());
+
+    signal::install();
+    let handle = match lhr_serve::start(args.config.clone(), harness, recorder.clone()) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("cannot bind {}: {e}", args.config.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("lhr_serve listening on http://{}", handle.addr());
+    println!(
+        "  jobs={} queue-depth={} cache-cells={} max-cell={:?}{}",
+        args.config.jobs,
+        args.config.queue_depth,
+        args.cache_cells,
+        args.config.max_cell,
+        args.trace
+            .as_deref()
+            .map(|p| format!(" trace={p}"))
+            .unwrap_or_default(),
+    );
+    println!("  try: curl 'http://{}/healthz'", handle.addr());
+
+    // Blocks until a signal or POST /admin/drain completes the drain.
+    handle.wait();
+
+    println!("drained; final metrics:");
+    println!("{}", recorder.snapshot().render());
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,215 @@
+//! Single-flight request coalescing.
+//!
+//! A measurement cell takes seconds; a request for one takes
+//! microseconds to parse. When a stampede of identical requests lands
+//! (a dashboard refresh, a retry storm), running the simulation once
+//! per request would multiply the cost by the stampede width for
+//! byte-identical answers. The flight board collapses them: the first
+//! requester for a key becomes the *leader* and computes; everyone else
+//! arriving while the flight is live becomes a *follower* and waits on
+//! the same [`Flight`]. The flight's value is the fully rendered
+//! response body, so every waiter -- leader included -- receives the
+//! same bytes by construction.
+//!
+//! Two policies bound the damage a stampede can do:
+//!
+//! * **live-flight cap** -- creating a *new* flight beyond the cap is
+//!   refused ([`JoinError::AtCapacity`], surfaced as `503`); joining an
+//!   existing flight is always free, because it adds no work.
+//! * **deadline** -- [`Flight::wait`] gives up after the caller's
+//!   budget (surfaced as `504`). The computation itself is *not*
+//!   cancelled: the leader's thread finishes and completes the flight,
+//!   so the result still lands in the measurement cache and the next
+//!   request for the key is instant. This mirrors the campaign
+//!   supervisor's watchdog policy: abandon, never kill.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// A flight's outcome: the rendered JSON body, or a rendered error
+/// detail. Cloned to every waiter.
+pub type FlightResult = Result<String, String>;
+
+/// One in-progress computation that any number of requests may await.
+#[derive(Debug)]
+pub struct Flight {
+    result: Mutex<Option<FlightResult>>,
+    done: Condvar,
+}
+
+impl Flight {
+    fn new() -> Self {
+        Self {
+            result: Mutex::new(None),
+            done: Condvar::new(),
+        }
+    }
+
+    fn complete(&self, result: FlightResult) {
+        *self.result.lock().expect("flight lock") = Some(result);
+        self.done.notify_all();
+    }
+
+    /// Waits up to `budget` for the flight to complete. `None` means the
+    /// deadline passed first; the computation continues regardless.
+    #[must_use]
+    pub fn wait(&self, budget: Duration) -> Option<FlightResult> {
+        let deadline = Instant::now() + budget;
+        let mut guard = self.result.lock().expect("flight lock");
+        loop {
+            if let Some(result) = guard.as_ref() {
+                return Some(result.clone());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (g, _timeout) = self
+                .done
+                .wait_timeout(guard, deadline - now)
+                .expect("flight lock");
+            guard = g;
+        }
+    }
+
+    /// Whether the flight has completed (test and metrics hook).
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.result.lock().expect("flight lock").is_some()
+    }
+}
+
+/// The caller's role in a flight.
+#[derive(Debug)]
+pub enum Join {
+    /// First requester: compute the value, then call
+    /// [`FlightBoard::complete`], then wait like everyone else.
+    Leader(Arc<Flight>),
+    /// The flight already exists: just wait on it.
+    Follower(Arc<Flight>),
+}
+
+/// Why a new flight could not be opened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinError {
+    /// The live-flight cap is reached; shed with `503`.
+    AtCapacity,
+}
+
+/// The registry of live flights, keyed by request identity
+/// (configuration fingerprint + workload fingerprint, or a synthetic
+/// key for whole-sweep endpoints).
+#[derive(Debug)]
+pub struct FlightBoard {
+    live: Mutex<HashMap<String, Arc<Flight>>>,
+    max_live: usize,
+}
+
+impl FlightBoard {
+    /// A board admitting at most `max_live` concurrent flights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_live` is zero.
+    #[must_use]
+    pub fn new(max_live: usize) -> Self {
+        assert!(max_live > 0, "need room for at least one flight");
+        Self {
+            live: Mutex::new(HashMap::new()),
+            max_live,
+        }
+    }
+
+    /// Joins the flight for `key`, opening it if absent.
+    ///
+    /// # Errors
+    ///
+    /// [`JoinError::AtCapacity`] if opening a new flight would exceed
+    /// the cap. Joining an existing flight never fails.
+    pub fn join(&self, key: &str) -> Result<Join, JoinError> {
+        let mut live = self.live.lock().expect("board lock");
+        if let Some(flight) = live.get(key) {
+            return Ok(Join::Follower(Arc::clone(flight)));
+        }
+        if live.len() >= self.max_live {
+            return Err(JoinError::AtCapacity);
+        }
+        let flight = Arc::new(Flight::new());
+        live.insert(key.to_owned(), Arc::clone(&flight));
+        Ok(Join::Leader(flight))
+    }
+
+    /// Completes and retires the flight for `key`, waking all waiters.
+    /// Waiters hold their own `Arc<Flight>`, so retiring the board entry
+    /// is safe while they are still reading the result. Late arrivals
+    /// after retirement start a fresh flight -- by then the measurement
+    /// cache answers instantly, so no duplicate simulation happens.
+    pub fn complete(&self, key: &str, result: FlightResult) {
+        let flight = self.live.lock().expect("board lock").remove(key);
+        if let Some(flight) = flight {
+            flight.complete(result);
+        }
+    }
+
+    /// Number of currently live flights (the `/metrics` gauge).
+    #[must_use]
+    pub fn live(&self) -> usize {
+        self.live.lock().expect("board lock").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_leader_many_followers_identical_bytes() {
+        let board = Arc::new(FlightBoard::new(4));
+        let Join::Leader(leader_flight) = board.join("cell:abc").unwrap() else {
+            panic!("first join must lead");
+        };
+        let followers: Vec<_> = (0..8)
+            .map(|_| {
+                let Join::Follower(f) = board.join("cell:abc").unwrap() else {
+                    panic!("subsequent joins must follow");
+                };
+                std::thread::spawn(move || f.wait(Duration::from_secs(5)))
+            })
+            .collect();
+        assert_eq!(board.live(), 1, "one key, one flight");
+        board.complete("cell:abc", Ok("{\"x\":1}".into()));
+        let leader_view = leader_flight.wait(Duration::from_secs(5)).unwrap();
+        for f in followers {
+            assert_eq!(f.join().unwrap().unwrap(), leader_view);
+        }
+        assert_eq!(board.live(), 0, "completed flights retire");
+    }
+
+    #[test]
+    fn capacity_bounds_new_flights_but_not_joins() {
+        let board = FlightBoard::new(2);
+        let _a = board.join("a").unwrap();
+        let _b = board.join("b").unwrap();
+        assert_eq!(board.join("c").unwrap_err(), JoinError::AtCapacity);
+        // Joining a live flight adds no work, so it is always admitted.
+        assert!(matches!(board.join("a").unwrap(), Join::Follower(_)));
+        board.complete("a", Err("boom".into()));
+        assert!(matches!(board.join("c").unwrap(), Join::Leader(_)));
+    }
+
+    #[test]
+    fn deadline_expires_without_cancelling_the_flight() {
+        let board = FlightBoard::new(1);
+        let Join::Leader(flight) = board.join("slow").unwrap() else {
+            panic!("must lead");
+        };
+        let start = Instant::now();
+        assert_eq!(flight.wait(Duration::from_millis(30)), None);
+        assert!(start.elapsed() >= Duration::from_millis(30));
+        assert!(!flight.is_done(), "timeout abandons, never kills");
+        // The late completion still lands for anyone still holding on.
+        board.complete("slow", Ok("late".into()));
+        assert_eq!(flight.wait(Duration::from_millis(1)), Some(Ok("late".into())));
+    }
+}

@@ -1,0 +1,77 @@
+//! `lhr-serve`: a measurement-query server over the `lhr` engine.
+//!
+//! The paper's data was produced by long offline campaigns; this crate
+//! turns the same engine into an interactive service -- "measure this
+//! cell", "give me the 45nm Pareto frontier" -- over plain TCP with a
+//! hand-rolled minimal HTTP/1.1 subset (the workspace is offline, so
+//! no web framework; the protocol needs are small enough to own).
+//!
+//! What the serving layer adds over the raw harness:
+//!
+//! * **Admission control** -- a fixed worker pool behind a bounded
+//!   queue; when the queue is full the accept thread sheds with
+//!   `503 + Retry-After` instead of letting latency grow unboundedly
+//!   ([`queue`]).
+//! * **Single-flight coalescing** -- concurrent requests for the same
+//!   cell share one simulation and receive byte-identical bodies
+//!   ([`coalesce`]).
+//! * **Bounded caching** -- the harness runner's cell cache is the
+//!   shared [`lhr_core::ShardedLruCache`], so a long-lived server's
+//!   memory stays bounded while repeated queries stay instant.
+//! * **Deadlines** -- every expensive request carries a budget; a miss
+//!   degrades to a typed `504` while the computation completes and
+//!   warms the cache (abandon, never kill).
+//! * **Graceful drain** -- `SIGINT`/`SIGTERM` or `POST /admin/drain`
+//!   stops admission, serves everything already accepted, flushes the
+//!   trace, and exits 0 ([`signal`], [`server`]).
+//!
+//! Everything is instrumented through `lhr-obs`: request spans per
+//! endpoint, queue-depth gauge, coalesce/shed/timeout counters, all
+//! visible at `GET /metrics`.
+//!
+//! # Endpoints
+//!
+//! | Endpoint | Meaning |
+//! |---|---|
+//! | `GET /healthz` | liveness + uptime, flight and cache occupancy |
+//! | `GET /metrics` | rendered [`lhr_obs::MetricsSnapshot`] |
+//! | `GET /v1/cell?chip=i7-45&config=2C1T@2.0&workload=jess` | measure one cell on demand |
+//! | `GET /v1/sweep?space=stock\|45nm` | whole-space sweep summary |
+//! | `GET /v1/pareto?metric=avg\|<group>&space=...` | Pareto frontier |
+//! | `GET /v1/findings` | a few of the paper's findings, checked live |
+//! | `GET /v1/artifacts[/name]` | the `repro_out/` artifacts |
+//! | `POST /admin/drain` | graceful shutdown |
+//!
+//! # Quick start
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use lhr_core::{Harness, Runner, ShardedLruCache};
+//! use lhr_obs::{MemoryRecorder, Obs};
+//!
+//! let recorder = Arc::new(MemoryRecorder::default());
+//! let runner = Runner::fast()
+//!     .with_cell_cache(Arc::new(ShardedLruCache::new(512, 8)))
+//!     .with_observer(Obs::recording(recorder.clone()));
+//! let harness = Harness::new(runner).with_workloads(Harness::quick_set());
+//! let handle = lhr_serve::start(lhr_serve::ServerConfig::default(), harness, recorder)
+//!     .expect("bind");
+//! println!("listening on http://{}", handle.addr());
+//! handle.wait(); // returns after a signal or POST /admin/drain
+//! ```
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coalesce;
+pub mod handlers;
+pub mod http;
+pub mod queue;
+pub mod server;
+pub mod signal;
+
+pub use coalesce::{Flight, FlightBoard, FlightResult, Join, JoinError};
+pub use handlers::{chip_by_token, endpoint_tag, route, safe_artifact_name, ServeState};
+pub use http::{percent_decode, read_request, HttpError, Method, Request, Response};
+pub use queue::{BoundedQueue, PushError};
+pub use server::{start, ServerConfig, ServerHandle};

@@ -1,0 +1,193 @@
+//! The bounded admission queue between the accept loop and the worker
+//! pool.
+//!
+//! Admission control happens at the *push* side: [`BoundedQueue::try_push`]
+//! never blocks, so the accept loop can turn a full queue into an
+//! immediate `503 + Retry-After` instead of letting latency grow without
+//! bound. The pop side blocks (workers are cheap to park), and closing
+//! the queue wakes every worker so a drain can complete: already-queued
+//! connections are still served, new ones are refused.
+//!
+//! Built on `std::sync::{Mutex, Condvar}` -- the workspace's vendored
+//! `parking_lot` shim deliberately omits condition variables, and the
+//! queue is exactly the kind of blocking rendezvous they exist for.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a non-blocking push was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity; shed the item (admission control).
+    Full(T),
+    /// The queue is draining; no new work is admitted.
+    Closed(T),
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A fixed-capacity multi-producer multi-consumer queue with
+/// non-blocking admission and blocking, close-aware removal.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> std::fmt::Debug for BoundedQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BoundedQueue")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue admitting at most `capacity` items at once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero -- a zero-depth queue would shed
+    /// every request.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue needs capacity for at least one item");
+        Self {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Admits `item` if there is room, without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] once
+    /// [`BoundedQueue::close`] was called; both return the item so the
+    /// caller can shed it with a response.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        if inner.closed {
+            return Err(PushError::Closed(item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Removes the oldest item, blocking while the queue is empty.
+    /// Returns `None` only when the queue is closed *and* drained --
+    /// the worker-pool exit condition.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).expect("queue lock");
+        }
+    }
+
+    /// Stops admission and wakes every blocked worker. Items already
+    /// queued are still handed out; this is what makes the drain
+    /// graceful rather than abrupt.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue lock").closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Current queue depth.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue lock").items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn sheds_when_full_and_refuses_after_close() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full(3)));
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(4).unwrap();
+        q.close();
+        assert_eq!(q.try_push(5), Err(PushError::Closed(5)));
+        // Queued work is still served after close, then the pool exits.
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(4));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_workers() {
+        let q = Arc::new(BoundedQueue::<u32>::new(1));
+        let waiter = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        // Give the worker time to park on the condvar, then close.
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(waiter.join().unwrap(), None);
+    }
+
+    #[test]
+    fn items_flow_producer_to_consumer_in_order() {
+        let q = Arc::new(BoundedQueue::new(8));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(v) = q.pop() {
+                    got.push(v);
+                }
+                got
+            })
+        };
+        for i in 0..20 {
+            loop {
+                match q.try_push(i) {
+                    Ok(()) => break,
+                    Err(PushError::Full(_)) => std::thread::yield_now(),
+                    Err(PushError::Closed(_)) => unreachable!("not closed yet"),
+                }
+            }
+        }
+        q.close();
+        assert_eq!(consumer.join().unwrap(), (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_is_rejected() {
+        let _ = BoundedQueue::<u32>::new(0);
+    }
+}

@@ -1,0 +1,287 @@
+//! The server itself: accept loop, worker pool, and graceful drain.
+//!
+//! ```text
+//!             accept thread (admission control)
+//!   TCP ──► try_push ──► BoundedQueue ──► worker pool (N threads)
+//!                │ full                        │
+//!                └──► 503 + Retry-After        ├─ parse (400 on garbage)
+//!                                              ├─ route (FlightBoard for
+//!                                              │         expensive work)
+//!                                              └─ write response
+//! ```
+//!
+//! Shutdown is a *drain*, never an abort: on `SIGINT`/`SIGTERM` or
+//! `POST /admin/drain` the accept loop stops admitting, the queue
+//! closes, every already-admitted connection is served to completion,
+//! the workers exit, the observer flushes, and [`ServerHandle::wait`]
+//! returns so the process can exit 0.
+
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use lhr_core::Harness;
+use lhr_obs::MemoryRecorder;
+
+use crate::coalesce::FlightBoard;
+use crate::handlers::{endpoint_tag, route, ServeState};
+use crate::http::{read_request, HttpError, Response};
+use crate::queue::{BoundedQueue, PushError};
+use crate::signal;
+
+/// Tuning knobs for one server instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (tests).
+    pub addr: String,
+    /// Worker threads serving parsed requests.
+    pub jobs: usize,
+    /// Bounded queue depth between accept and the workers; beyond it,
+    /// `503 + Retry-After`.
+    pub queue_depth: usize,
+    /// Concurrent flights allowed on the single-flight board.
+    pub max_live_flights: usize,
+    /// Per-request budget for expensive endpoints; past it, `504`.
+    pub max_cell: Duration,
+    /// Socket read timeout: a slow-loris client costs one worker for at
+    /// most this long.
+    pub read_timeout: Duration,
+    /// Directory `/v1/artifacts` serves.
+    pub artifact_dir: PathBuf,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_owned(),
+            jobs: 4,
+            queue_depth: 64,
+            max_live_flights: 32,
+            max_cell: Duration::from_secs(30),
+            read_timeout: Duration::from_secs(5),
+            artifact_dir: PathBuf::from("repro_out"),
+        }
+    }
+}
+
+/// A running server; dropping it (or calling [`ServerHandle::wait`]
+/// after a drain) shuts it down gracefully.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServeState>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared state (tests inspect the flight board and cache).
+    #[must_use]
+    pub fn state(&self) -> &Arc<ServeState> {
+        &self.state
+    }
+
+    /// Requests a drain from process context, same as `POST
+    /// /admin/drain`.
+    pub fn drain(&self) {
+        self.state.draining.store(true, Ordering::Relaxed);
+    }
+
+    /// Blocks until the server has fully drained: accept loop stopped,
+    /// queue emptied, all workers exited, observer flushed.
+    pub fn wait(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.drain();
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+/// Boots a server over `harness`. The harness's runner should carry a
+/// bounded [`lhr_core::ShardedLruCache`] (serving is open-ended, unlike
+/// a campaign) and an observer recording into `recorder`, which backs
+/// `/metrics`.
+///
+/// # Errors
+///
+/// Propagates the bind failure; everything after the bind is
+/// infallible setup.
+pub fn start(
+    config: ServerConfig,
+    harness: Harness,
+    recorder: Arc<MemoryRecorder>,
+) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let obs = harness.runner().observer().clone();
+    let state = Arc::new(ServeState {
+        harness,
+        board: FlightBoard::new(config.max_live_flights),
+        obs,
+        recorder,
+        artifact_dir: config.artifact_dir.clone(),
+        max_cell: config.max_cell,
+        draining: AtomicBool::new(false),
+        started: Instant::now(),
+    });
+    let queue = Arc::new(BoundedQueue::<TcpStream>::new(config.queue_depth));
+
+    let workers: Vec<JoinHandle<()>> = (0..config.jobs.max(1))
+        .map(|i| {
+            let queue = Arc::clone(&queue);
+            let state = Arc::clone(&state);
+            std::thread::Builder::new()
+                .name(format!("lhr-serve-worker-{i}"))
+                .spawn(move || {
+                    while let Some(stream) = queue.pop() {
+                        state.obs.gauge("serve.queue_depth", queue.len() as f64);
+                        // A panicking handler must cost one response,
+                        // never the worker: contain it and keep serving.
+                        let survived = catch_unwind(AssertUnwindSafe(|| {
+                            serve_connection(&state, stream);
+                        }));
+                        if survived.is_err() {
+                            state.obs.counter("serve.worker_panics_contained", 1);
+                        }
+                    }
+                })
+                .expect("spawn worker")
+        })
+        .collect();
+
+    let accept_state = Arc::clone(&state);
+    let accept_queue = Arc::clone(&queue);
+    let read_timeout = config.read_timeout;
+    let accept = std::thread::Builder::new()
+        .name("lhr-serve-accept".to_owned())
+        .spawn(move || {
+            accept_loop(&listener, &accept_state, &accept_queue, read_timeout);
+            // Drain: no new admissions, serve what is queued, stop the
+            // pool, then flush the trace so the shutdown is observable.
+            accept_queue.close();
+            for w in workers {
+                let _ = w.join();
+            }
+            accept_state.obs.counter("serve.drained", 1);
+            accept_state.obs.flush();
+        })
+        .expect("spawn accept loop");
+
+    Ok(ServerHandle {
+        addr,
+        state,
+        accept: Some(accept),
+    })
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    state: &Arc<ServeState>,
+    queue: &Arc<BoundedQueue<TcpStream>>,
+    read_timeout: Duration,
+) {
+    loop {
+        if state.draining.load(Ordering::Relaxed) || signal::drain_requested() {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // The listener is non-blocking so the drain flag is
+                // polled; accepted connections must block normally.
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_read_timeout(Some(read_timeout));
+                state.obs.counter("serve.accepted", 1);
+                match queue.try_push(stream) {
+                    Ok(()) => state.obs.gauge("serve.queue_depth", queue.len() as f64),
+                    Err(PushError::Full(stream)) => {
+                        // Admission control: shed *now*, from the accept
+                        // thread, with a backoff hint -- queueing it
+                        // anyway is how latency collapses under load.
+                        state.obs.counter("serve.shed_503", 1);
+                        shed(stream, Response::overloaded("request queue full", 1));
+                    }
+                    Err(PushError::Closed(stream)) => {
+                        state.obs.counter("serve.shed_503", 1);
+                        shed(stream, Response::overloaded("server draining", 5));
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// Writes a shed response without losing it to a TCP reset: closing a
+/// socket that still has unread request bytes discards buffered
+/// outgoing data, so the helper shuts down its write side and drains
+/// the client's bytes before dropping. Runs on a detached thread to
+/// keep the accept loop non-blocking.
+fn shed(stream: TcpStream, response: Response) {
+    let _ = std::thread::Builder::new()
+        .name("lhr-serve-shed".to_owned())
+        .spawn(move || {
+            let mut stream = stream;
+            let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+            let _ = response.write_to(&mut stream);
+            let _ = stream.shutdown(std::net::Shutdown::Write);
+            let mut sink = [0u8; 512];
+            while matches!(io::Read::read(&mut stream, &mut sink), Ok(n) if n > 0) {}
+        });
+}
+
+/// Serves exactly one request on one connection (`Connection: close`
+/// protocol: parse, route, respond).
+fn serve_connection(state: &Arc<ServeState>, stream: TcpStream) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    match read_request(&mut reader) {
+        Ok(req) => {
+            state.obs.counter("serve.requests", 1);
+            let span_name = format!("serve.request.{}", endpoint_tag(&req));
+            let span = state.obs.span(&span_name);
+            let response = catch_unwind(AssertUnwindSafe(|| route(state, &req)))
+                .unwrap_or_else(|_| {
+                    Response::error(500, "handler_panic", "handler panicked; see /metrics")
+                });
+            span.end();
+            if response.status >= 400 {
+                state
+                    .obs
+                    .counter(&format!("serve.http_{}", response.status), 1);
+            }
+            let _ = response.write_to(&mut writer);
+        }
+        Err(HttpError::BadRequest(detail)) => {
+            state.obs.counter("serve.http_400", 1);
+            let _ = Response::error(400, "bad_request", &detail).write_to(&mut writer);
+        }
+        Err(HttpError::Disconnected) => {
+            state.obs.counter("serve.disconnects", 1);
+        }
+    }
+}

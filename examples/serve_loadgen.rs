@@ -1,0 +1,148 @@
+//! Closed-loop load generator for the serving layer.
+//!
+//! Boots an in-process `lhr-serve` server, drives it with a fixed pool
+//! of closed-loop clients (each fires its next request the moment the
+//! previous response lands) over a mixed request set, then reports
+//! throughput and the latency distribution.
+//!
+//! ```text
+//! cargo run --release --example serve_loadgen [clients] [seconds]
+//! ```
+//!
+//! Defaults: 8 clients, 3 seconds. Because the clients hammer a small
+//! set of distinct cells, the run demonstrates the serving machinery
+//! end to end: the first touch of each cell pays a simulation, every
+//! concurrent duplicate coalesces onto it, and the rest are cache hits
+//! -- visible in the obs counters printed at the end.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use lhr_core::{Harness, Runner, ShardedLruCache};
+use lhr_obs::{MemoryRecorder, Obs};
+use lhr_serve::ServerConfig;
+
+/// The request mix: mostly hot cells, some cold, some cheap endpoints.
+const TARGETS: [&str; 6] = [
+    "/v1/cell?chip=i7-45&workload=jess",
+    "/v1/cell?chip=i7-45&workload=mcf",
+    "/v1/cell?chip=atom-45&workload=jess",
+    "/v1/cell?chip=c2d-45&workload=swaptions",
+    "/healthz",
+    "/v1/cell?chip=i7-45&config=2C1T@2.0&workload=jess",
+];
+
+fn request(addr: SocketAddr, target: &str) -> Result<u16, std::io::Error> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+    write!(stream, "GET {target} HTTP/1.1\r\nHost: loadgen\r\n\r\n")?;
+    let mut text = String::new();
+    stream.read_to_string(&mut text)?;
+    Ok(text
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0))
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let clients: usize = args
+        .next()
+        .map(|a| a.parse().expect("clients must be a number"))
+        .unwrap_or(8);
+    let seconds: u64 = args
+        .next()
+        .map(|a| a.parse().expect("seconds must be a number"))
+        .unwrap_or(3);
+
+    let recorder = Arc::new(MemoryRecorder::default());
+    let runner = Runner::fast()
+        .with_cell_cache(Arc::new(ShardedLruCache::new(512, 8)))
+        .with_observer(Obs::recording(recorder.clone()));
+    let harness = Harness::new(runner).with_workloads(Harness::quick_set());
+    let handle = lhr_serve::start(
+        ServerConfig {
+            jobs: clients.max(4),
+            ..ServerConfig::default()
+        },
+        harness,
+        recorder.clone(),
+    )
+    .expect("bind loopback");
+    let addr = handle.addr();
+    println!("loadgen: {clients} closed-loop clients x {seconds}s against http://{addr}");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let started = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|i| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut latencies_us: Vec<u64> = Vec::new();
+                let mut errors = 0u64;
+                let mut n = i; // stagger the mix across clients
+                while !stop.load(Ordering::Relaxed) {
+                    let target = TARGETS[n % TARGETS.len()];
+                    n += 1;
+                    let t0 = Instant::now();
+                    match request(addr, target) {
+                        Ok(200) => latencies_us.push(t0.elapsed().as_micros() as u64),
+                        Ok(_) | Err(_) => errors += 1,
+                    }
+                }
+                (latencies_us, errors)
+            })
+        })
+        .collect();
+
+    std::thread::sleep(Duration::from_secs(seconds));
+    stop.store(true, Ordering::Relaxed);
+    let mut all = Vec::new();
+    let mut errors = 0;
+    for w in workers {
+        let (lat, err) = w.join().expect("client thread");
+        all.extend(lat);
+        errors += err;
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+
+    all.sort_unstable();
+    let pct = |q: f64| -> f64 {
+        if all.is_empty() {
+            return f64::NAN;
+        }
+        let rank = ((q * all.len() as f64).ceil() as usize).clamp(1, all.len());
+        all[rank - 1] as f64 / 1000.0
+    };
+    println!(
+        "done: {} ok, {} errors in {:.2}s -> {:.0} req/s",
+        all.len(),
+        errors,
+        elapsed,
+        all.len() as f64 / elapsed
+    );
+    println!(
+        "latency ms: p50 {:.2}  p95 {:.2}  p99 {:.2}  max {:.2}",
+        pct(0.50),
+        pct(0.95),
+        pct(0.99),
+        pct(1.0)
+    );
+
+    // Graceful drain, then show what the server saw.
+    handle.drain();
+    handle.wait();
+    let snap = recorder.snapshot();
+    println!(
+        "server: {} requests, {} coalesce hits, {} cache hits, {} measurements, {} shed",
+        snap.counter("serve.requests"),
+        snap.counter("serve.coalesce_hits"),
+        snap.counter("runner.cache_hits"),
+        snap.counter("runner.measurements"),
+        snap.counter("serve.shed_503"),
+    );
+}
