@@ -1,0 +1,78 @@
+//! `lhr_traceview`: render per-request span trees from a JSON-lines
+//! trace (the `--trace` output of any workspace binary, or the serve
+//! layer's trace file).
+//!
+//! ```text
+//! lhr_traceview <trace.jsonl> [--request N]
+//! ```
+//!
+//! For every request the trace saw, prints the reconstructed span tree
+//! with total and self wall time per span and `*` marking the critical
+//! path (see `lhr_bench::traceview`). `--request N` narrows the output
+//! to one request. Exits 1 if the trace holds no spans at all -- a
+//! trace without spans means the producer was not request-instrumented,
+//! which CI treats as a regression.
+
+use std::process::ExitCode;
+
+use lhr_bench::traceview::TraceView;
+
+fn usage() -> &'static str {
+    "usage: lhr_traceview <trace.jsonl> [--request N]"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path = None;
+    let mut only_request: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--request" => {
+                let Some(n) = it.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("--request needs a numeric id\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                only_request = Some(n);
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other if path.is_none() => path = Some(other.to_owned()),
+            other => {
+                eprintln!("unexpected argument {other:?}\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+
+    let mut view = match TraceView::open(&path) {
+        Ok(view) => view,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(req) = only_request {
+        view.requests.retain(|id, _| *id == req);
+        if view.requests.is_empty() {
+            eprintln!("no request {req} in {path}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    print!("{}", view.render());
+    let spans = view.span_count();
+    let requests = view.requests.iter().filter(|(id, _)| **id != 0).count();
+    println!("{spans} span(s) across {requests} traced request(s)");
+    if spans == 0 {
+        eprintln!("trace holds no spans; was the producer run with tracing armed?");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -29,11 +29,15 @@
 
 pub mod artifact;
 pub mod campaign;
+pub mod traceview;
 
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use lhr_obs::{JsonLinesRecorder, MemoryRecorder, MetricsSnapshot, Obs, Span, SpanStats};
+use lhr_obs::{
+    JsonLinesRecorder, MemoryRecorder, MetricsSnapshot, Obs, Recorder, Span, SpanStats,
+    TimeSeriesConfig, TimeSeriesRecorder,
+};
 
 use lhr_core::experiments::{
     figure10_turbo, figure11_history, figure1_scalability, figure2_tdp, figure3_scatter,
@@ -96,9 +100,11 @@ pub fn trace_path_from_args() -> Option<PathBuf> {
 }
 
 /// The observability rig the regenerator binaries arm: an in-memory
-/// aggregator (always, for the end-of-run profile summary) plus an
-/// optional JSON-lines stream when `--trace <path>` is given, fanned out
-/// behind one [`Obs`] handle.
+/// aggregator (always, for the end-of-run profile summary), a windowed
+/// [`TimeSeriesRecorder`] (always, so the live-telemetry aggregation
+/// path runs under the zero-perturbation lock too), plus an optional
+/// JSON-lines stream when `--trace <path>` is given, fanned out behind
+/// one [`Obs`] handle.
 ///
 /// Arming it never changes a rendered number -- the recorders only watch
 /// values the pipeline already computed (locked in by the
@@ -106,6 +112,7 @@ pub fn trace_path_from_args() -> Option<PathBuf> {
 pub struct Observability {
     obs: Obs,
     memory: Arc<MemoryRecorder>,
+    timeseries: Arc<TimeSeriesRecorder>,
     trace: Option<(PathBuf, Arc<JsonLinesRecorder>)>,
 }
 
@@ -129,23 +136,24 @@ impl Observability {
     #[must_use]
     pub fn with_trace_path(path: Option<&Path>) -> Self {
         let memory = Arc::new(MemoryRecorder::default());
-        match path {
-            None => Self {
-                obs: Obs::recording(memory.clone()),
-                memory,
-                trace: None,
-            },
-            Some(p) => {
-                let json = Arc::new(
-                    JsonLinesRecorder::create(p)
-                        .unwrap_or_else(|e| panic!("--trace {}: {e}", p.display())),
-                );
-                Self {
-                    obs: Obs::fanout(vec![memory.clone(), json.clone()]),
-                    memory,
-                    trace: Some((p.to_owned(), json)),
-                }
-            }
+        let timeseries = Arc::new(TimeSeriesRecorder::new(TimeSeriesConfig::serving_default()));
+        let mut sinks: Vec<Arc<dyn Recorder>> = vec![
+            memory.clone() as Arc<dyn Recorder>,
+            timeseries.clone() as Arc<dyn Recorder>,
+        ];
+        let trace = path.map(|p| {
+            let json = Arc::new(
+                JsonLinesRecorder::create(p)
+                    .unwrap_or_else(|e| panic!("--trace {}: {e}", p.display())),
+            );
+            sinks.push(json.clone() as Arc<dyn Recorder>);
+            (p.to_owned(), json)
+        });
+        Self {
+            obs: Obs::fanout(sinks),
+            memory,
+            timeseries,
+            trace,
         }
     }
 
@@ -168,10 +176,22 @@ impl Observability {
         self.obs.span(&format!("experiment.{name}"))
     }
 
-    /// A point-in-time copy of the aggregated metrics.
+    /// A point-in-time copy of the aggregated metrics, with
+    /// [`MetricsSnapshot::trace_write_errors`] filled in from the trace
+    /// stream (0 when tracing is off).
     #[must_use]
     pub fn snapshot(&self) -> MetricsSnapshot {
-        self.memory.snapshot()
+        let mut snap = self.memory.snapshot();
+        snap.trace_write_errors = self.trace.as_ref().map_or(0, |(_, json)| json.write_errors());
+        snap
+    }
+
+    /// The windowed time-series view of the same event stream (see
+    /// [`TimeSeriesRecorder`]); armed on every run so the serving
+    /// layer's aggregation path is exercised by the regenerators too.
+    #[must_use]
+    pub fn timeseries(&self) -> &Arc<TimeSeriesRecorder> {
+        &self.timeseries
     }
 
     /// Flushes every recorder (drains the trace stream to disk).

@@ -29,6 +29,21 @@ fn armed_recorder_never_changes_a_rendered_byte() {
     assert!(snap.counter("runner.measurements") > 0);
     assert!(snap.counter("harness.cells") > 0);
     assert!(snap.spans.contains_key("harness.cell"));
+    assert_eq!(snap.trace_write_errors, 0, "no trace file, no write errors");
+    // The byte-compare above ran with the windowed time-series recorder
+    // armed in the same fanout; prove it was live, not a stub.
+    let ts = observability.timeseries().snapshot();
+    assert!(!ts.series.is_empty(), "time-series recorder saw nothing");
+    assert!(
+        ts.series.iter().any(|s| s.name == "runner.measurements"),
+        "engine counters must land in the windowed view"
+    );
+    assert!(
+        ts.series
+            .iter()
+            .any(|s| s.kind == "distribution" && s.quantiles.is_some()),
+        "span durations must feed windowed quantiles"
+    );
 }
 
 #[test]

@@ -1,0 +1,236 @@
+//! Request-scoped trace context: process-unique request ids and the
+//! per-thread span stack that gives every emitted event its causal
+//! coordinates.
+//!
+//! The pipeline is instrumented at many layers (HTTP accept, coalescing,
+//! runner, rig), and those layers call each other without threading a
+//! request handle through every signature. Instead, the context lives in
+//! two thread-locals:
+//!
+//! * the **current request id** -- minted once per externally-triggered
+//!   unit of work (an HTTP request, a campaign) by [`next_request_id`],
+//!   installed for a region with [`with_ctx`], and stamped onto every
+//!   event an armed [`crate::Obs`] emits from that region;
+//! * the **span stack** -- [`crate::Obs::span`] pushes its id and pops it
+//!   on close, so a `span_start` event carries its parent's id and a
+//!   trace reader can rebuild the span tree without timestamps.
+//!
+//! Crossing a thread boundary (a coalescing leader handing work to a
+//! compute thread, a sweep fanning out to workers) is explicit:
+//! [`capture`] the context on the requesting thread, move the cheap
+//! [`Ctx`] value into the closure, and re-establish it with [`with_ctx`].
+//! Everything recorded inside then carries the original request id, with
+//! the capturing span as parent -- the linkage `lhr_traceview` uses for
+//! cross-thread span trees.
+//!
+//! When no recorder is armed the pipeline never touches these
+//! thread-locals (the `Obs` methods branch on `None` first), preserving
+//! the zero-perturbation guarantee.
+//!
+//! # Limitations
+//!
+//! Span guards must be dropped on the thread that created them, in LIFO
+//! order (the natural shape of RAII guards). A guard moved across
+//! threads would pop another thread's stack; nothing in this workspace
+//! does that.
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Issues process-unique request ids. Id 0 is reserved for "no request
+/// context".
+static NEXT_REQUEST_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static CURRENT_REQUEST: Cell<u64> = const { Cell::new(0) };
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Mints a fresh process-unique request id (never 0).
+#[must_use]
+pub fn next_request_id() -> u64 {
+    NEXT_REQUEST_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The request id events on this thread currently carry (0 = none).
+#[must_use]
+pub fn current_request() -> u64 {
+    CURRENT_REQUEST.with(Cell::get)
+}
+
+/// The innermost open span on this thread (0 = none): the parent a new
+/// span or a captured [`Ctx`] will record.
+#[must_use]
+pub fn current_parent() -> u64 {
+    SPAN_STACK.with(|s| s.borrow().last().copied().unwrap_or(0))
+}
+
+pub(crate) fn push_span(id: u64) {
+    SPAN_STACK.with(|s| s.borrow_mut().push(id));
+}
+
+pub(crate) fn pop_span(id: u64) {
+    SPAN_STACK.with(|s| {
+        let mut stack = s.borrow_mut();
+        // LIFO in practice; tolerate an out-of-order close rather than
+        // corrupting the rest of the stack.
+        if stack.last() == Some(&id) {
+            stack.pop();
+        } else if let Some(pos) = stack.iter().rposition(|&x| x == id) {
+            stack.remove(pos);
+        }
+    });
+}
+
+/// A captured trace context: cheap to copy into a closure that runs on
+/// another thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Ctx {
+    /// The request id in force (0 = none).
+    pub request: u64,
+    /// The span that was innermost at capture time (0 = none); spans
+    /// opened under [`with_ctx`] record it as their parent.
+    pub parent: u64,
+}
+
+/// Captures the calling thread's current context.
+#[must_use]
+pub fn capture() -> Ctx {
+    Ctx {
+        request: current_request(),
+        parent: current_parent(),
+    }
+}
+
+/// Runs `f` with `ctx` installed: events carry `ctx.request`, and spans
+/// opened inside record `ctx.parent` as their parent (until they nest
+/// deeper). The previous context is restored on exit, even on panic.
+pub fn with_ctx<R>(ctx: Ctx, f: impl FnOnce() -> R) -> R {
+    struct Restore {
+        prev_request: u64,
+        pushed_parent: bool,
+        parent: u64,
+    }
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            CURRENT_REQUEST.with(|c| c.set(self.prev_request));
+            if self.pushed_parent {
+                pop_span(self.parent);
+            }
+        }
+    }
+    let prev_request = CURRENT_REQUEST.with(|c| c.replace(ctx.request));
+    let pushed_parent = ctx.parent != 0;
+    if pushed_parent {
+        push_span(ctx.parent);
+    }
+    let _restore = Restore {
+        prev_request,
+        pushed_parent,
+        parent: ctx.parent,
+    };
+    f()
+}
+
+/// Sugar: mints a fresh request id, runs `f` under it (with no parent
+/// span), and returns `(id, result)`.
+pub fn with_new_request<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let id = next_request_id();
+    let out = with_ctx(
+        Ctx {
+            request: id,
+            parent: 0,
+        },
+        f,
+    );
+    (id, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_ids_are_unique_and_nonzero() {
+        let a = next_request_id();
+        let b = next_request_id();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn with_ctx_installs_and_restores() {
+        assert_eq!(current_request(), 0);
+        let ctx = Ctx {
+            request: 7,
+            parent: 99,
+        };
+        with_ctx(ctx, || {
+            assert_eq!(current_request(), 7);
+            assert_eq!(current_parent(), 99);
+            // Nested contexts stack.
+            with_ctx(
+                Ctx {
+                    request: 8,
+                    parent: 0,
+                },
+                || {
+                    assert_eq!(current_request(), 8);
+                },
+            );
+            assert_eq!(current_request(), 7);
+        });
+        assert_eq!(current_request(), 0);
+        assert_eq!(current_parent(), 0);
+    }
+
+    #[test]
+    fn with_ctx_restores_on_panic() {
+        let result = std::panic::catch_unwind(|| {
+            with_ctx(
+                Ctx {
+                    request: 3,
+                    parent: 4,
+                },
+                || panic!("boom"),
+            )
+        });
+        assert!(result.is_err());
+        assert_eq!(current_request(), 0);
+        assert_eq!(current_parent(), 0);
+    }
+
+    #[test]
+    fn capture_reflects_the_installed_context() {
+        with_ctx(
+            Ctx {
+                request: 11,
+                parent: 22,
+            },
+            || {
+                let captured = capture();
+                assert_eq!(captured.request, 11);
+                assert_eq!(captured.parent, 22);
+            },
+        );
+    }
+
+    #[test]
+    fn span_stack_tolerates_out_of_order_pops() {
+        push_span(1);
+        push_span(2);
+        pop_span(1); // out of order
+        assert_eq!(current_parent(), 2);
+        pop_span(2);
+        assert_eq!(current_parent(), 0);
+        pop_span(99); // absent: no-op
+    }
+
+    #[test]
+    fn with_new_request_mints_and_scopes() {
+        let (id, seen) = with_new_request(current_request);
+        assert_eq!(id, seen);
+        assert_ne!(id, 0);
+        assert_eq!(current_request(), 0);
+    }
+}

@@ -15,6 +15,11 @@
 pub struct Event<'a> {
     /// Dot-separated event name, e.g. `"rig.recalibrations"`.
     pub name: &'a str,
+    /// The request this event was recorded under (0 = no request
+    /// context). Minted by [`crate::context::next_request_id`] and
+    /// installed with [`crate::context::with_ctx`]; an armed [`crate::Obs`]
+    /// stamps it automatically.
+    pub request: u64,
     /// The payload.
     pub kind: EventKind<'a>,
 }
@@ -26,6 +31,11 @@ pub enum EventKind<'a> {
     SpanStart {
         /// Process-unique span id.
         id: u64,
+        /// The id of the innermost span open on this thread (or carried
+        /// across a thread hop via [`crate::context::Ctx`]) when this
+        /// span opened; 0 for a root span. Lets a trace reader rebuild
+        /// the span tree without timestamps.
+        parent: u64,
     },
     /// A timed region closed after `nanos` nanoseconds of wall time.
     SpanEnd {
@@ -81,7 +91,7 @@ mod tests {
     #[test]
     fn tags_cover_every_variant() {
         let kinds = [
-            EventKind::SpanStart { id: 1 },
+            EventKind::SpanStart { id: 1, parent: 0 },
             EventKind::SpanEnd { id: 1, nanos: 2 },
             EventKind::Counter { delta: 1 },
             EventKind::Gauge { value: 3.0 },

@@ -13,6 +13,17 @@
 //! {"ev":"mark","name":"sweep.degraded","detail":"i7 (45) 4C2T@2.7GHz"}
 //! ```
 //!
+//! Events carrying trace context gain optional fields: `"req":<id>` on
+//! any event recorded under a request (see [`crate::context`]), and
+//! `"parent":<span id>` on a `span_start` whose opening span had an
+//! enclosing span. Both are omitted when zero, so traces from
+//! un-contexted runs are byte-identical to the legacy encoding:
+//!
+//! ```json
+//! {"ev":"span_start","name":"serve.request.query","id":9,"parent":8,"req":4}
+//! {"ev":"counter","name":"runner.measurements","delta":1,"req":4}
+//! ```
+//!
 //! Write errors are counted, not raised: the notebook must never kill
 //! the experiment it is describing.
 
@@ -77,9 +88,13 @@ impl Recorder for JsonLinesRecorder {
         line.push_str("\",\"name\":");
         push_json_string(&mut line, event.name);
         match event.kind {
-            EventKind::SpanStart { id } => {
+            EventKind::SpanStart { id, parent } => {
                 line.push_str(",\"id\":");
                 line.push_str(&id.to_string());
+                if parent != 0 {
+                    line.push_str(",\"parent\":");
+                    line.push_str(&parent.to_string());
+                }
             }
             EventKind::SpanEnd { id, nanos } => {
                 line.push_str(",\"id\":");
@@ -103,6 +118,10 @@ impl Recorder for JsonLinesRecorder {
                 line.push_str(",\"detail\":");
                 push_json_string(&mut line, detail);
             }
+        }
+        if event.request != 0 {
+            line.push_str(",\"req\":");
+            line.push_str(&event.request.to_string());
         }
         line.push_str("}\n");
         let Ok(mut sink) = self.sink.lock() else {
@@ -206,26 +225,32 @@ mod tests {
         let r = JsonLinesRecorder::to_writer(Box::new(buf.clone()));
         r.record(&Event {
             name: "s",
-            kind: EventKind::SpanStart { id: 3 },
+            request: 0,
+            kind: EventKind::SpanStart { id: 3, parent: 0 },
         });
         r.record(&Event {
             name: "s",
+            request: 0,
             kind: EventKind::SpanEnd { id: 3, nanos: 250 },
         });
         r.record(&Event {
             name: "c",
+            request: 0,
             kind: EventKind::Counter { delta: 4 },
         });
         r.record(&Event {
             name: "g",
+            request: 0,
             kind: EventKind::Gauge { value: 7.5 },
         });
         r.record(&Event {
             name: "h",
+            request: 0,
             kind: EventKind::Histogram { value: 0.5 },
         });
         r.record(&Event {
             name: "m",
+            request: 0,
             kind: EventKind::Mark { detail: "x" },
         });
         r.flush();
@@ -247,12 +272,14 @@ mod tests {
         let r = JsonLinesRecorder::to_writer(Box::new(buf.clone()));
         r.record(&Event {
             name: "q\"\\\n",
+            request: 0,
             kind: EventKind::Mark {
                 detail: "tab\there \u{1}",
             },
         });
         r.record(&Event {
             name: "h",
+            request: 0,
             kind: EventKind::Histogram {
                 value: f64::INFINITY,
             },
@@ -263,6 +290,28 @@ mod tests {
             r#"{"ev":"mark","name":"q\"\\\n","detail":"tab\there \u0001"}"#
         );
         assert_eq!(lines[1], r#"{"ev":"histogram","name":"h","value":null}"#);
+    }
+
+    #[test]
+    fn trace_context_fields_appear_only_when_nonzero() {
+        let buf = SharedBuf::default();
+        let r = JsonLinesRecorder::to_writer(Box::new(buf.clone()));
+        r.record(&Event {
+            name: "s",
+            request: 4,
+            kind: EventKind::SpanStart { id: 9, parent: 8 },
+        });
+        r.record(&Event {
+            name: "c",
+            request: 4,
+            kind: EventKind::Counter { delta: 1 },
+        });
+        let lines = lines_of(&buf);
+        assert_eq!(
+            lines[0],
+            r#"{"ev":"span_start","name":"s","id":9,"parent":8,"req":4}"#
+        );
+        assert_eq!(lines[1], r#"{"ev":"counter","name":"c","delta":1,"req":4}"#);
     }
 
     #[test]
@@ -279,6 +328,7 @@ mod tests {
         let r = JsonLinesRecorder::to_writer(Box::new(Broken));
         r.record(&Event {
             name: "c",
+            request: 0,
             kind: EventKind::Counter { delta: 1 },
         });
         assert_eq!(r.lines_written(), 0);

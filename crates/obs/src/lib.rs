@@ -23,9 +23,21 @@
 //!   byte-identity test over regenerated experiment outputs and a
 //!   Criterion overhead bench).
 //! * **No external dependencies.** Spans, counters, histograms, JSON
-//!   encoding, and aggregation use only `std`.
+//!   encoding, Prometheus exposition, and aggregation use only `std`.
 //! * **Thread safety.** A [`Recorder`] is `Send + Sync`; one handle is
 //!   shared by every sweep worker thread.
+//!
+//! # Live telemetry
+//!
+//! Beyond the core stream, the crate ships the pieces a long-running
+//! server needs: [`TimeSeriesRecorder`] folds events into a windowed
+//! ring of interval buckets (`/v1/metrics/timeseries`); [`prom`]
+//! renders a [`MetricsSnapshot`] in the Prometheus text exposition
+//! format and parses it back for validation; [`slo`] computes
+//! multi-window error-budget burn rates with a hysteresis alert state
+//! machine; and [`context`] threads a request id and span parentage
+//! through every event so `lhr_traceview` can rebuild per-request span
+//! trees from a trace file.
 //!
 //! # Example: a custom recorder
 //!
@@ -80,14 +92,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod context;
 mod event;
 mod json;
 mod memory;
+pub mod prom;
 mod recorder;
+pub mod slo;
 mod snapshot;
+mod timeseries;
 
 pub use event::{Event, EventKind};
 pub use json::{push_json_number, push_json_string, JsonLinesRecorder};
 pub use memory::{MemoryRecorder, OwnedEvent, OwnedEventKind};
 pub use recorder::{Obs, Recorder, Span, Tee};
+pub use slo::{AlertState, SloConfig, SloStatus, SloTracker};
 pub use snapshot::{HistogramSummary, MetricsSnapshot, SpanStats};
+pub use timeseries::{
+    BucketSnapshot, SeriesSnapshot, TimeSeriesConfig, TimeSeriesRecorder, TimeSeriesSnapshot,
+};

@@ -14,6 +14,8 @@ use crate::snapshot::{HistogramSummary, MetricsSnapshot, SpanStats};
 pub struct OwnedEvent {
     /// The event name.
     pub name: String,
+    /// The request context the event carried (0 = none).
+    pub request: u64,
     /// The owned payload.
     pub kind: OwnedEventKind,
 }
@@ -22,7 +24,7 @@ pub struct OwnedEvent {
 #[derive(Debug, Clone, PartialEq)]
 #[allow(missing_docs)] // field meanings documented on `EventKind`
 pub enum OwnedEventKind {
-    SpanStart { id: u64 },
+    SpanStart { id: u64, parent: u64 },
     SpanEnd { id: u64, nanos: u64 },
     Counter { delta: u64 },
     Gauge { value: f64 },
@@ -104,8 +106,9 @@ impl Recorder for MemoryRecorder {
         }
         let owned = OwnedEvent {
             name: event.name.to_owned(),
+            request: event.request,
             kind: match event.kind {
-                EventKind::SpanStart { id } => OwnedEventKind::SpanStart { id },
+                EventKind::SpanStart { id, parent } => OwnedEventKind::SpanStart { id, parent },
                 EventKind::SpanEnd { id, nanos } => OwnedEventKind::SpanEnd { id, nanos },
                 EventKind::Counter { delta } => OwnedEventKind::Counter { delta },
                 EventKind::Gauge { value } => OwnedEventKind::Gauge { value },
@@ -128,30 +131,37 @@ mod tests {
         let r = MemoryRecorder::default();
         r.record(&Event {
             name: "c",
+            request: 0,
             kind: EventKind::Counter { delta: 2 },
         });
         r.record(&Event {
             name: "c",
+            request: 0,
             kind: EventKind::Counter { delta: 3 },
         });
         r.record(&Event {
             name: "h",
+            request: 0,
             kind: EventKind::Histogram { value: 1.0 },
         });
         r.record(&Event {
             name: "h",
+            request: 0,
             kind: EventKind::Histogram { value: 3.0 },
         });
         r.record(&Event {
             name: "m",
+            request: 0,
             kind: EventKind::Mark { detail: "cell X" },
         });
         r.record(&Event {
             name: "g",
+            request: 0,
             kind: EventKind::Gauge { value: 10.0 },
         });
         r.record(&Event {
             name: "g",
+            request: 0,
             kind: EventKind::Gauge { value: 4.0 },
         });
         let snap = r.snapshot();
@@ -174,10 +184,12 @@ mod tests {
         for (id, nanos) in [(1, 100), (2, 300)] {
             r.record(&Event {
                 name: "s",
-                kind: EventKind::SpanStart { id },
+                request: 0,
+                kind: EventKind::SpanStart { id, parent: 0 },
             });
             r.record(&Event {
                 name: "s",
+                request: 0,
                 kind: EventKind::SpanEnd { id, nanos },
             });
         }

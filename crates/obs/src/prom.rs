@@ -1,0 +1,318 @@
+//! Prometheus text exposition (format version 0.0.4) for a
+//! [`MetricsSnapshot`], plus a strict in-repo parser used by tests and
+//! CI to validate what the server scrapes out.
+//!
+//! The renderer is deliberately small: counters become `counter`
+//! metrics, gauges become `gauge`, and histograms/spans become
+//! `summary` metrics (quantile labels + `_sum`/`_count`), which matches
+//! what the sketch can answer -- exact per-bucket counts for a
+//! `histogram` type would need the raw sketch, and summaries are what
+//! dashboards read for p50/p95/p99 anyway. Event names are sanitized to
+//! the Prometheus grammar (`[a-zA-Z_:][a-zA-Z0-9_:]*`): dots and other
+//! illegal characters become underscores (`serve.req.query` ->
+//! `serve_req_query`).
+
+use std::fmt::Write as _;
+
+use crate::snapshot::MetricsSnapshot;
+
+/// The content type a 0.0.4 exposition must be served under.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// Maps an event name onto the Prometheus metric-name grammar.
+#[must_use]
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+fn push_value(out: &mut String, v: f64) {
+    if v.is_nan() {
+        out.push_str("NaN");
+    } else if v == f64::INFINITY {
+        out.push_str("+Inf");
+    } else if v == f64::NEG_INFINITY {
+        out.push_str("-Inf");
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+/// Renders `snapshot` in the Prometheus text exposition format.
+///
+/// Every metric gets `# HELP` and `# TYPE` lines; span durations are
+/// exported in seconds under their sanitized name with quantile labels.
+#[must_use]
+#[allow(clippy::cast_precision_loss)]
+pub fn render_prometheus(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::with_capacity(1024);
+    for (name, total) in &snapshot.counters {
+        let m = sanitize_name(name);
+        let _ = writeln!(out, "# HELP {m} Event counter `{name}`.");
+        let _ = writeln!(out, "# TYPE {m} counter");
+        let _ = writeln!(out, "{m} {total}");
+    }
+    for (name, level) in &snapshot.gauges {
+        let m = sanitize_name(name);
+        let _ = writeln!(out, "# HELP {m} Gauge `{name}` (latest level).");
+        let _ = writeln!(out, "# TYPE {m} gauge");
+        let _ = write!(out, "{m} ");
+        push_value(&mut out, *level);
+        out.push('\n');
+    }
+    for (name, h) in &snapshot.histograms {
+        let m = sanitize_name(name);
+        let _ = writeln!(out, "# HELP {m} Distribution `{name}`.");
+        let _ = writeln!(out, "# TYPE {m} summary");
+        for (q, v) in [(0.5, h.p50()), (0.95, h.p95()), (0.99, h.p99())] {
+            let _ = write!(out, "{m}{{quantile=\"{q}\"}} ");
+            push_value(&mut out, v);
+            out.push('\n');
+        }
+        let _ = write!(out, "{m}_sum ");
+        push_value(&mut out, h.sum);
+        out.push('\n');
+        let _ = writeln!(out, "{m}_count {}", h.count);
+    }
+    for (name, s) in &snapshot.spans {
+        let m = format!("{}_seconds", sanitize_name(name));
+        let _ = writeln!(out, "# HELP {m} Span `{name}` duration.");
+        let _ = writeln!(out, "# TYPE {m} summary");
+        // Span stats keep min/mean/max, not a sketch: export the
+        // extremes as the tail quantiles a reader can still trust.
+        for (q, nanos) in [(0.0, s.min_nanos as f64), (1.0, s.max_nanos as f64)] {
+            let _ = write!(out, "{m}{{quantile=\"{q}\"}} ");
+            push_value(&mut out, nanos / 1e9);
+            out.push('\n');
+        }
+        let _ = write!(out, "{m}_sum ");
+        push_value(&mut out, s.total_seconds());
+        out.push('\n');
+        let _ = writeln!(out, "{m}_count {}", s.count);
+    }
+    if snapshot.trace_write_errors > 0 || !out.is_empty() {
+        let _ = writeln!(
+            out,
+            "# HELP lhr_trace_write_errors Trace lines lost to write errors."
+        );
+        let _ = writeln!(out, "# TYPE lhr_trace_write_errors counter");
+        let _ = writeln!(out, "lhr_trace_write_errors {}", snapshot.trace_write_errors);
+    }
+    out
+}
+
+/// One sample parsed from an exposition body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromSample {
+    /// The metric name (labels stripped).
+    pub name: String,
+    /// Raw label text between `{}`, empty when unlabeled.
+    pub labels: String,
+    /// The sample value.
+    pub value: f64,
+}
+
+/// A parsed exposition: declared types plus every sample.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Exposition {
+    /// `# TYPE` declarations as `(metric, type)` pairs, in order.
+    pub types: Vec<(String, String)>,
+    /// Samples in order of appearance.
+    pub samples: Vec<PromSample>,
+}
+
+impl Exposition {
+    /// The declared type of `metric`, if any.
+    #[must_use]
+    pub fn type_of(&self, metric: &str) -> Option<&str> {
+        self.types
+            .iter()
+            .find(|(m, _)| m == metric)
+            .map(|(_, t)| t.as_str())
+    }
+
+    /// The value of the first sample named `metric` (exact match on the
+    /// name, any labels).
+    #[must_use]
+    pub fn value(&self, metric: &str) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| s.name == metric)
+            .map(|s| s.value)
+    }
+}
+
+/// Parses a 0.0.4 text exposition, validating the grammar strictly
+/// enough to catch a malformed renderer: every non-comment line must be
+/// `name[{labels}] value`, names must match the metric grammar, and
+/// every sample's base name must have a preceding `# TYPE`.
+///
+/// # Errors
+///
+/// Returns a message naming the first offending line.
+pub fn parse_exposition(body: &str) -> Result<Exposition, String> {
+    let mut out = Exposition::default();
+    for (lineno, line) in body.lines().enumerate() {
+        let n = lineno + 1;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let (Some(metric), Some(kind)) = (parts.next(), parts.next()) else {
+                return Err(format!("line {n}: malformed TYPE line: {line}"));
+            };
+            if !matches!(kind, "counter" | "gauge" | "summary" | "histogram" | "untyped") {
+                return Err(format!("line {n}: unknown metric type {kind}"));
+            }
+            out.types.push((metric.to_owned(), kind.to_owned()));
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP and free comments
+        }
+        // Sample line: name[{labels}] value
+        let (name_part, value_part) = match line.find(' ') {
+            Some(_) if line.contains('{') => {
+                let close = line
+                    .find('}')
+                    .ok_or_else(|| format!("line {n}: unclosed label braces: {line}"))?;
+                let (head, tail) = line.split_at(close + 1);
+                (head, tail.trim())
+            }
+            Some(at) => (&line[..at], line[at + 1..].trim()),
+            None => return Err(format!("line {n}: sample without a value: {line}")),
+        };
+        let (name, labels) = match name_part.find('{') {
+            Some(open) => (
+                &name_part[..open],
+                &name_part[open + 1..name_part.len() - 1],
+            ),
+            None => (name_part, ""),
+        };
+        let grammar_ok = !name.is_empty()
+            && name.chars().enumerate().all(|(i, c)| {
+                c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit())
+            });
+        if !grammar_ok {
+            return Err(format!("line {n}: illegal metric name {name}"));
+        }
+        let base = name
+            .strip_suffix("_sum")
+            .or_else(|| name.strip_suffix("_count"))
+            .unwrap_or(name);
+        if !out.types.iter().any(|(m, _)| m == base || m == name) {
+            return Err(format!("line {n}: sample {name} without a TYPE declaration"));
+        }
+        let value = match value_part {
+            "NaN" => f64::NAN,
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            v => v
+                .parse::<f64>()
+                .map_err(|_| format!("line {n}: unparseable value {v}"))?,
+        };
+        out.samples.push(PromSample {
+            name: name.to_owned(),
+            labels: labels.to_owned(),
+            value,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::{HistogramSummary, MetricsSnapshot, SpanStats};
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert("serve.req.query".into(), 42);
+        snap.gauges.insert("serve.queue_depth".into(), 3.0);
+        let mut h = HistogramSummary::empty();
+        for v in 1..=100 {
+            h.observe(f64::from(v) / 100.0);
+        }
+        snap.histograms.insert("serve.latency.query".into(), h);
+        let mut s = SpanStats::empty();
+        s.observe(2_000_000);
+        snap.spans.insert("serve.request.query".into(), s);
+        snap
+    }
+
+    #[test]
+    fn sanitize_maps_onto_the_metric_grammar() {
+        assert_eq!(sanitize_name("serve.req.query"), "serve_req_query");
+        assert_eq!(sanitize_name("9lives"), "_lives");
+        assert_eq!(sanitize_name("a-b c"), "a_b_c");
+        assert_eq!(sanitize_name("ok_name:x2"), "ok_name:x2");
+        assert_eq!(sanitize_name(""), "_");
+    }
+
+    #[test]
+    fn render_then_parse_round_trips() {
+        let body = render_prometheus(&sample_snapshot());
+        let parsed = parse_exposition(&body).expect("renderer must satisfy its own parser");
+        assert_eq!(parsed.type_of("serve_req_query"), Some("counter"));
+        assert_eq!(parsed.type_of("serve_queue_depth"), Some("gauge"));
+        assert_eq!(parsed.type_of("serve_latency_query"), Some("summary"));
+        assert_eq!(parsed.type_of("serve_request_query_seconds"), Some("summary"));
+        assert_eq!(parsed.value("serve_req_query"), Some(42.0));
+        assert_eq!(parsed.value("serve_latency_query_count"), Some(100.0));
+        let quantiles: Vec<&PromSample> = parsed
+            .samples
+            .iter()
+            .filter(|s| s.name == "serve_latency_query" && s.labels.contains("quantile"))
+            .collect();
+        assert_eq!(quantiles.len(), 3, "p50/p95/p99 exported");
+        assert!(quantiles.iter().all(|s| s.value.is_finite() && s.value > 0.0));
+    }
+
+    #[test]
+    fn trace_write_errors_are_exported() {
+        let mut snap = sample_snapshot();
+        snap.trace_write_errors = 2;
+        let parsed = parse_exposition(&render_prometheus(&snap)).unwrap();
+        assert_eq!(parsed.value("lhr_trace_write_errors"), Some(2.0));
+        assert_eq!(parsed.type_of("lhr_trace_write_errors"), Some("counter"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_an_empty_exposition() {
+        let body = render_prometheus(&MetricsSnapshot::default());
+        assert!(body.is_empty());
+        assert_eq!(parse_exposition(&body).unwrap(), Exposition::default());
+    }
+
+    #[test]
+    fn parser_rejects_malformed_bodies() {
+        for (body, why) in [
+            ("no_type_decl 1\n", "sample without a TYPE"),
+            ("# TYPE m widget\nm 1\n", "unknown metric type"),
+            ("# TYPE m counter\nm notanumber\n", "unparseable value"),
+            ("# TYPE m counter\nm\n", "sample without a value"),
+            ("# TYPE 9bad counter\n9bad 1\n", "illegal metric name"),
+            ("# TYPE m summary\nm{quantile=\"0.5\" 1\n", "unclosed label"),
+        ] {
+            let err = parse_exposition(body).expect_err(body);
+            assert!(err.contains(why.split_whitespace().next().unwrap()), "{body} -> {err}");
+        }
+    }
+
+    #[test]
+    fn parser_accepts_special_values() {
+        let body = "# TYPE g gauge\ng NaN\n# TYPE h gauge\nh +Inf\n";
+        let parsed = parse_exposition(body).unwrap();
+        assert!(parsed.samples[0].value.is_nan());
+        assert_eq!(parsed.samples[1].value, f64::INFINITY);
+    }
+}

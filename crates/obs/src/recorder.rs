@@ -6,6 +6,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+use crate::context;
 use crate::event::{Event, EventKind};
 
 /// Issues process-unique span ids so a stream's `span_start`/`span_end`
@@ -72,6 +73,7 @@ impl Obs {
         if let Some(r) = &self.0 {
             r.record(&Event {
                 name,
+                request: context::current_request(),
                 kind: EventKind::Counter { delta },
             });
         }
@@ -83,6 +85,7 @@ impl Obs {
         if let Some(r) = &self.0 {
             r.record(&Event {
                 name,
+                request: context::current_request(),
                 kind: EventKind::Gauge { value },
             });
         }
@@ -93,6 +96,7 @@ impl Obs {
         if let Some(r) = &self.0 {
             r.record(&Event {
                 name,
+                request: context::current_request(),
                 kind: EventKind::Histogram { value },
             });
         }
@@ -103,6 +107,7 @@ impl Obs {
         if let Some(r) = &self.0 {
             r.record(&Event {
                 name,
+                request: context::current_request(),
                 kind: EventKind::Mark { detail },
             });
         }
@@ -110,16 +115,25 @@ impl Obs {
 
     /// Opens a timed span that closes (emitting its duration) when the
     /// returned guard drops. Disabled handles return an inert guard and
-    /// never read the clock or allocate.
+    /// never read the clock, the trace context, or the allocator.
+    ///
+    /// Armed spans record the innermost span already open on this thread
+    /// (or installed via [`context::with_ctx`]) as their parent, and the
+    /// thread's current request id, so a trace reader can rebuild
+    /// per-request span trees. The guard must drop on the thread that
+    /// created it (see [`context`]).
     pub fn span(&self, name: &str) -> Span {
         match &self.0 {
             None => Span(None),
             Some(r) => {
                 let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+                let parent = context::current_parent();
                 r.record(&Event {
                     name,
-                    kind: EventKind::SpanStart { id },
+                    request: context::current_request(),
+                    kind: EventKind::SpanStart { id, parent },
                 });
+                context::push_span(id);
                 Span(Some(SpanInner {
                     recorder: Arc::clone(r),
                     name: name.to_owned(),
@@ -178,8 +192,10 @@ impl Span {
     fn finish(&mut self) {
         if let Some(inner) = self.0.take() {
             let nanos = u64::try_from(inner.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            context::pop_span(inner.id);
             inner.recorder.record(&Event {
                 name: &inner.name,
+                request: context::current_request(),
                 kind: EventKind::SpanEnd {
                     id: inner.id,
                     nanos,
@@ -273,7 +289,7 @@ mod tests {
         let starts: Vec<u64> = events
             .iter()
             .filter_map(|e| match e.kind {
-                crate::memory::OwnedEventKind::SpanStart { id } => Some(id),
+                crate::memory::OwnedEventKind::SpanStart { id, .. } => Some(id),
                 _ => None,
             })
             .collect();
@@ -287,6 +303,38 @@ mod tests {
         assert_eq!(starts.len(), 2);
         assert_ne!(starts[0], starts[1]);
         assert_eq!(starts, ends);
+    }
+
+    #[test]
+    fn spans_record_their_parent_and_request_context() {
+        let memory = Arc::new(MemoryRecorder::default());
+        let obs = Obs::recording(memory.clone());
+        let (req, ()) = crate::context::with_new_request(|| {
+            let outer = obs.span("outer");
+            let inner = obs.span("inner");
+            obs.counter("work", 1);
+            inner.end();
+            outer.end();
+        });
+        let events = memory.events();
+        let mut outer_id = 0;
+        for e in &events {
+            assert_eq!(e.request, req, "{e:?} must carry the request id");
+            if let crate::memory::OwnedEventKind::SpanStart { id, parent } = e.kind {
+                if e.name == "outer" {
+                    assert_eq!(parent, 0, "outer is a root span");
+                    outer_id = id;
+                } else {
+                    assert_eq!(parent, outer_id, "inner nests under outer");
+                }
+            }
+        }
+        assert_ne!(outer_id, 0);
+        // Outside the request scope, events carry no request id and the
+        // span stack is clean again.
+        obs.counter("later", 1);
+        assert_eq!(memory.events().last().unwrap().request, 0);
+        assert_eq!(crate::context::current_parent(), 0);
     }
 
     #[test]

@@ -1,0 +1,482 @@
+//! SLO burn-rate tracking: multi-window error-budget burn with a
+//! hysteresis alert state machine, the standard shape of production
+//! availability/latency alerting (fast window catches sudden burn, slow
+//! window confirms it is sustained; two thresholds stop the alert from
+//! flapping at the boundary).
+//!
+//! # Model
+//!
+//! An objective says "at least `target` of requests are good" (e.g.
+//! 99.5% available, or 99% under the latency threshold). The error
+//! budget is `1 - target`. Over a window, the **burn rate** is
+//!
+//! ```text
+//! burn = bad_fraction / (1 - target)
+//! ```
+//!
+//! so `burn == 1.0` means the budget is being spent exactly as fast as
+//! the objective allows; `burn == 10` means ten times too fast. The
+//! tracker keeps a per-second ring of `(total, errors, slow)` counts and
+//! computes burn over a short and a long window. The alert **fires**
+//! when *both* windows burn at or above `fire_threshold` (the classic
+//! multi-window guard: short-window spikes alone don't page) and
+//! **clears** only when both fall below `clear_threshold`
+//! (`clear < fire` is the hysteresis gap).
+//!
+//! Transitions are reported through an optional [`crate::Obs`] as
+//! `slo.alert.fired` / `slo.alert.cleared` counters with a mark carrying
+//! the burn numbers, so the event stream records exactly when and why
+//! the server's health flipped.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::recorder::Obs;
+
+/// Objectives and alert thresholds for a [`SloTracker`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloConfig {
+    /// Availability objective: the fraction of requests that must not be
+    /// server errors (e.g. `0.995`).
+    pub availability_target: f64,
+    /// Latency objective: the fraction of requests that must finish
+    /// under [`SloConfig::latency_threshold_seconds`] (e.g. `0.99`).
+    pub latency_target: f64,
+    /// The latency cut-off in seconds defining a "slow" request.
+    pub latency_threshold_seconds: f64,
+    /// Short burn window in seconds (default 300 = 5m).
+    pub short_window_seconds: u32,
+    /// Long burn window in seconds (default 3600 = 1h).
+    pub long_window_seconds: u32,
+    /// Both windows must burn at or above this to fire (default 2.0).
+    pub fire_threshold: f64,
+    /// Both windows must burn below this to clear (default 1.0).
+    pub clear_threshold: f64,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        Self {
+            availability_target: 0.995,
+            latency_target: 0.99,
+            latency_threshold_seconds: 2.0,
+            short_window_seconds: 300,
+            long_window_seconds: 3600,
+            fire_threshold: 2.0,
+            clear_threshold: 1.0,
+        }
+    }
+}
+
+/// The alert state machine's position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertState {
+    /// Burn is within budget (or has fallen back below the clear
+    /// threshold).
+    Ok,
+    /// Both windows burned past the fire threshold and the alert has not
+    /// yet cleared.
+    Firing,
+}
+
+/// One second of request outcomes.
+#[derive(Debug, Clone, Copy, Default)]
+struct SecondCell {
+    /// Seconds since the tracker's epoch; `u64::MAX` = vacant.
+    index: u64,
+    total: u64,
+    errors: u64,
+    slow: u64,
+}
+
+/// Burn rates over one objective, per window.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BurnRates {
+    /// Burn over the short window.
+    pub short: f64,
+    /// Burn over the long window.
+    pub long: f64,
+}
+
+/// A point-in-time report from [`SloTracker::status`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloStatus {
+    /// Availability burn (errors against the availability budget).
+    pub availability: BurnRates,
+    /// Latency burn (slow requests against the latency budget).
+    pub latency: BurnRates,
+    /// Requests seen in the long window.
+    pub total_long: u64,
+    /// Where the alert state machine stands.
+    pub state: AlertState,
+}
+
+impl SloStatus {
+    /// The worst burn across both objectives and windows -- the single
+    /// number a dashboard sorts by.
+    #[must_use]
+    pub fn worst_burn(&self) -> f64 {
+        self.availability
+            .short
+            .max(self.availability.long)
+            .max(self.latency.short)
+            .max(self.latency.long)
+    }
+}
+
+#[derive(Debug)]
+struct SloState {
+    ring: Vec<SecondCell>,
+    state: AlertState,
+}
+
+/// Multi-window burn-rate tracker; see the module docs.
+#[derive(Debug)]
+pub struct SloTracker {
+    config: SloConfig,
+    epoch: Instant,
+    state: Mutex<SloState>,
+}
+
+impl SloTracker {
+    /// A tracker with the given objectives; the clock starts now.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the windows are zero, `short > long`, or
+    /// `clear_threshold > fire_threshold` -- all configuration bugs
+    /// worth failing loudly on at startup.
+    #[must_use]
+    pub fn new(config: SloConfig) -> Self {
+        assert!(config.short_window_seconds > 0, "short window must be > 0");
+        assert!(
+            config.short_window_seconds <= config.long_window_seconds,
+            "short window must not exceed the long window"
+        );
+        assert!(
+            config.clear_threshold <= config.fire_threshold,
+            "hysteresis requires clear <= fire"
+        );
+        let cells = config.long_window_seconds as usize;
+        Self {
+            config,
+            epoch: Instant::now(),
+            state: Mutex::new(SloState {
+                ring: vec![
+                    SecondCell {
+                        index: u64::MAX,
+                        ..SecondCell::default()
+                    };
+                    cells
+                ],
+                state: AlertState::Ok,
+            }),
+        }
+    }
+
+    /// The configured objectives.
+    #[must_use]
+    pub fn config(&self) -> &SloConfig {
+        &self.config
+    }
+
+    fn now_second(&self) -> u64 {
+        self.epoch.elapsed().as_secs()
+    }
+
+    /// Records one finished request: whether it was a server error, and
+    /// how long it took. Emits alert-transition events through `obs`
+    /// when the observation flips the state machine.
+    pub fn observe(&self, is_error: bool, latency_seconds: f64, obs: &Obs) {
+        self.observe_at(self.now_second(), is_error, latency_seconds, obs);
+    }
+
+    /// Test seam: [`SloTracker::observe`] at an explicit second.
+    pub fn observe_at(&self, second: u64, is_error: bool, latency_seconds: f64, obs: &Obs) {
+        let slow = latency_seconds > self.config.latency_threshold_seconds;
+        let transition = {
+            let Ok(mut state) = self.state.lock() else {
+                return;
+            };
+            let len = state.ring.len() as u64;
+            #[allow(clippy::cast_possible_truncation)]
+            let at = (second % len) as usize;
+            let cell = &mut state.ring[at];
+            if cell.index != second {
+                *cell = SecondCell {
+                    index: second,
+                    ..SecondCell::default()
+                };
+            }
+            cell.total += 1;
+            cell.errors += u64::from(is_error);
+            cell.slow += u64::from(slow);
+            let status = Self::status_locked(&self.config, &state, second);
+            Self::step_locked(&self.config, &mut state, &status)
+        };
+        if let Some((fired, status)) = transition {
+            let (name, verb) = if fired {
+                ("slo.alert.fired", "fired")
+            } else {
+                ("slo.alert.cleared", "cleared")
+            };
+            obs.counter(name, 1);
+            if obs.enabled() {
+                obs.mark(
+                    "slo.alert",
+                    &format!(
+                        "{verb}: avail burn {:.2}/{:.2}, latency burn {:.2}/{:.2} (short/long)",
+                        status.availability.short,
+                        status.availability.long,
+                        status.latency.short,
+                        status.latency.long,
+                    ),
+                );
+            }
+        }
+    }
+
+    /// Burn over `window` seconds ending at `now`, per objective.
+    fn window_counts(ring: &[SecondCell], now: u64, window: u64) -> (u64, u64, u64) {
+        let oldest = now.saturating_sub(window - 1);
+        let (mut total, mut errors, mut slow) = (0, 0, 0);
+        for cell in ring {
+            if cell.index != u64::MAX && cell.index >= oldest && cell.index <= now {
+                total += cell.total;
+                errors += cell.errors;
+                slow += cell.slow;
+            }
+        }
+        (total, errors, slow)
+    }
+
+    #[allow(clippy::cast_precision_loss)]
+    fn burn(bad: u64, total: u64, target: f64) -> f64 {
+        if total == 0 {
+            return 0.0; // no traffic burns no budget
+        }
+        let budget = (1.0 - target).max(f64::EPSILON);
+        (bad as f64 / total as f64) / budget
+    }
+
+    fn status_locked(config: &SloConfig, state: &SloState, now: u64) -> SloStatus {
+        let short = u64::from(config.short_window_seconds);
+        let long = u64::from(config.long_window_seconds);
+        let (ts, es, ss) = Self::window_counts(&state.ring, now, short);
+        let (tl, el, sl) = Self::window_counts(&state.ring, now, long);
+        SloStatus {
+            availability: BurnRates {
+                short: Self::burn(es, ts, config.availability_target),
+                long: Self::burn(el, tl, config.availability_target),
+            },
+            latency: BurnRates {
+                short: Self::burn(ss, ts, config.latency_target),
+                long: Self::burn(sl, tl, config.latency_target),
+            },
+            total_long: tl,
+            state: state.state,
+        }
+    }
+
+    /// Advances the state machine; returns `Some((fired, status))` on a
+    /// transition.
+    fn step_locked(
+        config: &SloConfig,
+        state: &mut SloState,
+        status: &SloStatus,
+    ) -> Option<(bool, SloStatus)> {
+        let avail_firing = status.availability.short >= config.fire_threshold
+            && status.availability.long >= config.fire_threshold;
+        let latency_firing = status.latency.short >= config.fire_threshold
+            && status.latency.long >= config.fire_threshold;
+        let avail_clear = status.availability.short < config.clear_threshold
+            && status.availability.long < config.clear_threshold;
+        let latency_clear = status.latency.short < config.clear_threshold
+            && status.latency.long < config.clear_threshold;
+        match state.state {
+            AlertState::Ok if avail_firing || latency_firing => {
+                state.state = AlertState::Firing;
+                Some((
+                    true,
+                    SloStatus {
+                        state: AlertState::Firing,
+                        ..*status
+                    },
+                ))
+            }
+            AlertState::Firing if avail_clear && latency_clear => {
+                state.state = AlertState::Ok;
+                Some((
+                    false,
+                    SloStatus {
+                        state: AlertState::Ok,
+                        ..*status
+                    },
+                ))
+            }
+            _ => None,
+        }
+    }
+
+    /// The current burn rates and alert state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an observing thread panicked while holding the internal
+    /// lock (the tracker never panics in normal operation).
+    #[must_use]
+    pub fn status(&self) -> SloStatus {
+        self.status_at(self.now_second())
+    }
+
+    /// Test seam: [`SloTracker::status`] at an explicit second.
+    ///
+    /// # Panics
+    ///
+    /// See [`SloTracker::status`].
+    #[must_use]
+    pub fn status_at(&self, second: u64) -> SloStatus {
+        let state = self.state.lock().expect("slo lock poisoned");
+        Self::status_locked(&self.config, &state, second)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tight() -> SloConfig {
+        SloConfig {
+            availability_target: 0.9, // 10% budget: easy to burn in tests
+            latency_target: 0.9,
+            latency_threshold_seconds: 1.0,
+            short_window_seconds: 5,
+            long_window_seconds: 20,
+            fire_threshold: 2.0,
+            clear_threshold: 1.0,
+        }
+    }
+
+    #[test]
+    fn no_traffic_burns_nothing() {
+        let t = SloTracker::new(tight());
+        let s = t.status_at(100);
+        assert!((s.worst_burn() - 0.0).abs() < f64::EPSILON);
+        assert_eq!(s.state, AlertState::Ok);
+    }
+
+    #[test]
+    fn burn_rate_matches_the_arithmetic() {
+        let t = SloTracker::new(tight());
+        let obs = Obs::none();
+        // 10 requests in one second, 5 of them errors: bad fraction 0.5
+        // against a 0.1 budget = burn 5.0 in both windows.
+        for i in 0..10 {
+            t.observe_at(10, i < 5, 0.1, &obs);
+        }
+        let s = t.status_at(10);
+        assert!((s.availability.short - 5.0).abs() < 1e-9, "{s:?}");
+        assert!((s.availability.long - 5.0).abs() < 1e-9);
+        assert!(s.latency.short.abs() < 1e-9, "all fast");
+    }
+
+    #[test]
+    fn short_spike_alone_does_not_fire() {
+        let cfg = tight();
+        let t = SloTracker::new(cfg);
+        let obs = Obs::none();
+        // A long window full of clean traffic...
+        for sec in 0..18 {
+            for _ in 0..10 {
+                t.observe_at(sec, false, 0.1, &obs);
+            }
+        }
+        // ...then one bad second: short window burns hot, long stays low.
+        for _ in 0..10 {
+            t.observe_at(19, true, 0.1, &obs);
+        }
+        let s = t.status_at(19);
+        assert!(s.availability.short >= cfg.fire_threshold, "{s:?}");
+        assert!(s.availability.long < cfg.fire_threshold, "{s:?}");
+        assert_eq!(s.state, AlertState::Ok, "both windows must agree to fire");
+    }
+
+    #[test]
+    fn sustained_burn_fires_then_hysteresis_clears() {
+        let t = SloTracker::new(tight());
+        let memory = std::sync::Arc::new(crate::MemoryRecorder::default());
+        let obs = Obs::recording(memory.clone());
+        // Sustained 50% errors across the whole long window: both burn.
+        for sec in 0..20 {
+            for i in 0..10 {
+                t.observe_at(sec, i < 5, 0.1, &obs);
+            }
+        }
+        assert_eq!(t.status_at(19).state, AlertState::Firing);
+        let snap = memory.snapshot();
+        assert_eq!(snap.counter("slo.alert.fired"), 1, "fires exactly once");
+        assert!(snap.marks.iter().any(|(n, d)| n == "slo.alert" && d.contains("fired")));
+        // Clean traffic washes the windows out; the alert clears once
+        // BOTH windows drop below the clear threshold.
+        for sec in 20..60 {
+            for _ in 0..50 {
+                t.observe_at(sec, false, 0.1, &obs);
+            }
+        }
+        assert_eq!(t.status_at(59).state, AlertState::Ok);
+        let snap = memory.snapshot();
+        assert_eq!(snap.counter("slo.alert.cleared"), 1);
+    }
+
+    #[test]
+    fn alert_does_not_flap_between_thresholds() {
+        let t = SloTracker::new(tight());
+        let obs = Obs::none();
+        // Fire it.
+        for sec in 0..20 {
+            for i in 0..10 {
+                t.observe_at(sec, i < 5, 0.1, &obs);
+            }
+        }
+        assert_eq!(t.status_at(19).state, AlertState::Firing);
+        // Ease burn into the hysteresis band (between clear=1.0 and
+        // fire=2.0): 15% errors against a 10% budget = burn 1.5.
+        for sec in 20..80 {
+            for i in 0..20 {
+                t.observe_at(sec, i < 3, 0.1, &obs);
+            }
+        }
+        let s = t.status_at(79);
+        assert!(
+            s.availability.short > 1.0 && s.availability.short < 2.0,
+            "burn {s:?} must sit in the hysteresis band"
+        );
+        assert_eq!(s.state, AlertState::Firing, "still firing inside the band");
+    }
+
+    #[test]
+    fn latency_objective_fires_independently() {
+        let t = SloTracker::new(tight());
+        let obs = Obs::none();
+        // Every request succeeds but half are slow.
+        for sec in 0..20 {
+            for i in 0..10 {
+                t.observe_at(sec, false, if i < 5 { 5.0 } else { 0.1 }, &obs);
+            }
+        }
+        let s = t.status_at(19);
+        assert!(s.availability.short.abs() < 1e-9, "no errors");
+        assert!(s.latency.short >= 2.0, "{s:?}");
+        assert_eq!(s.state, AlertState::Firing);
+    }
+
+    #[test]
+    #[should_panic(expected = "clear <= fire")]
+    fn misordered_thresholds_are_a_startup_bug() {
+        let _ = SloTracker::new(SloConfig {
+            fire_threshold: 1.0,
+            clear_threshold: 2.0,
+            ..SloConfig::default()
+        });
+    }
+}

@@ -203,6 +203,13 @@ pub struct MetricsSnapshot {
     pub marks: Vec<(String, String)>,
     /// Raw events seen (all kinds, including span starts).
     pub events_recorded: usize,
+    /// Trace lines dropped to write errors by a streaming
+    /// [`crate::JsonLinesRecorder`], if one is armed alongside the
+    /// aggregator (0 otherwise). The recorder counts its own drops --
+    /// they never reach the aggregated stream -- so whoever assembles
+    /// the fanout copies the count in here, making silent trace loss
+    /// visible in profile summaries and health checks.
+    pub trace_write_errors: u64,
 }
 
 impl MetricsSnapshot {
@@ -269,6 +276,13 @@ impl MetricsSnapshot {
                 );
             }
         }
+        if self.trace_write_errors > 0 {
+            let _ = writeln!(
+                out,
+                "WARNING: {} trace line(s) lost to write errors",
+                self.trace_write_errors
+            );
+        }
         if out.is_empty() {
             out.push_str("no events recorded\n");
         }
@@ -300,6 +314,16 @@ mod tests {
     #[test]
     fn empty_snapshot_renders_a_placeholder() {
         assert_eq!(MetricsSnapshot::default().render(), "no events recorded\n");
+    }
+
+    #[test]
+    fn trace_write_errors_surface_in_the_rendering() {
+        let snap = MetricsSnapshot {
+            trace_write_errors: 3,
+            ..Default::default()
+        };
+        let text = snap.render();
+        assert!(text.contains("3 trace line(s) lost"), "{text}");
     }
 
     #[test]

@@ -14,8 +14,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use lhr_core::{Harness, Runner, ShardedLruCache};
-use lhr_obs::{JsonLinesRecorder, MemoryRecorder, Obs, Recorder};
-use lhr_serve::{signal, ServerConfig};
+use lhr_obs::{SloConfig, TimeSeriesConfig};
+use lhr_serve::{signal, ServerConfig, Telemetry};
 
 struct Args {
     config: ServerConfig,
@@ -85,20 +85,23 @@ fn main() -> ExitCode {
         }
     };
 
-    // /metrics always snapshots from memory; --trace additionally
-    // streams every event to a JSON-lines file via a fanout.
-    let recorder = Arc::new(MemoryRecorder::default());
-    let mut sinks: Vec<Arc<dyn Recorder>> = vec![recorder.clone()];
-    if let Some(path) = &args.trace {
-        match JsonLinesRecorder::create(path) {
-            Ok(jsonl) => sinks.push(Arc::new(jsonl)),
+    // The telemetry bundle: memory aggregates for /metrics, a windowed
+    // time-series ring for /v1/metrics/timeseries, the SLO burn-rate
+    // tracker for /healthz, and (with --trace) a JSON-lines stream of
+    // every event, all fed from one fanout observer.
+    let base = Telemetry::new(TimeSeriesConfig::serving_default(), SloConfig::default());
+    let telemetry = if let Some(path) = &args.trace {
+        match base.with_trace_path(path) {
+            Ok(t) => t,
             Err(e) => {
                 eprintln!("cannot open trace file {path}: {e}");
                 return ExitCode::FAILURE;
             }
         }
-    }
-    let obs = Obs::fanout(sinks);
+    } else {
+        base
+    };
+    let obs = telemetry.obs();
 
     // Serving is open-ended, so the cell cache must be bounded: the
     // sharded LRU keeps hot cells instant and memory flat.
@@ -108,7 +111,7 @@ fn main() -> ExitCode {
     let harness = Harness::new(runner).with_workloads(Harness::quick_set());
 
     signal::install();
-    let handle = match lhr_serve::start(args.config.clone(), harness, recorder.clone()) {
+    let handle = match lhr_serve::start(args.config.clone(), harness, telemetry.clone()) {
         Ok(h) => h,
         Err(e) => {
             eprintln!("cannot bind {}: {e}", args.config.addr);
@@ -133,6 +136,6 @@ fn main() -> ExitCode {
     handle.wait();
 
     println!("drained; final metrics:");
-    println!("{}", recorder.snapshot().render());
+    println!("{}", telemetry.snapshot().render());
     ExitCode::SUCCESS
 }

@@ -24,6 +24,7 @@
 //!   supervisor's watchdog policy: abandon, never kill.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -36,6 +37,10 @@ pub type FlightResult = Result<String, String>;
 pub struct Flight {
     result: Mutex<Option<FlightResult>>,
     done: Condvar,
+    /// The trace request id of the leader (0 until set): followers
+    /// record it so a trace reader can link a coalesced request to the
+    /// request whose computation it rode.
+    leader_request: AtomicU64,
 }
 
 impl Flight {
@@ -43,7 +48,21 @@ impl Flight {
         Self {
             result: Mutex::new(None),
             done: Condvar::new(),
+            leader_request: AtomicU64::new(0),
         }
+    }
+
+    /// Records the leader's trace request id (called once, by the
+    /// leader, right after winning the join).
+    pub fn set_leader_request(&self, request: u64) {
+        self.leader_request.store(request, Ordering::Relaxed);
+    }
+
+    /// The leader's trace request id (0 if the leader had no trace
+    /// context or has not stamped it yet).
+    #[must_use]
+    pub fn leader_request(&self) -> u64 {
+        self.leader_request.load(Ordering::Relaxed)
     }
 
     fn complete(&self, result: FlightResult) {
@@ -184,6 +203,19 @@ mod tests {
             assert_eq!(f.join().unwrap().unwrap(), leader_view);
         }
         assert_eq!(board.live(), 0, "completed flights retire");
+    }
+
+    #[test]
+    fn followers_can_read_the_leaders_request_id() {
+        let board = FlightBoard::new(2);
+        let Join::Leader(leader) = board.join("k").unwrap() else {
+            panic!("must lead");
+        };
+        leader.set_leader_request(42);
+        let Join::Follower(follower) = board.join("k").unwrap() else {
+            panic!("must follow");
+        };
+        assert_eq!(follower.leader_request(), 42);
     }
 
     #[test]

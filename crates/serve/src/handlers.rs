@@ -18,13 +18,14 @@ use std::time::{Duration, Instant};
 
 use lhr_core::cache::{config_fingerprint, workload_fingerprint};
 use lhr_core::{experiments::pareto, Harness};
-use lhr_obs::{push_json_number, push_json_string, MemoryRecorder, Obs};
+use lhr_obs::{context, prom, push_json_number, push_json_string, AlertState, Obs};
 use lhr_uarch::{ChipConfig, ProcessorId};
 use lhr_units::Hertz;
 use lhr_workloads::Group;
 
 use crate::coalesce::{FlightBoard, Join, JoinError};
 use crate::http::{Method, Request, Response};
+use crate::telemetry::Telemetry;
 
 /// Shared server state: the measurement engine plus the serving
 /// machinery around it.
@@ -36,8 +37,9 @@ pub struct ServeState {
     pub board: FlightBoard,
     /// The observability handle (same one the harness's runner reports to).
     pub obs: Obs,
-    /// The in-memory recorder `/metrics` snapshots.
-    pub recorder: Arc<MemoryRecorder>,
+    /// The recorder bundle behind `/metrics`, `/v1/metrics`,
+    /// `/v1/metrics/timeseries`, and the `/healthz` SLO report.
+    pub telemetry: Telemetry,
     /// Directory `/v1/artifacts` serves (`repro_out/`).
     pub artifact_dir: std::path::PathBuf,
     /// Per-request budget for expensive endpoints; past it, `504`.
@@ -55,6 +57,8 @@ pub fn endpoint_tag(req: &Request) -> &'static str {
     match req.path.as_str() {
         "/healthz" => "/healthz",
         "/metrics" => "/metrics",
+        "/v1/metrics" => "/v1/metrics",
+        "/v1/metrics/timeseries" => "/v1/metrics/timeseries",
         "/v1/cell" => "/v1/cell",
         "/v1/sweep" => "/v1/sweep",
         "/v1/pareto" => "/v1/pareto",
@@ -70,7 +74,14 @@ pub fn endpoint_tag(req: &Request) -> &'static str {
 pub fn route(state: &Arc<ServeState>, req: &Request) -> Response {
     match (req.method, req.path.as_str()) {
         (Method::Get, "/healthz") => healthz(state),
-        (Method::Get, "/metrics") => Response::ok_text(state.recorder.snapshot().render()),
+        // `/metrics` is the legacy text profile; `/v1/metrics` adds
+        // content negotiation (Prometheus exposition on request).
+        (Method::Get, "/metrics" | "/v1/metrics") => metrics(state, req),
+        (Method::Get, "/v1/metrics/timeseries") => {
+            let mut body = state.telemetry.timeseries.snapshot().render_json();
+            body.push('\n');
+            Response::ok_json(body)
+        }
         (Method::Get, "/v1/cell") => cell(state, req),
         (Method::Get, "/v1/sweep") => sweep(state, req),
         (Method::Get, "/v1/pareto") => pareto_endpoint(state, req),
@@ -85,14 +96,22 @@ pub fn route(state: &Arc<ServeState>, req: &Request) -> Response {
         (Method::Get, _) => Response::error(
             404,
             "not_found",
-            "unknown endpoint; see /healthz, /metrics, /v1/cell, /v1/sweep, /v1/pareto, \
-             /v1/findings, /v1/artifacts, POST /admin/drain",
+            "unknown endpoint; see /healthz, /metrics, /v1/metrics, /v1/metrics/timeseries, \
+             /v1/cell, /v1/sweep, /v1/pareto, /v1/findings, /v1/artifacts, POST /admin/drain",
         ),
     }
 }
 
 fn healthz(state: &Arc<ServeState>) -> Response {
-    let mut body = String::from("{\"status\":\"ok\",\"uptime_seconds\":");
+    // Health degrades on either signal: the SLO alert is firing (the
+    // error budget is burning too fast in both windows), or trace lines
+    // are being lost (the record of what happened has holes).
+    let slo = state.telemetry.slo.status();
+    let trace_write_errors = state.telemetry.trace_write_errors();
+    let degraded = slo.state == AlertState::Firing || trace_write_errors > 0;
+    let mut body = String::from("{\"status\":");
+    push_json_string(&mut body, if degraded { "degraded" } else { "ok" });
+    body.push_str(",\"uptime_seconds\":");
     push_json_number(&mut body, state.started.elapsed().as_secs_f64());
     body.push_str(",\"live_flights\":");
     push_json_number(&mut body, state.board.live() as f64);
@@ -104,8 +123,51 @@ fn healthz(state: &Arc<ServeState>) -> Response {
     } else {
         "false"
     });
-    body.push_str("}\n");
+    body.push_str(",\"trace_write_errors\":");
+    push_json_number(&mut body, trace_write_errors as f64);
+    body.push_str(",\"slo\":{\"alert\":");
+    push_json_string(
+        &mut body,
+        match slo.state {
+            AlertState::Ok => "ok",
+            AlertState::Firing => "firing",
+        },
+    );
+    body.push_str(",\"availability_burn\":{\"short\":");
+    push_json_number(&mut body, slo.availability.short);
+    body.push_str(",\"long\":");
+    push_json_number(&mut body, slo.availability.long);
+    body.push_str("},\"latency_burn\":{\"short\":");
+    push_json_number(&mut body, slo.latency.short);
+    body.push_str(",\"long\":");
+    push_json_number(&mut body, slo.latency.long);
+    body.push_str("},\"requests_long_window\":");
+    push_json_number(&mut body, slo.total_long as f64);
+    body.push_str("}}\n");
     Response::ok_json(body)
+}
+
+/// `/metrics` and `/v1/metrics`: the lifetime aggregates, as the
+/// human-readable text profile by default, or as a Prometheus text
+/// exposition (format 0.0.4) when the client asks -- via
+/// `?format=prometheus` or an `Accept` header naming `text/plain`
+/// (what a Prometheus scraper sends).
+fn metrics(state: &Arc<ServeState>, req: &Request) -> Response {
+    let snap = state.telemetry.snapshot();
+    let wants_prometheus = req.param("format") == Some("prometheus")
+        || req
+            .header("accept")
+            .is_some_and(|accept| accept.contains("text/plain"));
+    if wants_prometheus {
+        Response {
+            status: 200,
+            content_type: prom::CONTENT_TYPE,
+            body: prom::render_prometheus(&snap).into_bytes(),
+            retry_after: None,
+        }
+    } else {
+        Response::ok_text(snap.render())
+    }
 }
 
 fn drain(state: &Arc<ServeState>) -> Response {
@@ -135,17 +197,32 @@ where
     let flight = match join {
         Join::Leader(flight) => {
             state.obs.counter("serve.coalesce_leads", 1);
+            // The computation runs on a detached thread, so the leader's
+            // trace context is carried across explicitly: everything the
+            // engine records during the flight belongs to the request
+            // that opened it.
+            let ctx = context::capture();
+            flight.set_leader_request(ctx.request);
             let worker_state = Arc::clone(state);
             std::thread::spawn(move || {
-                let result =
-                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(compute))
-                        .unwrap_or_else(|_| Err("computation panicked".to_owned()));
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    context::with_ctx(ctx, compute)
+                }))
+                .unwrap_or_else(|_| Err("computation panicked".to_owned()));
                 worker_state.board.complete(&key, result);
             });
             flight
         }
         Join::Follower(flight) => {
             state.obs.counter("serve.coalesce_hits", 1);
+            // Record the leader/follower linkage so a trace reader can
+            // attribute this request's wait to the flight it rode.
+            if state.obs.enabled() {
+                state.obs.mark(
+                    "serve.coalesce.follows",
+                    &format!("leader_request={}", flight.leader_request()),
+                );
+            }
             flight
         }
     };

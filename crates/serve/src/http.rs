@@ -32,7 +32,8 @@ pub enum Method {
     Post,
 }
 
-/// A parsed request: method, decoded path, decoded query parameters.
+/// A parsed request: method, decoded path, decoded query parameters,
+/// and headers.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
     /// The request method.
@@ -41,6 +42,10 @@ pub struct Request {
     pub path: String,
     /// Query parameters in arrival order, percent-decoded.
     pub query: Vec<(String, String)>,
+    /// Headers in arrival order, names lowercased, values trimmed.
+    /// Only consulted for content negotiation (`Accept` on
+    /// `/v1/metrics`); routing never depends on them.
+    pub headers: Vec<(String, String)>,
 }
 
 impl Request {
@@ -50,6 +55,15 @@ impl Request {
         self.query
             .iter()
             .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The first value of header `name` (case-insensitive), if present.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
             .map(|(_, v)| v.as_str())
     }
 }
@@ -82,8 +96,10 @@ impl std::fmt::Display for HttpError {
 pub fn read_request(stream: &mut impl BufRead) -> Result<Request, HttpError> {
     let request_line = read_line(stream)?;
     let mut total = request_line.len();
-    // Drain (and ignore) headers up to the blank line so the parse
-    // position is deterministic whatever the client sent.
+    // Drain headers up to the blank line so the parse position is
+    // deterministic whatever the client sent; keep them for content
+    // negotiation.
+    let mut headers = Vec::new();
     loop {
         let line = read_line(stream)?;
         total += line.len();
@@ -93,11 +109,14 @@ pub fn read_request(stream: &mut impl BufRead) -> Result<Request, HttpError> {
         if line.is_empty() {
             break;
         }
-        if !line.contains(':') {
+        let Some((name, value)) = line.split_once(':') else {
             return Err(HttpError::BadRequest("malformed header line".into()));
-        }
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
     }
-    parse_request_line(&request_line)
+    let mut req = parse_request_line(&request_line)?;
+    req.headers = headers;
+    Ok(req)
 }
 
 /// Reads one `\r\n`-terminated line (tolerating bare `\n`), without the
@@ -169,6 +188,7 @@ fn parse_request_line(line: &str) -> Result<Request, HttpError> {
         method,
         path,
         query,
+        headers: Vec::new(),
     })
 }
 
@@ -330,6 +350,18 @@ mod tests {
         assert_eq!(r.param("chip"), Some("i7-45"));
         assert_eq!(r.param("workload"), Some("jess"));
         assert_eq!(r.param("absent"), None);
+    }
+
+    #[test]
+    fn headers_are_captured_case_insensitively() {
+        let r = parse(
+            "GET /v1/metrics HTTP/1.1\r\nHost: x\r\nAccept: text/plain; version=0.0.4\r\n\r\n",
+        )
+        .unwrap();
+        assert_eq!(r.header("accept"), Some("text/plain; version=0.0.4"));
+        assert_eq!(r.header("ACCEPT"), Some("text/plain; version=0.0.4"));
+        assert_eq!(r.header("host"), Some("x"));
+        assert_eq!(r.header("absent"), None);
     }
 
     #[test]

@@ -25,6 +25,13 @@
 //!   stops admission, serves everything already accepted, flushes the
 //!   trace, and exits 0 ([`signal`], [`server`]).
 //!
+//! * **Live telemetry** -- every request carries a trace id minted at
+//!   accept; per-endpoint RED metrics (rate/errors/duration) feed a
+//!   windowed time-series ring and a multi-window SLO burn-rate
+//!   tracker with hysteresis alerting ([`telemetry`],
+//!   `lhr_obs::slo`); `/v1/metrics` speaks the Prometheus text
+//!   exposition on request.
+//!
 //! Everything is instrumented through `lhr-obs`: request spans per
 //! endpoint, queue-depth gauge, coalesce/shed/timeout counters, all
 //! visible at `GET /metrics`.
@@ -33,8 +40,10 @@
 //!
 //! | Endpoint | Meaning |
 //! |---|---|
-//! | `GET /healthz` | liveness + uptime, flight and cache occupancy |
-//! | `GET /metrics` | rendered [`lhr_obs::MetricsSnapshot`] |
+//! | `GET /healthz` | liveness + uptime, SLO burn rates + alert state, trace health |
+//! | `GET /metrics` | rendered [`lhr_obs::MetricsSnapshot`] (legacy text profile) |
+//! | `GET /v1/metrics` | same aggregates; Prometheus exposition with `Accept: text/plain` or `?format=prometheus` |
+//! | `GET /v1/metrics/timeseries` | windowed per-series interval buckets, JSON |
 //! | `GET /v1/cell?chip=i7-45&config=2C1T@2.0&workload=jess` | measure one cell on demand |
 //! | `GET /v1/sweep?space=stock\|45nm` | whole-space sweep summary |
 //! | `GET /v1/pareto?metric=avg\|<group>&space=...` | Pareto frontier |
@@ -47,14 +56,14 @@
 //! ```no_run
 //! use std::sync::Arc;
 //! use lhr_core::{Harness, Runner, ShardedLruCache};
-//! use lhr_obs::{MemoryRecorder, Obs};
+//! use lhr_serve::Telemetry;
 //!
-//! let recorder = Arc::new(MemoryRecorder::default());
+//! let telemetry = Telemetry::default();
 //! let runner = Runner::fast()
 //!     .with_cell_cache(Arc::new(ShardedLruCache::new(512, 8)))
-//!     .with_observer(Obs::recording(recorder.clone()));
+//!     .with_observer(telemetry.obs());
 //! let harness = Harness::new(runner).with_workloads(Harness::quick_set());
-//! let handle = lhr_serve::start(lhr_serve::ServerConfig::default(), harness, recorder)
+//! let handle = lhr_serve::start(lhr_serve::ServerConfig::default(), harness, telemetry)
 //!     .expect("bind");
 //! println!("listening on http://{}", handle.addr());
 //! handle.wait(); // returns after a signal or POST /admin/drain
@@ -69,9 +78,11 @@ pub mod http;
 pub mod queue;
 pub mod server;
 pub mod signal;
+pub mod telemetry;
 
 pub use coalesce::{Flight, FlightBoard, FlightResult, Join, JoinError};
 pub use handlers::{chip_by_token, endpoint_tag, route, safe_artifact_name, ServeState};
 pub use http::{percent_decode, read_request, HttpError, Method, Request, Response};
 pub use queue::{BoundedQueue, PushError};
 pub use server::{start, ServerConfig, ServerHandle};
+pub use telemetry::Telemetry;

@@ -26,13 +26,14 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use lhr_core::Harness;
-use lhr_obs::MemoryRecorder;
+use lhr_obs::context::{self, Ctx};
 
 use crate::coalesce::FlightBoard;
 use crate::handlers::{endpoint_tag, route, ServeState};
 use crate::http::{read_request, HttpError, Response};
 use crate::queue::{BoundedQueue, PushError};
 use crate::signal;
+use crate::telemetry::Telemetry;
 
 /// Tuning knobs for one server instance.
 #[derive(Debug, Clone)]
@@ -115,10 +116,21 @@ impl Drop for ServerHandle {
     }
 }
 
+/// One admitted connection, queued for a worker: the socket plus the
+/// trace request id minted for it at accept time, so everything the
+/// request causes -- parsing, routing, coalesced computation, engine
+/// work -- carries one causal id from the first byte.
+#[derive(Debug)]
+struct Admitted {
+    stream: TcpStream,
+    request: u64,
+}
+
 /// Boots a server over `harness`. The harness's runner should carry a
 /// bounded [`lhr_core::ShardedLruCache`] (serving is open-ended, unlike
-/// a campaign) and an observer recording into `recorder`, which backs
-/// `/metrics`.
+/// a campaign) and an observer armed from `telemetry.obs()`, so engine
+/// events and serve events land in the same recorders backing
+/// `/metrics`, `/v1/metrics`, and `/v1/metrics/timeseries`.
 ///
 /// # Errors
 ///
@@ -127,7 +139,7 @@ impl Drop for ServerHandle {
 pub fn start(
     config: ServerConfig,
     harness: Harness,
-    recorder: Arc<MemoryRecorder>,
+    telemetry: Telemetry,
 ) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     listener.set_nonblocking(true)?;
@@ -137,13 +149,13 @@ pub fn start(
         harness,
         board: FlightBoard::new(config.max_live_flights),
         obs,
-        recorder,
+        telemetry,
         artifact_dir: config.artifact_dir.clone(),
         max_cell: config.max_cell,
         draining: AtomicBool::new(false),
         started: Instant::now(),
     });
-    let queue = Arc::new(BoundedQueue::<TcpStream>::new(config.queue_depth));
+    let queue = Arc::new(BoundedQueue::<Admitted>::new(config.queue_depth));
 
     let workers: Vec<JoinHandle<()>> = (0..config.jobs.max(1))
         .map(|i| {
@@ -152,12 +164,18 @@ pub fn start(
             std::thread::Builder::new()
                 .name(format!("lhr-serve-worker-{i}"))
                 .spawn(move || {
-                    while let Some(stream) = queue.pop() {
+                    while let Some(admitted) = queue.pop() {
                         state.obs.gauge("serve.queue_depth", queue.len() as f64);
                         // A panicking handler must cost one response,
                         // never the worker: contain it and keep serving.
                         let survived = catch_unwind(AssertUnwindSafe(|| {
-                            serve_connection(&state, stream);
+                            context::with_ctx(
+                                Ctx {
+                                    request: admitted.request,
+                                    parent: 0,
+                                },
+                                || serve_connection(&state, admitted.stream),
+                            );
                         }));
                         if survived.is_err() {
                             state.obs.counter("serve.worker_panics_contained", 1);
@@ -176,12 +194,14 @@ pub fn start(
         .spawn(move || {
             accept_loop(&listener, &accept_state, &accept_queue, read_timeout);
             // Drain: no new admissions, serve what is queued, stop the
-            // pool, then flush the trace so the shutdown is observable.
+            // pool, seal the final time-series bucket, then flush the
+            // trace so the shutdown is observable.
             accept_queue.close();
             for w in workers {
                 let _ = w.join();
             }
             accept_state.obs.counter("serve.drained", 1);
+            accept_state.telemetry.timeseries.seal_all();
             accept_state.obs.flush();
         })
         .expect("spawn accept loop");
@@ -196,7 +216,7 @@ pub fn start(
 fn accept_loop(
     listener: &TcpListener,
     state: &Arc<ServeState>,
-    queue: &Arc<BoundedQueue<TcpStream>>,
+    queue: &Arc<BoundedQueue<Admitted>>,
     read_timeout: Duration,
 ) {
     loop {
@@ -210,18 +230,24 @@ fn accept_loop(
                 let _ = stream.set_nonblocking(false);
                 let _ = stream.set_read_timeout(Some(read_timeout));
                 state.obs.counter("serve.accepted", 1);
-                match queue.try_push(stream) {
+                // The trace request id is minted here, at admission:
+                // even time spent queued is inside the request's story.
+                let admitted = Admitted {
+                    stream,
+                    request: context::next_request_id(),
+                };
+                match queue.try_push(admitted) {
                     Ok(()) => state.obs.gauge("serve.queue_depth", queue.len() as f64),
-                    Err(PushError::Full(stream)) => {
+                    Err(PushError::Full(admitted)) => {
                         // Admission control: shed *now*, from the accept
                         // thread, with a backoff hint -- queueing it
                         // anyway is how latency collapses under load.
                         state.obs.counter("serve.shed_503", 1);
-                        shed(stream, Response::overloaded("request queue full", 1));
+                        shed(admitted.stream, Response::overloaded("request queue full", 1));
                     }
-                    Err(PushError::Closed(stream)) => {
+                    Err(PushError::Closed(admitted)) => {
                         state.obs.counter("serve.shed_503", 1);
-                        shed(stream, Response::overloaded("server draining", 5));
+                        shed(admitted.stream, Response::overloaded("server draining", 5));
                     }
                 }
             }
@@ -252,8 +278,12 @@ fn shed(stream: TcpStream, response: Response) {
 }
 
 /// Serves exactly one request on one connection (`Connection: close`
-/// protocol: parse, route, respond).
+/// protocol: parse, route, respond), recording the endpoint's RED
+/// metrics (rate `serve.req.<tag>`, errors `serve.err.<tag>`, duration
+/// `serve.latency.<tag>` in seconds) and feeding the request's outcome
+/// to the SLO tracker.
 fn serve_connection(state: &Arc<ServeState>, stream: TcpStream) {
+    let started = Instant::now();
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
@@ -262,7 +292,8 @@ fn serve_connection(state: &Arc<ServeState>, stream: TcpStream) {
     match read_request(&mut reader) {
         Ok(req) => {
             state.obs.counter("serve.requests", 1);
-            let span_name = format!("serve.request.{}", endpoint_tag(&req));
+            let tag = endpoint_tag(&req);
+            let span_name = format!("serve.request.{tag}");
             let span = state.obs.span(&span_name);
             let response = catch_unwind(AssertUnwindSafe(|| route(state, &req)))
                 .unwrap_or_else(|_| {
@@ -275,6 +306,14 @@ fn serve_connection(state: &Arc<ServeState>, stream: TcpStream) {
                     .counter(&format!("serve.http_{}", response.status), 1);
             }
             let _ = response.write_to(&mut writer);
+            let latency = started.elapsed().as_secs_f64();
+            let is_error = response.status >= 500;
+            state.obs.counter(&format!("serve.req.{tag}"), 1);
+            if is_error {
+                state.obs.counter(&format!("serve.err.{tag}"), 1);
+            }
+            state.obs.histogram(&format!("serve.latency.{tag}"), latency);
+            state.telemetry.slo.observe(is_error, latency, &state.obs);
         }
         Err(HttpError::BadRequest(detail)) => {
             state.obs.counter("serve.http_400", 1);

@@ -1,0 +1,135 @@
+//! The server's telemetry bundle: every recorder a running server arms,
+//! assembled once and shared by the handlers.
+//!
+//! The bundle fans one event stream out to:
+//!
+//! * a [`MemoryRecorder`] -- lifetime aggregates behind `/metrics` and
+//!   `/v1/metrics` (text render or Prometheus exposition);
+//! * a [`TimeSeriesRecorder`] -- windowed interval buckets behind
+//!   `/v1/metrics/timeseries`, so "the last five minutes" is a cheap
+//!   query instead of a log scan;
+//! * optionally a [`JsonLinesRecorder`] -- the `--trace` file carrying
+//!   every event with its request context, the input `lhr_traceview`
+//!   reconstructs span trees from;
+//!
+//! plus an [`SloTracker`] fed per-request by the connection worker (it
+//! consumes request outcomes, not raw events), whose burn rates and
+//! alert state surface in `/healthz`.
+
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+
+use lhr_obs::{
+    JsonLinesRecorder, MemoryRecorder, MetricsSnapshot, Obs, Recorder, SloConfig, SloTracker,
+    TimeSeriesConfig, TimeSeriesRecorder,
+};
+
+/// The recorders and trackers one server instance runs with.
+#[derive(Debug, Clone)]
+pub struct Telemetry {
+    /// Lifetime aggregates (`/metrics`, `/v1/metrics`).
+    pub memory: Arc<MemoryRecorder>,
+    /// Windowed buckets (`/v1/metrics/timeseries`).
+    pub timeseries: Arc<TimeSeriesRecorder>,
+    /// The streaming trace file, when `--trace` asked for one.
+    pub trace: Option<Arc<JsonLinesRecorder>>,
+    /// Burn-rate alerting over request outcomes (`/healthz`).
+    pub slo: Arc<SloTracker>,
+}
+
+impl Telemetry {
+    /// A bundle with the given window geometry and objectives, no trace
+    /// file.
+    #[must_use]
+    pub fn new(timeseries: TimeSeriesConfig, slo: SloConfig) -> Self {
+        Self {
+            memory: Arc::new(MemoryRecorder::default()),
+            timeseries: Arc::new(TimeSeriesRecorder::new(timeseries)),
+            trace: None,
+            slo: Arc::new(SloTracker::new(slo)),
+        }
+    }
+
+    /// Adds a JSON-lines trace file at `path` to the fanout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the [`io::Error`] if the file cannot be created.
+    pub fn with_trace_path(mut self, path: impl AsRef<Path>) -> io::Result<Self> {
+        self.trace = Some(Arc::new(JsonLinesRecorder::create(path)?));
+        Ok(self)
+    }
+
+    /// The observability handle fanning out to every armed recorder.
+    /// Arm this on the harness runner *and* use it for serve-layer
+    /// events so one stream carries both.
+    #[must_use]
+    pub fn obs(&self) -> Obs {
+        let mut sinks: Vec<Arc<dyn Recorder>> = vec![
+            Arc::clone(&self.memory) as Arc<dyn Recorder>,
+            Arc::clone(&self.timeseries) as Arc<dyn Recorder>,
+        ];
+        if let Some(trace) = &self.trace {
+            sinks.push(Arc::clone(trace) as Arc<dyn Recorder>);
+        }
+        Obs::fanout(sinks)
+    }
+
+    /// Trace lines lost to write errors so far (0 when no trace file).
+    #[must_use]
+    pub fn trace_write_errors(&self) -> u64 {
+        self.trace.as_ref().map_or(0, |t| t.write_errors())
+    }
+
+    /// The lifetime aggregate snapshot, with
+    /// [`MetricsSnapshot::trace_write_errors`] filled in from the trace
+    /// recorder -- the one number the memory recorder cannot know by
+    /// itself.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.memory.snapshot();
+        snap.trace_write_errors = self.trace_write_errors();
+        snap
+    }
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Self::new(TimeSeriesConfig::serving_default(), SloConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_event_reaches_memory_and_timeseries() {
+        let t = Telemetry::default();
+        let obs = t.obs();
+        obs.counter("serve.req./healthz", 1);
+        assert_eq!(t.memory.snapshot().counter("serve.req./healthz"), 1);
+        let ts = t.timeseries.snapshot();
+        assert_eq!(ts.series.len(), 1);
+        assert_eq!(ts.series[0].name, "serve.req./healthz");
+    }
+
+    #[test]
+    fn snapshot_carries_trace_write_errors() {
+        let t = Telemetry::default();
+        assert_eq!(t.snapshot().trace_write_errors, 0, "no trace, no errors");
+        // A trace file into an unwritable location cannot be created at
+        // all; error accounting for a live sink is covered in lhr-obs.
+        let dir = std::env::temp_dir().join(format!("lhr-telemetry-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let t = Telemetry::default()
+            .with_trace_path(dir.join("trace.jsonl"))
+            .unwrap();
+        t.obs().counter("c", 1);
+        t.obs().flush();
+        assert_eq!(t.snapshot().trace_write_errors, 0);
+        assert_eq!(t.snapshot().counter("c"), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -20,18 +20,19 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use lhr_core::{Harness, Runner, ShardedLruCache};
-use lhr_obs::{MemoryRecorder, Obs};
-use lhr_serve::{ServerConfig, ServerHandle};
+use lhr_obs::MemoryRecorder;
+use lhr_serve::{ServerConfig, ServerHandle, Telemetry};
 
 fn boot(configure: impl FnOnce(&mut ServerConfig)) -> (ServerHandle, Arc<MemoryRecorder>) {
-    let recorder = Arc::new(MemoryRecorder::default());
+    let telemetry = Telemetry::default();
+    let recorder = Arc::clone(&telemetry.memory);
     let runner = Runner::fast()
         .with_cell_cache(Arc::new(ShardedLruCache::new(256, 4)))
-        .with_observer(Obs::recording(recorder.clone()));
+        .with_observer(telemetry.obs());
     let harness = Harness::new(runner).with_workloads(Harness::quick_set());
     let mut config = ServerConfig::default();
     configure(&mut config);
-    let handle = lhr_serve::start(config, harness, recorder.clone()).expect("bind");
+    let handle = lhr_serve::start(config, harness, telemetry).expect("bind");
     (handle, recorder)
 }
 

@@ -1,0 +1,186 @@
+//! A closed-loop terminal dashboard over the live-telemetry endpoints.
+//!
+//! Boots an in-process `lhr-serve` server, drives it with a small pool
+//! of background clients, and then does what an operator's dashboard
+//! would do: polls `/healthz` (SLO burn rates, alert state) and
+//! `/v1/metrics/timeseries` (windowed per-endpoint RED series) on an
+//! interval and renders the view.
+//!
+//! ```text
+//! cargo run --release --example live_dashboard [clients] [refreshes]
+//! ```
+//!
+//! Defaults: 4 clients, 6 refreshes at one-second intervals. Everything
+//! on screen comes back over HTTP from the server's own telemetry --
+//! the dashboard holds no direct reference to the recorders.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use lhr_core::{Harness, Runner, ShardedLruCache};
+use lhr_serve::{ServerConfig, Telemetry};
+
+const TARGETS: [&str; 4] = [
+    "/healthz",
+    "/v1/cell?chip=i7-45&workload=jess",
+    "/v1/cell?chip=atom-45&workload=mcf",
+    "/v1/findings",
+];
+
+fn get(addr: SocketAddr, target: &str) -> Option<String> {
+    let mut stream = TcpStream::connect(addr).ok()?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .ok()?;
+    write!(stream, "GET {target} HTTP/1.1\r\nHost: dash\r\n\r\n").ok()?;
+    let mut text = String::new();
+    stream.read_to_string(&mut text).ok()?;
+    Some(text.split("\r\n\r\n").nth(1).unwrap_or("").to_owned())
+}
+
+/// Pulls `"key":<number>` out of a JSON fragment.
+fn num(json: &str, key: &str) -> Option<f64> {
+    let at = json.find(&format!("\"{key}\":"))?;
+    let rest = &json[at + key.len() + 3..];
+    let end = rest.find([',', '}', ']']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Pulls `"key":"<string>"` out of a JSON fragment.
+fn text_field(json: &str, key: &str) -> Option<String> {
+    let at = json.find(&format!("\"{key}\":\""))?;
+    let rest = &json[at + key.len() + 4..];
+    Some(rest[..rest.find('"')?].to_owned())
+}
+
+/// One series object out of the timeseries JSON, bounded by the next
+/// `{"name":` (series are flat, so this never cuts one short).
+fn series_object<'a>(timeseries: &'a str, name: &str) -> Option<&'a str> {
+    let at = timeseries.find(&format!("\"name\":\"{name}\""))?;
+    let rest = &timeseries[at..];
+    let end = rest[1..].find("{\"name\":").map_or(rest.len(), |e| e + 1);
+    Some(&rest[..end])
+}
+
+/// Total across a counter series' window buckets.
+fn series_sum(timeseries: &str, name: &str) -> f64 {
+    let Some(mut rest) = series_object(timeseries, name) else {
+        return 0.0;
+    };
+    let mut total = 0.0;
+    while let Some(at) = rest.find("\"sum\":") {
+        rest = &rest[at + 6..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        total += rest[..end].trim().parse::<f64>().unwrap_or(0.0);
+    }
+    total
+}
+
+/// One endpoint's windowed RED numbers, scraped from the timeseries
+/// JSON: requests and errors are bucket sums of the counter series,
+/// durations come from the latency distribution's window quantiles.
+fn red_row(timeseries: &str, tag: &str) -> Option<(f64, f64, f64, f64, f64)> {
+    let requests = series_sum(timeseries, &format!("serve.req.{tag}"));
+    if requests == 0.0 {
+        return None;
+    }
+    let errors = series_sum(timeseries, &format!("serve.err.{tag}"));
+    let latency = series_object(timeseries, &format!("serve.latency.{tag}"))?;
+    Some((
+        requests,
+        errors,
+        num(latency, "p50").unwrap_or(f64::NAN) * 1000.0,
+        num(latency, "p95").unwrap_or(f64::NAN) * 1000.0,
+        num(latency, "p99").unwrap_or(f64::NAN) * 1000.0,
+    ))
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let clients: usize = args
+        .next()
+        .map(|a| a.parse().expect("clients must be a number"))
+        .unwrap_or(4);
+    let refreshes: usize = args
+        .next()
+        .map(|a| a.parse().expect("refreshes must be a number"))
+        .unwrap_or(6);
+
+    let telemetry = Telemetry::default();
+    let runner = Runner::fast()
+        .with_cell_cache(Arc::new(ShardedLruCache::new(512, 8)))
+        .with_observer(telemetry.obs());
+    let harness = Harness::new(runner).with_workloads(Harness::quick_set());
+    let handle = lhr_serve::start(
+        ServerConfig {
+            jobs: clients.max(2) + 1, // load clients + the dashboard poller
+            ..ServerConfig::default()
+        },
+        harness,
+        telemetry,
+    )
+    .expect("bind loopback");
+    let addr = handle.addr();
+    println!("live_dashboard: {clients} load clients against http://{addr}\n");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let load: Vec<_> = (0..clients)
+        .map(|i| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut n = i;
+                while !stop.load(Ordering::Relaxed) {
+                    let _ = get(addr, TARGETS[n % TARGETS.len()]);
+                    n += 1;
+                }
+            })
+        })
+        .collect();
+
+    for tick in 1..=refreshes {
+        std::thread::sleep(Duration::from_secs(1));
+        let health = get(addr, "/healthz").unwrap_or_default();
+        let timeseries = get(addr, "/v1/metrics/timeseries").unwrap_or_default();
+        println!(
+            "[{tick}/{refreshes}] status {}  alert {}  uptime {:.0}s  requests(1h) {:.0}",
+            text_field(&health, "status").unwrap_or_else(|| "?".into()),
+            text_field(&health, "alert").unwrap_or_else(|| "?".into()),
+            num(&health, "uptime_seconds").unwrap_or(f64::NAN),
+            num(&health, "requests_long_window").unwrap_or(f64::NAN),
+        );
+        let avail = health.split("\"availability_burn\"").nth(1).unwrap_or("");
+        let lat = health.split("\"latency_burn\"").nth(1).unwrap_or("");
+        println!(
+            "    burn rates: availability {:.2}/{:.2}  latency {:.2}/{:.2}  (short/long, >1.0 burns budget)",
+            num(avail, "short").unwrap_or(f64::NAN),
+            num(avail, "long").unwrap_or(f64::NAN),
+            num(lat, "short").unwrap_or(f64::NAN),
+            num(lat, "long").unwrap_or(f64::NAN),
+        );
+        println!("    {:<26} {:>8} {:>6} {:>9} {:>9} {:>9}", "endpoint", "req", "err", "p50 ms", "p95 ms", "p99 ms");
+        let mut seen = std::collections::BTreeSet::new();
+        for target in TARGETS {
+            let tag = target.split('?').next().unwrap_or(target);
+            if !seen.insert(tag) {
+                continue; // two targets can share one endpoint tag
+            }
+            if let Some((req, err, p50, p95, p99)) = red_row(&timeseries, tag) {
+                println!(
+                    "    {tag:<26} {req:>8.0} {err:>6.0} {p50:>9.2} {p95:>9.2} {p99:>9.2}"
+                );
+            }
+        }
+        println!();
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    for w in load {
+        let _ = w.join();
+    }
+    handle.drain();
+    handle.wait();
+    println!("drained.");
+}

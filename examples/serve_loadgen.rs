@@ -6,14 +6,16 @@
 //! throughput and the latency distribution.
 //!
 //! ```text
-//! cargo run --release --example serve_loadgen [clients] [seconds]
+//! cargo run --release --example serve_loadgen [clients] [seconds] [trace-path]
 //! ```
 //!
 //! Defaults: 8 clients, 3 seconds. Because the clients hammer a small
 //! set of distinct cells, the run demonstrates the serving machinery
 //! end to end: the first touch of each cell pays a simulation, every
 //! concurrent duplicate coalesces onto it, and the rest are cache hits
-//! -- visible in the obs counters printed at the end.
+//! -- visible in the obs counters printed at the end. With a third
+//! argument, every event (request-tagged spans included) also streams
+//! to that JSON-lines trace file, ready for `lhr_traceview`.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -22,8 +24,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use lhr_core::{Harness, Runner, ShardedLruCache};
-use lhr_obs::{MemoryRecorder, Obs};
-use lhr_serve::ServerConfig;
+use lhr_serve::{ServerConfig, Telemetry};
 
 /// The request mix: mostly hot cells, some cold, some cheap endpoints.
 const TARGETS: [&str; 6] = [
@@ -58,11 +59,16 @@ fn main() {
         .next()
         .map(|a| a.parse().expect("seconds must be a number"))
         .unwrap_or(3);
+    let trace = args.next();
 
-    let recorder = Arc::new(MemoryRecorder::default());
+    let mut telemetry = Telemetry::default();
+    if let Some(path) = &trace {
+        telemetry = telemetry.with_trace_path(path).expect("open trace file");
+        println!("loadgen: tracing every event to {path}");
+    }
     let runner = Runner::fast()
         .with_cell_cache(Arc::new(ShardedLruCache::new(512, 8)))
-        .with_observer(Obs::recording(recorder.clone()));
+        .with_observer(telemetry.obs());
     let harness = Harness::new(runner).with_workloads(Harness::quick_set());
     let handle = lhr_serve::start(
         ServerConfig {
@@ -70,7 +76,7 @@ fn main() {
             ..ServerConfig::default()
         },
         harness,
-        recorder.clone(),
+        telemetry.clone(),
     )
     .expect("bind loopback");
     let addr = handle.addr();
@@ -136,7 +142,7 @@ fn main() {
     // Graceful drain, then show what the server saw.
     handle.drain();
     handle.wait();
-    let snap = recorder.snapshot();
+    let snap = telemetry.snapshot();
     println!(
         "server: {} requests, {} coalesce hits, {} cache hits, {} measurements, {} shed",
         snap.counter("serve.requests"),
@@ -145,4 +151,34 @@ fn main() {
         snap.counter("runner.measurements"),
         snap.counter("serve.shed_503"),
     );
+
+    // Per-endpoint RED view from the server's own aggregates: rate and
+    // errors from the counters, duration quantiles from the histograms.
+    println!("server-side RED (per endpoint):");
+    for (name, hist) in &snap.histograms {
+        let Some(tag) = name.strip_prefix("serve.latency.") else {
+            continue;
+        };
+        let requests = snap.counter(&format!("serve.req.{tag}"));
+        let errs = snap.counter(&format!("serve.err.{tag}"));
+        println!(
+            "  {tag:<24} {requests:>6} req  {errs:>3} err  p50 {:.2}ms  p95 {:.2}ms  p99 {:.2}ms",
+            hist.p50() * 1000.0,
+            hist.p95() * 1000.0,
+            hist.p99() * 1000.0,
+        );
+    }
+
+    let status = telemetry.slo.status();
+    println!(
+        "slo: alert={:?} availability burn short/long {:.3}/{:.3}, latency burn {:.3}/{:.3}",
+        status.state,
+        status.availability.short,
+        status.availability.long,
+        status.latency.short,
+        status.latency.long,
+    );
+    if trace.is_some() {
+        println!("trace written; inspect with: cargo run --release -p lhr-bench --bin lhr_traceview -- <path>");
+    }
 }

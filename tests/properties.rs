@@ -281,4 +281,45 @@ proptest! {
         let p_ratio = b.average_power().value() / a.average_power().value();
         prop_assert!((0.9..=1.1).contains(&p_ratio), "power ratio {}", p_ratio);
     }
+
+    /// The log-bucketed quantile sketch behind the observability layer
+    /// (48 buckets per decade) keeps every quantile within one bucket
+    /// width of the exact order statistic: relative error under
+    /// 10^(1/48) - 1 (about 4.9%), with the extremes exact.
+    #[test]
+    fn histogram_sketch_quantile_error_is_bounded(
+        values in proptest::collection::vec(1e-6f64..1e6, 1..256),
+        q in 0.0f64..1.0,
+    ) {
+        use lhr_obs::{MemoryRecorder, Obs};
+        use std::sync::Arc;
+
+        let recorder = Arc::new(MemoryRecorder::default());
+        let obs = Obs::recording(recorder.clone());
+        for &v in &values {
+            obs.histogram("sketch.probe", v);
+        }
+        let snap = recorder.snapshot();
+        let hist = &snap.histograms["sketch.probe"];
+
+        // The exact order statistic under the sketch's own rank rule.
+        let mut sorted = values.clone();
+        sorted.sort_by(f64::total_cmp);
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let exact = sorted[rank - 1];
+
+        let bound = 10f64.powf(1.0 / 48.0) - 1.0; // one bucket width
+        for (q, exact) in [(q, exact), (0.0, sorted[0]), (1.0, sorted[sorted.len() - 1])] {
+            let estimate = hist.quantile(q);
+            let rel = (estimate - exact).abs() / exact;
+            prop_assert!(
+                rel <= bound + 1e-12,
+                "q={} exact={} estimate={} rel={} > bound={}",
+                q, exact, estimate, rel, bound
+            );
+        }
+        // The extremes are exact, not just bounded.
+        prop_assert_eq!(hist.quantile(0.0), sorted[0]);
+        prop_assert_eq!(hist.quantile(1.0), sorted[sorted.len() - 1]);
+    }
 }
