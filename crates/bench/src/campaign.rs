@@ -166,8 +166,10 @@ impl CampaignOptions {
 
 /// Appends the line-integrity checksum and terminator to a record body
 /// (everything up to but excluding `,"crc":...}`) and returns the
-/// complete line.
-fn seal_line(mut body: String) -> String {
+/// complete line. Public so other journal producers (the serve-layer
+/// campaign orchestrator) write the identical format.
+#[must_use]
+pub fn seal_line(mut body: String) -> String {
     let crc = fnv64(body.as_bytes());
     let _ = write!(body, ",\"crc\":\"{crc:016x}\"}}");
     body
@@ -175,7 +177,8 @@ fn seal_line(mut body: String) -> String {
 
 /// Splits a sealed line into its body and checksum, verifying
 /// integrity. Returns `None` for torn or tampered lines.
-fn open_line(line: &str) -> Option<&str> {
+#[must_use]
+pub fn open_line(line: &str) -> Option<&str> {
     let at = line.rfind(",\"crc\":\"")?;
     let (body, tail) = line.split_at(at);
     let hex = tail.strip_prefix(",\"crc\":\"")?.strip_suffix("\"}")?;
@@ -203,7 +206,8 @@ fn after_key<'a>(line: &'a str, key: &str) -> Option<&'a str> {
 
 /// Parses the JSON string literal a key points at, unescaping RFC 8259
 /// escapes (the inverse of [`push_json_string`]).
-fn parse_str(line: &str, key: &str) -> Option<String> {
+#[must_use]
+pub fn parse_str(line: &str, key: &str) -> Option<String> {
     let rest = after_key(line, key)?.strip_prefix('"')?;
     let mut out = String::new();
     let mut chars = rest.chars();
@@ -230,7 +234,8 @@ fn parse_str(line: &str, key: &str) -> Option<String> {
 }
 
 /// Parses the number a key points at.
-fn parse_num(line: &str, key: &str) -> Option<f64> {
+#[must_use]
+pub fn parse_num(line: &str, key: &str) -> Option<f64> {
     let rest = after_key(line, key)?;
     let end = rest
         .find([',', '}', ']'])
@@ -296,6 +301,33 @@ impl JournalWriter {
         Ok(Self { file: Mutex::new(file) })
     }
 
+    /// Starts a fresh journal without the study header, for producers
+    /// that write their own header via [`JournalWriter::record_raw`]
+    /// (the serve-layer campaign orchestrator).
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error creating the file.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            fs::create_dir_all(dir)?;
+        }
+        let file = fs::File::create(path)?;
+        Ok(Self { file: Mutex::new(file) })
+    }
+
+    /// Seals and appends an arbitrary record body (everything up to but
+    /// excluding `,"crc":...}`), fsyncing before returning. The body
+    /// must open with `{` and omit the closing brace; the seal adds the
+    /// checksum field and closes the object.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error appending the record.
+    pub fn record_raw(&self, body: String) -> io::Result<()> {
+        self.write_line(body)
+    }
+
     /// Seals and appends one record body, fsyncing before returning.
     fn write_line(&self, body: String) -> io::Result<()> {
         let line = seal_line(body);
@@ -307,7 +339,11 @@ impl JournalWriter {
 
     /// Journals one resolved campaign unit. Skipped units (abort) are
     /// deliberately not recorded -- they are the cells resume re-runs.
-    fn record_unit(&self, unit: &UnitReport) -> io::Result<()> {
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error appending the record.
+    pub fn record_unit(&self, unit: &UnitReport) -> io::Result<()> {
         let mut body = String::from("{\"cell\":");
         push_json_string(&mut body, &unit.config_label);
         body.push_str(",\"workload\":");
@@ -385,6 +421,11 @@ pub struct LoadedJournal {
     pub err_cells: usize,
     /// Artifact name -> content checksum.
     pub artifacts: BTreeMap<String, u64>,
+    /// Lifecycle event names (`{"event":...}` lines), in journal order.
+    /// The serve-layer orchestrator journals `preempted` / `resumed`
+    /// markers this way; replay uses the last one to restore the
+    /// campaign's phase.
+    pub events: Vec<String>,
     /// Lines dropped by the integrity check (torn tail, tampering).
     pub skipped_lines: usize,
 }
@@ -422,6 +463,11 @@ pub fn load_journal(path: &Path) -> io::Result<LoadedJournal> {
             match parse_cell(body) {
                 Some(Ok(cell)) => out.ok_cells.push(cell),
                 Some(Err(())) => out.err_cells += 1,
+                None => out.skipped_lines += 1,
+            }
+        } else if body.starts_with("{\"event\":") {
+            match parse_str(body, "event") {
+                Some(event) => out.events.push(event),
                 None => out.skipped_lines += 1,
             }
         } else {

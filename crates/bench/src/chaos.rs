@@ -1,0 +1,407 @@
+//! A kill-anything chaos harness for the serving layer.
+//!
+//! The harness drives the real `lhr_serve` *binary* over its real TCP
+//! surface -- no test doubles -- and injects the faults an unattended
+//! deployment actually meets:
+//!
+//! * **SIGKILL mid-campaign** -- the process dies between journal
+//!   fsyncs; the journal's write-ahead discipline must make the loss
+//!   invisible after a `--resume` restart.
+//! * **Torn journal tails** -- [`tear_tail`] truncates the journal at
+//!   an arbitrary byte (the header line is never touched), simulating
+//!   a crash landing mid-write on top of the kill.
+//! * **Sensor stalls** -- the server's `--fault-stall` knob wedges a
+//!   chip's sensor rig for its first runs; stalls burn wall-clock but
+//!   never change measured values, so artifacts stay byte-identical.
+//! * **Queue saturation** -- [`Overload`] aims a pool of clients at an
+//!   endpoint so admission control sheds under real concurrency while
+//!   the campaign makes progress on the background lane.
+//!
+//! Every knob derives from one seed ([`ChaosPlan::from_seed`]), so a
+//! failing chaos run reproduces exactly. The harness itself lives in
+//! `lhr-bench` and talks only TCP + process control: it has no
+//! compile-time dependency on the serve crate, which keeps the
+//! layering acyclic (serve depends on bench for its journal).
+//!
+//! See `examples/chaos_campaign.rs` for the full kill/tear/resume
+//! drill, and the `chaos` CI job that runs it on every push.
+
+use std::fs;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use lhr_trace::{Rng64, SplitMix64};
+
+// ---------------------------------------------------------------------
+// Fault schedule
+// ---------------------------------------------------------------------
+
+/// The seeded fault schedule for one chaos run. Every quantity is a
+/// pure function of the seed, so a failure report that names the seed
+/// names the whole scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosPlan {
+    /// The seed everything below derives from.
+    pub seed: u64,
+    /// SIGKILL the server once this many campaign cells have resolved.
+    pub kill_after_cells: usize,
+    /// Bytes to tear off the journal tail after the kill (the header
+    /// line is always preserved).
+    pub tear_bytes: usize,
+    /// Concurrent overload clients hammering the server during the
+    /// campaign.
+    pub overload_clients: usize,
+}
+
+impl ChaosPlan {
+    /// Derives a fault schedule from `seed`: kill after 2-4 cells, tear
+    /// 1-40 bytes, 8-16 overload clients.
+    #[must_use]
+    pub fn from_seed(seed: u64) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        Self {
+            seed,
+            kill_after_cells: 2 + rng.next_below(3) as usize,
+            tear_bytes: 1 + rng.next_below(40) as usize,
+            overload_clients: 8 + rng.next_below(9) as usize,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Process control
+// ---------------------------------------------------------------------
+
+/// A running `lhr_serve` child process, its bound address parsed from
+/// the boot banner (so `--addr 127.0.0.1:0` works and tests never race
+/// over a fixed port).
+#[derive(Debug)]
+pub struct ServerProc {
+    child: Child,
+    addr: SocketAddr,
+    drain: Option<JoinHandle<()>>,
+}
+
+impl ServerProc {
+    /// Spawns `binary` with `args`, waits for its listening banner, and
+    /// returns a handle once the server accepts connections.
+    ///
+    /// # Errors
+    ///
+    /// Spawn failures, or the child exiting before it prints a banner.
+    pub fn spawn(binary: &Path, args: &[&str]) -> io::Result<Self> {
+        let mut child = Command::new(binary)
+            .args(args)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()?;
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut reader = BufReader::new(stdout);
+        let mut line = String::new();
+        let addr = loop {
+            line.clear();
+            if reader.read_line(&mut line)? == 0 {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Err(io::Error::other("server exited before its banner"));
+            }
+            if let Some(rest) = line.trim().strip_prefix("lhr_serve listening on http://") {
+                break rest
+                    .parse::<SocketAddr>()
+                    .map_err(|e| io::Error::other(format!("bad banner addr {rest:?}: {e}")))?;
+            }
+        };
+        // Keep draining stdout so the child never blocks on a full pipe.
+        let drain = std::thread::spawn(move || {
+            let mut sink = String::new();
+            while matches!(reader.read_line(&mut sink), Ok(n) if n > 0) {
+                sink.clear();
+            }
+        });
+        Ok(Self {
+            child,
+            addr,
+            drain: Some(drain),
+        })
+    }
+
+    /// The server's bound address.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// SIGKILLs the server -- no drain, no flush, exactly the failure
+    /// the journal must survive.
+    ///
+    /// # Errors
+    ///
+    /// Any error delivering the kill or reaping the child.
+    pub fn kill(mut self) -> io::Result<()> {
+        self.child.kill()?;
+        let _ = self.child.wait()?;
+        if let Some(d) = self.drain.take() {
+            let _ = d.join();
+        }
+        Ok(())
+    }
+
+    /// Requests a graceful drain (`POST /admin/drain`) and waits for
+    /// the process to exit 0.
+    ///
+    /// # Errors
+    ///
+    /// The drain request failing, the child erroring on wait, or a
+    /// non-zero exit.
+    pub fn drain(mut self) -> io::Result<()> {
+        let _ = http_post(self.addr, "/admin/drain")?;
+        let status = self.child.wait()?;
+        if let Some(d) = self.drain.take() {
+            let _ = d.join();
+        }
+        if status.success() {
+            Ok(())
+        } else {
+            Err(io::Error::other(format!("server exited {status}")))
+        }
+    }
+}
+
+impl Drop for ServerProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        if let Some(d) = self.drain.take() {
+            let _ = d.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// HTTP clients
+// ---------------------------------------------------------------------
+
+/// One raw HTTP exchange; returns `(status, full response text)`.
+///
+/// # Errors
+///
+/// Connection, send, or read failures (expected mid-kill; callers
+/// decide whether that is fatal).
+pub fn http_request(addr: SocketAddr, raw: &str) -> io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+    stream.write_all(raw.as_bytes())?;
+    let mut text = String::new();
+    stream.read_to_string(&mut text)?;
+    let status = text
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::other(format!("no status line in {text:?}")))?;
+    Ok((status, text))
+}
+
+/// `GET target`.
+///
+/// # Errors
+///
+/// See [`http_request`].
+pub fn http_get(addr: SocketAddr, target: &str) -> io::Result<(u16, String)> {
+    http_request(addr, &format!("GET {target} HTTP/1.1\r\nHost: chaos\r\n\r\n"))
+}
+
+/// `POST target` with an empty body.
+///
+/// # Errors
+///
+/// See [`http_request`].
+pub fn http_post(addr: SocketAddr, target: &str) -> io::Result<(u16, String)> {
+    http_request(
+        addr,
+        &format!("POST {target} HTTP/1.1\r\nHost: chaos\r\nContent-Length: 0\r\n\r\n"),
+    )
+}
+
+/// The body of a full response text.
+#[must_use]
+pub fn body_of(response: &str) -> &str {
+    response.split("\r\n\r\n").nth(1).unwrap_or("")
+}
+
+/// Polls `target` until `pred(body)` holds or `deadline` passes.
+/// Connection errors are tolerated (the server may be mid-restart).
+///
+/// # Errors
+///
+/// Only the deadline expiring; the last observed body is in the error.
+pub fn poll_until(
+    addr: SocketAddr,
+    target: &str,
+    deadline: Duration,
+    pred: impl Fn(&str) -> bool,
+) -> io::Result<String> {
+    let until = Instant::now() + deadline;
+    let mut last = String::new();
+    loop {
+        if let Ok((status, text)) = http_get(addr, target) {
+            let body = body_of(&text);
+            if status == 200 && pred(body) {
+                return Ok(body.to_owned());
+            }
+            last = format!("{status}: {body}");
+        }
+        if Instant::now() >= until {
+            return Err(io::Error::other(format!(
+                "deadline polling {target}; last: {last}"
+            )));
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Journal tearing
+// ---------------------------------------------------------------------
+
+/// Tears up to `bytes` off the end of a journal file, never cutting
+/// into the first line (the campaign header must survive or the
+/// journal is legitimately unrecoverable). Returns the bytes removed.
+///
+/// # Errors
+///
+/// Read/write failures on the journal file.
+pub fn tear_tail(path: &Path, bytes: usize) -> io::Result<usize> {
+    let data = fs::read(path)?;
+    let header_end = data
+        .iter()
+        .position(|&b| b == b'\n')
+        .map_or(data.len(), |i| i + 1);
+    let keep = data.len().saturating_sub(bytes).max(header_end);
+    let removed = data.len() - keep;
+    if removed > 0 {
+        fs::write(path, &data[..keep])?;
+    }
+    Ok(removed)
+}
+
+// ---------------------------------------------------------------------
+// Overload
+// ---------------------------------------------------------------------
+
+/// A pool of client threads hammering one endpoint until stopped,
+/// tallying outcomes. Used to saturate the interactive queue while a
+/// campaign runs on the background lane: the campaign must keep making
+/// progress and admission control must shed, not collapse.
+#[derive(Debug)]
+pub struct Overload {
+    stop: Arc<AtomicBool>,
+    ok: Arc<AtomicU64>,
+    shed: Arc<AtomicU64>,
+    errors: Arc<AtomicU64>,
+    clients: Vec<JoinHandle<()>>,
+}
+
+/// The tally an [`Overload`] run ends with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverloadStats {
+    /// Responses with status < 500 that were not sheds.
+    pub ok: u64,
+    /// `503` shed responses (admission control working).
+    pub shed: u64,
+    /// Connection-level failures (resets mid-kill are expected).
+    pub errors: u64,
+}
+
+impl Overload {
+    /// Starts `clients` threads issuing `GET target` in a tight loop.
+    #[must_use]
+    pub fn start(addr: SocketAddr, target: &str, clients: usize) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let ok = Arc::new(AtomicU64::new(0));
+        let shed = Arc::new(AtomicU64::new(0));
+        let errors = Arc::new(AtomicU64::new(0));
+        let clients = (0..clients.max(1))
+            .map(|_| {
+                let stop = Arc::clone(&stop);
+                let ok = Arc::clone(&ok);
+                let shed = Arc::clone(&shed);
+                let errors = Arc::clone(&errors);
+                let target = target.to_owned();
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        match http_get(addr, &target) {
+                            Ok((503, _)) => shed.fetch_add(1, Ordering::Relaxed),
+                            Ok(_) => ok.fetch_add(1, Ordering::Relaxed),
+                            Err(_) => errors.fetch_add(1, Ordering::Relaxed),
+                        };
+                    }
+                })
+            })
+            .collect();
+        Self {
+            stop,
+            ok,
+            shed,
+            errors,
+            clients,
+        }
+    }
+
+    /// Stops the clients and returns the tally.
+    #[must_use]
+    pub fn stop(self) -> OverloadStats {
+        self.stop.store(true, Ordering::Relaxed);
+        for c in self.clients {
+            let _ = c.join();
+        }
+        OverloadStats {
+            ok: self.ok.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_plan_is_a_pure_function_of_the_seed() {
+        let a = ChaosPlan::from_seed(7);
+        let b = ChaosPlan::from_seed(7);
+        assert_eq!(a, b);
+        assert!((2..=4).contains(&a.kill_after_cells));
+        assert!((1..=40).contains(&a.tear_bytes));
+        assert!((8..=16).contains(&a.overload_clients));
+        // Different seeds land on different schedules eventually.
+        assert!((0..64).any(|s| ChaosPlan::from_seed(s) != a));
+    }
+
+    #[test]
+    fn tear_tail_never_cuts_the_header_line() {
+        let dir = std::env::temp_dir().join(format!("lhr-chaos-tear-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch");
+        let path = dir.join("j.jsonl");
+        std::fs::write(&path, "header-line\nsecond\nthird\n").expect("write");
+
+        // A modest tear removes tail bytes only.
+        let removed = tear_tail(&path, 4).expect("tear");
+        assert_eq!(removed, 4);
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "header-line\nsecond\nth");
+
+        // An absurd tear stops at the header boundary.
+        let removed = tear_tail(&path, 10_000).expect("tear all");
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "header-line\n");
+        assert!(removed > 0);
+        let removed = tear_tail(&path, 10_000).expect("tear again");
+        assert_eq!(removed, 0, "the header is never torn");
+    }
+}

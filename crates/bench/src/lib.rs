@@ -29,6 +29,7 @@
 
 pub mod artifact;
 pub mod campaign;
+pub mod chaos;
 pub mod traceview;
 
 use std::path::{Path, PathBuf};

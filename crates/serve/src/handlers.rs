@@ -44,6 +44,8 @@ pub struct ServeState {
     pub artifact_dir: std::path::PathBuf,
     /// Per-request budget for expensive endpoints; past it, `504`.
     pub max_cell: Duration,
+    /// The campaign orchestrator behind `/v1/campaigns`.
+    pub campaigns: crate::campaigns::Orchestrator,
     /// Set by `POST /admin/drain`; the accept loop polls it.
     pub draining: AtomicBool,
     /// Server start time, for `/healthz` uptime.
@@ -64,6 +66,7 @@ pub fn endpoint_tag(req: &Request) -> &'static str {
         "/v1/pareto" => "/v1/pareto",
         "/v1/findings" => "/v1/findings",
         "/admin/drain" => "/admin/drain",
+        p if p.starts_with("/v1/campaigns") => "/v1/campaigns",
         p if p.starts_with("/v1/artifacts") => "/v1/artifacts",
         _ => "other",
     }
@@ -90,14 +93,20 @@ pub fn route(state: &Arc<ServeState>, req: &Request) -> Response {
         (Method::Get, p) if p.starts_with("/v1/artifacts/") => {
             artifact(state, &p["/v1/artifacts/".len()..])
         }
+        (_, p) if p.starts_with("/v1/campaigns") => crate::campaigns::handle(state, req),
         (Method::Post, "/admin/drain") => drain(state),
         (_, "/admin/drain") => Response::error(405, "method_not_allowed", "drain is POST-only"),
-        (Method::Post, _) => Response::error(405, "method_not_allowed", "only /admin/drain accepts POST"),
+        (Method::Post, _) => Response::error(
+            405,
+            "method_not_allowed",
+            "only /admin/drain and /v1/campaigns accept POST",
+        ),
         (Method::Get, _) => Response::error(
             404,
             "not_found",
             "unknown endpoint; see /healthz, /metrics, /v1/metrics, /v1/metrics/timeseries, \
-             /v1/cell, /v1/sweep, /v1/pareto, /v1/findings, /v1/artifacts, POST /admin/drain",
+             /v1/cell, /v1/sweep, /v1/pareto, /v1/findings, /v1/artifacts, /v1/campaigns, \
+             POST /admin/drain",
         ),
     }
 }
@@ -143,7 +152,9 @@ fn healthz(state: &Arc<ServeState>) -> Response {
     push_json_number(&mut body, slo.latency.long);
     body.push_str("},\"requests_long_window\":");
     push_json_number(&mut body, slo.total_long as f64);
-    body.push_str("}}\n");
+    body.push_str("},\"campaigns\":");
+    body.push_str(&state.campaigns.healthz_json());
+    body.push_str("}\n");
     Response::ok_json(body)
 }
 
@@ -278,7 +289,12 @@ fn chip_tokens() -> &'static str {
 
 /// Builds a configuration from a descriptor like `4C2T@2.0` (cores,
 /// threads per core, GHz) or `stock`, plus the optional turbo override.
-fn build_config(
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first malformed piece of
+/// the descriptor (topology, clock, or turbo flag).
+pub fn build_config(
     id: ProcessorId,
     descriptor: &str,
     turbo: Option<&str>,

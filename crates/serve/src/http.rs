@@ -73,8 +73,15 @@ impl Request {
 pub enum HttpError {
     /// The request was syntactically invalid; the detail is safe to echo.
     BadRequest(String),
-    /// The peer closed (or timed out) before a full head arrived.
+    /// The peer closed before a full head arrived.
     Disconnected,
+    /// The socket's read timeout fired before a full head arrived: a
+    /// slow-loris client (or a stalled network) held the connection
+    /// open without sending a request. Distinguished from
+    /// [`HttpError::Disconnected`] so the server can count it
+    /// (`serve.timeout`) -- a fleet of these is an attack signature,
+    /// while disconnects are everyday noise.
+    TimedOut,
 }
 
 impl std::fmt::Display for HttpError {
@@ -82,6 +89,7 @@ impl std::fmt::Display for HttpError {
         match self {
             HttpError::BadRequest(detail) => write!(f, "bad request: {detail}"),
             HttpError::Disconnected => f.write_str("peer disconnected"),
+            HttpError::TimedOut => f.write_str("idle read timed out"),
         }
     }
 }
@@ -91,8 +99,9 @@ impl std::fmt::Display for HttpError {
 /// # Errors
 ///
 /// [`HttpError::BadRequest`] for malformed or oversized heads,
-/// [`HttpError::Disconnected`] when the peer goes away first (including
-/// a read timeout on an idle connection).
+/// [`HttpError::Disconnected`] when the peer goes away first,
+/// [`HttpError::TimedOut`] when the socket's read timeout expires on an
+/// idle connection (the slow-loris guard).
 pub fn read_request(stream: &mut impl BufRead) -> Result<Request, HttpError> {
     let request_line = read_line(stream)?;
     let mut total = request_line.len();
@@ -125,9 +134,20 @@ fn read_line(stream: &mut impl BufRead) -> Result<String, HttpError> {
     let mut buf = Vec::with_capacity(128);
     loop {
         let mut byte = [0u8; 1];
-        let available = stream
-            .fill_buf()
-            .map_err(|_| HttpError::Disconnected)?;
+        let available = match stream.fill_buf() {
+            Ok(available) => available,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Both kinds mean "read timeout fired", depending on
+                // platform; either way the peer sat idle too long.
+                return Err(HttpError::TimedOut);
+            }
+            Err(_) => return Err(HttpError::Disconnected),
+        };
         if available.is_empty() {
             return Err(HttpError::Disconnected);
         }
@@ -298,9 +318,13 @@ impl Response {
     pub fn reason(&self) -> &'static str {
         match self.status {
             200 => "OK",
+            202 => "Accepted",
             400 => "Bad Request",
+            408 => "Request Timeout",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            409 => "Conflict",
+            429 => "Too Many Requests",
             500 => "Internal Server Error",
             503 => "Service Unavailable",
             504 => "Gateway Timeout",

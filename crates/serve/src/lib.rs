@@ -25,6 +25,14 @@
 //!   stops admission, serves everything already accepted, flushes the
 //!   trace, and exits 0 ([`signal`], [`server`]).
 //!
+//! * **Campaign orchestration** -- `POST /v1/campaigns` runs whole
+//!   sweep campaigns *inside* the server: a fair-share scheduler
+//!   (stride scheduling over tenant weights, token-bucket cells/sec
+//!   quotas, strict high/normal lanes) feeds campaign cells into the
+//!   same worker pool on a background queue lane, so interactive
+//!   requests always win; every resolved cell is journaled write-ahead
+//!   and a killed or drained server resumes to byte-identical result
+//!   artifacts ([`campaigns`]).
 //! * **Live telemetry** -- every request carries a trace id minted at
 //!   accept; per-endpoint RED metrics (rate/errors/duration) feed a
 //!   windowed time-series ring and a multi-window SLO burn-rate
@@ -49,6 +57,12 @@
 //! | `GET /v1/pareto?metric=avg\|<group>&space=...` | Pareto frontier |
 //! | `GET /v1/findings` | a few of the paper's findings, checked live |
 //! | `GET /v1/artifacts[/name]` | the `repro_out/` artifacts |
+//! | `POST /v1/campaigns?tenant=t&chips=i7-45,atom-45&...` | submit a sweep campaign (202) |
+//! | `GET /v1/campaigns` | list campaigns |
+//! | `GET /v1/campaigns/<id>[?cells=1]` | campaign status / partial results |
+//! | `GET /v1/campaigns/<id>/artifact` | the finished result artifact (409 until done) |
+//! | `POST /v1/campaigns/<id>/preempt` | checkpoint and stop dispatching |
+//! | `POST /v1/campaigns/<id>/resume` | resume a preempted campaign |
 //! | `POST /admin/drain` | graceful shutdown |
 //!
 //! # Quick start
@@ -72,6 +86,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaigns;
 pub mod coalesce;
 pub mod handlers;
 pub mod http;
@@ -80,9 +95,10 @@ pub mod server;
 pub mod signal;
 pub mod telemetry;
 
+pub use campaigns::{CampaignSpec, CellTask, Lane, Orchestrator, Phase};
 pub use coalesce::{Flight, FlightBoard, FlightResult, Join, JoinError};
-pub use handlers::{chip_by_token, endpoint_tag, route, safe_artifact_name, ServeState};
+pub use handlers::{build_config, chip_by_token, endpoint_tag, route, safe_artifact_name, ServeState};
 pub use http::{percent_decode, read_request, HttpError, Method, Request, Response};
-pub use queue::{BoundedQueue, PushError};
+pub use queue::{BoundedQueue, PushError, ShedPool};
 pub use server::{start, ServerConfig, ServerHandle};
 pub use telemetry::Telemetry;

@@ -28,10 +28,11 @@ use std::time::{Duration, Instant};
 use lhr_core::Harness;
 use lhr_obs::context::{self, Ctx};
 
+use crate::campaigns::{self, CellTask, Orchestrator};
 use crate::coalesce::FlightBoard;
 use crate::handlers::{endpoint_tag, route, ServeState};
 use crate::http::{read_request, HttpError, Response};
-use crate::queue::{BoundedQueue, PushError};
+use crate::queue::{BoundedQueue, PushError, ShedPool};
 use crate::signal;
 use crate::telemetry::Telemetry;
 
@@ -54,6 +55,19 @@ pub struct ServerConfig {
     pub read_timeout: Duration,
     /// Directory `/v1/artifacts` serves.
     pub artifact_dir: PathBuf,
+    /// Directory campaign journals and result artifacts live in.
+    pub campaign_dir: PathBuf,
+    /// Scan `campaign_dir` at boot and resume interrupted campaigns.
+    pub resume_campaigns: bool,
+    /// Campaign cells allowed in flight at once across all campaigns;
+    /// keeps background work from saturating the worker pool.
+    pub campaign_inflight: usize,
+    /// Depth of the background campaign lane in the work queue.
+    pub campaign_lane_depth: usize,
+    /// Writer threads in the 503-shed pool (bounds shed concurrency).
+    pub shed_writers: usize,
+    /// Pending-shed backlog; past it, overflow connections are dropped.
+    pub shed_depth: usize,
 }
 
 impl Default for ServerConfig {
@@ -66,6 +80,12 @@ impl Default for ServerConfig {
             max_cell: Duration::from_secs(30),
             read_timeout: Duration::from_secs(5),
             artifact_dir: PathBuf::from("repro_out"),
+            campaign_dir: PathBuf::from("campaigns"),
+            resume_campaigns: false,
+            campaign_inflight: 2,
+            campaign_lane_depth: 32,
+            shed_writers: 2,
+            shed_depth: 32,
         }
     }
 }
@@ -126,6 +146,16 @@ struct Admitted {
     request: u64,
 }
 
+/// One unit of work for the pool: an admitted connection (interactive
+/// lane) or a campaign cell (background lane). The queue's lane order
+/// makes the priority structural -- a worker only measures a campaign
+/// cell when no interactive request is waiting.
+#[derive(Debug)]
+enum Work {
+    Conn(Admitted),
+    Cell(CellTask),
+}
+
 /// Boots a server over `harness`. The harness's runner should carry a
 /// bounded [`lhr_core::ShardedLruCache`] (serving is open-ended, unlike
 /// a campaign) and an observer armed from `telemetry.obs()`, so engine
@@ -152,10 +182,20 @@ pub fn start(
         telemetry,
         artifact_dir: config.artifact_dir.clone(),
         max_cell: config.max_cell,
+        campaigns: Orchestrator::new(config.campaign_dir.clone(), config.campaign_inflight),
         draining: AtomicBool::new(false),
         started: Instant::now(),
     });
-    let queue = Arc::new(BoundedQueue::<Admitted>::new(config.queue_depth));
+    if config.resume_campaigns {
+        let resumed = state.campaigns.resume_scan(&state.harness, &state.obs);
+        if resumed > 0 {
+            state.obs.counter("campaign.boot_resumed", resumed as u64);
+        }
+    }
+    let queue = Arc::new(BoundedQueue::<Work>::with_lanes(
+        config.queue_depth,
+        config.campaign_lane_depth,
+    ));
 
     let workers: Vec<JoinHandle<()>> = (0..config.jobs.max(1))
         .map(|i| {
@@ -164,18 +204,20 @@ pub fn start(
             std::thread::Builder::new()
                 .name(format!("lhr-serve-worker-{i}"))
                 .spawn(move || {
-                    while let Some(admitted) = queue.pop() {
+                    while let Some(work) = queue.pop() {
                         state.obs.gauge("serve.queue_depth", queue.len() as f64);
-                        // A panicking handler must cost one response,
-                        // never the worker: contain it and keep serving.
-                        let survived = catch_unwind(AssertUnwindSafe(|| {
-                            context::with_ctx(
+                        // A panicking handler must cost one response (or
+                        // one cell), never the worker: contain it and
+                        // keep serving.
+                        let survived = catch_unwind(AssertUnwindSafe(|| match work {
+                            Work::Conn(admitted) => context::with_ctx(
                                 Ctx {
                                     request: admitted.request,
                                     parent: 0,
                                 },
                                 || serve_connection(&state, admitted.stream),
-                            );
+                            ),
+                            Work::Cell(task) => campaigns::execute(&state, task),
                         }));
                         if survived.is_err() {
                             state.obs.counter("serve.worker_panics_contained", 1);
@@ -186,20 +228,54 @@ pub fn start(
         })
         .collect();
 
+    // The campaign scheduler feeds the background lane: it picks the
+    // next cell under the fair-share policy and enqueues it, backing
+    // off when the lane is full (the cell is requeued, not lost).
+    let sched_state = Arc::clone(&state);
+    let sched_queue = Arc::clone(&queue);
+    let scheduler = std::thread::Builder::new()
+        .name("lhr-serve-campaigns".to_owned())
+        .spawn(move || {
+            while !sched_state.campaigns.stopping() {
+                while let Some(task) = sched_state.campaigns.next_cell(&sched_state.obs) {
+                    match sched_queue.try_push_background(Work::Cell(task)) {
+                        Ok(()) => {}
+                        Err(PushError::Full(work) | PushError::Closed(work)) => {
+                            if let Work::Cell(task) = work {
+                                sched_state.campaigns.requeue(task);
+                            }
+                            break;
+                        }
+                    }
+                }
+                sched_state
+                    .campaigns
+                    .wait_for_work(Duration::from_millis(25));
+            }
+        })
+        .expect("spawn campaign scheduler");
+
     let accept_state = Arc::clone(&state);
     let accept_queue = Arc::clone(&queue);
     let read_timeout = config.read_timeout;
+    let shed_pool = ShedPool::new(config.shed_writers, config.shed_depth);
     let accept = std::thread::Builder::new()
         .name("lhr-serve-accept".to_owned())
         .spawn(move || {
-            accept_loop(&listener, &accept_state, &accept_queue, read_timeout);
-            // Drain: no new admissions, serve what is queued, stop the
-            // pool, seal the final time-series bucket, then flush the
-            // trace so the shutdown is observable.
+            accept_loop(&listener, &accept_state, &accept_queue, &shed_pool, read_timeout);
+            // Drain: no new admissions, stop scheduling new campaign
+            // cells (already-queued cells still run and journal, so a
+            // restart resumes from exactly where the drain cut), serve
+            // what is queued, stop the pool, seal the final time-series
+            // bucket, then flush the trace so the shutdown is
+            // observable.
+            accept_state.campaigns.stop();
+            let _ = scheduler.join();
             accept_queue.close();
             for w in workers {
                 let _ = w.join();
             }
+            shed_pool.shutdown();
             accept_state.obs.counter("serve.drained", 1);
             accept_state.telemetry.timeseries.seal_all();
             accept_state.obs.flush();
@@ -216,7 +292,8 @@ pub fn start(
 fn accept_loop(
     listener: &TcpListener,
     state: &Arc<ServeState>,
-    queue: &Arc<BoundedQueue<Admitted>>,
+    queue: &Arc<BoundedQueue<Work>>,
+    shed_pool: &ShedPool,
     read_timeout: Duration,
 ) {
     loop {
@@ -236,18 +313,28 @@ fn accept_loop(
                     stream,
                     request: context::next_request_id(),
                 };
-                match queue.try_push(admitted) {
+                match queue.try_push(Work::Conn(admitted)) {
                     Ok(()) => state.obs.gauge("serve.queue_depth", queue.len() as f64),
-                    Err(PushError::Full(admitted)) => {
+                    Err(PushError::Full(work) | PushError::Closed(work)) => {
                         // Admission control: shed *now*, from the accept
                         // thread, with a backoff hint -- queueing it
                         // anyway is how latency collapses under load.
+                        // The bounded shed pool writes the 503; if even
+                        // that backlog is full, the connection is
+                        // dropped (counted), never left to block the
+                        // accept thread.
+                        let Work::Conn(admitted) = work else {
+                            unreachable!("accept loop only pushes connections")
+                        };
                         state.obs.counter("serve.shed_503", 1);
-                        shed(admitted.stream, Response::overloaded("request queue full", 1));
-                    }
-                    Err(PushError::Closed(admitted)) => {
-                        state.obs.counter("serve.shed_503", 1);
-                        shed(admitted.stream, Response::overloaded("server draining", 5));
+                        let response = if queue.is_closed() {
+                            Response::overloaded("server draining", 5)
+                        } else {
+                            Response::overloaded("request queue full", 1)
+                        };
+                        if !shed_pool.try_shed(admitted.stream, response) {
+                            state.obs.counter("serve.shed_dropped", 1);
+                        }
                     }
                 }
             }
@@ -257,24 +344,6 @@ fn accept_loop(
             Err(_) => std::thread::sleep(Duration::from_millis(10)),
         }
     }
-}
-
-/// Writes a shed response without losing it to a TCP reset: closing a
-/// socket that still has unread request bytes discards buffered
-/// outgoing data, so the helper shuts down its write side and drains
-/// the client's bytes before dropping. Runs on a detached thread to
-/// keep the accept loop non-blocking.
-fn shed(stream: TcpStream, response: Response) {
-    let _ = std::thread::Builder::new()
-        .name("lhr-serve-shed".to_owned())
-        .spawn(move || {
-            let mut stream = stream;
-            let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
-            let _ = response.write_to(&mut stream);
-            let _ = stream.shutdown(std::net::Shutdown::Write);
-            let mut sink = [0u8; 512];
-            while matches!(io::Read::read(&mut stream, &mut sink), Ok(n) if n > 0) {}
-        });
 }
 
 /// Serves exactly one request on one connection (`Connection: close`
@@ -318,6 +387,14 @@ fn serve_connection(state: &Arc<ServeState>, stream: TcpStream) {
         Err(HttpError::BadRequest(detail)) => {
             state.obs.counter("serve.http_400", 1);
             let _ = Response::error(400, "bad_request", &detail).write_to(&mut writer);
+        }
+        Err(HttpError::TimedOut) => {
+            // Slowloris guard: the socket read timeout fired before a
+            // full request arrived. Tell the client (best effort) and
+            // free the worker.
+            state.obs.counter("serve.timeout", 1);
+            let _ = Response::error(408, "request_timeout", "idle connection timed out")
+                .write_to(&mut writer);
         }
         Err(HttpError::Disconnected) => {
             state.obs.counter("serve.disconnects", 1);

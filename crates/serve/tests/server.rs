@@ -300,3 +300,38 @@ fn sweep_pareto_and_findings_render() {
     assert_eq!(status, 404);
     drop(handle);
 }
+
+#[test]
+fn slowloris_connection_times_out_with_408_and_is_counted() {
+    let (handle, recorder) = boot(|c| {
+        c.jobs = 2;
+        c.read_timeout = Duration::from_millis(200);
+    });
+    let addr = handle.addr();
+
+    // A slow-loris client: opens the connection, dribbles half a
+    // request line, then stalls. The worker must get the socket back
+    // after the read timeout, answer 408, and count the event.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(b"GET /healthz HT").expect("partial send");
+    let mut text = String::new();
+    stream.read_to_string(&mut text).expect("read response");
+    assert!(
+        text.starts_with("HTTP/1.1 408"),
+        "stalled connection must get 408: {text:?}"
+    );
+    assert!(text.contains("request_timeout"), "{text}");
+
+    // The worker survived and the server still serves.
+    let (status, _) = http_get(addr, "/healthz");
+    assert_eq!(status, 200, "server must survive a slowloris client");
+    let snapshot = recorder.snapshot().render();
+    assert!(
+        snapshot.contains("serve.timeout"),
+        "slowloris must land in the serve.timeout counter: {snapshot}"
+    );
+    drop(handle);
+}

@@ -1,0 +1,237 @@
+//! The kill-anything chaos drill: prove a server-hosted campaign
+//! survives SIGKILL, a torn journal tail, a wedged sensor, and queue
+//! saturation -- and still produces **byte-identical** artifacts.
+//!
+//! ```text
+//! cargo build --release -p lhr-serve --bin lhr_serve
+//! cargo run --release --example chaos_campaign [seed]
+//! ```
+//!
+//! The drill, all faults derived from one seed:
+//!
+//! 1. **Reference run** -- a clean server measures the campaign grid
+//!    uninterrupted; its result artifact is the ground truth.
+//! 2. **Chaos run** -- a second server starts with `--fault-stall`
+//!    wedging one chip's sensors and a tiny queue. Overload clients
+//!    saturate the interactive lane while the campaign runs on the
+//!    background lane. After `kill_after_cells` resolve, the server is
+//!    SIGKILLed, its journal tail is torn by `tear_bytes`, and a fresh
+//!    process restarts with `--resume`.
+//! 3. **Verdict** -- the resumed artifact must equal the reference
+//!    byte for byte; `/healthz` must report `ok` with the SLO alert
+//!    quiet; the worker pool must have contained zero panics.
+//!
+//! Exit code 0 means the robustness story held end to end.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use lhr_bench::chaos::{
+    body_of, http_get, http_post, poll_until, tear_tail, ChaosPlan, Overload, ServerProc,
+};
+
+/// The campaign grid: two chips (one with a wedged sensor) crossed with
+/// three workloads -- six cells, enough for the kill to land mid-run.
+const SPEC: &str = "/v1/campaigns?tenant=chaos&chips=i7-45,atom-45&workloads=jess,db,mcf";
+
+/// Where the `lhr_serve` binary lives: next to our own target dir
+/// (`target/release/examples/chaos_campaign` -> `target/release/`),
+/// overridable with `LHR_SERVE_BIN`.
+fn serve_binary() -> Result<PathBuf, String> {
+    if let Ok(path) = std::env::var("LHR_SERVE_BIN") {
+        return Ok(PathBuf::from(path));
+    }
+    let me = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let dir = me
+        .parent()
+        .and_then(std::path::Path::parent)
+        .ok_or("cannot locate target dir")?;
+    let bin = dir.join("lhr_serve");
+    if bin.exists() {
+        Ok(bin)
+    } else {
+        Err(format!(
+            "{} not found; build it first: cargo build --release -p lhr-serve --bin lhr_serve",
+            bin.display()
+        ))
+    }
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lhr-chaos-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn campaign_id(body: &str) -> String {
+    let start = body.find("\"id\":\"").expect("id in body") + "\"id\":\"".len();
+    body[start..].chars().take_while(|c| *c != '"').collect()
+}
+
+/// Cells resolved so far, from a status body's `"done":N`.
+fn done_cells(body: &str) -> usize {
+    body.split("\"done\":")
+        .nth(1)
+        .and_then(|rest| {
+            rest.chars()
+                .take_while(char::is_ascii_digit)
+                .collect::<String>()
+                .parse()
+                .ok()
+        })
+        .unwrap_or(0)
+}
+
+fn run(seed: u64) -> Result<(), String> {
+    let plan = ChaosPlan::from_seed(seed);
+    println!("chaos plan (seed {seed}): {plan:?}");
+    let binary = serve_binary()?;
+    let reference_dir = scratch("reference");
+    let chaos_dir = scratch("chaos");
+
+    // ----------------------------------------------------------------
+    // 1. Reference: the uninterrupted run.
+    // ----------------------------------------------------------------
+    let server = ServerProc::spawn(
+        &binary,
+        &[
+            "--addr",
+            "127.0.0.1:0",
+            "--jobs",
+            "2",
+            "--campaign-dir",
+            &reference_dir.to_string_lossy(),
+        ],
+    )
+    .map_err(|e| format!("spawn reference server: {e}"))?;
+    let addr = server.addr();
+    let (status, text) = http_post(addr, SPEC).map_err(|e| format!("submit: {e}"))?;
+    if status != 202 {
+        return Err(format!("reference submit: {status}: {text}"));
+    }
+    let id = campaign_id(body_of(&text));
+    poll_until(addr, &format!("/v1/campaigns/{id}"), Duration::from_secs(300), |b| {
+        b.contains("\"state\":\"done\"")
+    })
+    .map_err(|e| format!("reference campaign: {e}"))?;
+    let artifact_path = reference_dir.join(format!("{id}.result.json"));
+    let reference = std::fs::read(&artifact_path).map_err(|e| format!("reference artifact: {e}"))?;
+    server.drain().map_err(|e| format!("reference drain: {e}"))?;
+    println!("reference: campaign {id} done, artifact {} bytes", reference.len());
+
+    // ----------------------------------------------------------------
+    // 2. Chaos: stalled sensor, saturated queue, SIGKILL, torn tail.
+    // ----------------------------------------------------------------
+    let chaos_args = |resume: bool| {
+        let mut args = vec![
+            "--addr".to_owned(),
+            "127.0.0.1:0".to_owned(),
+            "--jobs".to_owned(),
+            "2".to_owned(),
+            "--queue-depth".to_owned(),
+            "2".to_owned(),
+            "--campaign-dir".to_owned(),
+            chaos_dir.to_string_lossy().into_owned(),
+            // The i7's sensor rig stalls on its first runs: wall-clock
+            // burns, values do not.
+            "--fault-stall".to_owned(),
+            "i7-45:0.05:2".to_owned(),
+        ];
+        if resume {
+            args.push("--resume".to_owned());
+        }
+        args
+    };
+    let args = chaos_args(false);
+    let arg_refs: Vec<&str> = args.iter().map(String::as_str).collect();
+    let server = ServerProc::spawn(&binary, &arg_refs)
+        .map_err(|e| format!("spawn chaos server: {e}"))?;
+    let addr = server.addr();
+    let (status, text) = http_post(addr, SPEC).map_err(|e| format!("chaos submit: {e}"))?;
+    if status != 202 {
+        return Err(format!("chaos submit: {status}: {text}"));
+    }
+    let chaos_id = campaign_id(body_of(&text));
+    if chaos_id != id {
+        return Err(format!("fresh dirs must mint the same id: {chaos_id} vs {id}"));
+    }
+
+    // Saturate the interactive lane while the campaign progresses.
+    let overload = Overload::start(addr, "/healthz", plan.overload_clients);
+    let kill_at = plan.kill_after_cells;
+    poll_until(addr, &format!("/v1/campaigns/{id}"), Duration::from_secs(300), |b| {
+        done_cells(b) >= kill_at
+    })
+    .map_err(|e| format!("waiting for {kill_at} cells: {e}"))?;
+    server.kill().map_err(|e| format!("SIGKILL: {e}"))?;
+    let stats = overload.stop();
+    println!(
+        "chaos: killed after >= {kill_at} cells under load (ok {}, shed {}, conn-errors {})",
+        stats.ok, stats.shed, stats.errors
+    );
+    if stats.ok + stats.shed == 0 {
+        return Err("overload produced no successful responses at all".to_owned());
+    }
+
+    // Tear the journal tail on top of the kill.
+    let journal = chaos_dir.join(format!("{id}.jsonl"));
+    let torn = tear_tail(&journal, plan.tear_bytes).map_err(|e| format!("tear: {e}"))?;
+    println!("chaos: tore {torn} bytes off the journal tail");
+
+    // ----------------------------------------------------------------
+    // 3. Restart with --resume; the verdict.
+    // ----------------------------------------------------------------
+    let args = chaos_args(true);
+    let arg_refs: Vec<&str> = args.iter().map(String::as_str).collect();
+    let server = ServerProc::spawn(&binary, &arg_refs)
+        .map_err(|e| format!("spawn resume server: {e}"))?;
+    let addr = server.addr();
+    poll_until(addr, &format!("/v1/campaigns/{id}"), Duration::from_secs(300), |b| {
+        b.contains("\"state\":\"done\"")
+    })
+    .map_err(|e| format!("resumed campaign: {e}"))?;
+
+    let resumed = std::fs::read(chaos_dir.join(format!("{id}.result.json")))
+        .map_err(|e| format!("resumed artifact: {e}"))?;
+    if resumed != reference {
+        return Err(format!(
+            "artifact mismatch after chaos: {} vs {} bytes (diverging content)",
+            resumed.len(),
+            reference.len()
+        ));
+    }
+
+    // Health and SLO must have survived the drill.
+    let (status, text) = http_get(addr, "/healthz").map_err(|e| format!("healthz: {e}"))?;
+    let health = body_of(&text).to_owned();
+    if status != 200 || !health.contains("\"status\":\"ok\"") {
+        return Err(format!("post-chaos health not ok: {status}: {health}"));
+    }
+    if !health.contains("\"alert\":\"ok\"") {
+        return Err(format!("SLO alert firing after chaos: {health}"));
+    }
+    let (_, text) = http_get(addr, "/metrics").map_err(|e| format!("metrics: {e}"))?;
+    if body_of(&text).contains("serve.worker_panics_contained") {
+        return Err(format!("worker panics during chaos: {}", body_of(&text)));
+    }
+    server.drain().map_err(|e| format!("final drain: {e}"))?;
+
+    println!("chaos verdict: artifact byte-identical, health ok, SLO quiet, zero worker panics");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let seed = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("seed must be a u64"))
+        .unwrap_or(0xC4A05);
+    match run(seed) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("chaos drill FAILED: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
