@@ -208,7 +208,7 @@ fn after_key<'a>(line: &'a str, key: &str) -> Option<&'a str> {
 /// escapes (the inverse of [`push_json_string`]).
 #[must_use]
 pub fn parse_str(line: &str, key: &str) -> Option<String> {
-    let rest = after_key(line, key)?.strip_prefix('"')?;
+    let rest = after_key(line, key)?.trim_start().strip_prefix('"')?;
     let mut out = String::new();
     let mut chars = rest.chars();
     loop {

@@ -30,6 +30,7 @@
 pub mod artifact;
 pub mod campaign;
 pub mod chaos;
+pub mod perfjson;
 pub mod traceview;
 
 use std::path::{Path, PathBuf};

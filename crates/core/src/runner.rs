@@ -22,7 +22,7 @@ use parking_lot::Mutex;
 use lhr_obs::Obs;
 use lhr_sensors::{faults::FaultPlan, MeasurementRig, SensorError};
 use lhr_stats::{median, median_abs_deviation, Summary, SummaryBuilder};
-use lhr_uarch::{ChipConfig, ChipSimulator, ProcessorId};
+use lhr_uarch::{ChipConfig, ChipSimulator, ProcessorId, SimScratch};
 use lhr_units::{Joules, Seconds, Watts};
 use lhr_workloads::{Group, Workload};
 
@@ -101,6 +101,22 @@ pub struct Runner {
     health: Mutex<RunnerHealth>,
     obs: Obs,
 }
+
+/// Process-wide pool of reusable simulator scratch buffers: each
+/// invocation pops one (or builds a fresh one when the pool is dry, so
+/// concurrent measurements never wait on each other), runs the chip
+/// simulator through [`ChipSimulator::run_with_scratch`], and returns
+/// it. The buffers carry no state across runs that can change a result
+/// -- see `SimScratch` -- they only let repeated cells skip re-growing
+/// the same per-thread vectors. The pool is global rather than
+/// per-runner because short-lived runners (one cold cell each, the shape
+/// every campaign and benchmark pays) would otherwise always start with
+/// a dry pool.
+static SCRATCH_POOL: Mutex<Vec<SimScratch>> = Mutex::new(Vec::new());
+
+/// Returned buffers beyond this many are dropped instead of pooled, so
+/// a burst of concurrent measurements cannot pin memory forever.
+const SCRATCH_POOL_CAP: usize = 32;
 
 impl Default for Runner {
     fn default() -> Self {
@@ -394,6 +410,18 @@ impl Runner {
         self.obs.counter("runner.preloads", 1);
     }
 
+    /// One chip-simulator run through the scratch pool: pops a reusable
+    /// buffer (builds one if the pool is dry), simulates, returns it.
+    fn sim_run(&self, config: &ChipConfig, w: &Workload, seed: u64) -> lhr_uarch::RunResult {
+        let mut scratch = SCRATCH_POOL.lock().pop().unwrap_or_default();
+        let result = self.sim.run_with_scratch(config, w, seed, &mut scratch);
+        let mut pool = SCRATCH_POOL.lock();
+        if pool.len() < SCRATCH_POOL_CAP {
+            pool.push(scratch);
+        }
+        result
+    }
+
     /// The machine's rig handle (built before first invocation).
     fn rig_for(&self, id: ProcessorId) -> Arc<Mutex<MeasurementRig>> {
         Arc::clone(
@@ -410,6 +438,10 @@ impl Runner {
         workload: &Workload,
     ) -> Result<(RunMeasurement, MeasureHealth), MeasureError> {
         let spec = config.spec();
+        // The configuration label feeds the seed of every invocation and
+        // several error paths; building it once per cell (instead of once
+        // per invocation) keeps the hot path free of format! churn.
+        let label = config.label();
         // One rig per machine, calibrated on first use, as in the lab.
         {
             let mut rigs = self.rigs.lock();
@@ -418,7 +450,7 @@ impl Runner {
                     Watts::new(spec.power.tdp_w),
                     0x0d1e_5ee0 ^ spec.id as u64,
                 )
-                .map_err(|e| MeasureError::rig_setup(config.label(), e))?;
+                .map_err(|e| MeasureError::rig_setup(label.clone(), e))?;
                 let rig = match self.fault_plans.get(&spec.id) {
                     Some(plan) => rig.with_fault_plan(plan.clone()),
                     None => rig,
@@ -437,12 +469,23 @@ impl Runner {
 
         let n = self.invocations_for(workload);
         let mut health = MeasureHealth::default();
-        let mut times = vec![0.0f64; n];
-        let mut powers = vec![0.0f64; n];
+        // Invocation counts are single digits under every protocol in the
+        // paper, so the per-invocation samples live on the stack; the heap
+        // fallback only exists for hypothetical custom protocols.
+        let mut times_buf = [0.0f64; 16];
+        let mut powers_buf = [0.0f64; 16];
+        let (mut times_vec, mut powers_vec);
+        let (times, powers): (&mut [f64], &mut [f64]) = if n <= 16 {
+            (&mut times_buf[..n], &mut powers_buf[..n])
+        } else {
+            times_vec = vec![0.0f64; n];
+            powers_vec = vec![0.0f64; n];
+            (&mut times_vec[..], &mut powers_vec[..])
+        };
         let mut attempts = 0usize; // distinct seeds consumed beyond attempt 0
         for k in 0..n {
             let (t, p) =
-                self.run_invocation(config, w, workload, k, &mut attempts, &mut health)?;
+                self.run_invocation(config, w, workload, &label, k, &mut attempts, &mut health)?;
             times[k] = t;
             powers[k] = p;
         }
@@ -456,8 +499,8 @@ impl Runner {
         // records the degradation.
         if n >= 3 {
             loop {
-                let med = median(&powers);
-                let mad = median_abs_deviation(&powers);
+                let med = median(powers);
+                let mad = median_abs_deviation(powers);
                 let fence = (FENCE_MAD_SIGMAS * mad).max(FENCE_FLOOR_FRACTION * med.abs());
                 let outlier = (0..n).find(|&k| (powers[k] - med).abs() > fence);
                 let Some(k) = outlier else { break };
@@ -467,8 +510,8 @@ impl Runner {
                 health.rejected_outliers += 1;
                 health.retries += 1;
                 attempts += 1;
-                let (t, p) =
-                    self.run_invocation_once(config, w, workload, k, attempts, &mut health)?;
+                let (t, p) = self
+                    .run_invocation_once(config, w, workload, &label, k, attempts, &mut health)?;
                 times[k] = t;
                 powers[k] = p;
             }
@@ -483,7 +526,7 @@ impl Runner {
         let measurement = RunMeasurement {
             workload: workload.name(),
             group: workload.group(),
-            config: config.label(),
+            config: label,
             time: time.build(),
             power: power.build(),
         };
@@ -493,18 +536,23 @@ impl Runner {
     /// Runs invocation `k` until the rig accepts it or the budget dies:
     /// drift rejections trigger a recalibration and a same-seed repeat;
     /// other sensor rejections burn a retry and a fresh seed.
+    ///
+    /// `w` is the (possibly instruction-scaled) workload that runs;
+    /// `workload` is the original, used for naming and seeding.
+    #[allow(clippy::too_many_arguments)]
     fn run_invocation(
         &self,
         config: &ChipConfig,
         w: &Workload,
         workload: &Workload,
+        label: &str,
         k: usize,
         attempts: &mut usize,
         health: &mut MeasureHealth,
     ) -> Result<(f64, f64), MeasureError> {
         let mut attempt = 0usize;
         loop {
-            match self.run_invocation_once(config, w, workload, k, attempt, health) {
+            match self.run_invocation_once(config, w, workload, label, k, attempt, health) {
                 Ok(sample) => return Ok(sample),
                 Err(e) => {
                     // A failed recalibration is terminal: the channel is
@@ -526,23 +574,25 @@ impl Runner {
     /// seed derived from `attempt` (attempt 0 is the legacy seed).
     /// Recalibrates -- without consuming the attempt -- when the rig
     /// reports drift.
+    #[allow(clippy::too_many_arguments)]
     fn run_invocation_once(
         &self,
         config: &ChipConfig,
         w: &Workload,
         workload: &Workload,
+        label: &str,
         k: usize,
         attempt: usize,
         health: &mut MeasureHealth,
     ) -> Result<(f64, f64), MeasureError> {
         let spec = config.spec();
-        let base = seed_for(self.base_seed, workload.name(), &config.label(), k);
+        let base = seed_for(self.base_seed, workload.name(), label, k);
         let seed = if attempt == 0 {
             base
         } else {
             retry_seed(base, attempt)
         };
-        let result = self.sim.run(config, w, seed);
+        let result = self.sim_run(config, w, seed);
         let rig = self.rig_for(spec.id);
         let mut rig = rig.lock();
         match rig.try_measure(&result.waveform, seed ^ 0x50_c3) {
@@ -553,15 +603,15 @@ impl Runner {
                 health.recalibrations += 1;
                 rig.recalibrate().map_err(|e| MeasureError {
                     workload: Some(workload.name()),
-                    config: config.label(),
+                    config: label.to_string(),
                     kind: MeasureErrorKind::Sensor(e),
                 })?;
                 drop(rig);
-                self.retry_after_recalibration(config, w, workload, seed)
+                self.retry_after_recalibration(config, w, workload, label, seed)
             }
             Err(e) => Err(MeasureError {
                 workload: Some(workload.name()),
-                config: config.label(),
+                config: label.to_string(),
                 kind: MeasureErrorKind::RetryBudgetExhausted {
                     budget: self.retry_budget,
                     last: e,
@@ -577,17 +627,18 @@ impl Runner {
         config: &ChipConfig,
         w: &Workload,
         workload: &Workload,
+        label: &str,
         seed: u64,
     ) -> Result<(f64, f64), MeasureError> {
         let spec = config.spec();
-        let result = self.sim.run(config, w, seed);
+        let result = self.sim_run(config, w, seed);
         let rig = self.rig_for(spec.id);
         let mut rig = rig.lock();
         match rig.try_measure(&result.waveform, seed ^ 0x50_c3) {
             Ok(m) => Ok((result.time.value(), m.average_power.value())),
             Err(e) => Err(MeasureError {
                 workload: Some(workload.name()),
-                config: config.label(),
+                config: label.to_string(),
                 kind: MeasureErrorKind::RetryBudgetExhausted {
                     budget: self.retry_budget,
                     last: e,

@@ -28,6 +28,35 @@ impl PowerWaveform {
         }
     }
 
+    /// Creates an empty waveform with room for `capacity` slices before
+    /// the first reallocation. Capacity is invisible to every observer
+    /// (equality, length, samples), so a caller that knows its slice
+    /// count -- the simulator targets a fixed number per run -- can skip
+    /// the growth reallocations without changing any result.
+    ///
+    /// ```
+    /// use lhr_power::PowerWaveform;
+    /// use lhr_units::{Seconds, Watts};
+    ///
+    /// let mut a = PowerWaveform::with_capacity(Seconds::new(1e-3), 64);
+    /// let mut b = PowerWaveform::new(Seconds::new(1e-3));
+    /// a.push(Watts::new(20.0));
+    /// b.push(Watts::new(20.0));
+    /// assert_eq!(a, b);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice duration is not positive.
+    #[must_use]
+    pub fn with_capacity(slice: Seconds, capacity: usize) -> Self {
+        assert!(slice.value() > 0.0, "slice duration must be positive");
+        Self {
+            slice,
+            samples: Vec::with_capacity(capacity),
+        }
+    }
+
     /// Appends one slice's average power.
     pub fn push(&mut self, power: Watts) {
         self.samples.push(power.value());

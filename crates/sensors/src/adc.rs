@@ -54,6 +54,17 @@ impl Adc {
     }
 
     /// Quantizes a voltage to a code, clamping to the input range.
+    ///
+    /// This stays floating-point deliberately. A fixed-point formulation
+    /// (round the voltage to integer microvolts, then take
+    /// `uv * 2^bits / v_ref_uv` in u64 arithmetic) was evaluated for the
+    /// hot logging path and rejected: the microvolt rounding moves
+    /// voltages that sit within half a microvolt of a code boundary onto
+    /// the other side of it, so the two formulations disagree by one code
+    /// on such inputs (demonstrated in this module's
+    /// `fixed_point_quantizer_is_not_bit_identical` test). Bit-identical
+    /// reproduction output is this project's hard rail, so the float path
+    /// stays.
     #[must_use]
     pub fn quantize(&self, v: Volts) -> u16 {
         let v_ref = self.v_ref_mv as f64 / 1000.0;
@@ -129,5 +140,49 @@ mod tests {
     #[should_panic(expected = "bits must be in")]
     fn zero_bits_panics() {
         let _ = Adc::new(0, Volts::new(5.0));
+    }
+
+    /// The fixed-point quantizer candidate: integer microvolts through
+    /// u64 arithmetic. Clamping and the final code cap mirror `quantize`.
+    fn quantize_fixed(adc: &Adc, v: Volts) -> u16 {
+        let v_ref_uv = u64::from(adc.v_ref_mv) * 1000;
+        let uv = (v.value() * 1e6).round().clamp(0.0, v_ref_uv as f64) as u64;
+        let code = uv * u64::from(1u32 << adc.bits) / v_ref_uv;
+        (code as u32).min(u32::from(adc.max_code())) as u16
+    }
+
+    /// The evaluation behind keeping `quantize` in floating point: the
+    /// fixed-point candidate agrees almost everywhere, but rounding the
+    /// input to integer microvolts moves voltages within half a microvolt
+    /// of a code boundary across it, flipping the code by one. Not
+    /// bit-identical means not usable here, however fast.
+    #[test]
+    fn fixed_point_quantizer_is_not_bit_identical() {
+        let adc = Adc::avr_10bit();
+
+        // 2.4414063 V sits just above the code-500 boundary
+        // (500 * 5 V / 1024 = 2.44140625 V), but rounds down to
+        // 2441406 uV -- below it. Float says 500, fixed-point says 499.
+        let v = Volts::new(2.441_406_3);
+        assert_eq!(adc.quantize(v), 500);
+        assert_eq!(quantize_fixed(&adc, v), 499);
+
+        // A fine scan confirms the disagreement is systematic (every
+        // half-microvolt straddle of a boundary), not a one-off.
+        let mut divergences = 0usize;
+        let mut agreements = 0usize;
+        for i in 0..200_000u32 {
+            let v = Volts::new(2.4 + f64::from(i) * 1e-6 * 0.5);
+            if adc.quantize(v) == quantize_fixed(&adc, v) {
+                agreements += 1;
+            } else {
+                divergences += 1;
+            }
+        }
+        assert!(divergences > 0, "candidate diverges on boundary straddles");
+        assert!(
+            agreements > 100 * divergences,
+            "divergence is confined to boundary neighborhoods"
+        );
     }
 }

@@ -68,6 +68,38 @@ impl QualityReport {
         }
     }
 
+    /// Builds a report for a lossless log, straight from the delivered
+    /// codes. This is [`QualityReport::from_log`] specialized to a log
+    /// with no dropped samples: same expressions, same results, without
+    /// materializing a `Vec<Option<u16>>` copy of the log first -- the
+    /// fault-free measure path calls this once per run.
+    ///
+    /// ```
+    /// use lhr_sensors::QualityReport;
+    ///
+    /// let codes = [470u16, 471, 470, 472];
+    /// let log: Vec<Option<u16>> = codes.iter().map(|&c| Some(c)).collect();
+    /// assert_eq!(
+    ///     QualityReport::from_codes(&codes, 0.4),
+    ///     QualityReport::from_log(&log, 0.4),
+    /// );
+    /// ```
+    #[must_use]
+    pub fn from_codes(codes: &[u16], drift_codes: f64) -> Self {
+        let expected = codes.len();
+        Self {
+            expected_samples: expected,
+            logged_samples: expected,
+            // `from_log` computes logged / expected, which for a
+            // lossless log is x / x = exactly 1.0 in IEEE 754, so the
+            // two constructors agree bit-for-bit on every input.
+            sample_yield: if expected == 0 { 0.0 } else { 1.0 },
+            gap_count: 0,
+            saturated_fraction: flatlined_fraction(codes),
+            drift_codes,
+        }
+    }
+
     /// Checks the report against a policy.
     ///
     /// # Errors
@@ -219,6 +251,23 @@ mod tests {
                 limit: 3.0
             }
         );
+    }
+
+    #[test]
+    fn from_codes_matches_from_log_on_lossless_logs() {
+        let cases: [&[u16]; 4] = [
+            &[],
+            &[470, 471, 470, 472],
+            &[400; 50],
+            &[470, 469, 471, 470, 470, 470, 470, 470, 470, 470, 470, 470],
+        ];
+        for codes in cases {
+            let log = log_of(codes);
+            assert_eq!(
+                QualityReport::from_codes(codes, 0.7),
+                QualityReport::from_log(&log, 0.7),
+            );
+        }
     }
 
     #[test]

@@ -1,5 +1,8 @@
 //! The complete measurement rig: calibrated sensor + logger on one rail.
 
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock, PoisonError};
+
 use lhr_obs::Obs;
 use lhr_power::PowerWaveform;
 use lhr_stats::Summary;
@@ -17,6 +20,15 @@ use crate::quality::{QualityPolicy, QualityReport};
 /// through the channel: the center of the paper's 0.3-3 A calibration
 /// range.
 const SELF_CHECK_AMPS: f64 = 1.65;
+
+/// The factory calibration bench's memo. [`MeasurementRig::for_max_power`]
+/// is a pure function of `(max_power, device_seed)` -- the sensor's noise
+/// stream, the ADC, and the calibration sweep are all seeded -- so each
+/// distinct channel is built and calibrated once per process and cloned
+/// out afterwards. A clone is field-for-field identical to a fresh build,
+/// so memoization never changes a measured byte; it only skips repeating
+/// the least-squares fit (~10 us per fresh runner in the fast-cell path).
+static CALIBRATION_BENCH: OnceLock<Mutex<HashMap<(u64, u64), MeasurementRig>>> = OnceLock::new();
 
 /// One benchmark run as seen through the rig.
 #[derive(Debug, Clone, PartialEq)]
@@ -66,11 +78,24 @@ impl MeasurementRig {
     /// always runs fault-free: faults afflict a rig in service, not on
     /// the calibration bench.
     ///
+    /// Calibration is deterministic in `(max_power, device_seed)`, so the
+    /// bench memoizes it: the first request for a channel pays for the
+    /// least-squares fit, repeats clone the calibrated rig bit-for-bit.
+    ///
     /// # Errors
     ///
     /// Propagates [`CalibrationError`] if the freshly built channel fails
     /// the R-squared acceptance test.
     pub fn for_max_power(max_power: Watts, device_seed: u64) -> Result<Self, CalibrationError> {
+        let key = (max_power.value().to_bits(), device_seed);
+        let bench = CALIBRATION_BENCH.get_or_init(|| Mutex::new(HashMap::new()));
+        if let Some(rig) = bench
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&key)
+        {
+            return Ok(rig.clone());
+        }
         let max_current = max_power.value() / 12.0;
         let mut sensor = if max_current > 4.5 {
             HallSensor::acs714_30a(device_seed)
@@ -79,7 +104,7 @@ impl MeasurementRig {
         };
         let adc = Adc::avr_10bit();
         let calibration = Calibration::paper_procedure(&mut sensor, &adc)?;
-        Ok(Self {
+        let rig = Self {
             sensor,
             adc,
             logger: DataLogger::paper_rig(),
@@ -87,7 +112,12 @@ impl MeasurementRig {
             injector: None,
             policy: QualityPolicy::default(),
             obs: Obs::none(),
-        })
+        };
+        bench
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(key, rig.clone());
+        Ok(rig)
     }
 
     /// Arms the rig with a fault plan. An all-default plan is discarded
@@ -152,8 +182,7 @@ impl MeasurementRig {
     pub fn measure(&self, waveform: &PowerWaveform, _seed: u64) -> Measurement {
         let mut sensor = self.sensor.clone();
         let codes = self.logger.log_run(waveform, &mut sensor, &self.adc);
-        let log: Vec<Option<u16>> = codes.iter().map(|&c| Some(c)).collect();
-        let quality = QualityReport::from_log(&log, self.drift_residual_codes(false));
+        let quality = QualityReport::from_codes(&codes, self.drift_residual_codes(false));
         let supply = self.logger.supply();
         let samples: Vec<Watts> = codes
             .iter()

@@ -1,0 +1,62 @@
+//! Property test pinning the flattened hot loop to the pre-optimization
+//! reference simulator.
+//!
+//! `ChipSimulator::run_reference` is the pinned, line-for-line copy of
+//! the simulator as it stood before the hot loop was flattened;
+//! `ChipSimulator::run_with_scratch` is the optimized loop. The property
+//! is strict equality of the full [`lhr_uarch::RunResult`] -- time,
+//! per-structure energy meters, power waveform, and instruction count,
+//! every `f64` compared bit-for-bit through `PartialEq` -- across
+//! randomly drawn `(processor, configuration, workload, seed)` cells,
+//! with one scratch buffer reused within each case so buffer-reset bugs
+//! cannot hide either.
+
+use proptest::prelude::*;
+
+use lhr_uarch::{ChipConfig, ChipSimulator, ProcessorId, SimScratch};
+use lhr_workloads::catalog;
+
+/// Applies one of five configuration shapes to a stock machine. Shapes a
+/// given chip cannot take (SMT-off without SMT, turbo-off without turbo,
+/// and so on) fall back to stock, so every drawn cell is valid.
+fn configured(id: ProcessorId, shape: usize) -> ChipConfig {
+    let stock = ChipConfig::stock(id.spec());
+    let shaped = match shape {
+        0 => Ok(stock.clone()),
+        1 => stock.clone().with_cores(1),
+        2 => stock.clone().with_smt(false),
+        3 => stock.clone().with_turbo(false),
+        _ => stock.clone().with_clock(id.spec().min_clock),
+    };
+    shaped.unwrap_or(stock)
+}
+
+proptest! {
+    // Each case runs the simulator four times on a full trace; 32 cases
+    // keep the suite inside the tier-1 time budget while still covering
+    // every chip and shape over a few runs.
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn flattened_loop_equals_reference_on_random_cells(
+        chip_ix in 0usize..ProcessorId::ALL.len(),
+        shape_ix in 0usize..5,
+        workload_ix in 0usize..catalog().len(),
+        seed in any::<u64>(),
+    ) {
+        let id = ProcessorId::ALL[chip_ix];
+        let config = configured(id, shape_ix);
+        let workload = &catalog()[workload_ix];
+        let sim = ChipSimulator::new().with_target_slices(60);
+        let mut scratch = SimScratch::new();
+        let reference = sim.run_reference(&config, workload, seed);
+        let fresh = sim.run(&config, workload, seed);
+        // Run twice with the same scratch: the second run must be
+        // unaffected by the first one's leftovers.
+        let reused_once = sim.run_with_scratch(&config, workload, seed, &mut scratch);
+        let reused_twice = sim.run_with_scratch(&config, workload, seed, &mut scratch);
+        prop_assert_eq!(&reference, &fresh, "fresh-scratch run diverged");
+        prop_assert_eq!(&reference, &reused_once, "reused-scratch run diverged");
+        prop_assert_eq!(&reference, &reused_twice, "second reuse diverged");
+    }
+}

@@ -3,14 +3,27 @@
 //! The build environment has no network access, so the real `criterion`
 //! cannot be fetched. This shim keeps the bench sources compiling and
 //! running (`cargo bench`) with the same surface -- `Criterion`,
-//! `benchmark_group`/`bench_function`, `Bencher::iter`/`iter_batched`,
-//! `criterion_group!`/`criterion_main!` -- but replaces the statistical
-//! engine with a plain min/mean-over-samples timer printed to stdout. No
-//! HTML reports, no outlier analysis, no baselines.
+//! `benchmark_group`/`bench_function`, `warm_up_time`/`measurement_time`,
+//! `BenchmarkId`, `Bencher::iter`/`iter_batched`, `criterion_group!`/
+//! `criterion_main!` -- but replaces the statistical engine with a plain
+//! min/mean-over-samples timer printed to stdout. No HTML reports, no
+//! outlier analysis, no baselines.
+//!
+//! Two behaviours of the real crate are preserved because the workspace's
+//! bench rules depend on them:
+//!
+//! * **Timing budgets**: `warm_up_time` runs the routine untimed until the
+//!   budget elapses; `measurement_time` is divided over `sample_size`
+//!   samples, each sample batching enough iterations to fill its share.
+//! * **Unique IDs**: registering the same fully-qualified benchmark ID
+//!   twice panics, exactly as the real crate does.
 
 #![forbid(unsafe_code)]
 
-use std::time::Instant;
+use std::collections::HashSet;
+use std::fmt::Display;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// Prevents the optimizer from discarding a value (same contract as the
 /// real crate's `black_box`).
@@ -30,16 +43,93 @@ pub enum BatchSize {
     PerIteration,
 }
 
-/// The bench context handed to each target function.
-#[derive(Debug)]
-pub struct Criterion {
-    sample_size: usize,
+/// A benchmark identifier combining a function name and a parameter, as
+/// in the real crate: `BenchmarkId::new("quantize", 1024)` renders as
+/// `quantize/1024`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
 }
 
-impl Default for Criterion {
-    fn default() -> Self {
-        Self { sample_size: 20 }
+impl BenchmarkId {
+    /// An ID from a function name and a displayable parameter.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
     }
+
+    /// An ID from a parameter alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion accepted by `bench_function`: a string-ish name or a
+/// [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// The rendered benchmark ID.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+/// Process-wide registry enforcing unique benchmark IDs, as the real
+/// crate does (it panics on a duplicate at runtime).
+fn register_unique(id: &str) {
+    static SEEN: Mutex<Option<HashSet<String>>> = Mutex::new(None);
+    // A duplicate-ID panic poisons the lock; the registry itself is
+    // still coherent, so later benchmarks may keep registering.
+    let mut guard = SEEN.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let seen = guard.get_or_insert_with(HashSet::new);
+    assert!(
+        seen.insert(id.to_owned()),
+        "duplicate benchmark ID: {id:?} (IDs must be unique per process)"
+    );
+}
+
+/// Timing budgets shared by `Criterion` and `BenchmarkGroup`.
+#[derive(Debug, Clone, Copy)]
+struct Budgets {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Budgets {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            // The shim defaults to the workspace's APAS budgets rather
+            // than the real crate's 3 s / 5 s -- benches here must be fast.
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+        }
+    }
+}
+
+/// The bench context handed to each target function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    budgets: Budgets,
 }
 
 impl Criterion {
@@ -47,7 +137,23 @@ impl Criterion {
     #[must_use]
     pub fn sample_size(mut self, n: usize) -> Self {
         assert!(n >= 2, "need at least two samples");
-        self.sample_size = n;
+        self.budgets.sample_size = n;
+        self
+    }
+
+    /// Overrides the untimed warm-up budget per benchmark.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        assert!(!d.is_zero(), "warm-up time must be positive");
+        self.budgets.warm_up = d;
+        self
+    }
+
+    /// Overrides the measurement budget a benchmark's samples share.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        assert!(!d.is_zero(), "measurement time must be positive");
+        self.budgets.measurement = d;
         self
     }
 
@@ -55,23 +161,27 @@ impl Criterion {
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
         BenchmarkGroup {
             name: name.to_owned(),
-            sample_size: self.sample_size,
+            budgets: self.budgets,
             _parent: self,
         }
     }
 
     /// Times one benchmark outside any group.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
-        run_benchmark(id, self.sample_size, f);
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        run_benchmark(&id.into_id(), self.budgets, f);
         self
     }
 }
 
-/// A named collection of benchmarks sharing a sample size.
+/// A named collection of benchmarks sharing timing budgets.
 #[derive(Debug)]
 pub struct BenchmarkGroup<'a> {
     name: String,
-    sample_size: usize,
+    budgets: Budgets,
     _parent: &'a mut Criterion,
 }
 
@@ -79,24 +189,54 @@ impl BenchmarkGroup<'_> {
     /// Overrides the number of timed samples for this group.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         assert!(n >= 2, "need at least two samples");
-        self.sample_size = n;
+        self.budgets.sample_size = n;
+        self
+    }
+
+    /// Overrides the untimed warm-up budget for this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        assert!(!d.is_zero(), "warm-up time must be positive");
+        self.budgets.warm_up = d;
+        self
+    }
+
+    /// Overrides the measurement budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        assert!(!d.is_zero(), "measurement time must be positive");
+        self.budgets.measurement = d;
         self
     }
 
     /// Times one benchmark within the group.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
-        run_benchmark(&format!("{}/{id}", self.name), self.sample_size, f);
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        run_benchmark(&format!("{}/{}", self.name, id.into_id()), self.budgets, f);
         self
+    }
+
+    /// Times one benchmark with an explicit input reference (the real
+    /// crate's `bench_with_input`). The shim simply forwards the input.
+    pub fn bench_with_input<I: IntoBenchmarkId, T: ?Sized, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
     }
 
     /// Ends the group (the shim has no cross-group state to flush).
     pub fn finish(self) {}
 }
 
-fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, samples: usize, mut f: F) {
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, budgets: Budgets, mut f: F) {
+    register_unique(id);
     let mut bencher = Bencher {
-        samples,
-        times_ns: Vec::with_capacity(samples),
+        budgets,
+        times_ns: Vec::with_capacity(budgets.sample_size),
     };
     f(&mut bencher);
     let times = &bencher.times_ns;
@@ -124,30 +264,55 @@ fn fmt_ns(ns: f64) -> String {
 /// Runs and times the benchmark routine.
 #[derive(Debug)]
 pub struct Bencher {
-    samples: usize,
+    budgets: Budgets,
+    /// Per-iteration time of each sample, nanoseconds.
     times_ns: Vec<f64>,
 }
 
 impl Bencher {
-    /// Times `routine` over the configured number of samples.
+    /// Times `routine`: warms up until the warm-up budget elapses, then
+    /// takes `sample_size` samples, each batching enough iterations to
+    /// fill its share of the measurement budget.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
-        // One untimed warm-up call.
-        black_box(routine());
-        for _ in 0..self.samples {
-            let t = Instant::now();
+        // Warm-up: run untimed until the budget elapses (at least once),
+        // estimating the per-iteration cost as we go.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        loop {
             black_box(routine());
-            self.times_ns.push(t.elapsed().as_nanos() as f64);
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.budgets.warm_up {
+                break;
+            }
+        }
+        let est_ns =
+            (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+
+        // Measurement: divide the budget over the samples; batch
+        // iterations so each sample is long enough to time meaningfully.
+        let samples = self.budgets.sample_size;
+        let per_sample_ns = self.budgets.measurement.as_nanos() as f64 / samples as f64;
+        let iters = ((per_sample_ns / est_ns).floor() as u64).max(1);
+        for _ in 0..samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.times_ns
+                .push(t.elapsed().as_nanos() as f64 / iters as f64);
         }
     }
 
     /// Times `routine` with a fresh un-timed `setup` product per sample.
+    /// Batching would require cloning inputs, so each sample is exactly
+    /// one routine call; the sample count still follows `sample_size`.
     pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
     where
         S: FnMut() -> I,
         R: FnMut(I) -> O,
     {
         black_box(routine(setup()));
-        for _ in 0..self.samples {
+        for _ in 0..self.budgets.sample_size {
             let input = setup();
             let t = Instant::now();
             black_box(routine(input));
@@ -183,7 +348,10 @@ mod tests {
 
     #[test]
     fn iter_records_the_sample_count() {
-        let mut c = Criterion::default().sample_size(3);
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
         c.bench_function("noop", |b| b.iter(|| 1 + 1));
     }
 
@@ -191,10 +359,33 @@ mod tests {
     fn groups_run_their_benches() {
         let mut c = Criterion::default();
         let mut group = c.benchmark_group("g");
-        group.sample_size(2);
+        group
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(1));
         group.bench_function("batched", |b| {
             b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
         });
+        group.bench_with_input(BenchmarkId::new("with_input", 16), &16usize, |b, &n| {
+            b.iter(|| n * 2);
+        });
         group.finish();
+    }
+
+    #[test]
+    fn benchmark_ids_render_like_the_real_crate() {
+        assert_eq!(BenchmarkId::new("filter", 100).into_id(), "filter/100");
+        assert_eq!(BenchmarkId::from_parameter(7).into_id(), "7");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate benchmark ID")]
+    fn duplicate_ids_panic() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(1));
+        c.bench_function("dup/id", |b| b.iter(|| 1));
+        c.bench_function("dup/id", |b| b.iter(|| 1));
     }
 }
