@@ -89,7 +89,12 @@ fn main() -> ExitCode {
         }
     }
 
-    let report = perfjson::collect(&label, &cfg);
+    let mut report = perfjson::collect(&label, &cfg);
+    // The serving-tier HTTP layers ride along when the release binaries
+    // are built (the CI perf job builds them first); compare() only
+    // diffs layers present in both snapshots, so older baselines still
+    // gate cleanly.
+    report.layers.extend(perfjson::collect_serving(&cfg));
     println!("label: {}", report.label);
     println!("cells/sec (end-to-end): {:.2}", report.cells_per_sec);
     println!("ns/interval (model core): {:.1}", report.ns_per_interval);
@@ -100,6 +105,15 @@ fn main() -> ExitCode {
         println!(
             "  {:<44} {:>14.0} ns/iter  ({} iters){allocs}",
             layer.id, layer.ns_per_iter, layer.iters
+        );
+    }
+    if let (Some(direct), Some(routed)) = (
+        report.layer("serve_http_warm/direct_cell_jess_i7"),
+        report.layer("route_http_warm/router_cached_cell"),
+    ) {
+        println!(
+            "router warm hit vs direct backend: {:.2}x",
+            routed.ns_per_iter / direct.ns_per_iter
         );
     }
 
@@ -136,7 +150,8 @@ fn main() -> ExitCode {
         while !drift.passed() && attempt < 3 {
             attempt += 1;
             println!("drift gate failed; re-measuring (attempt {attempt}/3)");
-            let retry = perfjson::collect(&label, &cfg);
+            let mut retry = perfjson::collect(&label, &cfg);
+            retry.layers.extend(perfjson::collect_serving(&cfg));
             drift = perfjson::compare(&retry, &baseline);
             print!("{}", drift.render());
         }

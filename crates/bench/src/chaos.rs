@@ -17,25 +17,34 @@
 //!   endpoint so admission control sheds under real concurrency while
 //!   the campaign makes progress on the background lane.
 //!
-//! Every knob derives from one seed ([`ChaosPlan::from_seed`]), so a
-//! failing chaos run reproduces exactly. The harness itself lives in
-//! `lhr-bench` and talks only TCP + process control: it has no
+//! Every knob derives from one seed ([`ChaosPlan::from_seed`] for the
+//! campaign drill, [`ShardChaosPlan::from_seed`] for the shard drill),
+//! so a failing chaos run reproduces exactly. The harness itself lives
+//! in `lhr-bench` and talks only TCP + process control: it has no
 //! compile-time dependency on the serve crate, which keeps the
 //! layering acyclic (serve depends on bench for its journal).
 //!
+//! All HTTP in this module rides the hardened [`crate::httpc`] client:
+//! a torn body (server killed mid-write) surfaces as a typed
+//! truncation error, never as a quiet prefix that byte-identity checks
+//! would wave through.
+//!
 //! See `examples/chaos_campaign.rs` for the full kill/tear/resume
-//! drill, and the `chaos` CI job that runs it on every push.
+//! drill, `examples/shard_chaos.rs` for the sharded kill + rolling
+//! restart drill, and the `chaos`/`shard-chaos` CI jobs that run them
+//! on every push.
 
 use std::fs;
-use std::io::{self, BufRead, BufReader, Read, Write};
-use std::net::{SocketAddr, TcpStream};
-use std::path::Path;
+use std::io::{self, BufRead, BufReader};
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use crate::httpc;
 use lhr_trace::{Rng64, SplitMix64};
 
 // ---------------------------------------------------------------------
@@ -74,13 +83,86 @@ impl ChaosPlan {
     }
 }
 
+/// The seeded fault schedule for one sharded chaos run (see
+/// `examples/shard_chaos.rs`): which backend dies, which one gets the
+/// rolling restart, and how much client pressure rides through the
+/// router while both happen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardChaosPlan {
+    /// The seed everything below derives from.
+    pub seed: u64,
+    /// Index of the backend to SIGKILL (of the 3 the drill boots).
+    pub kill_backend: usize,
+    /// Index of the backend to roll-restart via drain; always differs
+    /// from [`ShardChaosPlan::kill_backend`].
+    pub drain_backend: usize,
+    /// Concurrent verifying clients driving load through the router.
+    pub clients: usize,
+    /// Router-routed requests each client must complete before the
+    /// first fault lands (warms every shard's cache path).
+    pub warmup_requests: usize,
+}
+
+impl ShardChaosPlan {
+    /// Derives a shard fault schedule from `seed`: kill one of three
+    /// backends, roll-restart a different one, 4-8 clients, 3-6 warmup
+    /// requests per client.
+    #[must_use]
+    pub fn from_seed(seed: u64) -> Self {
+        let mut rng = SplitMix64::new(seed ^ 0x5AAD);
+        let kill_backend = rng.next_below(3) as usize;
+        // Pick the drain target from the two survivors.
+        let drain_backend = (kill_backend + 1 + rng.next_below(2) as usize) % 3;
+        Self {
+            seed,
+            kill_backend,
+            drain_backend,
+            clients: 4 + rng.next_below(5) as usize,
+            warmup_requests: 3 + rng.next_below(4) as usize,
+        }
+    }
+}
+
 // ---------------------------------------------------------------------
 // Process control
 // ---------------------------------------------------------------------
 
-/// A running `lhr_serve` child process, its bound address parsed from
-/// the boot banner (so `--addr 127.0.0.1:0` works and tests never race
-/// over a fixed port).
+/// Locates a release binary of this workspace by name: the explicit
+/// `env_override` variable wins, otherwise the binary is expected next
+/// to the calling test/example executable's target directory
+/// (`target/release/examples/x` -> `target/release/<name>`).
+///
+/// # Errors
+///
+/// The binary not existing (the message names the build command).
+pub fn locate_binary(name: &str, env_override: &str) -> io::Result<PathBuf> {
+    if let Ok(path) = std::env::var(env_override) {
+        return Ok(PathBuf::from(path));
+    }
+    let me = std::env::current_exe()?;
+    // Tests live in target/release/deps/, examples in
+    // target/release/examples/; walk up until a dir holding the binary.
+    let mut dir = me.parent();
+    while let Some(d) = dir {
+        let bin = d.join(name);
+        if bin.is_file() {
+            return Ok(bin);
+        }
+        if d.file_name().is_some_and(|n| n == "target") {
+            break;
+        }
+        dir = d.parent();
+    }
+    Err(io::Error::other(format!(
+        "{name} not found near {}; build it first: \
+         cargo build --release -p lhr-serve --bin {name} (or set {env_override})",
+        me.display()
+    )))
+}
+
+/// A running serving-layer child process (`lhr_serve` or `lhr_router`),
+/// its bound address parsed from the boot banner (so `--addr
+/// 127.0.0.1:0` works and tests never race over a fixed port).
 #[derive(Debug)]
 pub struct ServerProc {
     child: Child,
@@ -104,6 +186,9 @@ impl ServerProc {
         let stdout = child.stdout.take().expect("piped stdout");
         let mut reader = BufReader::new(stdout);
         let mut line = String::new();
+        // Both serving binaries print "<name> listening on http://ADDR";
+        // matching the shared suffix keeps one harness for all of them.
+        const BANNER: &str = "listening on http://";
         let addr = loop {
             line.clear();
             if reader.read_line(&mut line)? == 0 {
@@ -111,7 +196,8 @@ impl ServerProc {
                 let _ = child.wait();
                 return Err(io::Error::other("server exited before its banner"));
             }
-            if let Some(rest) = line.trim().strip_prefix("lhr_serve listening on http://") {
+            if let Some(at) = line.find(BANNER) {
+                let rest = line[at + BANNER.len()..].trim();
                 break rest
                     .parse::<SocketAddr>()
                     .map_err(|e| io::Error::other(format!("bad banner addr {rest:?}: {e}")))?;
@@ -187,24 +273,36 @@ impl Drop for ServerProc {
 // HTTP clients
 // ---------------------------------------------------------------------
 
-/// One raw HTTP exchange; returns `(status, full response text)`.
+/// The read deadline the chaos helpers hand to [`crate::httpc`]: long
+/// enough for a cold campaign cell, short enough that a wedged server
+/// still fails the drill.
+const CHAOS_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// One raw HTTP exchange via the hardened client; returns
+/// `(status, full response text)` so callers can keep splitting with
+/// [`body_of`].
 ///
 /// # Errors
 ///
 /// Connection, send, or read failures (expected mid-kill; callers
-/// decide whether that is fatal).
+/// decide whether that is fatal) -- including typed truncation when a
+/// dying server tears the body (`httpc::ClientError::Truncated`).
 pub fn http_request(addr: SocketAddr, raw: &str) -> io::Result<(u16, String)> {
-    let mut stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(Duration::from_secs(120)))?;
-    stream.write_all(raw.as_bytes())?;
-    let mut text = String::new();
-    stream.read_to_string(&mut text)?;
-    let status = text
-        .split(' ')
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| io::Error::other(format!("no status line in {text:?}")))?;
-    Ok((status, text))
+    let resp = httpc::exchange(addr, raw.as_bytes(), CHAOS_TIMEOUT)?;
+    Ok((resp.status, rebuild_text(&resp)))
+}
+
+/// Renders a validated [`httpc::HttpResponse`] back into the
+/// `head\r\n\r\nbody` text shape the older string helpers expose.
+fn rebuild_text(resp: &httpc::HttpResponse) -> String {
+    use std::fmt::Write as _;
+    let mut text = format!("HTTP/1.1 {}\r\n", resp.status);
+    for (name, value) in &resp.headers {
+        let _ = write!(text, "{name}: {value}\r\n");
+    }
+    text.push_str("\r\n");
+    text.push_str(&resp.body_str());
+    text
 }
 
 /// `GET target`.
@@ -213,7 +311,8 @@ pub fn http_request(addr: SocketAddr, raw: &str) -> io::Result<(u16, String)> {
 ///
 /// See [`http_request`].
 pub fn http_get(addr: SocketAddr, target: &str) -> io::Result<(u16, String)> {
-    http_request(addr, &format!("GET {target} HTTP/1.1\r\nHost: chaos\r\n\r\n"))
+    let resp = httpc::get(addr, target, CHAOS_TIMEOUT)?;
+    Ok((resp.status, rebuild_text(&resp)))
 }
 
 /// `POST target` with an empty body.
@@ -222,10 +321,8 @@ pub fn http_get(addr: SocketAddr, target: &str) -> io::Result<(u16, String)> {
 ///
 /// See [`http_request`].
 pub fn http_post(addr: SocketAddr, target: &str) -> io::Result<(u16, String)> {
-    http_request(
-        addr,
-        &format!("POST {target} HTTP/1.1\r\nHost: chaos\r\nContent-Length: 0\r\n\r\n"),
-    )
+    let resp = httpc::post(addr, target, CHAOS_TIMEOUT)?;
+    Ok((resp.status, rebuild_text(&resp)))
 }
 
 /// The body of a full response text.
@@ -319,7 +416,10 @@ pub struct OverloadStats {
 }
 
 impl Overload {
-    /// Starts `clients` threads issuing `GET target` in a tight loop.
+    /// Starts `clients` threads issuing `GET target` in a loop. A `503`
+    /// shed with a `Retry-After` header backs the client off for the
+    /// advertised interval (capped at one second so a drill cannot
+    /// stall) instead of immediately re-stampeding the shedding server.
     #[must_use]
     pub fn start(addr: SocketAddr, target: &str, clients: usize) -> Self {
         let stop = Arc::new(AtomicBool::new(false));
@@ -335,11 +435,29 @@ impl Overload {
                 let target = target.to_owned();
                 std::thread::spawn(move || {
                     while !stop.load(Ordering::Relaxed) {
-                        match http_get(addr, &target) {
-                            Ok((503, _)) => shed.fetch_add(1, Ordering::Relaxed),
-                            Ok(_) => ok.fetch_add(1, Ordering::Relaxed),
-                            Err(_) => errors.fetch_add(1, Ordering::Relaxed),
-                        };
+                        match httpc::get(addr, &target, CHAOS_TIMEOUT) {
+                            Ok(resp) if resp.status == 503 => {
+                                shed.fetch_add(1, Ordering::Relaxed);
+                                if let Some(secs) = resp.retry_after_secs() {
+                                    let backoff =
+                                        Duration::from_secs(secs).min(Duration::from_secs(1));
+                                    // Re-check stop so Overload::stop is
+                                    // never held hostage by a backoff.
+                                    let until = Instant::now() + backoff;
+                                    while Instant::now() < until
+                                        && !stop.load(Ordering::Relaxed)
+                                    {
+                                        std::thread::sleep(Duration::from_millis(10));
+                                    }
+                                }
+                            }
+                            Ok(_) => {
+                                ok.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(_) => {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
                     }
                 })
             })
@@ -382,6 +500,35 @@ mod tests {
         assert!((8..=16).contains(&a.overload_clients));
         // Different seeds land on different schedules eventually.
         assert!((0..64).any(|s| ChaosPlan::from_seed(s) != a));
+    }
+
+    #[test]
+    fn shard_plan_is_deterministic_and_never_drains_the_killed_backend() {
+        for seed in 0..256 {
+            let plan = ShardChaosPlan::from_seed(seed);
+            assert_eq!(plan, ShardChaosPlan::from_seed(seed));
+            assert!(plan.kill_backend < 3);
+            assert!(plan.drain_backend < 3);
+            assert_ne!(
+                plan.kill_backend, plan.drain_backend,
+                "seed {seed}: rolling restart must target a survivor"
+            );
+            assert!((4..=8).contains(&plan.clients));
+            assert!((3..=6).contains(&plan.warmup_requests));
+        }
+    }
+
+    #[test]
+    fn rebuild_text_round_trips_through_body_of() {
+        let resp = httpc::HttpResponse {
+            status: 200,
+            headers: vec![("content-length".into(), "4".into())],
+            body: b"body".to_vec(),
+            length_checked: true,
+        };
+        let text = rebuild_text(&resp);
+        assert!(text.starts_with("HTTP/1.1 200\r\n"));
+        assert_eq!(body_of(&text), "body");
     }
 
     #[test]

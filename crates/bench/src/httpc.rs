@@ -1,0 +1,393 @@
+//! The in-repo HTTP/1.1 client: one hardened implementation shared by
+//! the chaos harness, the shard router, the load generators, and the
+//! serving-layer tests.
+//!
+//! Before this module existed, every test and example read responses
+//! with `read_to_string` and split on `\r\n\r\n` -- which silently
+//! accepts a *torn* body: a server killed mid-write produces a prefix
+//! of the payload, and a byte-identity check that never sees the
+//! missing tail cannot fail. The client here parses the head properly
+//! and validates `Content-Length` against the bytes actually read;
+//! a short body is a typed [`ClientError::Truncated`], never a quiet
+//! success.
+//!
+//! The client speaks exactly the subset the serving layer emits:
+//! `Connection: close` responses with a `Content-Length` header. A
+//! response without `Content-Length` is read to EOF (and flagged as
+//! unverifiable via [`HttpResponse::length_checked`]).
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Why an exchange failed. `Io` covers everything the socket can do to
+/// you (refused, reset, timed out); the other variants are protocol
+/// failures the old string-splitting client silently swallowed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connect/send/receive failure (the server may be mid-restart).
+    Io(io::Error),
+    /// The response head did not parse (no status line, bad header).
+    Malformed(String),
+    /// The body ended before `Content-Length` bytes arrived: a torn
+    /// response from a dying or lying server.
+    Truncated {
+        /// Bytes the `Content-Length` header promised.
+        expected: usize,
+        /// Bytes actually received before EOF.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o: {e}"),
+            ClientError::Malformed(detail) => write!(f, "malformed response: {detail}"),
+            ClientError::Truncated { expected, got } => write!(
+                f,
+                "truncated response: Content-Length promised {expected} bytes, got {got}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ClientError> for io::Error {
+    fn from(e: ClientError) -> Self {
+        match e {
+            ClientError::Io(io) => io,
+            other => io::Error::other(other.to_string()),
+        }
+    }
+}
+
+/// A fully received response: status, headers, body -- with the body's
+/// length verified against `Content-Length` when the server sent one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// HTTP status code from the status line.
+    pub status: u16,
+    /// Headers in arrival order, names lowercased, values trimmed.
+    pub headers: Vec<(String, String)>,
+    /// The body bytes, exactly `Content-Length` of them when declared.
+    pub body: Vec<u8>,
+    /// Whether the body length was verified against a `Content-Length`
+    /// header (`false` means the server sent none and the body is
+    /// whatever arrived before EOF).
+    pub length_checked: bool,
+}
+
+impl HttpResponse {
+    /// The first value of header `name` (case-insensitive), if present.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The `Retry-After` backoff hint in seconds, if the server sent
+    /// one (`503` sheds do; see `Response::overloaded` in `lhr-serve`).
+    #[must_use]
+    pub fn retry_after_secs(&self) -> Option<u64> {
+        self.header("retry-after").and_then(|v| v.trim().parse().ok())
+    }
+
+    /// The `Content-Type` header value, if present.
+    #[must_use]
+    pub fn content_type(&self) -> Option<&str> {
+        self.header("content-type")
+    }
+
+    /// The body as UTF-8 text (lossy -- artifacts are text, but the
+    /// client must not panic on a binary body).
+    #[must_use]
+    pub fn body_str(&self) -> std::borrow::Cow<'_, str> {
+        String::from_utf8_lossy(&self.body)
+    }
+}
+
+/// Performs one raw exchange: connect, send `raw` verbatim, read and
+/// validate the response.
+///
+/// # Errors
+///
+/// [`ClientError::Io`] on socket failures, [`ClientError::Malformed`]
+/// when the head does not parse, [`ClientError::Truncated`] when the
+/// body is shorter than its `Content-Length`.
+pub fn exchange(
+    addr: SocketAddr,
+    raw: &[u8],
+    timeout: Duration,
+) -> Result<HttpResponse, ClientError> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.write_all(raw)?;
+    read_response(&mut stream)
+}
+
+/// [`exchange`] with a bounded *connect* as well: a dead backend costs
+/// `connect_timeout`, not the kernel's multi-second default. This is
+/// the variant the shard router forwards through.
+///
+/// # Errors
+///
+/// See [`exchange`].
+pub fn exchange_timeouts(
+    addr: SocketAddr,
+    raw: &[u8],
+    connect_timeout: Duration,
+    read_timeout: Duration,
+) -> Result<HttpResponse, ClientError> {
+    let mut stream = TcpStream::connect_timeout(&addr, connect_timeout)?;
+    stream.set_read_timeout(Some(read_timeout))?;
+    let _ = stream.set_nodelay(true);
+    stream.write_all(raw)?;
+    read_response(&mut stream)
+}
+
+/// Reads and validates one response from an already-connected stream.
+///
+/// # Errors
+///
+/// See [`exchange`].
+pub fn read_response(stream: &mut impl Read) -> Result<HttpResponse, ClientError> {
+    // Read the whole response (Connection: close protocol), then parse.
+    // The serving layer's responses are small; buffering them whole
+    // keeps the parse simple and the truncation check exact.
+    let mut bytes = Vec::with_capacity(1024);
+    stream.read_to_end(&mut bytes)?;
+    parse_response(&bytes)
+}
+
+/// Parses a buffered response and validates its body length.
+///
+/// # Errors
+///
+/// See [`exchange`].
+pub fn parse_response(bytes: &[u8]) -> Result<HttpResponse, ClientError> {
+    let head_end = find_head_end(bytes)
+        .ok_or_else(|| ClientError::Malformed("no blank line terminating the head".into()))?;
+    let head = std::str::from_utf8(&bytes[..head_end])
+        .map_err(|_| ClientError::Malformed("head is not UTF-8".into()))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines
+        .next()
+        .ok_or_else(|| ClientError::Malformed("empty head".into()))?;
+    let status = parse_status_line(status_line)?;
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ClientError::Malformed(format!("bad header line {line:?}")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+    let body = bytes[head_end + 4..].to_vec();
+    let declared = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| ClientError::Malformed(format!("bad Content-Length {v:?}")))
+        })
+        .transpose()?;
+    match declared {
+        Some(expected) if body.len() < expected => Err(ClientError::Truncated {
+            expected,
+            got: body.len(),
+        }),
+        Some(expected) => Ok(HttpResponse {
+            status,
+            headers,
+            // Anything past Content-Length is trailing garbage; the
+            // declared length defines the body.
+            body: body[..expected].to_vec(),
+            length_checked: true,
+        }),
+        None => Ok(HttpResponse {
+            status,
+            headers,
+            body,
+            length_checked: false,
+        }),
+    }
+}
+
+fn find_head_end(bytes: &[u8]) -> Option<usize> {
+    bytes.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn parse_status_line(line: &str) -> Result<u16, ClientError> {
+    let mut parts = line.split(' ');
+    match parts.next() {
+        Some(v) if v.starts_with("HTTP/1.") => {}
+        other => {
+            return Err(ClientError::Malformed(format!(
+                "status line does not start with HTTP/1.x: {other:?}"
+            )))
+        }
+    }
+    parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| ClientError::Malformed(format!("no status code in {line:?}")))
+}
+
+/// `GET target` with the standard minimal head.
+///
+/// # Errors
+///
+/// See [`exchange`].
+pub fn get(addr: SocketAddr, target: &str, timeout: Duration) -> Result<HttpResponse, ClientError> {
+    exchange(
+        addr,
+        format!("GET {target} HTTP/1.1\r\nHost: lhr\r\n\r\n").as_bytes(),
+        timeout,
+    )
+}
+
+/// `POST target` with an empty body.
+///
+/// # Errors
+///
+/// See [`exchange`].
+pub fn post(addr: SocketAddr, target: &str, timeout: Duration) -> Result<HttpResponse, ClientError> {
+    exchange(
+        addr,
+        format!("POST {target} HTTP/1.1\r\nHost: lhr\r\nContent-Length: 0\r\n\r\n").as_bytes(),
+        timeout,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw(status: &str, headers: &str, body: &str) -> Vec<u8> {
+        format!("HTTP/1.1 {status}\r\n{headers}\r\n{body}").into_bytes()
+    }
+
+    #[test]
+    fn parses_a_complete_response() {
+        let bytes = raw(
+            "200 OK",
+            "Content-Type: application/json\r\nContent-Length: 9\r\nRetry-After: 2\r\n",
+            "{\"ok\":1}\n",
+        );
+        let r = parse_response(&bytes).expect("parses");
+        assert_eq!(r.status, 200);
+        assert_eq!(r.content_type(), Some("application/json"));
+        assert_eq!(r.retry_after_secs(), Some(2));
+        assert_eq!(r.body_str(), "{\"ok\":1}\n");
+        assert!(r.length_checked);
+    }
+
+    #[test]
+    fn torn_bodies_are_a_typed_error_not_a_quiet_success() {
+        // The old client would return this prefix as if it were the
+        // whole body; the hardened client must refuse.
+        let bytes = raw("200 OK", "Content-Length: 100\r\n", "only-a-prefix");
+        match parse_response(&bytes) {
+            Err(ClientError::Truncated { expected, got }) => {
+                assert_eq!(expected, 100);
+                assert_eq!(got, 13);
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_past_content_length_is_dropped() {
+        let bytes = raw("200 OK", "Content-Length: 4\r\n", "bodyGARBAGE");
+        let r = parse_response(&bytes).expect("parses");
+        assert_eq!(r.body, b"body");
+    }
+
+    #[test]
+    fn missing_content_length_reads_to_eof_unchecked() {
+        let bytes = raw("200 OK", "Content-Type: text/plain\r\n", "whatever arrived");
+        let r = parse_response(&bytes).expect("parses");
+        assert!(!r.length_checked);
+        assert_eq!(r.body_str(), "whatever arrived");
+    }
+
+    #[test]
+    fn malformed_heads_are_typed_errors() {
+        assert!(matches!(
+            parse_response(b"GARBAGE\r\n\r\n"),
+            Err(ClientError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse_response(b"HTTP/1.1 OK\r\n\r\n"),
+            Err(ClientError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse_response(b"HTTP/1.1 200 OK\r\nno-head-terminator"),
+            Err(ClientError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse_response(b"HTTP/1.1 200 OK\r\nContent-Length: ten\r\n\r\nx"),
+            Err(ClientError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn truncation_error_survives_io_error_conversion() {
+        let err = ClientError::Truncated {
+            expected: 10,
+            got: 3,
+        };
+        let io: io::Error = err.into();
+        assert!(io.to_string().contains("truncated response"), "{io}");
+        assert!(io.to_string().contains("10"), "{io}");
+    }
+
+    #[test]
+    fn end_to_end_against_a_real_socket() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            // First connection: a complete response. Second: torn body.
+            for (i, conn) in listener.incoming().take(2).enumerate() {
+                let mut s = conn.unwrap();
+                let mut buf = [0u8; 512];
+                let _ = s.read(&mut buf);
+                let payload = if i == 0 {
+                    "HTTP/1.1 200 OK\r\nContent-Length: 5\r\n\r\nhello".to_owned()
+                } else {
+                    "HTTP/1.1 200 OK\r\nContent-Length: 50\r\n\r\ncut".to_owned()
+                };
+                s.write_all(payload.as_bytes()).unwrap();
+                // Dropping the stream closes it: the torn case ends at
+                // EOF well short of its declared length.
+            }
+        });
+        let ok = get(addr, "/x", Duration::from_secs(5)).expect("first response completes");
+        assert_eq!(ok.status, 200);
+        assert_eq!(ok.body, b"hello");
+        match get(addr, "/x", Duration::from_secs(5)) {
+            Err(ClientError::Truncated { expected: 50, got: 3 }) => {}
+            other => panic!("expected Truncated {{50, 3}}, got {other:?}"),
+        }
+        server.join().unwrap();
+    }
+}

@@ -30,6 +30,7 @@
 pub mod artifact;
 pub mod campaign;
 pub mod chaos;
+pub mod httpc;
 pub mod perfjson;
 pub mod traceview;
 

@@ -592,6 +592,114 @@ pub fn collect(label: &str, cfg: &TimerConfig) -> BenchReport {
     }
 }
 
+/// The serving-tier HTTP layers: warm-cell request latency straight to
+/// one `lhr_serve` backend, through an `lhr_router` with its response
+/// cache armed (the 2x-of-direct bound on the router hop lives in these
+/// two numbers), and through a cache-off router that genuinely forwards
+/// every request.
+///
+/// Spawns the real release binaries over loopback TCP; returns an empty
+/// vec when they are not built (library tests, doctests), so [`compare`]
+/// -- which only diffs layers present in both snapshots -- still gates
+/// older snapshots cleanly.
+#[must_use]
+pub fn collect_serving(cfg: &TimerConfig) -> Vec<LayerStat> {
+    use crate::chaos::{locate_binary, ServerProc};
+    use crate::httpc;
+
+    let (Ok(serve_bin), Ok(router_bin)) = (
+        locate_binary("lhr_serve", "LHR_SERVE_BIN"),
+        locate_binary("lhr_router", "LHR_ROUTER_BIN"),
+    ) else {
+        return Vec::new();
+    };
+    const TARGET: &str = "/v1/cell?chip=i7-45&workload=jess";
+    const TIMEOUT: Duration = Duration::from_secs(120);
+    let campaign_dir = std::env::temp_dir().join(format!("lhr-perf-serve-{}", std::process::id()));
+    let campaign_dir = campaign_dir.to_string_lossy().into_owned();
+    let fetch = |addr: std::net::SocketAddr| {
+        let resp = httpc::get(addr, TARGET, TIMEOUT).expect("serving layer reachable");
+        assert_eq!(resp.status, 200, "warm cell must serve: {}", resp.body_str());
+        std::hint::black_box(resp.body.len());
+    };
+
+    let mut layers = Vec::with_capacity(3);
+    let backend = ServerProc::spawn(
+        &serve_bin,
+        &["--addr", "127.0.0.1:0", "--jobs", "2", "--campaign-dir", &campaign_dir],
+    )
+    .expect("spawn perf backend");
+    let backend_addr = backend.addr();
+    fetch(backend_addr); // pay the one cold simulation up front
+
+    // Direct: one full connect + request + warm-cache response against
+    // the backend -- the baseline the router hop is measured against.
+    layers.push(time_layer(
+        "serve_http_warm/direct_cell_jess_i7",
+        "serve_http_warm",
+        cfg,
+        || fetch(backend_addr),
+    ));
+
+    // Routed, cache armed: after the first pass the router answers 200s
+    // from its own bounded FIFO cache, so this times the pure hop.
+    {
+        let router = ServerProc::spawn(
+            &router_bin,
+            &[
+                "--addr",
+                "127.0.0.1:0",
+                "--backends",
+                &backend_addr.to_string(),
+                "--probe-interval-ms",
+                "50",
+                "--no-local-fallback",
+            ],
+        )
+        .expect("spawn perf router");
+        let addr = router.addr();
+        fetch(addr); // populates the route cache
+        layers.push(time_layer(
+            "route_http_warm/router_cached_cell",
+            "route_http_warm",
+            cfg,
+            || fetch(addr),
+        ));
+        let _ = router.drain();
+    }
+
+    // Routed, cache off: every request genuinely forwards (shard-key,
+    // candidate walk, backend exchange) -- the failover path's cost.
+    {
+        let router = ServerProc::spawn(
+            &router_bin,
+            &[
+                "--addr",
+                "127.0.0.1:0",
+                "--backends",
+                &backend_addr.to_string(),
+                "--route-cache",
+                "0",
+                "--probe-interval-ms",
+                "50",
+                "--no-local-fallback",
+            ],
+        )
+        .expect("spawn perf forwarding router");
+        let addr = router.addr();
+        fetch(addr);
+        layers.push(time_layer(
+            "route_http_forward/router_forwarded_cell",
+            "route_http_forward",
+            cfg,
+            || fetch(addr),
+        ));
+        let _ = router.drain();
+    }
+    let _ = backend.drain();
+    layers
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

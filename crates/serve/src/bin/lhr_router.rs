@@ -1,0 +1,179 @@
+//! The `lhr_router` binary: boot the shard front router.
+//!
+//! ```text
+//! lhr_router --backends HOST:PORT,HOST:PORT,... [--addr HOST:PORT]
+//!            [--jobs N] [--queue-depth N] [--replicas N]
+//!            [--route-cache N] [--probe-interval-ms MS]
+//!            [--hedge-after-ms MS] [--no-local-fallback]
+//!            [--cache-cells N] [--trace PATH]
+//! ```
+//!
+//! The router consistent-hashes `/v1/*` queries onto the backend set,
+//! health-probes every backend with hysteresis, circuit-breaks the
+//! broken ones, hedges requests off Suspect primaries, and -- with
+//! local fallback armed (the default) -- computes answers on its own
+//! harness when a key's whole replica set is unreachable. Serves until
+//! `SIGINT`/`SIGTERM` or `POST /admin/drain`, then drains and exits 0.
+//!
+//! `POST /admin/backends?set=HOST:PORT,...` replaces the backend set
+//! live (rolling restarts re-admit a restarted backend this way).
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use lhr_core::{Harness, Runner, ShardedLruCache};
+use lhr_obs::{SloConfig, TimeSeriesConfig};
+use lhr_serve::{shard::RouterConfig, signal, start_router, Telemetry};
+
+struct Args {
+    config: RouterConfig,
+    cache_cells: usize,
+    local_fallback: bool,
+    trace: Option<String>,
+}
+
+fn usage() -> &'static str {
+    "usage: lhr_router --backends HOST:PORT,... [--addr HOST:PORT] [--jobs N] \
+     [--queue-depth N] [--replicas N] [--route-cache N] [--probe-interval-ms MS] \
+     [--hedge-after-ms MS] [--no-local-fallback] [--cache-cells N] [--trace PATH]"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        config: RouterConfig {
+            addr: "127.0.0.1:7010".to_owned(),
+            ..RouterConfig::default()
+        },
+        cache_cells: 1024,
+        local_fallback: true,
+        trace: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--addr" => args.config.addr = value("--addr")?,
+            "--backends" => {
+                for part in value("--backends")?.split(',').filter(|p| !p.is_empty()) {
+                    args.config.backends.push(
+                        part.parse()
+                            .map_err(|e| format!("--backends {part:?}: {e}"))?,
+                    );
+                }
+            }
+            "--jobs" => {
+                args.config.jobs = value("--jobs")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?;
+            }
+            "--queue-depth" => {
+                args.config.queue_depth = value("--queue-depth")?
+                    .parse()
+                    .map_err(|e| format!("--queue-depth: {e}"))?;
+            }
+            "--replicas" => {
+                args.config.replicas = value("--replicas")?
+                    .parse()
+                    .map_err(|e| format!("--replicas: {e}"))?;
+            }
+            "--route-cache" => {
+                args.config.route_cache = value("--route-cache")?
+                    .parse()
+                    .map_err(|e| format!("--route-cache: {e}"))?;
+            }
+            "--probe-interval-ms" => {
+                let ms: u64 = value("--probe-interval-ms")?
+                    .parse()
+                    .map_err(|e| format!("--probe-interval-ms: {e}"))?;
+                args.config.probe_interval = Duration::from_millis(ms);
+            }
+            "--hedge-after-ms" => {
+                let ms: u64 = value("--hedge-after-ms")?
+                    .parse()
+                    .map_err(|e| format!("--hedge-after-ms: {e}"))?;
+                args.config.hedge_after = Duration::from_millis(ms);
+            }
+            "--no-local-fallback" => args.local_fallback = false,
+            "--cache-cells" => {
+                args.cache_cells = value("--cache-cells")?
+                    .parse()
+                    .map_err(|e| format!("--cache-cells: {e}"))?;
+            }
+            "--trace" => args.trace = Some(value("--trace")?),
+            "--help" | "-h" => return Err(usage().to_owned()),
+            other => return Err(format!("unknown flag {other:?}\n{}", usage())),
+        }
+    }
+    if args.config.backends.is_empty() && !args.local_fallback {
+        return Err(format!(
+            "no backends and no local fallback: nothing could ever serve\n{}",
+            usage()
+        ));
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let base = Telemetry::new(TimeSeriesConfig::serving_default(), SloConfig::default());
+    let telemetry = if let Some(path) = &args.trace {
+        match base.with_trace_path(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot open trace file {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        base
+    };
+
+    // The fallback harness mirrors a backend's setup: bounded cell
+    // cache, observer into the router's own telemetry. It only ever
+    // runs when a key's whole replica set is unreachable.
+    let fallback = args.local_fallback.then(|| {
+        let runner = Runner::fast()
+            .with_cell_cache(Arc::new(ShardedLruCache::new(args.cache_cells, 8)))
+            .with_observer(telemetry.obs());
+        Harness::new(runner).with_workloads(Harness::quick_set())
+    });
+
+    signal::install();
+    let handle = match start_router(args.config.clone(), fallback, telemetry.clone()) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("cannot bind {}: {e}", args.config.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("lhr_router listening on http://{}", handle.addr());
+    println!(
+        "  backends={} jobs={} replicas={} route-cache={} probe-interval={:?} fallback={}",
+        args.config
+            .backends
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(","),
+        args.config.jobs,
+        args.config.replicas,
+        args.config.route_cache,
+        args.config.probe_interval,
+        if args.local_fallback { "local" } else { "off" },
+    );
+    println!("  try: curl 'http://{}/healthz'", handle.addr());
+
+    handle.wait();
+
+    println!("drained; final metrics:");
+    println!("{}", telemetry.snapshot().render());
+    ExitCode::SUCCESS
+}

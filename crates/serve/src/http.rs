@@ -350,8 +350,12 @@ impl Response {
             head.push_str(&format!("Retry-After: {secs}\r\n"));
         }
         head.push_str("\r\n");
-        w.write_all(head.as_bytes())?;
-        w.write_all(&self.body)?;
+        // One write, one TCP segment: a separate body write behind an
+        // unacked head segment parks on Nagle until the peer's delayed
+        // ACK fires -- ~10ms of pure protocol latency per response.
+        let mut wire = head.into_bytes();
+        wire.extend_from_slice(&self.body);
+        w.write_all(&wire)?;
         w.flush()
     }
 }

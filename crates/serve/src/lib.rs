@@ -39,6 +39,13 @@
 //!   tracker with hysteresis alerting ([`telemetry`],
 //!   `lhr_obs::slo`); `/v1/metrics` speaks the Prometheus text
 //!   exposition on request.
+//! * **Shard mode** -- the `lhr_router` binary fronts N backend
+//!   servers with a consistent-hash ring over structural cell
+//!   fingerprints, health hysteresis (Up/Suspect/Down), per-backend
+//!   circuit breakers, bounded retries, hedged requests, and a local
+//!   simulation fallback, so a SIGKILLed backend never becomes a
+//!   client-visible 5xx ([`shard`]; see `DESIGN.md`, "Shard topology
+//!   and failure domains").
 //!
 //! Everything is instrumented through `lhr-obs`: request spans per
 //! endpoint, queue-depth gauge, coalesce/shed/timeout counters, all
@@ -92,6 +99,7 @@ pub mod handlers;
 pub mod http;
 pub mod queue;
 pub mod server;
+pub mod shard;
 pub mod signal;
 pub mod telemetry;
 
@@ -101,4 +109,5 @@ pub use handlers::{build_config, chip_by_token, endpoint_tag, route, safe_artifa
 pub use http::{percent_decode, read_request, HttpError, Method, Request, Response};
 pub use queue::{BoundedQueue, PushError, ShedPool};
 pub use server::{start, ServerConfig, ServerHandle};
+pub use shard::{start_router, HashRing, HealthState, RouterConfig, RouterHandle};
 pub use telemetry::Telemetry;

@@ -296,16 +296,24 @@ fn accept_loop(
     shed_pool: &ShedPool,
     read_timeout: Duration,
 ) {
+    // Adaptive poll: for a short window after any accept the loop
+    // yields instead of sleeping, so back-to-back requests (the common
+    // shape: a client train, a benchmark, a proxy in front) are picked
+    // up in microseconds; once the window expires an idle listener
+    // costs one short sleep per poll, not a spinning core.
+    let mut hot_until = Instant::now();
     loop {
         if state.draining.load(Ordering::Relaxed) || signal::drain_requested() {
             return;
         }
         match listener.accept() {
             Ok((stream, _peer)) => {
+                hot_until = Instant::now() + Duration::from_millis(2);
                 // The listener is non-blocking so the drain flag is
                 // polled; accepted connections must block normally.
                 let _ = stream.set_nonblocking(false);
                 let _ = stream.set_read_timeout(Some(read_timeout));
+                let _ = stream.set_nodelay(true);
                 state.obs.counter("serve.accepted", 1);
                 // The trace request id is minted here, at admission:
                 // even time spent queued is inside the request's story.
@@ -339,9 +347,19 @@ fn accept_loop(
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(10));
+                // The poll interval is a floor on connection latency: a
+                // fresh connection waits for the sleep to expire before
+                // accept() even sees it, and timer slack stretches short
+                // sleeps to several ms on small VMs -- so yield while
+                // hot, and poll in microseconds (not milliseconds) when
+                // idle.
+                if Instant::now() < hot_until {
+                    std::thread::yield_now();
+                } else {
+                    std::thread::sleep(Duration::from_micros(200));
+                }
             }
-            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            Err(_) => std::thread::sleep(Duration::from_micros(200)),
         }
     }
 }

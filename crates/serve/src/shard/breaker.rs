@@ -1,0 +1,224 @@
+//! Per-backend circuit breakers.
+//!
+//! A breaker watches *request* outcomes (the health prober watches
+//! probe outcomes -- both feed it): enough consecutive failures open
+//! the circuit and the backend stops receiving traffic immediately,
+//! without waiting for the next probe round. After a cooldown the
+//! breaker goes half-open and admits exactly one trial request; the
+//! trial's outcome closes the circuit or re-opens it for another
+//! cooldown.
+//!
+//! ```text
+//!        open_after consecutive failures
+//!   Closed ────────────────────────────► Open
+//!      ▲                                  │ cooldown elapses
+//!      │ trial succeeds                   ▼
+//!      └──────────────────────────── HalfOpen ──► Open (trial fails)
+//! ```
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Breaker tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerPolicy {
+    /// Consecutive request failures that open the circuit.
+    pub open_after: u32,
+    /// How long an open circuit refuses traffic before going half-open.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerPolicy {
+    fn default() -> Self {
+        Self {
+            open_after: 3,
+            cooldown: Duration::from_millis(500),
+        }
+    }
+}
+
+/// The externally visible breaker state (for `/healthz`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Traffic flows.
+    Closed,
+    /// Traffic refused until the cooldown elapses.
+    Open,
+    /// One trial request is in flight; everyone else is refused.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// The lowercase wire name used in `/healthz`.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Inner {
+    Closed { consecutive_failures: u32 },
+    Open { until: Instant },
+    HalfOpen { trial_in_flight: bool },
+}
+
+/// A thread-safe circuit breaker for one backend.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    policy: BreakerPolicy,
+    inner: Mutex<Inner>,
+}
+
+impl CircuitBreaker {
+    /// A closed (healthy) breaker.
+    #[must_use]
+    pub fn new(policy: BreakerPolicy) -> Self {
+        Self {
+            policy,
+            inner: Mutex::new(Inner::Closed {
+                consecutive_failures: 0,
+            }),
+        }
+    }
+
+    /// Whether a request may proceed right now. An open breaker whose
+    /// cooldown has elapsed transitions to half-open and admits the
+    /// caller as the single trial.
+    pub fn allow(&self) -> bool {
+        let mut inner = self.inner.lock().expect("breaker lock");
+        match &mut *inner {
+            Inner::Closed { .. } => true,
+            Inner::Open { until } => {
+                if Instant::now() >= *until {
+                    *inner = Inner::HalfOpen {
+                        trial_in_flight: true,
+                    };
+                    true
+                } else {
+                    false
+                }
+            }
+            Inner::HalfOpen { trial_in_flight } => {
+                if *trial_in_flight {
+                    false
+                } else {
+                    *trial_in_flight = true;
+                    true
+                }
+            }
+        }
+    }
+
+    /// Reports a successful request (or probe): closes the circuit.
+    pub fn record_success(&self) {
+        let mut inner = self.inner.lock().expect("breaker lock");
+        *inner = Inner::Closed {
+            consecutive_failures: 0,
+        };
+    }
+
+    /// Reports a failed request (or probe): counts toward opening, or
+    /// re-opens a half-open circuit for another cooldown.
+    pub fn record_failure(&self) {
+        let mut inner = self.inner.lock().expect("breaker lock");
+        match &mut *inner {
+            Inner::Closed {
+                consecutive_failures,
+            } => {
+                *consecutive_failures += 1;
+                if *consecutive_failures >= self.policy.open_after {
+                    *inner = Inner::Open {
+                        until: Instant::now() + self.policy.cooldown,
+                    };
+                }
+            }
+            Inner::HalfOpen { .. } => {
+                *inner = Inner::Open {
+                    until: Instant::now() + self.policy.cooldown,
+                };
+            }
+            Inner::Open { .. } => {}
+        }
+    }
+
+    /// Current state (an elapsed cooldown reads as half-open).
+    #[must_use]
+    pub fn state(&self) -> BreakerState {
+        let inner = self.inner.lock().expect("breaker lock");
+        match &*inner {
+            Inner::Closed { .. } => BreakerState::Closed,
+            Inner::Open { until } => {
+                if Instant::now() >= *until {
+                    BreakerState::HalfOpen
+                } else {
+                    BreakerState::Open
+                }
+            }
+            Inner::HalfOpen { .. } => BreakerState::HalfOpen,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker(cooldown: Duration) -> CircuitBreaker {
+        CircuitBreaker::new(BreakerPolicy {
+            open_after: 2,
+            cooldown,
+        })
+    }
+
+    #[test]
+    fn opens_on_consecutive_failures_only() {
+        let b = breaker(Duration::from_secs(60));
+        b.record_failure();
+        b.record_success(); // streak broken
+        b.record_failure();
+        assert!(b.allow(), "one failure after a success must not open");
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow());
+    }
+
+    #[test]
+    fn half_open_admits_exactly_one_trial() {
+        let b = breaker(Duration::from_millis(0));
+        b.record_failure();
+        b.record_failure();
+        // Cooldown of zero: immediately half-open.
+        assert!(b.allow(), "the single trial");
+        assert!(!b.allow(), "everyone else waits on the trial");
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allow());
+    }
+
+    #[test]
+    fn failed_trial_reopens_for_another_cooldown() {
+        let b = breaker(Duration::from_millis(0));
+        b.record_failure();
+        b.record_failure();
+        assert!(b.allow());
+        b.record_failure();
+        // Re-opened; with a zero cooldown the next allow is a new trial.
+        assert!(b.allow());
+        assert!(!b.allow());
+    }
+
+    #[test]
+    fn open_circuit_refuses_until_cooldown() {
+        let b = breaker(Duration::from_millis(50));
+        b.record_failure();
+        b.record_failure();
+        assert!(!b.allow());
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(b.allow(), "cooldown elapsed: half-open trial admitted");
+    }
+}

@@ -1,0 +1,202 @@
+//! Backend health with hysteresis: `Up -> Suspect -> Down` on
+//! consecutive probe failures, and back up through `Suspect` on
+//! consecutive successes -- a single good probe never yanks a flapping
+//! backend straight back to `Up`, and a single bad one never buries a
+//! healthy backend.
+//!
+//! ```text
+//!            suspect_after fails        down_after more fails
+//!      Up ─────────────────────► Suspect ─────────────────────► Down
+//!       ▲                         │    ▲                          │
+//!       └── up_after successes ───┘    └────── one success ───────┘
+//! ```
+//!
+//! The FSM is pure (feed it probe outcomes, read the state) so the
+//! hysteresis is unit-testable without sockets; the router's prober
+//! thread owns the clock and the I/O.
+
+/// The three health states of a backend, in degradation order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HealthState {
+    /// Probes pass; route normally.
+    Up,
+    /// Recent failures (or a fresh, unproven backend): still routable,
+    /// but requests hedge to the next replica.
+    Suspect,
+    /// Consecutive failures past the threshold: not routable until
+    /// probes recover.
+    Down,
+}
+
+impl HealthState {
+    /// The lowercase wire name used in `/healthz` and gauges.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            HealthState::Up => "up",
+            HealthState::Suspect => "suspect",
+            HealthState::Down => "down",
+        }
+    }
+}
+
+/// Thresholds for the health FSM.
+#[derive(Debug, Clone, Copy)]
+pub struct HealthPolicy {
+    /// Consecutive failures that demote `Up` to `Suspect`.
+    pub suspect_after: u32,
+    /// Consecutive failures (counted from entering `Suspect`) that
+    /// demote `Suspect` to `Down`.
+    pub down_after: u32,
+    /// Consecutive successes that promote `Suspect` to `Up`.
+    pub up_after: u32,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        Self {
+            suspect_after: 1,
+            down_after: 2,
+            up_after: 2,
+        }
+    }
+}
+
+/// The hysteresis state machine for one backend.
+#[derive(Debug, Clone)]
+pub struct HealthFsm {
+    policy: HealthPolicy,
+    state: HealthState,
+    consecutive_failures: u32,
+    consecutive_successes: u32,
+}
+
+impl HealthFsm {
+    /// A new backend starts `Suspect`: routable (with hedging) but it
+    /// must pass `up_after` probes before it counts as proven.
+    #[must_use]
+    pub fn new(policy: HealthPolicy) -> Self {
+        Self {
+            policy,
+            state: HealthState::Suspect,
+            consecutive_failures: 0,
+            consecutive_successes: 0,
+        }
+    }
+
+    /// Current state.
+    #[must_use]
+    pub fn state(&self) -> HealthState {
+        self.state
+    }
+
+    /// Feeds one successful probe; returns the (possibly new) state.
+    pub fn on_success(&mut self) -> HealthState {
+        self.consecutive_failures = 0;
+        self.consecutive_successes += 1;
+        match self.state {
+            HealthState::Up => {}
+            HealthState::Suspect => {
+                if self.consecutive_successes >= self.policy.up_after {
+                    self.state = HealthState::Up;
+                }
+            }
+            HealthState::Down => {
+                // One good probe earns parole, not trust: back to
+                // Suspect, where up_after more successes are needed.
+                self.state = HealthState::Suspect;
+                self.consecutive_successes = 1;
+            }
+        }
+        self.state
+    }
+
+    /// Feeds one failed probe; returns the (possibly new) state.
+    pub fn on_failure(&mut self) -> HealthState {
+        self.consecutive_successes = 0;
+        self.consecutive_failures += 1;
+        match self.state {
+            HealthState::Up => {
+                if self.consecutive_failures >= self.policy.suspect_after {
+                    self.state = HealthState::Suspect;
+                    self.consecutive_failures = 0;
+                }
+            }
+            HealthState::Suspect => {
+                if self.consecutive_failures >= self.policy.down_after {
+                    self.state = HealthState::Down;
+                    self.consecutive_failures = 0;
+                }
+            }
+            HealthState::Down => {}
+        }
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fsm() -> HealthFsm {
+        HealthFsm::new(HealthPolicy {
+            suspect_after: 2,
+            down_after: 3,
+            up_after: 2,
+        })
+    }
+
+    /// Drives the FSM to Up (new backends start Suspect).
+    fn up(f: &mut HealthFsm) {
+        f.on_success();
+        f.on_success();
+        assert_eq!(f.state(), HealthState::Up);
+    }
+
+    #[test]
+    fn descends_with_hysteresis() {
+        let mut f = fsm();
+        up(&mut f);
+        assert_eq!(f.on_failure(), HealthState::Up, "one failure is noise");
+        assert_eq!(f.on_failure(), HealthState::Suspect);
+        assert_eq!(f.on_failure(), HealthState::Suspect);
+        assert_eq!(f.on_failure(), HealthState::Suspect);
+        assert_eq!(f.on_failure(), HealthState::Down, "down_after more failures");
+        assert_eq!(f.on_failure(), HealthState::Down, "down is sticky on failure");
+    }
+
+    #[test]
+    fn recovers_through_suspect_never_straight_to_up() {
+        let mut f = fsm();
+        up(&mut f);
+        for _ in 0..5 {
+            f.on_failure();
+        }
+        assert_eq!(f.state(), HealthState::Down);
+        assert_eq!(f.on_success(), HealthState::Suspect, "parole, not trust");
+        assert_eq!(f.on_success(), HealthState::Up, "up_after successes from Down");
+    }
+
+    #[test]
+    fn a_blip_resets_the_recovery_count() {
+        let mut f = fsm();
+        up(&mut f);
+        f.on_failure();
+        f.on_failure(); // Suspect
+        f.on_success();
+        assert_eq!(f.state(), HealthState::Suspect, "one success is not enough");
+        f.on_failure(); // recovery streak broken
+        f.on_success();
+        assert_eq!(f.state(), HealthState::Suspect);
+        f.on_success();
+        assert_eq!(f.state(), HealthState::Up);
+    }
+
+    #[test]
+    fn fresh_backends_start_suspect_and_must_prove_health() {
+        let mut f = HealthFsm::new(HealthPolicy::default());
+        assert_eq!(f.state(), HealthState::Suspect);
+        f.on_success();
+        assert_eq!(f.on_success(), HealthState::Up);
+    }
+}

@@ -1,0 +1,33 @@
+//! Multi-process shard mode: a front router over N backend servers.
+//!
+//! The ROADMAP's scale-out story: one `lhr_router` process
+//! consistent-hashes structural config/workload fingerprints onto N
+//! `lhr-serve` backends over the same std-TCP/HTTP-1.1 substrate the
+//! backends already speak. Each backend is an independent failure
+//! domain: the router health-probes it with hysteresis ([`health`]),
+//! wraps it in a circuit breaker ([`breaker`]), hedges requests to the
+//! next ring replica when it looks sick, and -- when a whole shard is
+//! gone -- fails over or falls back to local simulation rather than
+//! surfacing the crash to a client ([`router`]).
+//!
+//! The pieces are layered so each is testable alone:
+//!
+//! * [`ring`] -- the pure consistent-hash ring (balance and minimal
+//!   key movement are proptested);
+//! * [`health`] -- the pure Up/Suspect/Down hysteresis FSM;
+//! * [`breaker`] -- the Closed/Open/HalfOpen circuit breaker;
+//! * [`router`] -- the serving loop tying them together, plus the
+//!   `/healthz` aggregation and per-backend RED metrics.
+//!
+//! See DESIGN.md ("Shard topology and failure domains") for the state
+//! machines and EXPERIMENTS.md for the rolling-restart drill.
+
+pub mod breaker;
+pub mod health;
+pub mod ring;
+pub mod router;
+
+pub use breaker::{BreakerPolicy, BreakerState, CircuitBreaker};
+pub use health::{HealthFsm, HealthPolicy, HealthState};
+pub use ring::{hash_key, HashRing, VNODES};
+pub use router::{start_router, Backend, RouterConfig, RouterHandle, RouterState};

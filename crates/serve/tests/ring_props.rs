@@ -1,0 +1,142 @@
+//! Property tests for the consistent-hash ring: the two guarantees the
+//! shard tier leans on are quantified here, not just spot-checked.
+//!
+//! 1. **Balance** -- with [`VNODES`] virtual nodes per backend, every
+//!    backend's share of a uniform keyspace stays within a stated band
+//!    around fair (`1/N`).
+//! 2. **Minimal movement** -- adding a backend remaps only the keys the
+//!    joiner now owns (about `1/(N+1)` of the keyspace), and *every*
+//!    moved key lands on the joiner; removing a backend moves only the
+//!    keys it owned, and no survivor's key moves at all.
+
+use proptest::prelude::*;
+
+use lhr_serve::shard::ring::{hash_key, mix64, HashRing, VNODES};
+
+/// Keys sampled per case: enough that shares concentrate (the balance
+/// band below is ~5 sigma wide at this sample size) while keeping the
+/// whole suite fast.
+const KEYS: usize = 4096;
+
+/// A deterministic uniform key stream for one case.
+fn keys(seed: u64) -> impl Iterator<Item = u64> {
+    (0..KEYS as u64).map(move |i| mix64(seed.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15))))
+}
+
+proptest! {
+    /// Every backend's share of a uniform keyspace lands within
+    /// `[0.5, 1.6] x fair`. With 128 vnodes the share's standard
+    /// deviation is about `fair / sqrt(VNODES)` (~9% of fair), so the
+    /// band is ~5 sigma wide -- and the sampled stream is deterministic,
+    /// so a pass here is a pass forever.
+    #[test]
+    fn load_stays_within_the_stated_balance_band(
+        seed in any::<u64>(),
+        backends in 2usize..9,
+    ) {
+        let ring = HashRing::new(backends);
+        let mut counts = vec![0usize; backends];
+        for h in keys(seed) {
+            counts[ring.primary(h).expect("non-empty ring")] += 1;
+        }
+        let fair = KEYS as f64 / backends as f64;
+        for (backend, &count) in counts.iter().enumerate() {
+            let share = count as f64 / fair;
+            prop_assert!(
+                (0.5..=1.6).contains(&share),
+                "backend {backend}/{backends} owns {count} of {KEYS} keys \
+                 ({share:.2}x fair, vnodes={VNODES})"
+            );
+        }
+    }
+
+    /// Join movement: going from N to N+1 backends moves at most
+    /// `2.2/(N+1)` of the keyspace and at least `0.25/(N+1)` (the ring
+    /// really does rebalance), and every key that moves is now owned by
+    /// the joiner -- survivors never trade keys among themselves.
+    #[test]
+    fn a_join_moves_about_one_share_and_only_to_the_joiner(
+        seed in any::<u64>(),
+        backends in 1usize..8,
+    ) {
+        let before = HashRing::new(backends);
+        let after = HashRing::new(backends + 1);
+        let joiner = backends; // new member gets the next id
+        let mut moved = 0usize;
+        for h in keys(seed) {
+            let old = before.primary(h).expect("non-empty ring");
+            let new = after.primary(h).expect("non-empty ring");
+            if new != old {
+                moved += 1;
+                prop_assert_eq!(
+                    new, joiner,
+                    "a moved key must land on the joiner, not shuffle \
+                     between survivors (key {:#x}: {} -> {})", h, old, new
+                );
+            }
+        }
+        let fraction = moved as f64 * (backends + 1) as f64 / KEYS as f64;
+        prop_assert!(
+            (0.25..=2.2).contains(&fraction),
+            "join onto {backends} backends moved {moved}/{KEYS} keys \
+             ({fraction:.2}x the fair share 1/{})", backends + 1
+        );
+    }
+
+    /// Leave movement: removing the last backend never moves a key
+    /// between survivors -- only the keys the departed backend owned
+    /// get new homes, so a crash reshuffles exactly one failure
+    /// domain's worth of cache warmth.
+    #[test]
+    fn a_leave_never_moves_a_survivors_key(
+        seed in any::<u64>(),
+        backends in 2usize..9,
+    ) {
+        let before = HashRing::new(backends);
+        let after = HashRing::new(backends - 1);
+        let departed = backends - 1;
+        for h in keys(seed) {
+            let old = before.primary(h).expect("non-empty ring");
+            if old != departed {
+                prop_assert_eq!(
+                    after.primary(h), Some(old),
+                    "key {:#x} moved off surviving backend {}", h, old
+                );
+            }
+        }
+    }
+
+    /// Replica sets are well-formed for any key: the primary leads,
+    /// members are distinct, and the set is as long as the ring allows.
+    #[test]
+    fn replica_sets_are_distinct_and_led_by_the_primary(
+        seed in any::<u64>(),
+        backends in 1usize..7,
+        replicas in 1usize..5,
+    ) {
+        let ring = HashRing::new(backends);
+        for h in keys(seed).take(256) {
+            let owners = ring.route(h, replicas);
+            prop_assert_eq!(owners.len(), replicas.min(backends));
+            prop_assert_eq!(owners.first().copied(), ring.primary(h));
+            let mut dedup = owners.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            prop_assert_eq!(dedup.len(), owners.len(), "replicas must be distinct");
+        }
+    }
+}
+
+/// The string hash feeding the ring is stable across processes (no
+/// RandomState anywhere), so the router and any offline tooling agree
+/// on key placement.
+#[test]
+fn hash_key_is_stable_and_spreads_similar_keys() {
+    assert_eq!(hash_key(b""), hash_key(b""));
+    let a = hash_key(b"/v1/cell?chip=i7-45&workload=jess");
+    let b = hash_key(b"/v1/cell?chip=i7-45&workload=mcf");
+    assert_ne!(a, b);
+    // Full-avalanche finish: one changed byte flips about half the bits.
+    let flipped = (a ^ b).count_ones();
+    assert!((8..=56).contains(&flipped), "weak diffusion: {flipped} bits");
+}

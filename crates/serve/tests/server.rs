@@ -41,20 +41,28 @@ fn http_get(addr: SocketAddr, target: &str) -> (u16, String) {
     http_request(addr, &format!("GET {target} HTTP/1.1\r\nHost: t\r\n\r\n"))
 }
 
+/// All exchanges go through the hardened `lhr_bench::httpc` client, so
+/// every test response is `Content-Length`-validated: a torn body fails
+/// the test as a typed truncation error instead of a confusing
+/// assertion on half a payload.
 fn http_request(addr: SocketAddr, raw: &str) -> (u16, String) {
-    let mut stream = TcpStream::connect(addr).expect("connect");
-    stream
-        .set_read_timeout(Some(Duration::from_secs(120)))
-        .unwrap();
-    stream.write_all(raw.as_bytes()).expect("send");
-    let mut text = String::new();
-    stream.read_to_string(&mut text).expect("read response");
-    let status: u16 = text
-        .split(' ')
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or_else(|| panic!("no status line in {text:?}"));
-    (status, text)
+    let resp = lhr_bench::httpc::exchange(addr, raw.as_bytes(), Duration::from_secs(120))
+        .expect("http exchange");
+    (resp.status, rebuild_text(&resp))
+}
+
+/// Renders the validated response back into `head\r\n\r\nbody` text so
+/// the assertions here keep splitting on the blank line. Header names
+/// come back normalized to lowercase.
+fn rebuild_text(resp: &lhr_bench::httpc::HttpResponse) -> String {
+    use std::fmt::Write as _;
+    let mut text = format!("HTTP/1.1 {}\r\n", resp.status);
+    for (name, value) in &resp.headers {
+        let _ = write!(text, "{name}: {value}\r\n");
+    }
+    text.push_str("\r\n");
+    text.push_str(&resp.body_str());
+    text
 }
 
 fn body_of(response: &str) -> &str {
@@ -160,7 +168,7 @@ fn full_queue_sheds_with_503_and_retry_after() {
     // Queue full: the accept thread itself sheds this one.
     let (status, text) = http_get(addr, "/healthz");
     assert_eq!(status, 503, "{text}");
-    assert!(text.contains("Retry-After:"), "{text}");
+    assert!(text.contains("retry-after:"), "{text}");
     assert!(body_of(&text).contains("overloaded"));
     let snap = recorder.snapshot();
     assert!(snap.counter("serve.shed_503") >= 1, "{}", snap.render());

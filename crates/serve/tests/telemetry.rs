@@ -7,8 +7,7 @@
 //! The signal-drain test flips a process-global flag, so every test
 //! that boots a server serializes on one lock.
 
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpStream};
+use std::net::SocketAddr;
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
@@ -45,20 +44,19 @@ fn boot(telemetry: Telemetry) -> ServerHandle {
     lhr_serve::start(ServerConfig::default(), harness, telemetry).expect("bind")
 }
 
+/// All exchanges go through the hardened `lhr_bench::httpc` client:
+/// `Content-Length` is validated, so a torn response fails loudly.
 fn http_request(addr: SocketAddr, raw: &str) -> (u16, String) {
-    let mut stream = TcpStream::connect(addr).expect("connect");
-    stream
-        .set_read_timeout(Some(Duration::from_secs(120)))
-        .unwrap();
-    stream.write_all(raw.as_bytes()).expect("send");
-    let mut text = String::new();
-    stream.read_to_string(&mut text).expect("read response");
-    let status: u16 = text
-        .split(' ')
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or_else(|| panic!("no status line in {text:?}"));
-    (status, text)
+    let resp = lhr_bench::httpc::exchange(addr, raw.as_bytes(), Duration::from_secs(120))
+        .expect("http exchange");
+    use std::fmt::Write as _;
+    let mut text = format!("HTTP/1.1 {}\r\n", resp.status);
+    for (name, value) in &resp.headers {
+        let _ = write!(text, "{name}: {value}\r\n");
+    }
+    text.push_str("\r\n");
+    text.push_str(&resp.body_str());
+    (resp.status, text)
 }
 
 fn http_get(addr: SocketAddr, target: &str) -> (u16, String) {

@@ -17,12 +17,12 @@
 //! argument, every event (request-tagged spans included) also streams
 //! to that JSON-lines trace file, ready for `lhr_traceview`.
 
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpStream};
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use lhr_bench::httpc;
 use lhr_core::{Harness, Runner, ShardedLruCache};
 use lhr_serve::{ServerConfig, Telemetry};
 
@@ -36,17 +36,23 @@ const TARGETS: [&str; 6] = [
     "/v1/cell?chip=i7-45&config=2C1T@2.0&workload=jess",
 ];
 
-fn request(addr: SocketAddr, target: &str) -> Result<u16, std::io::Error> {
-    let mut stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(Duration::from_secs(120)))?;
-    write!(stream, "GET {target} HTTP/1.1\r\nHost: loadgen\r\n\r\n")?;
-    let mut text = String::new();
-    stream.read_to_string(&mut text)?;
-    Ok(text
-        .split(' ')
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0))
+/// A 503 is backpressure, not an error to hammer through: a well-behaved
+/// client honors the server's `Retry-After` hint (capped so a stray
+/// large value cannot stall the run) before firing again.
+fn request(
+    addr: SocketAddr,
+    target: &str,
+    stop: &AtomicBool,
+) -> Result<u16, httpc::ClientError> {
+    let resp = httpc::get(addr, target, Duration::from_secs(120))?;
+    if resp.status == 503 {
+        let hint = Duration::from_secs(resp.retry_after_secs().unwrap_or(1).min(1));
+        let until = Instant::now() + hint;
+        while Instant::now() < until && !stop.load(Ordering::Relaxed) {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+    Ok(resp.status)
 }
 
 fn main() {
@@ -95,7 +101,7 @@ fn main() {
                     let target = TARGETS[n % TARGETS.len()];
                     n += 1;
                     let t0 = Instant::now();
-                    match request(addr, target) {
+                    match request(addr, target, &stop) {
                         Ok(200) => latencies_us.push(t0.elapsed().as_micros() as u64),
                         Ok(_) | Err(_) => errors += 1,
                     }
