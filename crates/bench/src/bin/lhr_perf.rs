@@ -95,6 +95,7 @@ fn main() -> ExitCode {
     // diffs layers present in both snapshots, so older baselines still
     // gate cleanly.
     report.layers.extend(perfjson::collect_serving(&cfg));
+    report.layers.extend(perfjson::collect_store(&cfg));
     println!("label: {}", report.label);
     println!("cells/sec (end-to-end): {:.2}", report.cells_per_sec);
     println!("ns/interval (model core): {:.1}", report.ns_per_interval);
@@ -152,6 +153,7 @@ fn main() -> ExitCode {
             println!("drift gate failed; re-measuring (attempt {attempt}/3)");
             let mut retry = perfjson::collect(&label, &cfg);
             retry.layers.extend(perfjson::collect_serving(&cfg));
+            retry.layers.extend(perfjson::collect_store(&cfg));
             drift = perfjson::compare(&retry, &baseline);
             print!("{}", drift.render());
         }

@@ -278,6 +278,28 @@ pub fn post(addr: SocketAddr, target: &str, timeout: Duration) -> Result<HttpRes
     )
 }
 
+/// `POST target` with a text body (the shape `/v1/query` consumes).
+///
+/// # Errors
+///
+/// See [`exchange`].
+pub fn post_body(
+    addr: SocketAddr,
+    target: &str,
+    body: &str,
+    timeout: Duration,
+) -> Result<HttpResponse, ClientError> {
+    exchange(
+        addr,
+        format!(
+            "POST {target} HTTP/1.1\r\nHost: lhr\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+        timeout,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -32,6 +32,7 @@ pub mod campaign;
 pub mod chaos;
 pub mod httpc;
 pub mod perfjson;
+pub mod queries;
 pub mod traceview;
 
 use std::path::{Path, PathBuf};

@@ -21,6 +21,10 @@
 //! | `cell_e2e`          | one uncached `(config, workload)` cell         |
 //! | `serve_cache_hit`   | the serving layer's warm-cache lookup          |
 //!
+//! Two measurement-store layers ([`collect_store`]) ride along since the
+//! store landed: `store_ingest` (sealed-batch upsert of one sweep's
+//! cells) and `query_scan` (the figure-7 shaped `group_by`/`agg`).
+//!
 //! Allocation counts ride along where countable: the `lhr_perf` binary
 //! installs a counting global allocator and registers it through
 //! [`set_alloc_probe`]; library users (tests, doctests) simply get
@@ -697,6 +701,81 @@ pub fn collect_serving(cfg: &TimerConfig) -> Vec<LayerStat> {
         let _ = router.drain();
     }
     let _ = backend.drain();
+    layers
+}
+
+/// The measurement-store layers: sealed-batch ingest (`store_ingest`,
+/// one 61-row upsert per iteration with every row changed so the
+/// supersede path and the per-column fsync batch are both paid) and the
+/// query engine's scan (`query_scan`, the figure-7 shaped
+/// `group_by`/`agg` over a ~500-row store, pure in-memory).
+///
+/// # Panics
+///
+/// Panics when the scratch store cannot be created under the system
+/// temp directory (perf runs assume a writable temp).
+#[must_use]
+pub fn collect_store(cfg: &TimerConfig) -> Vec<LayerStat> {
+    use lhr_store::{CellRow, Store};
+
+    let mk_row = |chip: usize, wl: usize, bump: f64| {
+        let perf = 0.5 + 0.01 * (chip * 61 + wl) as f64;
+        let watts = 5.0 + chip as f64 * 7.0 + bump;
+        CellRow {
+            chip: format!("chip-{chip}"),
+            config: format!("chip-{chip} stock"),
+            workload: format!("wl-{wl}"),
+            group: ["Native Non-scalable", "Java Scalable"][wl % 2].to_owned(),
+            config_fp: format!("{chip:016x}"),
+            workload_fp: format!("{wl:016x}"),
+            node: 45.0,
+            cores: 4.0,
+            smt: (chip % 2) as f64,
+            clock: 2.66,
+            turbo: 0.0,
+            managed: (wl % 2) as f64,
+            seconds: 10.0 / perf,
+            watts,
+            joules: watts * 10.0 / perf,
+            perf_norm: perf,
+            energy_norm: watts / perf,
+            epi: watts / (perf * 1e9),
+        }
+    };
+
+    let dir = std::env::temp_dir().join(format!("lhr-perf-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut layers = Vec::with_capacity(2);
+
+    // Ingest: one sweep-sized batch, mutated every iteration so each
+    // upsert genuinely writes (18 sealed column lines + fsyncs).
+    {
+        let store = Store::open(&dir).expect("scratch store");
+        let mut pass = 0.0f64;
+        layers.push(time_layer("store_ingest/upsert_61_cells", "store_ingest", cfg, || {
+            pass += 1e-6;
+            let rows: Vec<CellRow> = (0..61).map(|wl| mk_row(0, wl, pass)).collect();
+            std::hint::black_box(store.upsert(&rows).expect("upsert"));
+        }));
+    }
+
+    // Scan: the figure-7 shaped aggregation over an 8-chip x 61-workload
+    // store (the query every stored figure pays).
+    {
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Store::open(&dir).expect("scratch store");
+        let rows: Vec<CellRow> = (0..8)
+            .flat_map(|chip| (0..61).map(move |wl| mk_row(chip, wl, 0.0)))
+            .collect();
+        store.upsert(&rows).expect("seed scan store");
+        const Q: &str =
+            "filter turbo == 0 | group_by chip, clock, group | agg mean(perf_norm), mean(watts), mean(energy_norm)";
+        layers.push(time_layer("query_scan/figure7_group_agg", "query_scan", cfg, || {
+            std::hint::black_box(store.query(Q).expect("scan query"));
+        }));
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
     layers
 }
 

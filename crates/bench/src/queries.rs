@@ -1,0 +1,371 @@
+//! Stored queries over the measurement store (`lhr-store`), and the
+//! derivations that re-express the paper's figures from queried rows.
+//!
+//! The `queries/` directory at the repository root holds the study's
+//! canonical `.lhq` query files: the backing data for Figures 7 and 8
+//! and three of the paper's headline findings, written in the
+//! `lhr-store` query DSL. This module loads them (stripping `#` comment
+//! lines -- the DSL itself has no comments) and turns their result
+//! tables back into the exact structures the experiment modules render:
+//!
+//! * [`derive_figure7`] rebuilds `figure7_clock::ClockEffect`s from the
+//!   grouped means of `figure7_groups.lhq`,
+//! * [`derive_figure8`] rebuilds `figure8_dieshrink::DieShrink`s from
+//!   `figure8_groups.lhq`,
+//! * [`avg_w_for_chip`] folds a `group_by chip, group` table into the
+//!   paper's equal-group-weight `Avg_w` for one chip.
+//!
+//! Bit-identity is the contract, not an aspiration: the store's `mean`
+//! aggregate accumulates in row-insertion order, which is the harness's
+//! workload order, so a queried group mean is the *same float* as
+//! `GroupMetrics::aggregate`'s -- and the derived figures render
+//! byte-identically to the direct pipeline (asserted by the
+//! `query_equivalence` test and the `lhr_queries_check` binary).
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use lhr_core::experiments::figure7_clock::{self, ClockEffect, OperatingPoint};
+use lhr_core::experiments::figure8_dieshrink::DieShrink;
+use lhr_core::experiments::{feature_ratios, group_energy_ratios};
+use lhr_core::GroupMetrics;
+use lhr_stats::arithmetic_mean;
+use lhr_store::{Store, TableResult, Value};
+use lhr_uarch::{ChipConfig, ProcessorId};
+use lhr_units::Hertz;
+use lhr_workloads::Group;
+
+/// The repository's canonical query directory (`queries/` at the root).
+#[must_use]
+pub fn queries_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../queries")
+}
+
+/// Loads a stored query by name (`figure7_groups` ->
+/// `queries/figure7_groups.lhq`), with `#` comment lines stripped.
+///
+/// # Errors
+///
+/// Propagates the read failure when the file is missing.
+pub fn load_query(name: &str) -> io::Result<String> {
+    let raw = std::fs::read_to_string(queries_dir().join(format!("{name}.lhq")))?;
+    Ok(strip_comments(&raw))
+}
+
+/// Removes `#`-prefixed comment lines, keeping the DSL text. The DSL
+/// itself has no comment syntax -- the files carry their provenance in
+/// comments, the parser never sees them.
+#[must_use]
+pub fn strip_comments(raw: &str) -> String {
+    raw.lines()
+        .filter(|l| !l.trim_start().starts_with('#'))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn col(table: &TableResult, name: &str) -> Result<usize, String> {
+    table
+        .columns
+        .iter()
+        .position(|c| c == name)
+        .ok_or_else(|| format!("query result is missing column {name:?}"))
+}
+
+fn num_at(row: &[Value], i: usize) -> Result<f64, String> {
+    match &row[i] {
+        Value::Num(x) => Ok(*x),
+        Value::Str(s) => Err(format!("expected a number, found {s:?}")),
+    }
+}
+
+fn str_at(row: &[Value], i: usize) -> Result<&str, String> {
+    match &row[i] {
+        Value::Str(s) => Ok(s),
+        Value::Num(x) => Err(format!("expected a string, found {x}")),
+    }
+}
+
+fn group_from_label(label: &str) -> Option<Group> {
+    Group::ALL.into_iter().find(|g| g.to_string() == label)
+}
+
+/// Rebuilds one configuration's [`GroupMetrics`] from a
+/// `group_by chip, cores, clock, group` result table.
+///
+/// Only the per-group maps and the equal-group-weight averages are
+/// recoverable from grouped rows; the per-benchmark fields
+/// (`perf_b`, extremes) are filled with `NaN` -- nothing downstream of
+/// the figure derivations reads them.
+fn metrics_for(table: &TableResult, config: &ChipConfig) -> Result<GroupMetrics, String> {
+    let chip_i = col(table, "chip")?;
+    let cores_i = col(table, "cores")?;
+    let clock_i = col(table, "clock")?;
+    let group_i = col(table, "group")?;
+    let perf_i = col(table, "mean(perf_norm)")?;
+    let watts_i = col(table, "mean(watts)")?;
+    let energy_i = col(table, "mean(energy_norm)")?;
+    let want_chip = config.spec().short;
+    #[allow(clippy::cast_precision_loss)]
+    let want_cores = config.active_cores() as f64;
+    let want_clock = config.clock().as_ghz();
+    let mut perf = BTreeMap::new();
+    let mut power = BTreeMap::new();
+    let mut energy = BTreeMap::new();
+    for row in &table.rows {
+        if str_at(row, chip_i)? != want_chip
+            || (num_at(row, cores_i)? - want_cores).abs() > 1e-9
+            || (num_at(row, clock_i)? - want_clock).abs() > 1e-9
+        {
+            continue;
+        }
+        let label = str_at(row, group_i)?;
+        let group = group_from_label(label)
+            .ok_or_else(|| format!("unknown workload group {label:?}"))?;
+        perf.insert(group, num_at(row, perf_i)?);
+        power.insert(group, num_at(row, watts_i)?);
+        energy.insert(group, num_at(row, energy_i)?);
+    }
+    if perf.is_empty() {
+        return Err(format!(
+            "no stored rows for {} at {:.3} GHz; was the store populated by this sweep?",
+            config.label(),
+            want_clock
+        ));
+    }
+    let present: Vec<Group> = Group::ALL
+        .into_iter()
+        .filter(|g| perf.contains_key(g))
+        .collect();
+    let group_mean = |m: &BTreeMap<Group, f64>| {
+        arithmetic_mean(&present.iter().map(|g| m[g]).collect::<Vec<_>>())
+    };
+    Ok(GroupMetrics {
+        perf_w: group_mean(&perf),
+        power_w: group_mean(&power),
+        energy_w: group_mean(&energy),
+        perf_b: f64::NAN,
+        power_b: f64::NAN,
+        energy_b: f64::NAN,
+        perf_min: f64::NAN,
+        perf_max: f64::NAN,
+        power_min: f64::NAN,
+        power_max: f64::NAN,
+        perf,
+        power,
+        energy,
+    })
+}
+
+/// The Figure 7 configuration at one clock: stock topology, Turbo off
+/// (the same construction `figure7_clock::run_one` uses).
+fn fig7_config(id: ProcessorId, clock: Hertz) -> ChipConfig {
+    let cfg = ChipConfig::stock(id.spec())
+        .with_clock(clock)
+        .expect("clock within range");
+    if cfg.turbo_enabled() {
+        cfg.with_turbo(false).expect("turbo off")
+    } else {
+        cfg
+    }
+}
+
+/// Rebuilds the Figure 7 clock-scaling results from the store, by way
+/// of the stored `figure7_groups.lhq` query. `points` must match the
+/// point count the store was populated with (`figure7_clock::run` uses
+/// 4).
+///
+/// # Errors
+///
+/// Reports a missing query file, a query the store rejects, or
+/// configurations the store holds no rows for.
+///
+/// # Panics
+///
+/// Panics if `points < 2` (as `figure7_clock::run_one` does).
+pub fn derive_figure7(store: &Store, points: usize) -> Result<Vec<ClockEffect>, String> {
+    assert!(points >= 2, "need at least the two endpoint clocks");
+    let text = load_query("figure7_groups").map_err(|e| format!("figure7_groups.lhq: {e}"))?;
+    let table = store.query(&text).map_err(|e| e.to_string())?;
+    figure7_clock::PROCESSORS
+        .iter()
+        .map(|&id| {
+            let spec = id.spec();
+            let f_min = spec.min_clock.value();
+            let f_max = spec.base_clock.value();
+            let curve = (0..points)
+                .map(|i| {
+                    #[allow(clippy::cast_precision_loss)]
+                    let f = f_min + (f_max - f_min) * i as f64 / (points - 1) as f64;
+                    Ok(OperatingPoint {
+                        ghz: f / 1e9,
+                        metrics: metrics_for(&table, &fig7_config(id, Hertz::new(f)))?,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            let lo = &curve.first().expect("points >= 2").metrics;
+            let hi = &curve.last().expect("points >= 2").metrics;
+            let doublings = (f_max / f_min).log2();
+            let per_doubling = |ratio: f64| ratio.powf(1.0 / doublings);
+            let energy_by_group = lo
+                .energy
+                .keys()
+                .map(|&g| (g, per_doubling(hi.energy[&g] / lo.energy[&g])))
+                .collect();
+            Ok(ClockEffect {
+                processor: spec.short,
+                performance: per_doubling(hi.perf_w / lo.perf_w),
+                power: per_doubling(hi.power_w / lo.power_w),
+                energy: per_doubling(hi.energy_w / lo.energy_w),
+                energy_by_group,
+                curve,
+            })
+        })
+        .collect()
+}
+
+fn shrink_from(
+    table: &TableResult,
+    family: &'static str,
+    old: &ChipConfig,
+    new: &ChipConfig,
+    old_matched: &ChipConfig,
+    new_matched: &ChipConfig,
+) -> Result<DieShrink, String> {
+    let m_old = metrics_for(table, old)?;
+    let m_new = metrics_for(table, new)?;
+    let m_old_m = metrics_for(table, old_matched)?;
+    let m_new_m = metrics_for(table, new_matched)?;
+    Ok(DieShrink {
+        family,
+        native: feature_ratios(&m_old, &m_new),
+        matched: feature_ratios(&m_old_m, &m_new_m),
+        energy_by_group: group_energy_ratios(&m_old_m, &m_new_m),
+    })
+}
+
+/// Rebuilds the Figure 8 die-shrink results from the store, by way of
+/// the stored `figure8_groups.lhq` query. The configurations are
+/// reconstructed exactly as `figure8_dieshrink::run` builds them, so
+/// the derived ratios are bit-identical when the store was populated by
+/// that run.
+///
+/// # Errors
+///
+/// Reports a missing query file, a query the store rejects, or
+/// configurations the store holds no rows for.
+pub fn derive_figure8(store: &Store) -> Result<Vec<DieShrink>, String> {
+    let text = load_query("figure8_groups").map_err(|e| format!("figure8_groups.lhq: {e}"))?;
+    let table = store.query(&text).map_err(|e| e.to_string())?;
+
+    let core = {
+        let old = ChipConfig::stock(ProcessorId::Core2DuoE6600.spec());
+        let new = ChipConfig::stock(ProcessorId::Core2DuoE7600.spec());
+        let matched = Hertz::from_ghz(2.4);
+        let old_m = ChipConfig::stock(ProcessorId::Core2DuoE6600.spec())
+            .with_clock(matched)
+            .expect("2.4 GHz is the E6600 stock clock");
+        let new_m = ChipConfig::stock(ProcessorId::Core2DuoE7600.spec())
+            .with_clock(matched)
+            .expect("2.4 GHz is within the E7600 range");
+        shrink_from(&table, "Core 2.4GHz", &old, &new, &old_m, &new_m)?
+    };
+
+    let nehalem = {
+        let i7_2c = |clock: Option<Hertz>| {
+            let mut c = ChipConfig::stock(ProcessorId::CoreI7_920.spec())
+                .with_cores(2)
+                .expect("2 cores")
+                .with_turbo(false)
+                .expect("turbo off");
+            if let Some(f) = clock {
+                c = c.with_clock(f).expect("clock in range");
+            }
+            c
+        };
+        let i5 = |clock: Option<Hertz>| {
+            let mut c = ChipConfig::stock(ProcessorId::CoreI5_670.spec())
+                .with_turbo(false)
+                .expect("turbo off");
+            if let Some(f) = clock {
+                c = c.with_clock(f).expect("clock in range");
+            }
+            c
+        };
+        let matched = Hertz::from_ghz(2.66);
+        shrink_from(
+            &table,
+            "Nehalem 2C2T 2.6GHz",
+            &i7_2c(None),
+            &i5(None),
+            &i7_2c(Some(matched)),
+            &i5(Some(matched)),
+        )?
+    };
+
+    Ok(vec![core, nehalem])
+}
+
+/// Folds a `group_by chip, group` result into the paper's
+/// equal-group-weight `Avg_w` of `agg_col` for one chip: the arithmetic
+/// mean of the chip's per-group means, groups in presentation order.
+/// Bit-identical to `GroupMetrics::aggregate`'s weighted average when
+/// the store was populated by the same cells.
+///
+/// # Errors
+///
+/// Reports missing columns, unknown group labels, or a chip with no
+/// rows in the table.
+pub fn avg_w_for_chip(table: &TableResult, chip: &str, agg_col: &str) -> Result<f64, String> {
+    let chip_i = col(table, "chip")?;
+    let group_i = col(table, "group")?;
+    let val_i = col(table, agg_col)?;
+    let mut by_group = BTreeMap::new();
+    for row in &table.rows {
+        if str_at(row, chip_i)? != chip {
+            continue;
+        }
+        let label = str_at(row, group_i)?;
+        let group = group_from_label(label)
+            .ok_or_else(|| format!("unknown workload group {label:?}"))?;
+        by_group.insert(group, num_at(row, val_i)?);
+    }
+    if by_group.is_empty() {
+        return Err(format!("no rows for chip {chip:?}"));
+    }
+    let present: Vec<Group> = Group::ALL
+        .into_iter()
+        .filter(|g| by_group.contains_key(g))
+        .collect();
+    Ok(arithmetic_mean(
+        &present.iter().map(|g| by_group[g]).collect::<Vec<_>>(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_stored_query_parses() {
+        for name in [
+            "figure7_groups",
+            "figure8_groups",
+            "finding_i7_vs_atom_perf",
+            "finding_power_range",
+            "finding_managed_epi_smt",
+            "pareto_power_perf",
+        ] {
+            let text = load_query(name).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(!text.trim().is_empty(), "{name} stripped to nothing");
+            lhr_store::parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn comment_stripping_keeps_the_pipeline() {
+        let s = strip_comments("# a comment\nfilter x == 1\n# another\n| limit 3\n");
+        assert_eq!(s, "filter x == 1\n| limit 3");
+        assert!(lhr_store::parse(&s).is_ok());
+    }
+}

@@ -1,0 +1,135 @@
+//! The paper's figures and headline findings, re-derived from the
+//! measurement store by the stored queries in `queries/`, must render
+//! byte-for-byte identically to the direct experiment pipelines. This
+//! is the bit-identity contract for the store: persisting cells through
+//! the sink and aggregating them with the query engine loses nothing.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use lhr_bench::queries;
+use lhr_core::experiments::{figure7_clock, figure8_dieshrink};
+use lhr_core::Harness;
+use lhr_store::Store;
+use lhr_uarch::{ChipConfig, ProcessorId};
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lhr-query-equiv-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn sinked_harness(dir: &PathBuf) -> (Harness, Arc<Store>) {
+    let store = Arc::new(Store::open(dir).unwrap());
+    let harness = Harness::quick().with_cell_sink(Arc::clone(&store) as _);
+    (harness, store)
+}
+
+#[test]
+fn stored_figure7_query_matches_the_direct_pipeline_bit_for_bit() {
+    let dir = tempdir("fig7");
+    let (harness, store) = sinked_harness(&dir);
+    let direct = figure7_clock::run(&harness);
+    let derived = queries::derive_figure7(&store, 4).unwrap();
+    // Compare rendered output, not structs: the derivation fills fields
+    // the renderer never reads with NaN, and NaN breaks PartialEq.
+    assert_eq!(
+        figure7_clock::render(&direct),
+        figure7_clock::render(&derived),
+        "figure 7 derived from the store diverged from the direct run"
+    );
+    assert_eq!(
+        figure7_clock::render_curves(&direct),
+        figure7_clock::render_curves(&derived),
+        "figure 7 per-point curves diverged"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stored_figure8_query_matches_the_direct_pipeline_bit_for_bit() {
+    let dir = tempdir("fig8");
+    let (harness, store) = sinked_harness(&dir);
+    let direct = figure8_dieshrink::run(&harness);
+    let derived = queries::derive_figure8(&store).unwrap();
+    assert_eq!(
+        figure8_dieshrink::render(&direct),
+        figure8_dieshrink::render(&derived),
+        "figure 8 derived from the store diverged from the direct run"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn finding_queries_reproduce_harness_aggregates_bitwise() {
+    let dir = tempdir("findings");
+    let (harness, store) = sinked_harness(&dir);
+    let i7 = ChipConfig::stock(ProcessorId::CoreI7_920.spec());
+    let atom = ChipConfig::stock(ProcessorId::Atom230.spec());
+    let c2d45 = ChipConfig::stock(ProcessorId::Core2DuoE7600.spec());
+    let direct_i7 = harness.group_metrics(&i7);
+    let direct_atom = harness.group_metrics(&atom);
+    let _ = harness.group_metrics(&c2d45);
+
+    // Finding 1: Nehalem vs Atom performance, equal-group-weight means.
+    let text = queries::load_query("finding_i7_vs_atom_perf").unwrap();
+    let table = store.query(&text).unwrap();
+    let i7_perf = queries::avg_w_for_chip(&table, "i7 (45)", "mean(perf_norm)").unwrap();
+    let atom_perf = queries::avg_w_for_chip(&table, "Atom (45)", "mean(perf_norm)").unwrap();
+    assert_eq!(i7_perf.to_bits(), direct_i7.perf_w.to_bits());
+    assert_eq!(atom_perf.to_bits(), direct_atom.perf_w.to_bits());
+    assert!(
+        i7_perf > atom_perf,
+        "the paper's headline gap (i7 outperforms Atom) must survive the store"
+    );
+
+    // Finding 2: the measured power range spans well over 4x across
+    // chips, sorted hottest-first by the stored query.
+    let text = queries::load_query("finding_power_range").unwrap();
+    let table = store.query(&text).unwrap();
+    assert!(table.rows.len() >= 3, "expected one row per measured chip");
+    let mean_col = table
+        .columns
+        .iter()
+        .position(|c| c == "mean(watts)")
+        .unwrap();
+    let means: Vec<f64> = table
+        .rows
+        .iter()
+        .map(|r| match &r[mean_col] {
+            lhr_store::Value::Num(x) => *x,
+            lhr_store::Value::Str(s) => panic!("mean(watts) was a string: {s}"),
+        })
+        .collect();
+    assert!(
+        means.windows(2).all(|w| w[0] >= w[1]),
+        "sort mean(watts) desc must order rows hottest-first"
+    );
+    assert!(
+        means[0] > 4.0 * means[means.len() - 1],
+        "power range across chips should exceed 4x ({means:?})"
+    );
+
+    // Finding 3: managed EPI on 45nm grouped by SMT -- both SMT classes
+    // present (i7 has SMT, the Core 2 / Atom parts measured here vary),
+    // every mean finite and positive.
+    let text = queries::load_query("finding_managed_epi_smt").unwrap();
+    let table = store.query(&text).unwrap();
+    assert_eq!(table.columns, vec!["smt".to_owned(), "mean(epi)".to_owned()]);
+    assert!(!table.rows.is_empty(), "managed 45nm rows must exist");
+    for r in &table.rows {
+        match &r[1] {
+            lhr_store::Value::Num(x) => {
+                assert!(x.is_finite() && *x > 0.0, "EPI must be finite and positive")
+            }
+            lhr_store::Value::Str(s) => panic!("mean(epi) was a string: {s}"),
+        }
+    }
+
+    // The Pareto view runs and keeps at least one frontier point.
+    let text = queries::load_query("pareto_power_perf").unwrap();
+    let table = store.query(&text).unwrap();
+    assert!(!table.rows.is_empty(), "pareto frontier cannot be empty");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

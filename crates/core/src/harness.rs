@@ -10,6 +10,7 @@
 
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 
@@ -21,6 +22,7 @@ use lhr_workloads::{catalog, Group, Workload};
 use crate::error::{MeasureError, MeasureErrorKind, MeasureHealth};
 use crate::reference::ReferenceSet;
 use crate::runner::{RunMeasurement, Runner};
+use crate::sink::CellSink;
 
 /// One benchmark's normalized result on one configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -287,6 +289,7 @@ pub struct Harness {
     workloads: Vec<&'static Workload>,
     reference: Mutex<Option<ReferenceSet>>,
     jobs: Option<usize>,
+    sink: Option<Arc<dyn CellSink>>,
 }
 
 impl Harness {
@@ -298,6 +301,7 @@ impl Harness {
             workloads: catalog().iter().collect(),
             reference: Mutex::new(None),
             jobs: None,
+            sink: None,
         }
     }
 
@@ -378,6 +382,22 @@ impl Harness {
         self.jobs
     }
 
+    /// Attaches a [`CellSink`]: every successfully resolved cell (and
+    /// every per-unit campaign evaluation) is reported to it, in
+    /// workload order. Sinks are observational -- they can never change
+    /// a measured byte -- so attaching one is bit-identity safe.
+    #[must_use]
+    pub fn with_cell_sink(mut self, sink: Arc<dyn CellSink>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// The attached cell sink, if any.
+    #[must_use]
+    pub fn cell_sink(&self) -> Option<&Arc<dyn CellSink>> {
+        self.sink.as_ref()
+    }
+
     /// The harness's workload set.
     #[must_use]
     pub fn workloads(&self) -> &[&'static Workload] {
@@ -437,7 +457,11 @@ impl Harness {
     ) -> Result<(Evaluation, MeasureHealth), MeasureError> {
         let refs = self.try_reference()?;
         let (measurement, health) = self.runner.try_measure(config, workload)?;
-        Ok((normalize(&refs, measurement), health))
+        let eval = normalize(&refs, measurement);
+        if let Some(sink) = &self.sink {
+            sink.record_cell(config, std::slice::from_ref(&eval));
+        }
+        Ok((eval, health))
     }
 
     /// Evaluates every workload on a configuration, in parallel, returning
@@ -550,6 +574,17 @@ impl Harness {
                 }
             })
             .collect();
+        if let Some(sink) = &self.sink {
+            // Report the survivors in workload order -- the same order
+            // every downstream mean sums in.
+            let ok: Vec<Evaluation> = evaluations
+                .iter()
+                .filter_map(|r| r.as_ref().ok().cloned())
+                .collect();
+            if !ok.is_empty() {
+                sink.record_cell(config, &ok);
+            }
+        }
         CellReport {
             label,
             evaluations,

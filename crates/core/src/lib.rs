@@ -47,6 +47,7 @@ mod harness;
 mod reference;
 mod report;
 mod runner;
+mod sink;
 mod supervisor;
 
 pub use cache::{CachedCell, CellCache, CellKey, ShardedLruCache, UnboundedCache};
@@ -55,6 +56,7 @@ pub use harness::{CellHealth, CellReport, Evaluation, GroupMetrics, Harness, Swe
 pub use reference::{ReferenceSet, REFERENCE_PROCESSORS};
 pub use report::{fmt2, fmt_pct, Table};
 pub use runner::{RunMeasurement, Runner, DEFAULT_RETRY_BUDGET};
+pub use sink::CellSink;
 pub use supervisor::{
     grid_units, AbortHandle, CampaignReport, CampaignSink, CampaignUnit, RetryPolicy, Supervisor,
     UnitOutcome, UnitReport,

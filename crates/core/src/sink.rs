@@ -1,0 +1,31 @@
+//! The cell sink: an observer for resolved measurement cells.
+//!
+//! A sink receives every successfully normalized evaluation the harness
+//! produces -- through the parallel cell path
+//! ([`Harness::try_evaluate_config`](crate::Harness::try_evaluate_config))
+//! and the per-unit campaign path
+//! ([`Harness::try_evaluate_workload`](crate::Harness::try_evaluate_workload))
+//! alike -- so a persistence layer (the `lhr-store` columnar store) can
+//! record results without the engine knowing about storage.
+//!
+//! The contract is strictly observational: a sink returns nothing and
+//! must never influence a measured value. Evaluations arrive in the
+//! harness's workload order, which is also the order every downstream
+//! aggregate (`lhr_stats::arithmetic_mean`) sums in -- a sink that
+//! preserves arrival order can therefore reproduce the harness's
+//! aggregates bit for bit.
+
+use lhr_uarch::ChipConfig;
+
+use crate::harness::Evaluation;
+
+/// An observer for resolved cells. Implementations must be cheap
+/// relative to a simulation (they run on the measurement thread, after
+/// the cell resolves) and must swallow their own failures: persistence
+/// is a byproduct, the measurement is the product.
+pub trait CellSink: Send + Sync + std::fmt::Debug {
+    /// Called once per resolved cell (or per resolved unit on the
+    /// campaign path) with the successful evaluations in workload order.
+    /// Failed workloads are simply absent.
+    fn record_cell(&self, config: &ChipConfig, evaluations: &[Evaluation]);
+}

@@ -716,6 +716,20 @@ impl Orchestrator {
             obs.counter("campaign.journal_errors", 1);
             obs.mark("campaign.journal_error", &e.to_string());
         }
+        // The shared measurement store (when the server runs one) gets
+        // the completed cell too. The harness's cell sink already
+        // covers the normal execution path; this explicit upsert also
+        // covers journal-replayed resumes, and duplicates dedup against
+        // the fingerprint index at zero write cost.
+        if let (Some(store), UnitOutcome::Completed { evaluation, .. }) =
+            (state.store.as_ref(), &report.outcome)
+        {
+            let row = lhr_store::CellRow::from_evaluation(&task.config, evaluation);
+            if let Err(e) = store.upsert(std::slice::from_ref(&row)) {
+                obs.counter("campaign.store_errors", 1);
+                obs.mark("campaign.store_error", &e.to_string());
+            }
+        }
 
         // Phase 3: commit the slot and detect completion.
         let finalize = {

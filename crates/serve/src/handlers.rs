@@ -46,6 +46,11 @@ pub struct ServeState {
     pub max_cell: Duration,
     /// The campaign orchestrator behind `/v1/campaigns`.
     pub campaigns: crate::campaigns::Orchestrator,
+    /// The measurement store behind `POST /v1/query`, when the server
+    /// was booted with one (`--store-dir`). Every cell the harness
+    /// resolves is recorded into it through the [`lhr_core::CellSink`]
+    /// hook; `None` means the query endpoint answers `503`.
+    pub store: Option<Arc<lhr_store::Store>>,
     /// Set by `POST /admin/drain`; the accept loop polls it.
     pub draining: AtomicBool,
     /// Server start time, for `/healthz` uptime.
@@ -65,6 +70,7 @@ pub fn endpoint_tag(req: &Request) -> &'static str {
         "/v1/sweep" => "/v1/sweep",
         "/v1/pareto" => "/v1/pareto",
         "/v1/findings" => "/v1/findings",
+        "/v1/query" => "/v1/query",
         "/admin/drain" => "/admin/drain",
         p if p.starts_with("/v1/campaigns") => "/v1/campaigns",
         p if p.starts_with("/v1/artifacts") => "/v1/artifacts",
@@ -89,6 +95,7 @@ pub fn route(state: &Arc<ServeState>, req: &Request) -> Response {
         (Method::Get, "/v1/sweep") => sweep(state, req),
         (Method::Get, "/v1/pareto") => pareto_endpoint(state, req),
         (Method::Get, "/v1/findings") => findings(state),
+        (Method::Post | Method::Get, "/v1/query") => query_endpoint(state, req),
         (Method::Get, "/v1/artifacts") => artifact_index(state),
         (Method::Get, p) if p.starts_with("/v1/artifacts/") => {
             artifact(state, &p["/v1/artifacts/".len()..])
@@ -99,14 +106,14 @@ pub fn route(state: &Arc<ServeState>, req: &Request) -> Response {
         (Method::Post, _) => Response::error(
             405,
             "method_not_allowed",
-            "only /admin/drain and /v1/campaigns accept POST",
+            "only /admin/drain, /v1/campaigns, and /v1/query accept POST",
         ),
         (Method::Get, _) => Response::error(
             404,
             "not_found",
             "unknown endpoint; see /healthz, /metrics, /v1/metrics, /v1/metrics/timeseries, \
              /v1/cell, /v1/sweep, /v1/pareto, /v1/findings, /v1/artifacts, /v1/campaigns, \
-             POST /admin/drain",
+             POST /v1/query, POST /admin/drain",
         ),
     }
 }
@@ -602,6 +609,69 @@ fn push_finding(body: &mut String, first: bool, id: &str, holds: bool, detail: &
     body.push_str(",\"detail\":");
     push_json_string(body, detail);
     body.push('}');
+}
+
+// ---------------------------------------------------------------------
+// /v1/query
+// ---------------------------------------------------------------------
+
+/// `POST /v1/query` (and `GET /v1/query?q=...` for short queries): runs
+/// one measurement-store DSL query and returns the result table as an
+/// aligned text table (`?format=text`, the default -- byte-identical to
+/// what the `lhr_query` CLI prints for the same store) or as JSON
+/// (`?format=json`). The query text is the POST body, or the `q=`
+/// parameter when the body is empty.
+///
+/// Queries execute against whatever the store holds *right now* --
+/// in-memory, no engine work, no flight board -- so a malformed query
+/// costs a typed `400` with a byte position and nothing else.
+fn query_endpoint(state: &Arc<ServeState>, req: &Request) -> Response {
+    let Some(store) = state.store.as_ref() else {
+        return Response::error(
+            503,
+            "store_unavailable",
+            "this server runs without a measurement store; boot with --store-dir to enable \
+             /v1/query",
+        );
+    };
+    let text = if req.body.trim().is_empty() {
+        req.param("q").unwrap_or("").trim().to_owned()
+    } else {
+        req.body.trim().to_owned()
+    };
+    if text.is_empty() {
+        return Response::error(
+            400,
+            "query_missing",
+            "send the query text as the POST body (or q= for short queries)",
+        );
+    }
+    let format = req.param("format").unwrap_or("text");
+    let table = match store.query(&text) {
+        Ok(table) => table,
+        Err(lhr_store::QueryError::Parse(e)) => {
+            state.obs.counter("serve.query_parse_errors", 1);
+            return Response::error(400, "query_parse_error", &e.to_string());
+        }
+        Err(lhr_store::QueryError::Plan(e)) => {
+            state.obs.counter("serve.query_plan_errors", 1);
+            return Response::error(400, "query_plan_error", &e.to_string());
+        }
+    };
+    state.obs.counter("serve.queries", 1);
+    match format {
+        "json" => {
+            let mut body = table.render_json();
+            body.push('\n');
+            Response::ok_json(body)
+        }
+        "text" => Response::ok_text(table.render_text()),
+        other => Response::error(
+            400,
+            "bad_format",
+            &format!("format must be json or text, got {other:?}"),
+        ),
+    }
 }
 
 // ---------------------------------------------------------------------

@@ -5,8 +5,9 @@
 //! what the serving layer needs:
 //!
 //! * `GET`/`POST` request lines, `\r\n` line endings, header block
-//!   terminated by an empty line (bodies are ignored -- no endpoint
-//!   consumes one);
+//!   terminated by an empty line, and a `Content-Length`-delimited body
+//!   (capped at [`MAX_BODY_BYTES`] -- `/v1/query` posts DSL text;
+//!   chunked transfer encoding is rejected, not silently misread);
 //! * percent-decoding of path and query components (decoded *before*
 //!   any path-safety check, so `%2e%2e%2f` cannot smuggle a `..`);
 //! * `Connection: close` responses with `Content-Length`, so clients
@@ -22,6 +23,10 @@ use std::io::{self, BufRead, Write};
 /// Anything longer is a `400`: the endpoints take short query strings,
 /// so an oversized head is garbage or abuse.
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Longest request body accepted, in bytes. Query texts are a few
+/// hundred bytes; anything bigger is garbage or abuse.
+pub const MAX_BODY_BYTES: usize = 64 * 1024;
 
 /// The request methods the server understands.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,6 +51,9 @@ pub struct Request {
     /// Only consulted for content negotiation (`Accept` on
     /// `/v1/metrics`); routing never depends on them.
     pub headers: Vec<(String, String)>,
+    /// The request body (`Content-Length`-delimited, UTF-8). Empty for
+    /// bodyless requests; only `POST /v1/query` consumes one.
+    pub body: String,
 }
 
 impl Request {
@@ -125,7 +133,57 @@ pub fn read_request(stream: &mut impl BufRead) -> Result<Request, HttpError> {
     }
     let mut req = parse_request_line(&request_line)?;
     req.headers = headers;
+    req.body = read_body(stream, &req)?;
     Ok(req)
+}
+
+/// Reads the `Content-Length`-delimited body, if the head announced
+/// one. Chunked transfer encoding is refused outright -- pretending to
+/// understand it would desynchronize the connection.
+fn read_body(stream: &mut impl BufRead, req: &Request) -> Result<String, HttpError> {
+    if req
+        .header("transfer-encoding")
+        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(HttpError::BadRequest(
+            "chunked transfer encoding is not supported; send Content-Length".into(),
+        ));
+    }
+    let Some(raw_len) = req.header("content-length") else {
+        return Ok(String::new());
+    };
+    let len: usize = raw_len
+        .parse()
+        .map_err(|_| HttpError::BadRequest(format!("bad Content-Length {raw_len:?}")))?;
+    if len > MAX_BODY_BYTES {
+        return Err(HttpError::BadRequest(format!(
+            "body of {len} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+        )));
+    }
+    let mut body = vec![0u8; len];
+    let mut filled = 0;
+    while filled < len {
+        let available = match stream.fill_buf() {
+            Ok(available) => available,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Err(HttpError::TimedOut);
+            }
+            Err(_) => return Err(HttpError::Disconnected),
+        };
+        if available.is_empty() {
+            return Err(HttpError::Disconnected);
+        }
+        let take = available.len().min(len - filled);
+        body[filled..filled + take].copy_from_slice(&available[..take]);
+        stream.consume(take);
+        filled += take;
+    }
+    String::from_utf8(body).map_err(|_| HttpError::BadRequest("body is not UTF-8".into()))
 }
 
 /// Reads one `\r\n`-terminated line (tolerating bare `\n`), without the
@@ -209,6 +267,7 @@ fn parse_request_line(line: &str) -> Result<Request, HttpError> {
         path,
         query,
         headers: Vec::new(),
+        body: String::new(),
     })
 }
 
@@ -422,6 +481,38 @@ mod tests {
             Err(HttpError::BadRequest(_))
         ));
         assert!(matches!(parse(""), Err(HttpError::Disconnected)));
+    }
+
+    #[test]
+    fn bodies_follow_content_length() {
+        let r = parse(
+            "POST /v1/query HTTP/1.1\r\nContent-Length: 17\r\n\r\nfilter chip == \"x\"",
+        )
+        .unwrap();
+        // Exactly 17 bytes are consumed, no more.
+        assert_eq!(r.body, "filter chip == \"x");
+        let r = parse("GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(r.body, "");
+        assert!(matches!(
+            parse("POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse(&format!(
+                "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+                MAX_BODY_BYTES + 1
+            )),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse("POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+        // A body cut short by a hangup is a disconnect, not a hang.
+        assert!(matches!(
+            parse("POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"),
+            Err(HttpError::Disconnected)
+        ));
     }
 
     #[test]

@@ -33,6 +33,11 @@
 //!   requests always win; every resolved cell is journaled write-ahead
 //!   and a killed or drained server resumes to byte-identical result
 //!   artifacts ([`campaigns`]).
+//! * **A measurement store** -- boot with a store directory and every
+//!   cell the harness resolves (interactive or campaign) is recorded
+//!   into an on-disk columnar store (`lhr-store`); `POST /v1/query`
+//!   runs the hand-rolled query DSL over it, returning JSON or aligned
+//!   text tables with typed `400`s on bad queries.
 //! * **Live telemetry** -- every request carries a trace id minted at
 //!   accept; per-endpoint RED metrics (rate/errors/duration) feed a
 //!   windowed time-series ring and a multi-window SLO burn-rate
@@ -70,6 +75,7 @@
 //! | `GET /v1/campaigns/<id>/artifact` | the finished result artifact (409 until done) |
 //! | `POST /v1/campaigns/<id>/preempt` | checkpoint and stop dispatching |
 //! | `POST /v1/campaigns/<id>/resume` | resume a preempted campaign |
+//! | `POST /v1/query` | run a measurement-store DSL query (body = query text; `?format=text\|json`, text default) |
 //! | `POST /admin/drain` | graceful shutdown |
 //!
 //! # Quick start

@@ -68,6 +68,10 @@ pub struct ServerConfig {
     pub shed_writers: usize,
     /// Pending-shed backlog; past it, overflow connections are dropped.
     pub shed_depth: usize,
+    /// Directory of the measurement store behind `POST /v1/query`.
+    /// `None` (the default) serves without a store: cells are not
+    /// recorded and the query endpoint answers `503`.
+    pub store_dir: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -86,6 +90,7 @@ impl Default for ServerConfig {
             campaign_lane_depth: 32,
             shed_writers: 2,
             shed_depth: 32,
+            store_dir: None,
         }
     }
 }
@@ -174,6 +179,18 @@ pub fn start(
     let listener = TcpListener::bind(&config.addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
+    // Open (or create) the measurement store before the harness is
+    // frozen into the shared state: the store doubles as the harness's
+    // cell sink, so every cell any endpoint resolves is recorded.
+    let mut harness = harness;
+    let store = match &config.store_dir {
+        Some(dir) => {
+            let store = Arc::new(lhr_store::Store::open(dir)?);
+            harness = harness.with_cell_sink(Arc::clone(&store) as _);
+            Some(store)
+        }
+        None => None,
+    };
     let obs = harness.runner().observer().clone();
     let state = Arc::new(ServeState {
         harness,
@@ -183,6 +200,7 @@ pub fn start(
         artifact_dir: config.artifact_dir.clone(),
         max_cell: config.max_cell,
         campaigns: Orchestrator::new(config.campaign_dir.clone(), config.campaign_inflight),
+        store,
         draining: AtomicBool::new(false),
         started: Instant::now(),
     });

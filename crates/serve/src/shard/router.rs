@@ -354,6 +354,7 @@ pub fn start_router(
                 std::env::temp_dir().join(format!("lhr-router-fallback-{}", std::process::id())),
                 1,
             ),
+            store: None,
             draining: AtomicBool::new(false),
             started: Instant::now(),
         })
@@ -612,8 +613,10 @@ fn route(state: &Arc<RouterState>, req: &Request) -> Response {
             "campaigns journal on a single node; submit to a backend directly",
         ),
         (Method::Get, p)
-            if matches!(p, "/v1/cell" | "/v1/sweep" | "/v1/pareto" | "/v1/findings")
-                || p.starts_with("/v1/artifacts") =>
+            if matches!(
+                p,
+                "/v1/cell" | "/v1/sweep" | "/v1/pareto" | "/v1/findings" | "/v1/query"
+            ) || p.starts_with("/v1/artifacts") =>
         {
             forward(state, req)
         }
@@ -626,7 +629,7 @@ fn route(state: &Arc<RouterState>, req: &Request) -> Response {
             404,
             "not_found",
             "unknown endpoint; see /healthz, /metrics, /v1/metrics, /v1/metrics/timeseries, \
-             /v1/cell, /v1/sweep, /v1/pareto, /v1/findings, /v1/artifacts, \
+             /v1/cell, /v1/sweep, /v1/pareto, /v1/findings, /v1/query, /v1/artifacts, \
              POST /admin/drain, POST /admin/backends",
         ),
     }
@@ -766,7 +769,10 @@ fn exchange_recorded(
 /// candidates with skipping/hedging/backoff, then graceful degradation.
 fn forward(state: &Arc<RouterState>, req: &Request) -> Response {
     let target = canonical_target(req);
-    if state.config.route_cache > 0 {
+    // Query results aggregate each backend's live store, so unlike cell
+    // and artifact bodies they change as cells land: never cache them.
+    let cacheable = req.path != "/v1/query";
+    if cacheable && state.config.route_cache > 0 {
         if let Some(hit) = state.cache.lock().expect("cache lock").get(&target) {
             state.obs.counter("router.cache_hits", 1);
             return Response {
@@ -816,7 +822,7 @@ fn forward(state: &Arc<RouterState>, req: &Request) -> Response {
         };
         match outcome {
             Ok(resp) if settles(&resp) => {
-                if resp.status == 200 && state.config.route_cache > 0 {
+                if cacheable && resp.status == 200 && state.config.route_cache > 0 {
                     state.cache.lock().expect("cache lock").put(
                         target,
                         CachedBody {

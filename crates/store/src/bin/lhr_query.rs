@@ -1,0 +1,143 @@
+//! The `lhr_query` binary: run measurement-store DSL queries offline.
+//!
+//! ```text
+//! lhr_query --store DIR [--format text|json] [--file PATH | QUERY]
+//! ```
+//!
+//! Exactly the same parser and operator pipeline `POST /v1/query`
+//! serves -- a query typed here and a query POSTed to a running server
+//! over the same store directory return byte-identical tables. The
+//! query text comes from the positional argument, `--file PATH`, or
+//! stdin when neither is given.
+//!
+//! Exit status: `0` on success, `1` on usage errors, `2` on parse or
+//! plan errors (the message carries the byte position), `3` when the
+//! store cannot be opened.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use lhr_store::{QueryError, Store};
+
+struct Args {
+    store: String,
+    format: Format,
+    source: Source,
+}
+
+#[derive(PartialEq)]
+enum Format {
+    Text,
+    Json,
+}
+
+enum Source {
+    Inline(String),
+    File(String),
+    Stdin,
+}
+
+fn usage() -> &'static str {
+    "usage: lhr_query --store DIR [--format text|json] [--file PATH | QUERY]\n\
+     \n\
+     Runs one lhr-store query (reads stdin when no QUERY or --file is given).\n\
+     Example:\n\
+     \x20 lhr_query --store store_out 'filter node == 45 | group_by chip | agg mean(watts)'"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut store = None;
+    let mut format = Format::Text;
+    let mut source = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--store" => store = Some(value("--store")?),
+            "--format" => {
+                format = match value("--format")?.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    other => return Err(format!("--format must be text or json, got {other:?}")),
+                };
+            }
+            "--file" => {
+                if source.is_some() {
+                    return Err("give one query: positional, --file, or stdin".to_owned());
+                }
+                source = Some(Source::File(value("--file")?));
+            }
+            "--help" | "-h" => return Err(usage().to_owned()),
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag {other:?}\n{}", usage()));
+            }
+            query => {
+                if source.is_some() {
+                    return Err("give one query: positional, --file, or stdin".to_owned());
+                }
+                source = Some(Source::Inline(query.to_owned()));
+            }
+        }
+    }
+    Ok(Args {
+        store: store.ok_or_else(|| format!("--store DIR is required\n{}", usage()))?,
+        format,
+        source: source.unwrap_or(Source::Stdin),
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(1);
+        }
+    };
+    let text = match &args.source {
+        Source::Inline(q) => q.clone(),
+        Source::File(path) => match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("lhr_query: cannot read {path}: {e}");
+                return ExitCode::from(1);
+            }
+        },
+        Source::Stdin => {
+            let mut buf = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+                eprintln!("lhr_query: cannot read stdin: {e}");
+                return ExitCode::from(1);
+            }
+            buf
+        }
+    };
+    if text.trim().is_empty() {
+        eprintln!("lhr_query: empty query\n{}", usage());
+        return ExitCode::from(1);
+    }
+    let store = match Store::open(std::path::Path::new(&args.store)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("lhr_query: cannot open store {}: {e}", args.store);
+            return ExitCode::from(3);
+        }
+    };
+    match store.query(&text) {
+        Ok(table) => {
+            match args.format {
+                Format::Text => print!("{}", table.render_text()),
+                Format::Json => println!("{}", table.render_json()),
+            }
+            ExitCode::SUCCESS
+        }
+        Err(QueryError::Parse(e)) => {
+            eprintln!("lhr_query: {e}");
+            ExitCode::from(2)
+        }
+        Err(QueryError::Plan(e)) => {
+            eprintln!("lhr_query: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

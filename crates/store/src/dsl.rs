@@ -1,0 +1,824 @@
+//! The query language: a pipeline of stages separated by `|`.
+//!
+//! ```text
+//! filter chip == "i7 (45)" && turbo == 0
+//!   | group_by clock, group
+//!   | agg mean(perf_norm), mean(watts)
+//!   | sort mean(perf_norm) desc
+//!   | limit 10
+//! ```
+//!
+//! Stages: `filter <expr>`, `project <cols>`, `group_by <cols>`,
+//! `agg fn(col), ...` (`min|max|mean|p50|p95`), `sort <key> [asc|desc]`,
+//! `limit N`, `pareto(x, y)` (keep rows not dominated on maximize-`x`,
+//! minimize-`y`). The parser is a hand-rolled recursive descent over a
+//! byte-position lexer; every error carries the exact byte offset it
+//! was detected at.
+//!
+//! Whitespace (including newlines) separates tokens, and `#` starts a
+//! comment running to end of line — so a stored `queries/*.lhq` file
+//! can be passed to the parser, the CLI, or `POST /v1/query` verbatim.
+//!
+//! The AST prints back to canonical query text ([`std::fmt::Display`]),
+//! and parsing canonical text reproduces the canonical text — the
+//! round-trip property the DSL proptests pin down.
+
+use std::fmt;
+
+/// A parse failure: what was expected, what was found, and where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the query text.
+    pub pos: usize,
+    /// What the grammar wanted here.
+    pub expected: String,
+    /// What the lexer actually produced.
+    pub found: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "parse error at byte {}: expected {}, found {}",
+            self.pos, self.expected, self.found
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A parsed query: a non-empty pipeline of stages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// The stages, in pipeline order.
+    pub stages: Vec<Stage>,
+}
+
+/// One pipeline stage.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stage {
+    /// Keep rows matching the predicate.
+    Filter(Expr),
+    /// Keep (and reorder to) the named columns.
+    Project(Vec<ColRef>),
+    /// Group rows by the named columns; must be followed by `agg`.
+    GroupBy(Vec<String>),
+    /// Aggregate (per group, or globally when no `group_by` precedes).
+    Agg(Vec<AggItem>),
+    /// Order rows by one key.
+    Sort {
+        /// The sort key.
+        key: ColRef,
+        /// Descending when set (`desc`); ascending is the default.
+        desc: bool,
+    },
+    /// Keep the first N rows.
+    Limit(usize),
+    /// Keep the Pareto frontier: maximize `x`, minimize `y`.
+    Pareto {
+        /// The axis to maximize.
+        x: ColRef,
+        /// The axis to minimize.
+        y: ColRef,
+    },
+}
+
+/// A reference to a column: a plain name, or an aggregate output such
+/// as `mean(watts)`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColRef {
+    /// A plain column name.
+    Ident(String),
+    /// An aggregate-output column, named by its `fn(col)` form.
+    Agg(AggItem),
+}
+
+impl ColRef {
+    /// The column name this reference resolves to.
+    #[must_use]
+    pub fn name(&self) -> String {
+        match self {
+            ColRef::Ident(s) => s.clone(),
+            ColRef::Agg(a) => a.to_string(),
+        }
+    }
+}
+
+/// One aggregate computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggItem {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// The (numeric) input column.
+    pub col: String,
+}
+
+/// The aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// Smallest value.
+    Min,
+    /// Largest value.
+    Max,
+    /// Arithmetic mean, accumulated in row order (bit-compatible with
+    /// `lhr_stats::arithmetic_mean` over the same rows).
+    Mean,
+    /// Median by nearest rank.
+    P50,
+    /// 95th percentile by nearest rank.
+    P95,
+}
+
+impl AggFunc {
+    fn name(self) -> &'static str {
+        match self {
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+            AggFunc::Mean => "mean",
+            AggFunc::P50 => "p50",
+            AggFunc::P95 => "p95",
+        }
+    }
+
+    fn parse(name: &str) -> Option<AggFunc> {
+        match name {
+            "min" => Some(AggFunc::Min),
+            "max" => Some(AggFunc::Max),
+            "mean" => Some(AggFunc::Mean),
+            "p50" => Some(AggFunc::P50),
+            "p95" => Some(AggFunc::P95),
+            _ => None,
+        }
+    }
+}
+
+/// A filter predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Logical OR (short-circuit).
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical AND (short-circuit).
+    And(Box<Expr>, Box<Expr>),
+    /// One comparison: `column op literal`.
+    Cmp {
+        /// The column.
+        col: String,
+        /// The operator.
+        op: CmpOp,
+        /// The literal to compare against.
+        lit: Literal,
+    },
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+/// A literal value in a comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// A number.
+    Num(f64),
+    /// A double-quoted string.
+    Str(String),
+}
+
+// ---------------------------------------------------------------------
+// Canonical printing
+// ---------------------------------------------------------------------
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, s) in self.stages.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" | ")?;
+            }
+            write!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Stage::Filter(e) => write!(f, "filter {e}"),
+            Stage::Project(cols) => {
+                f.write_str("project ")?;
+                join(f, cols)
+            }
+            Stage::GroupBy(cols) => {
+                f.write_str("group_by ")?;
+                join(f, cols)
+            }
+            Stage::Agg(items) => {
+                f.write_str("agg ")?;
+                join(f, items)
+            }
+            Stage::Sort { key, desc } => {
+                write!(f, "sort {key}")?;
+                if *desc {
+                    f.write_str(" desc")?;
+                }
+                Ok(())
+            }
+            Stage::Limit(n) => write!(f, "limit {n}"),
+            Stage::Pareto { x, y } => write!(f, "pareto({x}, {y})"),
+        }
+    }
+}
+
+fn join<T: fmt::Display>(f: &mut fmt::Formatter<'_>, items: &[T]) -> fmt::Result {
+    for (i, it) in items.iter().enumerate() {
+        if i > 0 {
+            f.write_str(", ")?;
+        }
+        write!(f, "{it}")?;
+    }
+    Ok(())
+}
+
+impl fmt::Display for ColRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColRef::Ident(s) => f.write_str(s),
+            ColRef::Agg(a) => write!(f, "{a}"),
+        }
+    }
+}
+
+impl fmt::Display for AggItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.func.name(), self.col)
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Or(a, b) => write!(f, "{a} || {b}"),
+            Expr::And(a, b) => {
+                // An OR under an AND needs parentheses to keep its
+                // grouping through a re-parse.
+                paren_if_or(f, a)?;
+                f.write_str(" && ")?;
+                paren_if_or(f, b)
+            }
+            Expr::Cmp { col, op, lit } => write!(f, "{col} {} {lit}", op.symbol()),
+        }
+    }
+}
+
+fn paren_if_or(f: &mut fmt::Formatter<'_>, e: &Expr) -> fmt::Result {
+    if matches!(e, Expr::Or(..)) {
+        write!(f, "({e})")
+    } else {
+        write!(f, "{e}")
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            // `{}` on f64 is shortest-round-trip: the text re-parses to
+            // the identical bits.
+            Literal::Num(x) => write!(f, "{x}"),
+            Literal::Str(s) => {
+                f.write_str("\"")?;
+                for c in s.chars() {
+                    match c {
+                        '"' => f.write_str("\\\"")?,
+                        '\\' => f.write_str("\\\\")?,
+                        c => write!(f, "{c}")?,
+                    }
+                }
+                f.write_str("\"")
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Num(f64),
+    Str(String),
+    Pipe,
+    Comma,
+    LParen,
+    RParen,
+    Op(CmpOp),
+    AndAnd,
+    OrOr,
+    End,
+}
+
+impl Tok {
+    fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) => format!("identifier `{s}`"),
+            Tok::Num(x) => format!("number `{x}`"),
+            Tok::Str(s) => format!("string {s:?}"),
+            Tok::Pipe => "`|`".to_owned(),
+            Tok::Comma => "`,`".to_owned(),
+            Tok::LParen => "`(`".to_owned(),
+            Tok::RParen => "`)`".to_owned(),
+            Tok::Op(op) => format!("`{}`", op.symbol()),
+            Tok::AndAnd => "`&&`".to_owned(),
+            Tok::OrOr => "`||`".to_owned(),
+            Tok::End => "end of query".to_owned(),
+        }
+    }
+}
+
+fn lex(text: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
+    let bytes = text.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\n' | b'\r' => i += 1,
+            // `#` comments run to end of line, so stored `.lhq` files
+            // can be posted to `/v1/query` verbatim.
+            b'#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b',' => {
+                toks.push((i, Tok::Comma));
+                i += 1;
+            }
+            b'(' => {
+                toks.push((i, Tok::LParen));
+                i += 1;
+            }
+            b')' => {
+                toks.push((i, Tok::RParen));
+                i += 1;
+            }
+            b'|' if bytes.get(i + 1) == Some(&b'|') => {
+                toks.push((i, Tok::OrOr));
+                i += 2;
+            }
+            b'|' => {
+                toks.push((i, Tok::Pipe));
+                i += 1;
+            }
+            b'&' if bytes.get(i + 1) == Some(&b'&') => {
+                toks.push((i, Tok::AndAnd));
+                i += 2;
+            }
+            b'&' => {
+                return Err(ParseError {
+                    pos: i,
+                    expected: "`&&`".to_owned(),
+                    found: "a lone `&`".to_owned(),
+                })
+            }
+            b'=' if bytes.get(i + 1) == Some(&b'=') => {
+                toks.push((i, Tok::Op(CmpOp::Eq)));
+                i += 2;
+            }
+            b'!' if bytes.get(i + 1) == Some(&b'=') => {
+                toks.push((i, Tok::Op(CmpOp::Ne)));
+                i += 2;
+            }
+            b'<' if bytes.get(i + 1) == Some(&b'=') => {
+                toks.push((i, Tok::Op(CmpOp::Le)));
+                i += 2;
+            }
+            b'<' => {
+                toks.push((i, Tok::Op(CmpOp::Lt)));
+                i += 1;
+            }
+            b'>' if bytes.get(i + 1) == Some(&b'=') => {
+                toks.push((i, Tok::Op(CmpOp::Ge)));
+                i += 2;
+            }
+            b'>' => {
+                toks.push((i, Tok::Op(CmpOp::Gt)));
+                i += 1;
+            }
+            b'"' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(ParseError {
+                                pos: start,
+                                expected: "a closing `\"`".to_owned(),
+                                found: "end of query".to_owned(),
+                            })
+                        }
+                        Some(b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(b'\\') => {
+                            match bytes.get(i + 1) {
+                                Some(b'"') => s.push('"'),
+                                Some(b'\\') => s.push('\\'),
+                                _ => {
+                                    return Err(ParseError {
+                                        pos: i,
+                                        expected: "`\\\"` or `\\\\`".to_owned(),
+                                        found: "an unknown escape".to_owned(),
+                                    })
+                                }
+                            }
+                            i += 2;
+                        }
+                        Some(_) => {
+                            // Consume one full UTF-8 scalar.
+                            let rest = &text[i..];
+                            let c = rest.chars().next().expect("in bounds");
+                            s.push(c);
+                            i += c.len_utf8();
+                        }
+                    }
+                }
+                toks.push((start, Tok::Str(s)));
+            }
+            b'0'..=b'9' | b'-' | b'.' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len()
+                    && matches!(bytes[i], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+                {
+                    // `e`/`E` admit a following sign; a bare `-` after a
+                    // digit would end the number in any sane query, and
+                    // the f64 parse below rejects genuinely bad text.
+                    if matches!(bytes[i], b'+' | b'-')
+                        && !matches!(bytes[i - 1], b'e' | b'E')
+                    {
+                        break;
+                    }
+                    i += 1;
+                }
+                let tok = &text[start..i];
+                let x: f64 = tok.parse().map_err(|_| ParseError {
+                    pos: start,
+                    expected: "a number".to_owned(),
+                    found: format!("`{tok}`"),
+                })?;
+                toks.push((start, Tok::Num(x)));
+            }
+            b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && matches!(bytes[i], b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'_')
+                {
+                    i += 1;
+                }
+                toks.push((start, Tok::Ident(text[start..i].to_owned())));
+            }
+            _ => {
+                return Err(ParseError {
+                    pos: i,
+                    expected: "a token".to_owned(),
+                    found: format!("byte `{}`", text[i..].chars().next().unwrap_or('?')),
+                })
+            }
+        }
+    }
+    toks.push((text.len(), Tok::End));
+    Ok(toks)
+}
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+struct Parser {
+    toks: Vec<(usize, Tok)>,
+    at: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.at].1
+    }
+
+    fn pos(&self) -> usize {
+        self.toks[self.at].0
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.at].1.clone();
+        if self.at + 1 < self.toks.len() {
+            self.at += 1;
+        }
+        t
+    }
+
+    fn err(&self, expected: &str) -> ParseError {
+        ParseError {
+            pos: self.pos(),
+            expected: expected.to_owned(),
+            found: self.peek().describe(),
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.peek() {
+            Tok::Ident(_) => match self.bump() {
+                Tok::Ident(s) => Ok(s),
+                _ => unreachable!(),
+            },
+            _ => Err(self.err(what)),
+        }
+    }
+
+    fn eat(&mut self, tok: &Tok, what: &str) -> Result<(), ParseError> {
+        if self.peek() == tok {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(what))
+        }
+    }
+
+    fn query(&mut self) -> Result<Query, ParseError> {
+        let mut stages = vec![self.stage()?];
+        loop {
+            match self.peek() {
+                Tok::Pipe => {
+                    self.bump();
+                    stages.push(self.stage()?);
+                }
+                Tok::End => break,
+                _ => return Err(self.err("`|` or end of query")),
+            }
+        }
+        Ok(Query { stages })
+    }
+
+    fn stage(&mut self) -> Result<Stage, ParseError> {
+        let name = self.expect_ident(
+            "a stage (`filter`, `project`, `group_by`, `agg`, `sort`, `limit`, `pareto`)",
+        )?;
+        match name.as_str() {
+            "filter" => Ok(Stage::Filter(self.or_expr()?)),
+            "project" => Ok(Stage::Project(self.col_refs()?)),
+            "group_by" => Ok(Stage::GroupBy(self.idents()?)),
+            "agg" => Ok(Stage::Agg(self.agg_items()?)),
+            "sort" => {
+                let key = self.col_ref()?;
+                let desc = match self.peek() {
+                    Tok::Ident(d) if d == "desc" => {
+                        self.bump();
+                        true
+                    }
+                    Tok::Ident(d) if d == "asc" => {
+                        self.bump();
+                        false
+                    }
+                    _ => false,
+                };
+                Ok(Stage::Sort { key, desc })
+            }
+            "limit" => match self.peek() {
+                Tok::Num(x) if *x >= 0.0 && x.fract() == 0.0 => {
+                    let n = *x as usize;
+                    self.bump();
+                    Ok(Stage::Limit(n))
+                }
+                _ => Err(self.err("a non-negative integer")),
+            },
+            "pareto" => {
+                self.eat(&Tok::LParen, "`(`")?;
+                let x = self.col_ref()?;
+                self.eat(&Tok::Comma, "`,`")?;
+                let y = self.col_ref()?;
+                self.eat(&Tok::RParen, "`)`")?;
+                Ok(Stage::Pareto { x, y })
+            }
+            other => Err(ParseError {
+                pos: self.toks[self.at - 1].0,
+                expected: "a stage (`filter`, `project`, `group_by`, `agg`, `sort`, \
+                           `limit`, `pareto`)"
+                    .to_owned(),
+                found: format!("identifier `{other}`"),
+            }),
+        }
+    }
+
+    fn idents(&mut self) -> Result<Vec<String>, ParseError> {
+        let mut out = vec![self.expect_ident("a column name")?];
+        while self.peek() == &Tok::Comma {
+            self.bump();
+            out.push(self.expect_ident("a column name")?);
+        }
+        Ok(out)
+    }
+
+    fn col_refs(&mut self) -> Result<Vec<ColRef>, ParseError> {
+        let mut out = vec![self.col_ref()?];
+        while self.peek() == &Tok::Comma {
+            self.bump();
+            out.push(self.col_ref()?);
+        }
+        Ok(out)
+    }
+
+    /// An ident, or `fn(col)` when the ident is an aggregate function
+    /// name followed by `(`.
+    fn col_ref(&mut self) -> Result<ColRef, ParseError> {
+        let name = self.expect_ident("a column name")?;
+        if let Some(func) = AggFunc::parse(&name) {
+            if self.peek() == &Tok::LParen {
+                self.bump();
+                let col = self.expect_ident("a column name")?;
+                self.eat(&Tok::RParen, "`)`")?;
+                return Ok(ColRef::Agg(AggItem { func, col }));
+            }
+        }
+        Ok(ColRef::Ident(name))
+    }
+
+    fn agg_items(&mut self) -> Result<Vec<AggItem>, ParseError> {
+        let mut out = vec![self.agg_item()?];
+        while self.peek() == &Tok::Comma {
+            self.bump();
+            out.push(self.agg_item()?);
+        }
+        Ok(out)
+    }
+
+    fn agg_item(&mut self) -> Result<AggItem, ParseError> {
+        let pos = self.pos();
+        let name = self.expect_ident("an aggregate (`min`, `max`, `mean`, `p50`, `p95`)")?;
+        let Some(func) = AggFunc::parse(&name) else {
+            return Err(ParseError {
+                pos,
+                expected: "an aggregate (`min`, `max`, `mean`, `p50`, `p95`)".to_owned(),
+                found: format!("identifier `{name}`"),
+            });
+        };
+        self.eat(&Tok::LParen, "`(`")?;
+        let col = self.expect_ident("a column name")?;
+        self.eat(&Tok::RParen, "`)`")?;
+        Ok(AggItem { func, col })
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.and_expr()?;
+        while self.peek() == &Tok::OrOr {
+            self.bump();
+            e = Expr::Or(Box::new(e), Box::new(self.and_expr()?));
+        }
+        Ok(e)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.cmp()?;
+        while self.peek() == &Tok::AndAnd {
+            self.bump();
+            e = Expr::And(Box::new(e), Box::new(self.cmp()?));
+        }
+        Ok(e)
+    }
+
+    fn cmp(&mut self) -> Result<Expr, ParseError> {
+        if self.peek() == &Tok::LParen {
+            self.bump();
+            let e = self.or_expr()?;
+            self.eat(&Tok::RParen, "`)`")?;
+            return Ok(e);
+        }
+        let col = self.expect_ident("a column name or `(`")?;
+        let op = match self.peek() {
+            Tok::Op(op) => {
+                let op = *op;
+                self.bump();
+                op
+            }
+            _ => return Err(self.err("a comparison (`==`, `!=`, `<`, `<=`, `>`, `>=`)")),
+        };
+        let lit = match self.peek() {
+            Tok::Num(x) => {
+                let x = *x;
+                self.bump();
+                Literal::Num(x)
+            }
+            Tok::Str(_) => match self.bump() {
+                Tok::Str(s) => Literal::Str(s),
+                _ => unreachable!(),
+            },
+            _ => return Err(self.err("a number or a quoted string")),
+        };
+        Ok(Expr::Cmp { col, op, lit })
+    }
+}
+
+/// Parses query text into its AST.
+///
+/// # Errors
+///
+/// A [`ParseError`] with the byte position of the first offending token.
+pub fn parse(text: &str) -> Result<Query, ParseError> {
+    let toks = lex(text)?;
+    let mut p = Parser { toks, at: 0 };
+    p.query()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_pipeline_and_round_trips() {
+        let text = "filter chip == \"i7 (45)\" && (turbo == 0 || smt == 1) \
+                    | group_by clock, group \
+                    | agg mean(perf_norm), p95(watts) \
+                    | sort mean(perf_norm) desc | limit 10";
+        let q = parse(text).expect("parses");
+        assert_eq!(q.stages.len(), 5);
+        let canon = q.to_string();
+        let again = parse(&canon).expect("canonical text parses");
+        assert_eq!(again, q);
+        assert_eq!(again.to_string(), canon);
+    }
+
+    #[test]
+    fn pareto_and_project_parse() {
+        let q = parse("project chip, mean(watts) | pareto(mean(perf_norm), mean(watts))")
+            .expect("parses");
+        assert!(matches!(q.stages[1], Stage::Pareto { .. }));
+        assert_eq!(parse(&q.to_string()).unwrap(), q);
+    }
+
+    #[test]
+    fn comments_and_newlines_are_whitespace() {
+        let text = "# headline query\nfilter turbo == 0 # stock only\n| group_by chip # per chip\n| agg mean(watts)\n";
+        let q = parse(text).expect("commented query parses");
+        let plain = parse("filter turbo == 0 | group_by chip | agg mean(watts)").unwrap();
+        assert_eq!(q, plain);
+        // A `#` inside a string literal is data, not a comment.
+        let q = parse("filter chip == \"a # b\"").expect("hash in string");
+        assert_eq!(parse(&q.to_string()).unwrap(), q);
+    }
+
+    #[test]
+    fn errors_carry_byte_positions() {
+        let e = parse("filter chip = 3").unwrap_err();
+        assert_eq!(e.pos, 12, "{e}");
+        assert!(e.to_string().contains("expected"));
+        let e = parse("group_by clock | agg nope(x)").unwrap_err();
+        assert_eq!(e.pos, 21);
+        let e = parse("limit -3").unwrap_err();
+        assert_eq!(e.pos, 6);
+        let e = parse("filter a == \"unterminated").unwrap_err();
+        assert!(e.found.contains("end of query"));
+    }
+
+    #[test]
+    fn numbers_round_trip_bitwise() {
+        for x in [0.1_f64, 1e-12, 12345.678901234567, -2.5e30] {
+            let q = parse(&format!("filter clock == {x}")).unwrap();
+            let Stage::Filter(Expr::Cmp {
+                lit: Literal::Num(y),
+                ..
+            }) = &q.stages[0]
+            else {
+                panic!("shape")
+            };
+            assert_eq!(y.to_bits(), x.to_bits());
+        }
+    }
+}

@@ -1,0 +1,669 @@
+//! Query planning and execution: a pull-based operator pipeline over
+//! the store's column data.
+//!
+//! Each stage of a parsed [`Query`] becomes one
+//! operator; an operator pulls rows from its child on demand (`next()`),
+//! so `filter | limit` stops scanning as soon as the limit fills.
+//! Blocking stages (`group_by`+`agg`, `sort`, `pareto`) drain their
+//! child on the first pull, then stream their materialized output.
+//!
+//! Determinism contract: scan order is ascending live-row id (insertion
+//! order for a store that never superseded a row), group keys iterate in
+//! `BTreeMap` order (`f64::total_cmp` for numbers), and `mean`
+//! accumulates in arrival order — which makes a grouped `mean` over
+//! cells ingested by the harness bit-identical to
+//! `lhr_stats::arithmetic_mean` over the same evaluations.
+
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+use std::fmt;
+
+use lhr_obs::{push_json_number, push_json_string};
+
+use crate::dsl::{AggFunc, CmpOp, Expr, Literal, Query, Stage};
+use crate::store::{ColKind, LiveView, SCHEMA};
+
+/// A query failure after parsing: the query is well-formed but does not
+/// fit the store's schema or the pipeline's intermediate shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanError {
+    /// Pipeline stage index (0-based) the error was detected in.
+    pub stage: usize,
+    /// What is wrong.
+    pub message: String,
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "plan error in stage {}: {}", self.stage, self.message)
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// One output value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A string cell.
+    Str(String),
+    /// A numeric cell.
+    Num(f64),
+}
+
+/// A fully executed query result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableResult {
+    /// Output column names, in order.
+    pub columns: Vec<String>,
+    /// Output rows.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl TableResult {
+    /// Renders as an aligned text table (the same bytes the `/v1/query`
+    /// text format and the `lhr_query` CLI emit).
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        let cells: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|row| row.iter().map(render_value).collect())
+            .collect();
+        for row in &cells {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        for (i, name) in self.columns.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            // Headers align with their column: numbers right, text left.
+            if self.numeric_column(i) {
+                out.push_str(&format!("{name:>w$}", w = widths[i]));
+            } else {
+                out.push_str(&format!("{name:<w$}", w = widths[i]));
+            }
+        }
+        // Trailing alignment spaces would make byte-identity fragile.
+        truncate_trailing_spaces(&mut out);
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().max(1) - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &cells {
+            let mut line = String::new();
+            for (i, cell) in row.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                if self.numeric_column(i) {
+                    line.push_str(&format!("{cell:>w$}", w = widths[i]));
+                } else {
+                    line.push_str(&format!("{cell:<w$}", w = widths[i]));
+                }
+            }
+            truncate_trailing_spaces(&mut line);
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as JSON: `{"columns":[...],"rows":[[...],...]}`.
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"columns\":[");
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_string(&mut out, c);
+        }
+        out.push_str("],\"rows\":[");
+        for (ri, row) in self.rows.iter().enumerate() {
+            if ri > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            for (i, v) in row.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                match v {
+                    Value::Str(s) => push_json_string(&mut out, s),
+                    Value::Num(x) => push_json_number(&mut out, *x),
+                }
+            }
+            out.push(']');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    fn numeric_column(&self, i: usize) -> bool {
+        self.rows
+            .first()
+            .is_some_and(|row| matches!(row[i], Value::Num(_)))
+    }
+}
+
+fn render_value(v: &Value) -> String {
+    match v {
+        Value::Str(s) => s.clone(),
+        // Shortest-round-trip: the printed number re-parses to the bits.
+        Value::Num(x) => format!("{x}"),
+    }
+}
+
+fn truncate_trailing_spaces(s: &mut String) {
+    while s.ends_with(' ') {
+        s.pop();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Planning
+// ---------------------------------------------------------------------
+
+/// The evolving intermediate schema as stages are planned.
+type Shape = Vec<(String, ColKind)>;
+
+fn find(shape: &Shape, name: &str, stage: usize) -> Result<usize, PlanError> {
+    shape
+        .iter()
+        .position(|(n, _)| n == name)
+        .ok_or_else(|| PlanError {
+            stage,
+            message: format!(
+                "unknown column `{name}` (available: {})",
+                shape
+                    .iter()
+                    .map(|(n, _)| n.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+        })
+}
+
+fn find_numeric(shape: &Shape, name: &str, stage: usize) -> Result<usize, PlanError> {
+    let at = find(shape, name, stage)?;
+    if shape[at].1 != ColKind::Num {
+        return Err(PlanError {
+            stage,
+            message: format!("column `{name}` is not numeric"),
+        });
+    }
+    Ok(at)
+}
+
+/// A compiled comparison against resolved column indexes.
+enum Pred {
+    Or(Box<Pred>, Box<Pred>),
+    And(Box<Pred>, Box<Pred>),
+    NumCmp { at: usize, op: CmpOp, rhs: f64 },
+    StrCmp { at: usize, negate: bool, rhs: String },
+}
+
+impl Pred {
+    fn eval(&self, row: &[Value]) -> bool {
+        match self {
+            Pred::Or(a, b) => a.eval(row) || b.eval(row),
+            Pred::And(a, b) => a.eval(row) && b.eval(row),
+            Pred::NumCmp { at, op, rhs } => {
+                let Value::Num(x) = &row[*at] else {
+                    return false;
+                };
+                match op {
+                    CmpOp::Eq => x == rhs,
+                    CmpOp::Ne => x != rhs,
+                    CmpOp::Lt => x < rhs,
+                    CmpOp::Le => x <= rhs,
+                    CmpOp::Gt => x > rhs,
+                    CmpOp::Ge => x >= rhs,
+                }
+            }
+            Pred::StrCmp { at, negate, rhs } => {
+                let Value::Str(s) = &row[*at] else {
+                    return false;
+                };
+                (s == rhs) != *negate
+            }
+        }
+    }
+}
+
+fn compile_expr(e: &Expr, shape: &Shape, stage: usize) -> Result<Pred, PlanError> {
+    match e {
+        Expr::Or(a, b) => Ok(Pred::Or(
+            Box::new(compile_expr(a, shape, stage)?),
+            Box::new(compile_expr(b, shape, stage)?),
+        )),
+        Expr::And(a, b) => Ok(Pred::And(
+            Box::new(compile_expr(a, shape, stage)?),
+            Box::new(compile_expr(b, shape, stage)?),
+        )),
+        Expr::Cmp { col, op, lit } => {
+            let at = find(shape, col, stage)?;
+            match (shape[at].1, lit) {
+                (ColKind::Num, Literal::Num(x)) => Ok(Pred::NumCmp {
+                    at,
+                    op: *op,
+                    rhs: *x,
+                }),
+                (ColKind::Str, Literal::Str(s)) => match op {
+                    CmpOp::Eq | CmpOp::Ne => Ok(Pred::StrCmp {
+                        at,
+                        negate: *op == CmpOp::Ne,
+                        rhs: s.clone(),
+                    }),
+                    _ => Err(PlanError {
+                        stage,
+                        message: format!(
+                            "string column `{col}` supports only `==` and `!=`"
+                        ),
+                    }),
+                },
+                (ColKind::Num, Literal::Str(_)) => Err(PlanError {
+                    stage,
+                    message: format!("column `{col}` is numeric; compare to a number"),
+                }),
+                (ColKind::Str, Literal::Num(_)) => Err(PlanError {
+                    stage,
+                    message: format!("column `{col}` is a string; compare to a string"),
+                }),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Operators
+// ---------------------------------------------------------------------
+
+trait Operator {
+    fn next(&mut self) -> Option<Vec<Value>>;
+}
+
+type BoxOp<'a> = Box<dyn Operator + 'a>;
+
+struct Scan<'a> {
+    view: &'a LiveView<'a>,
+    at: usize,
+}
+
+impl Operator for Scan<'_> {
+    fn next(&mut self) -> Option<Vec<Value>> {
+        let row = *self.view.row_ids().get(self.at)?;
+        self.at += 1;
+        Some(
+            SCHEMA
+                .iter()
+                .enumerate()
+                .map(|(ci, spec)| match spec.kind {
+                    ColKind::Str => Value::Str(self.view.str_at(ci, row).to_owned()),
+                    ColKind::Num => Value::Num(self.view.num_at(ci, row)),
+                })
+                .collect(),
+        )
+    }
+}
+
+struct FilterOp<'a> {
+    child: BoxOp<'a>,
+    pred: Pred,
+}
+
+impl Operator for FilterOp<'_> {
+    fn next(&mut self) -> Option<Vec<Value>> {
+        loop {
+            let row = self.child.next()?;
+            if self.pred.eval(&row) {
+                return Some(row);
+            }
+        }
+    }
+}
+
+struct ProjectOp<'a> {
+    child: BoxOp<'a>,
+    indices: Vec<usize>,
+}
+
+impl Operator for ProjectOp<'_> {
+    fn next(&mut self) -> Option<Vec<Value>> {
+        let row = self.child.next()?;
+        Some(self.indices.iter().map(|&i| row[i].clone()).collect())
+    }
+}
+
+struct LimitOp<'a> {
+    child: BoxOp<'a>,
+    left: usize,
+}
+
+impl Operator for LimitOp<'_> {
+    fn next(&mut self) -> Option<Vec<Value>> {
+        if self.left == 0 {
+            return None;
+        }
+        self.left -= 1;
+        self.child.next()
+    }
+}
+
+/// A fully materialized intermediate (output of blocking operators).
+struct Drained {
+    rows: std::vec::IntoIter<Vec<Value>>,
+}
+
+impl Operator for Drained {
+    fn next(&mut self) -> Option<Vec<Value>> {
+        self.rows.next()
+    }
+}
+
+fn drain(mut op: BoxOp<'_>) -> Vec<Vec<Value>> {
+    let mut rows = Vec::new();
+    while let Some(row) = op.next() {
+        rows.push(row);
+    }
+    rows
+}
+
+/// Group keys with a total order (`f64::total_cmp` for numbers) so the
+/// aggregate output is deterministically sorted by key tuple.
+#[derive(PartialEq)]
+enum Key {
+    Str(String),
+    Num(f64),
+}
+
+impl Eq for Key {}
+
+impl Ord for Key {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Key::Str(a), Key::Str(b)) => a.cmp(b),
+            (Key::Num(a), Key::Num(b)) => a.total_cmp(b),
+            // Kinds never mix within one column; order them anyway so
+            // the impl is total.
+            (Key::Str(_), Key::Num(_)) => Ordering::Less,
+            (Key::Num(_), Key::Str(_)) => Ordering::Greater,
+        }
+    }
+}
+
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+enum Acc {
+    Min(f64),
+    Max(f64),
+    Mean { sum: f64, n: usize },
+    Pct { q: f64, vals: Vec<f64> },
+}
+
+impl Acc {
+    fn new(func: AggFunc) -> Acc {
+        match func {
+            AggFunc::Min => Acc::Min(f64::INFINITY),
+            AggFunc::Max => Acc::Max(f64::NEG_INFINITY),
+            AggFunc::Mean => Acc::Mean { sum: 0.0, n: 0 },
+            AggFunc::P50 => Acc::Pct {
+                q: 0.50,
+                vals: Vec::new(),
+            },
+            AggFunc::P95 => Acc::Pct {
+                q: 0.95,
+                vals: Vec::new(),
+            },
+        }
+    }
+
+    fn push(&mut self, x: f64) {
+        match self {
+            Acc::Min(m) => *m = m.min(x),
+            Acc::Max(m) => *m = m.max(x),
+            Acc::Mean { sum, n } => {
+                *sum += x;
+                *n += 1;
+            }
+            Acc::Pct { vals, .. } => vals.push(x),
+        }
+    }
+
+    fn finish(self) -> f64 {
+        match self {
+            Acc::Min(m) => m,
+            Acc::Max(m) => m,
+            // Same expression as `lhr_stats::arithmetic_mean`: a running
+            // left-to-right sum divided by the count.
+            Acc::Mean { sum, n } => sum / n as f64,
+            Acc::Pct { q, mut vals } => {
+                if vals.is_empty() {
+                    return f64::NAN;
+                }
+                vals.sort_by(f64::total_cmp);
+                // Nearest rank.
+                let rank = ((q * vals.len() as f64).ceil() as usize).clamp(1, vals.len());
+                vals[rank - 1]
+            }
+        }
+    }
+}
+
+fn group_agg(
+    child: BoxOp<'_>,
+    key_indices: &[usize],
+    aggs: &[(usize, AggFunc)],
+) -> Vec<Vec<Value>> {
+    // BTreeMap keys give the deterministic output order; per-group
+    // accumulators see rows in arrival (scan) order.
+    let mut groups: BTreeMap<Vec<Key>, Vec<Acc>> = BTreeMap::new();
+    let mut child = child;
+    while let Some(row) = child.next() {
+        let key: Vec<Key> = key_indices
+            .iter()
+            .map(|&i| match &row[i] {
+                Value::Str(s) => Key::Str(s.clone()),
+                Value::Num(x) => Key::Num(*x),
+            })
+            .collect();
+        let accs = groups
+            .entry(key)
+            .or_insert_with(|| aggs.iter().map(|&(_, f)| Acc::new(f)).collect());
+        for (slot, &(col, _)) in accs.iter_mut().zip(aggs) {
+            if let Value::Num(x) = &row[col] {
+                slot.push(*x);
+            }
+        }
+    }
+    groups
+        .into_iter()
+        .map(|(key, accs)| {
+            let mut out: Vec<Value> = key
+                .into_iter()
+                .map(|k| match k {
+                    Key::Str(s) => Value::Str(s),
+                    Key::Num(x) => Value::Num(x),
+                })
+                .collect();
+            out.extend(accs.into_iter().map(|a| Value::Num(a.finish())));
+            out
+        })
+        .collect()
+}
+
+fn value_cmp(a: &Value, b: &Value) -> Ordering {
+    match (a, b) {
+        (Value::Str(x), Value::Str(y)) => x.cmp(y),
+        (Value::Num(x), Value::Num(y)) => x.total_cmp(y),
+        (Value::Str(_), Value::Num(_)) => Ordering::Less,
+        (Value::Num(_), Value::Str(_)) => Ordering::Greater,
+    }
+}
+
+/// Keeps the rows not dominated under (maximize `x`, minimize `y`),
+/// preserving input order.
+fn pareto_front(rows: Vec<Vec<Value>>, xi: usize, yi: usize) -> Vec<Vec<Value>> {
+    let point = |row: &Vec<Value>| -> Option<(f64, f64)> {
+        match (&row[xi], &row[yi]) {
+            (Value::Num(x), Value::Num(y)) if x.is_finite() && y.is_finite() => {
+                Some((*x, *y))
+            }
+            _ => None,
+        }
+    };
+    let pts: Vec<Option<(f64, f64)>> = rows.iter().map(point).collect();
+    rows.iter()
+        .enumerate()
+        .filter(|(i, _)| {
+            let Some((x, y)) = pts[*i] else {
+                // Rows without comparable coordinates never make the
+                // frontier.
+                return false;
+            };
+            !pts.iter().enumerate().any(|(j, q)| {
+                if *i == j {
+                    return false;
+                }
+                let Some((qx, qy)) = *q else { return false };
+                qx >= x && qy <= y && (qx > x || qy < y)
+            })
+        })
+        .map(|(_, row)| row.clone())
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Pipeline assembly
+// ---------------------------------------------------------------------
+
+/// Plans and executes a parsed query over a live snapshot.
+///
+/// # Errors
+///
+/// A [`PlanError`] naming the first stage that does not fit the schema.
+pub(crate) fn execute(view: &LiveView<'_>, query: &Query) -> Result<TableResult, PlanError> {
+    let mut shape: Shape = SCHEMA
+        .iter()
+        .map(|c| (c.name.to_owned(), c.kind))
+        .collect();
+    let mut op: BoxOp<'_> = Box::new(Scan { view, at: 0 });
+    let mut pending_group: Option<(Vec<usize>, Vec<String>)> = None;
+
+    for (si, stage) in query.stages.iter().enumerate() {
+        if pending_group.is_some() && !matches!(stage, Stage::Agg(_)) {
+            return Err(PlanError {
+                stage: si,
+                message: "`group_by` must be immediately followed by `agg`".to_owned(),
+            });
+        }
+        match stage {
+            Stage::Filter(e) => {
+                let pred = compile_expr(e, &shape, si)?;
+                op = Box::new(FilterOp { child: op, pred });
+            }
+            Stage::Project(cols) => {
+                let mut indices = Vec::with_capacity(cols.len());
+                let mut next_shape = Vec::with_capacity(cols.len());
+                for c in cols {
+                    let name = c.name();
+                    let at = find(&shape, &name, si)?;
+                    indices.push(at);
+                    next_shape.push(shape[at].clone());
+                }
+                shape = next_shape;
+                op = Box::new(ProjectOp { child: op, indices });
+            }
+            Stage::GroupBy(cols) => {
+                let mut indices = Vec::with_capacity(cols.len());
+                for c in cols {
+                    indices.push(find(&shape, c, si)?);
+                }
+                pending_group = Some((indices, cols.clone()));
+            }
+            Stage::Agg(items) => {
+                let (key_indices, key_names) = pending_group.take().unwrap_or_default();
+                let mut aggs = Vec::with_capacity(items.len());
+                for item in items {
+                    aggs.push((find_numeric(&shape, &item.col, si)?, item.func));
+                }
+                let rows = group_agg(op, &key_indices, &aggs);
+                shape = key_indices
+                    .iter()
+                    .zip(&key_names)
+                    .map(|(&at, name)| (name.clone(), shape[at].1))
+                    .chain(items.iter().map(|i| (i.to_string(), ColKind::Num)))
+                    .collect();
+                op = Box::new(Drained {
+                    rows: rows.into_iter(),
+                });
+            }
+            Stage::Sort { key, desc } => {
+                let at = find(&shape, &key.name(), si)?;
+                let mut rows = drain(op);
+                rows.sort_by(|a, b| {
+                    let ord = value_cmp(&a[at], &b[at]);
+                    if *desc {
+                        ord.reverse()
+                    } else {
+                        ord
+                    }
+                });
+                op = Box::new(Drained {
+                    rows: rows.into_iter(),
+                });
+            }
+            Stage::Limit(n) => {
+                op = Box::new(LimitOp { child: op, left: *n });
+            }
+            Stage::Pareto { x, y } => {
+                let xi = find_numeric(&shape, &x.name(), si)?;
+                let yi = find_numeric(&shape, &y.name(), si)?;
+                let rows = pareto_front(drain(op), xi, yi);
+                op = Box::new(Drained {
+                    rows: rows.into_iter(),
+                });
+            }
+        }
+    }
+    if pending_group.is_some() {
+        return Err(PlanError {
+            stage: query.stages.len(),
+            message: "`group_by` must be immediately followed by `agg`".to_owned(),
+        });
+    }
+
+    Ok(TableResult {
+        columns: shape.into_iter().map(|(n, _)| n).collect(),
+        rows: drain(op),
+    })
+}
+
+/// Errors a query can produce: a malformed query or one that does not
+/// fit the schema.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// The text did not parse.
+    Parse(crate::dsl::ParseError),
+    /// The query does not fit the store schema.
+    Plan(PlanError),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Parse(e) => write!(f, "{e}"),
+            QueryError::Plan(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}

@@ -1,0 +1,130 @@
+//! The sealed-line format shared with the campaign journal.
+//!
+//! Segment files reuse the PR-3 journal framing verbatim: each record is
+//! one JSON-ish line whose last member is a FNV-1a checksum of everything
+//! before it (`{"k":v,...,"crc":"<16 hex>"}`). A torn or bit-flipped tail
+//! fails verification and is dropped on open instead of corrupting the
+//! store. The ~20 lines are duplicated from `lhr_bench::campaign` rather
+//! than imported because `lhr-bench` depends on this crate (for the perf
+//! layers), and the format is a stable on-disk contract, not shared code.
+
+use std::fmt::Write as _;
+
+/// FNV-1a, 64-bit: the workspace-standard content checksum.
+#[must_use]
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Seals a record body (an object literal missing its closing brace) by
+/// appending the checksum member and the brace.
+#[must_use]
+pub fn seal_line(mut body: String) -> String {
+    let crc = fnv64(body.as_bytes());
+    let _ = write!(body, ",\"crc\":\"{crc:016x}\"}}");
+    body
+}
+
+/// Splits a sealed line into its body, verifying integrity. Returns
+/// `None` for torn or tampered lines.
+#[must_use]
+pub fn open_line(line: &str) -> Option<&str> {
+    let at = line.rfind(",\"crc\":\"")?;
+    let (body, tail) = line.split_at(at);
+    let hex = tail.strip_prefix(",\"crc\":\"")?.strip_suffix("\"}")?;
+    let crc = u64::from_str_radix(hex, 16).ok()?;
+    (fnv64(body.as_bytes()) == crc).then_some(body)
+}
+
+/// Locates `"key":` in a record body and returns the text after the
+/// colon (up to the end of the body).
+pub fn after_key<'a>(body: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let at = body.find(&needle)?;
+    Some(&body[at + needle.len()..])
+}
+
+/// Parses the integer value of `"key":N` in a record body.
+pub fn json_u64(body: &str, key: &str) -> Option<u64> {
+    let rest = after_key(body, key)?;
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parses the string value of `"key":"..."` in a record body, undoing
+/// the `push_json_string` escapes.
+pub fn json_str(body: &str, key: &str) -> Option<String> {
+    let rest = after_key(body, key)?;
+    let rest = rest.strip_prefix('"')?;
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    loop {
+        match chars.next()? {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    let code = u32::from_str_radix(&hex, 16).ok()?;
+                    out.push(char::from_u32(code)?);
+                }
+                _ => return None,
+            },
+            c => out.push(c),
+        }
+    }
+}
+
+/// Parses the `[..]` array after `"key":` into raw element strings.
+pub fn json_array<'a>(body: &'a str, key: &str) -> Option<Vec<&'a str>> {
+    let rest = after_key(body, key)?;
+    let rest = rest.strip_prefix('[')?;
+    let end = rest.find(']')?;
+    let inner = &rest[..end];
+    if inner.is_empty() {
+        return Some(Vec::new());
+    }
+    Some(inner.split(',').collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sealed_lines_round_trip_and_reject_tampering() {
+        let line = seal_line("{\"r\":3,\"n\":2,\"v\":[1,2]".to_owned());
+        assert!(line.ends_with("\"}"));
+        let body = open_line(&line).expect("clean line verifies");
+        assert_eq!(json_u64(body, "r"), Some(3));
+        assert_eq!(json_array(body, "v"), Some(vec!["1", "2"]));
+        // Any single-byte flip in the body must fail verification.
+        let mut evil = line.clone().into_bytes();
+        evil[2] ^= 1;
+        assert!(open_line(std::str::from_utf8(&evil).unwrap()).is_none());
+        // A torn prefix must fail too.
+        for cut in 0..line.len() {
+            assert!(open_line(&line[..cut]).is_none(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let mut body = String::from("{\"s\":");
+        lhr_obs::push_json_string(&mut body, "a\"b\\c\nd\te\u{1}");
+        let line = seal_line(body);
+        let opened = open_line(&line).unwrap();
+        assert_eq!(json_str(opened, "s").unwrap(), "a\"b\\c\nd\te\u{1}");
+    }
+}

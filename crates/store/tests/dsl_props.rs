@@ -1,0 +1,155 @@
+//! Property tests for the query DSL: generated valid queries reach a
+//! printed-form fixpoint (`parse . to_string` is idempotent), and
+//! arbitrary byte soup never panics the parser -- it either parses or
+//! returns a typed error.
+
+use lhr_store::{parse, ColKind, SCHEMA};
+use proptest::prelude::*;
+
+/// A tiny deterministic generator so one `u64` seed drives the whole
+/// query shape without needing combinator strategies.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+
+    fn pick(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    fn num_col(&mut self) -> &'static str {
+        loop {
+            let spec = &SCHEMA[self.pick(SCHEMA.len())];
+            if spec.kind == ColKind::Num {
+                return spec.name;
+            }
+        }
+    }
+
+    fn str_col(&mut self) -> &'static str {
+        loop {
+            let spec = &SCHEMA[self.pick(SCHEMA.len())];
+            if spec.kind == ColKind::Str {
+                return spec.name;
+            }
+        }
+    }
+
+    fn comparison(&mut self) -> String {
+        if self.pick(2) == 0 {
+            let op = ["==", "!=", "<", "<=", ">", ">="][self.pick(6)];
+            let value = [0.0, 1.0, 45.0, 2.66, 130.0][self.pick(5)];
+            format!("{} {op} {value}", self.num_col())
+        } else {
+            let op = ["==", "!="][self.pick(2)];
+            let value = ["i7 (45)", "Atom (45)", "mcf", "Java Scalable"][self.pick(4)];
+            format!("{} {op} \"{value}\"", self.str_col())
+        }
+    }
+
+    fn filter_expr(&mut self) -> String {
+        let mut expr = self.comparison();
+        for _ in 0..self.pick(3) {
+            let joiner = ["&&", "||"][self.pick(2)];
+            expr = format!("{expr} {joiner} {}", self.comparison());
+        }
+        if self.pick(4) == 0 {
+            expr = format!("({expr}) && {}", self.comparison());
+        }
+        expr
+    }
+
+    fn agg_item(&mut self) -> String {
+        let f = ["min", "max", "mean", "p50", "p95"][self.pick(5)];
+        format!("{f}({})", self.num_col())
+    }
+
+    fn query(&mut self) -> String {
+        let mut stages = Vec::new();
+        if self.pick(2) == 0 {
+            stages.push(format!("filter {}", self.filter_expr()));
+        }
+        let grouped = self.pick(2) == 0;
+        if grouped {
+            let mut keys = vec![self.str_col().to_owned()];
+            if self.pick(2) == 0 {
+                keys.push(self.num_col().to_owned());
+            }
+            stages.push(format!("group_by {}", keys.join(", ")));
+            let aggs: Vec<String> = (0..1 + self.pick(3)).map(|_| self.agg_item()).collect();
+            stages.push(format!("agg {}", aggs.join(", ")));
+        } else {
+            let cols = [self.str_col(), self.num_col(), self.num_col()];
+            stages.push(format!("project {}", cols.join(", ")));
+        }
+        if self.pick(3) == 0 {
+            let col = if grouped {
+                self.agg_item()
+            } else {
+                self.num_col().to_owned()
+            };
+            let dir = ["", " desc", " asc"][self.pick(3)];
+            stages.push(format!("sort {col}{dir}"));
+        }
+        if self.pick(3) == 0 {
+            stages.push(format!("limit {}", self.pick(40)));
+        }
+        stages.join(" | ")
+    }
+}
+
+proptest! {
+    /// Valid generated queries parse, and printing then re-parsing is a
+    /// fixpoint: the printed form is canonical.
+    #[test]
+    fn printed_queries_round_trip(seed in any::<u64>()) {
+        let mut lcg = Lcg(seed);
+        for _ in 0..8 {
+            let text = lcg.query();
+            let printed = parse(&text)
+                .unwrap_or_else(|e| panic!("generated query failed to parse: {text}\n{e}"))
+                .to_string();
+            let reprinted = parse(&printed)
+                .unwrap_or_else(|e| panic!("printed query failed to parse: {printed}\n{e}"))
+                .to_string();
+            prop_assert_eq!(&printed, &reprinted, "not a fixpoint for: {}", text);
+        }
+    }
+
+    /// Random printable bytes never panic the parser.
+    #[test]
+    fn fuzzed_text_never_panics(seed in any::<u64>(), len in 0usize..120) {
+        let mut lcg = Lcg(seed);
+        let text: String = (0..len)
+            .map(|_| char::from(32 + (lcg.next() % 95) as u8))
+            .collect();
+        let _ = parse(&text);
+    }
+
+    /// Token soup (valid words, shuffled structure) never panics and,
+    /// when it happens to parse, stays a fixpoint under printing.
+    #[test]
+    fn token_soup_never_panics(seed in any::<u64>(), len in 0usize..25) {
+        const TOKENS: &[&str] = &[
+            "filter", "project", "group_by", "agg", "sort", "limit", "pareto",
+            "|", "(", ")", ",", "==", "!=", "<", ">=", "&&", "||", "desc",
+            "asc", "mean", "p95", "chip", "watts", "epi", "\"i7 (45)\"",
+            "2.66", "0", "45",
+        ];
+        let mut lcg = Lcg(seed);
+        let text: Vec<&str> = (0..len).map(|_| TOKENS[lcg.pick(TOKENS.len())]).collect();
+        let text = text.join(" ");
+        if let Ok(q) = parse(&text) {
+            let printed = q.to_string();
+            let again = parse(&printed)
+                .unwrap_or_else(|e| panic!("printed form failed to parse: {printed}\n{e}"));
+            prop_assert_eq!(printed, again.to_string());
+        }
+    }
+}

@@ -90,6 +90,7 @@ fn run(seed: u64) -> Result<(), String> {
     let binary = serve_binary()?;
     let reference_dir = scratch("reference");
     let chaos_dir = scratch("chaos");
+    let store_dir = scratch("chaos-store");
 
     // ----------------------------------------------------------------
     // 1. Reference: the uninterrupted run.
@@ -134,6 +135,11 @@ fn run(seed: u64) -> Result<(), String> {
             "2".to_owned(),
             "--campaign-dir".to_owned(),
             chaos_dir.to_string_lossy().into_owned(),
+            // The measurement store rides through the same SIGKILL: the
+            // resumed process must reopen it (repairing any torn batch)
+            // and keep upserting resolved campaign cells.
+            "--store-dir".to_owned(),
+            store_dir.to_string_lossy().into_owned(),
             // The i7's sensor rig stalls on its first runs: wall-clock
             // burns, values do not.
             "--fault-stall".to_owned(),
@@ -216,9 +222,27 @@ fn run(seed: u64) -> Result<(), String> {
     if body_of(&text).contains("serve.worker_panics_contained") {
         return Err(format!("worker panics during chaos: {}", body_of(&text)));
     }
+
+    // The measurement store lived through the same SIGKILL + resume:
+    // every resolved campaign cell must be queryable, both chips
+    // present, with a 200 (never a 5xx) from the query endpoint.
+    let (status, text) = http_get(addr, "/v1/query?q=group_by%20chip%20%7C%20agg%20mean(watts)")
+        .map_err(|e| format!("post-chaos query: {e}"))?;
+    let table = body_of(&text).to_owned();
+    if status != 200 {
+        return Err(format!("post-chaos query: {status}: {table}"));
+    }
+    if !table.contains("i7 (45)") || !table.contains("Atom (45)") {
+        return Err(format!(
+            "post-chaos query lost a chip's campaign cells:\n{table}"
+        ));
+    }
     server.drain().map_err(|e| format!("final drain: {e}"))?;
 
-    println!("chaos verdict: artifact byte-identical, health ok, SLO quiet, zero worker panics");
+    println!(
+        "chaos verdict: artifact byte-identical, health ok, SLO quiet, zero worker panics, \
+         store queryable after kill+resume"
+    );
     Ok(())
 }
 

@@ -26,15 +26,21 @@ use lhr_bench::httpc;
 use lhr_core::{Harness, Runner, ShardedLruCache};
 use lhr_serve::{ServerConfig, Telemetry};
 
-/// The request mix: mostly hot cells, some cold, some cheap endpoints.
-const TARGETS: [&str; 6] = [
+/// The request mix: mostly hot cells, some cold, some cheap endpoints,
+/// and one stored query aggregating whatever cells the sink has
+/// persisted so far (the `POST` prefix selects the method below).
+const TARGETS: [&str; 7] = [
     "/v1/cell?chip=i7-45&workload=jess",
     "/v1/cell?chip=i7-45&workload=mcf",
     "/v1/cell?chip=atom-45&workload=jess",
     "/v1/cell?chip=c2d-45&workload=swaptions",
     "/healthz",
     "/v1/cell?chip=i7-45&config=2C1T@2.0&workload=jess",
+    "POST /v1/query",
 ];
+
+/// The DSL text the query slice of the mix posts.
+const QUERY: &str = "group_by chip, group | agg mean(perf_norm), mean(watts) | sort mean(watts) desc";
 
 /// A 503 is backpressure, not an error to hammer through: a well-behaved
 /// client honors the server's `Retry-After` hint (capped so a stray
@@ -44,7 +50,10 @@ fn request(
     target: &str,
     stop: &AtomicBool,
 ) -> Result<u16, httpc::ClientError> {
-    let resp = httpc::get(addr, target, Duration::from_secs(120))?;
+    let resp = match target.strip_prefix("POST ") {
+        Some(t) => httpc::post_body(addr, t, QUERY, Duration::from_secs(120))?,
+        None => httpc::get(addr, target, Duration::from_secs(120))?,
+    };
     if resp.status == 503 {
         let hint = Duration::from_secs(resp.retry_after_secs().unwrap_or(1).min(1));
         let until = Instant::now() + hint;
@@ -76,9 +85,14 @@ fn main() {
         .with_cell_cache(Arc::new(ShardedLruCache::new(512, 8)))
         .with_observer(telemetry.obs());
     let harness = Harness::new(runner).with_workloads(Harness::quick_set());
+    // A scratch measurement store so the query slice of the mix runs
+    // against cells the sink persists as the cell requests resolve.
+    let store_dir = std::env::temp_dir().join(format!("lhr-loadgen-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
     let handle = lhr_serve::start(
         ServerConfig {
             jobs: clients.max(4),
+            store_dir: Some(store_dir.clone()),
             ..ServerConfig::default()
         },
         harness,
@@ -150,13 +164,15 @@ fn main() {
     handle.wait();
     let snap = telemetry.snapshot();
     println!(
-        "server: {} requests, {} coalesce hits, {} cache hits, {} measurements, {} shed",
+        "server: {} requests, {} coalesce hits, {} cache hits, {} measurements, {} shed, {} queries",
         snap.counter("serve.requests"),
         snap.counter("serve.coalesce_hits"),
         snap.counter("runner.cache_hits"),
         snap.counter("runner.measurements"),
         snap.counter("serve.shed_503"),
+        snap.counter("serve.queries"),
     );
+    let _ = std::fs::remove_dir_all(&store_dir);
 
     // Per-endpoint RED view from the server's own aggregates: rate and
     // errors from the counters, duration quantiles from the histograms.

@@ -52,6 +52,13 @@ const MIX: [&str; 8] = [
     "/v1/pareto?metric=avg&space=stock",
 ];
 
+/// A stored-query probe fired alongside the verified mix. Its body
+/// aggregates whichever cells *that backend's* sink has persisted, so
+/// it cannot be byte-compared across the fleet -- the contract under
+/// chaos is the status: 200 (or an honest typed 503), never a 5xx from
+/// a panic.
+const QUERY_PROBE: &str = "/v1/query?q=group_by%20chip%20%7C%20agg%20mean(watts),%20max(watts)";
+
 fn scratch(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("lhr-shard-chaos-{}-{name}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
@@ -62,9 +69,20 @@ fn scratch(name: &str) -> PathBuf {
 fn spawn_backend(binary: &Path, name: &str) -> Result<ServerProc, String> {
     let dir = scratch(name);
     let dir = dir.to_string_lossy().into_owned();
+    let store = scratch(&format!("{name}-store"));
+    let store = store.to_string_lossy().into_owned();
     ServerProc::spawn(
         binary,
-        &["--addr", "127.0.0.1:0", "--jobs", "2", "--campaign-dir", &dir],
+        &[
+            "--addr",
+            "127.0.0.1:0",
+            "--jobs",
+            "2",
+            "--campaign-dir",
+            &dir,
+            "--store-dir",
+            &store,
+        ],
     )
     .map_err(|e| format!("spawn backend {name}: {e}"))
 }
@@ -74,6 +92,7 @@ fn spawn_backend(binary: &Path, name: &str) -> Result<ServerProc, String> {
 struct ClientTally {
     ok: u64,
     shed: u64,
+    queries: u64,
     server_errors: u64,
     mismatches: u64,
     transport_errors: u64,
@@ -100,6 +119,27 @@ fn verifying_client(
     let mut tally = ClientTally::default();
     let mut n = offset;
     while !stop.load(Ordering::Relaxed) {
+        // A stored-query probe rides along every ninth request: status
+        // contract only (its rows depend on the backend's own sink).
+        if n % 9 == 8 {
+            n += 1;
+            match httpc::get(router, QUERY_PROBE, Duration::from_secs(120)) {
+                Ok(resp) if resp.status == 200 || resp.status == 503 => tally.queries += 1,
+                Ok(resp) => {
+                    tally.server_errors += 1;
+                    tally.fail(format!(
+                        "{QUERY_PROBE}: unexpected {}: {}",
+                        resp.status,
+                        resp.body_str()
+                    ));
+                }
+                Err(e) => {
+                    tally.transport_errors += 1;
+                    tally.fail(format!("{QUERY_PROBE}: transport error: {e}"));
+                }
+            }
+            continue;
+        }
         let (target, expected) = &reference[n % reference.len()];
         n += 1;
         match httpc::get(router, target, Duration::from_secs(120)) {
@@ -305,6 +345,7 @@ fn run(seed: u64) -> Result<(), String> {
         let t = c.join().expect("client thread");
         total.ok += t.ok;
         total.shed += t.shed;
+        total.queries += t.queries;
         total.server_errors += t.server_errors;
         total.mismatches += t.mismatches;
         total.transport_errors += t.transport_errors;
@@ -313,8 +354,14 @@ fn run(seed: u64) -> Result<(), String> {
         }
     }
     println!(
-        "clients: {} ok, {} shed (Retry-After honored), {} 5xx, {} mismatches, {} transport errors",
-        total.ok, total.shed, total.server_errors, total.mismatches, total.transport_errors
+        "clients: {} ok, {} shed (Retry-After honored), {} query probes, {} 5xx, \
+         {} mismatches, {} transport errors",
+        total.ok,
+        total.shed,
+        total.queries,
+        total.server_errors,
+        total.mismatches,
+        total.transport_errors
     );
     if total.ok == 0 {
         return Err("no client request succeeded at all".to_owned());
