@@ -1,30 +1,42 @@
 //! `lhr_traceview`: render per-request span trees from a JSON-lines
 //! trace (the `--trace` output of any workspace binary, or the serve
-//! layer's trace file).
+//! layer's trace file), or stitched multi-process distributed traces
+//! from span-store directories.
 //!
 //! ```text
 //! lhr_traceview <trace.jsonl> [--request N]
+//! lhr_traceview --span-store DIR [--span-store DIR ...] [--trace-id HEX]
 //! ```
 //!
-//! For every request the trace saw, prints the reconstructed span tree
-//! with total and self wall time per span and `*` marking the critical
-//! path (see `lhr_bench::traceview`). `--request N` narrows the output
-//! to one request. Exits 1 if the trace holds no spans at all -- a
-//! trace without spans means the producer was not request-instrumented,
-//! which CI treats as a regression.
+//! In file mode, prints the reconstructed span tree for every request
+//! the trace saw, with total and self wall time per span and `*`
+//! marking the critical path (see `lhr_bench::traceview`).
+//! `--request N` narrows the output to one request.
+//!
+//! In span-store mode, merges the span fragments every named directory
+//! holds (a router's store plus its backends') and renders each
+//! distributed trace as one stitched tree with clock-skew alignment --
+//! the view a single process's trace file cannot give. `--trace-id`
+//! narrows to one 128-bit trace (hex).
+//!
+//! Exits 1 if no spans are found at all -- a spanless trace means the
+//! producer was not instrumented, which CI treats as a regression.
 
 use std::process::ExitCode;
 
-use lhr_bench::traceview::TraceView;
+use lhr_bench::traceview::{SpanStoreView, TraceView};
 
 fn usage() -> &'static str {
-    "usage: lhr_traceview <trace.jsonl> [--request N]"
+    "usage: lhr_traceview <trace.jsonl> [--request N]\n\
+     \x20      lhr_traceview --span-store DIR [--span-store DIR ...] [--trace-id HEX]"
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut path = None;
     let mut only_request: Option<u64> = None;
+    let mut span_stores: Vec<String> = Vec::new();
+    let mut only_trace: Option<u128> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -35,17 +47,39 @@ fn main() -> ExitCode {
                 };
                 only_request = Some(n);
             }
+            "--span-store" => {
+                let Some(dir) = it.next() else {
+                    eprintln!("--span-store needs a directory\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                span_stores.push(dir.clone());
+            }
+            "--trace-id" => {
+                let Some(id) = it
+                    .next()
+                    .and_then(|v| u128::from_str_radix(v.trim(), 16).ok())
+                else {
+                    eprintln!("--trace-id needs a hex trace id\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                only_trace = Some(id);
+            }
             "--help" | "-h" => {
                 println!("{}", usage());
                 return ExitCode::SUCCESS;
             }
-            other if path.is_none() => path = Some(other.to_owned()),
+            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_owned()),
             other => {
                 eprintln!("unexpected argument {other:?}\n{}", usage());
                 return ExitCode::FAILURE;
             }
         }
     }
+
+    if !span_stores.is_empty() {
+        return span_store_mode(&span_stores, only_trace);
+    }
+
     let Some(path) = path else {
         eprintln!("{}", usage());
         return ExitCode::FAILURE;
@@ -72,6 +106,33 @@ fn main() -> ExitCode {
     println!("{spans} span(s) across {requests} traced request(s)");
     if spans == 0 {
         eprintln!("trace holds no spans; was the producer run with tracing armed?");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn span_store_mode(dirs: &[String], only_trace: Option<u128>) -> ExitCode {
+    let view = match SpanStoreView::open(dirs) {
+        Ok(view) => view,
+        Err(e) => {
+            eprintln!("cannot open span store(s): {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match only_trace {
+        Some(id) => match view.render_trace(id) {
+            Some(text) => print!("{text}"),
+            None => {
+                eprintln!("no trace {id:032x} in the given span store(s)");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => print!("{}", view.render()),
+    }
+    let spans: usize = view.traces.values().map(Vec::len).sum();
+    println!("{spans} span(s) across {} distributed trace(s)", view.traces.len());
+    if spans == 0 {
+        eprintln!("span store holds no spans; was the producer run with --span-store?");
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

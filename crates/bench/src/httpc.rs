@@ -265,6 +265,30 @@ pub fn get(addr: SocketAddr, target: &str, timeout: Duration) -> Result<HttpResp
     )
 }
 
+/// `GET target` carrying extra request headers -- the traced-request
+/// variant: a load generator minting its own trace ids sends
+/// `("x-lhr-trace", "00-<trace>-<parent>-01")` here. Header names and
+/// values must be CRLF-free (they are formatted into the head
+/// verbatim).
+///
+/// # Errors
+///
+/// See [`exchange`].
+pub fn get_with_headers(
+    addr: SocketAddr,
+    target: &str,
+    headers: &[(&str, &str)],
+    timeout: Duration,
+) -> Result<HttpResponse, ClientError> {
+    use std::fmt::Write as _;
+    let mut head = format!("GET {target} HTTP/1.1\r\nHost: lhr\r\n");
+    for (name, value) in headers {
+        let _ = write!(head, "{name}: {value}\r\n");
+    }
+    head.push_str("\r\n");
+    exchange(addr, head.as_bytes(), timeout)
+}
+
 /// `POST target` with an empty body.
 ///
 /// # Errors

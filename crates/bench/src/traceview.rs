@@ -297,6 +297,110 @@ impl TraceView {
     }
 }
 
+// ---------------------------------------------------------------------
+// Distributed traces: span-store directories
+// ---------------------------------------------------------------------
+
+/// A multi-process distributed-trace view over one or more span-store
+/// directories (a router's plus its backends'). Fragments recorded by
+/// different processes for the same 128-bit trace id merge here, and
+/// rendering stitches them with clock-skew alignment -- each remote
+/// fragment is shifted into the reference process's timeline using the
+/// send/recv bounds of the attempt span that parented it (see
+/// `lhr_store::stitch`).
+#[derive(Debug, Clone, Default)]
+pub struct SpanStoreView {
+    /// All persisted rows, grouped by trace id.
+    pub traces: BTreeMap<u128, Vec<lhr_store::SpanRow>>,
+}
+
+impl SpanStoreView {
+    /// Opens every span-store directory in `dirs` and merges their
+    /// rows. Exact duplicate rows (two dirs sharing a store) collapse.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`io::Error`] opening a directory.
+    pub fn open(dirs: &[impl AsRef<Path>]) -> io::Result<Self> {
+        let mut view = Self::default();
+        for dir in dirs {
+            let table = lhr_store::SpanTable::open(dir.as_ref())?;
+            for trace in table.trace_ids() {
+                let rows = view.traces.entry(trace).or_default();
+                for row in table.trace_rows(trace) {
+                    let dup = rows.iter().any(|r| {
+                        r.proc == row.proc && r.span == row.span && r.start_ns == row.start_ns
+                    });
+                    if !dup {
+                        rows.push(row);
+                    }
+                }
+            }
+        }
+        Ok(view)
+    }
+
+    /// Renders one trace's stitched multi-process tree; `None` if the
+    /// trace id is unknown.
+    #[must_use]
+    pub fn render_trace(&self, trace: u128) -> Option<String> {
+        let rows = self.traces.get(&trace)?;
+        let roots = lhr_store::stitch(rows);
+        let mut procs: Vec<&str> = rows.iter().map(|r| r.proc.as_str()).collect();
+        procs.sort_unstable();
+        procs.dedup();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "trace {trace:032x} ({} span{}, {} process{})",
+            rows.len(),
+            if rows.len() == 1 { "" } else { "s" },
+            procs.len(),
+            if procs.len() == 1 { "" } else { "es" },
+        );
+        for root in &roots {
+            render_stitched(&mut out, root, 0);
+        }
+        Some(out)
+    }
+
+    /// Renders every trace, largest span count first.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut ids: Vec<u128> = self.traces.keys().copied().collect();
+        ids.sort_by_key(|id| std::cmp::Reverse(self.traces[id].len()));
+        let mut out = String::new();
+        for id in ids {
+            if let Some(text) = self.render_trace(id) {
+                out.push_str(&text);
+            }
+        }
+        out
+    }
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn render_stitched(out: &mut String, node: &lhr_store::SpanNode, depth: usize) {
+    let indent = depth * 2;
+    let name_width = 40usize.saturating_sub(indent);
+    let _ = writeln!(
+        out,
+        "  {:indent$}{:<name_width$} [{}] total {:>10.3} ms{}",
+        "",
+        node.row.name,
+        node.row.proc,
+        node.row.dur_ns as f64 / 1e6,
+        if node.row.status == "error" {
+            "  ERROR"
+        } else {
+            ""
+        },
+    );
+    for child in &node.children {
+        render_stitched(out, child, depth + 1);
+    }
+}
+
 fn render_subtree(
     out: &mut String,
     request: &RequestTrace,

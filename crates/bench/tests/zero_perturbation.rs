@@ -47,6 +47,44 @@ fn armed_recorder_never_changes_a_rendered_byte() {
 }
 
 #[test]
+fn armed_span_store_under_a_live_trace_never_changes_a_rendered_byte() {
+    // The distributed-tracing analog of the recorder guarantee: a span
+    // store persisting every span of a live 128-bit trace watches the
+    // pipeline without changing a byte of what it renders.
+    let dir = std::env::temp_dir().join(format!(
+        "lhr-zero-perturb-spans-{}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    let spans = Arc::new(
+        lhr_store::SpanRecorder::open(&dir, "bench", lhr_store::SamplingConfig::default())
+            .expect("open span store"),
+    );
+    let obs = lhr_obs::Obs::fanout(vec![spans.clone() as Arc<dyn lhr_obs::Recorder>]);
+    let silent = Harness::quick();
+    let traced = Harness::quick().with_observer(obs);
+    let trace = lhr_obs::context::next_trace_id();
+    let ctx = lhr_obs::context::Ctx {
+        request: lhr_obs::context::next_request_id(),
+        parent: 0,
+        trace,
+    };
+    for name in PROBES {
+        let a = run_experiment(name, &silent);
+        let b = lhr_obs::context::with_ctx(ctx, || run_experiment(name, &traced));
+        assert_eq!(a, b, "{name}: traced output must be byte-identical");
+    }
+    spans.drain().expect("drain span store");
+    let rows = spans.table().trace_rows(trace);
+    assert!(
+        rows.iter().any(|r| r.name == "harness.cell"),
+        "the span store must have seen the pipeline at work: {rows:?}"
+    );
+    assert_eq!(spans.append_errors(), 0, "no append failures on a healthy disk");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn supervised_campaign_never_changes_a_rendered_byte() {
     // The supervision guarantee mirrors the observability one: the
     // campaign supervisor schedules, journals, and deadline-watches the

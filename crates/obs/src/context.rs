@@ -41,8 +41,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// context".
 static NEXT_REQUEST_ID: AtomicU64 = AtomicU64::new(1);
 
+/// Monotone sequence mixed into [`next_trace_id`] so two traces minted
+/// in the same nanosecond still differ.
+static TRACE_SEQ: AtomicU64 = AtomicU64::new(1);
+
 thread_local! {
     static CURRENT_REQUEST: Cell<u64> = const { Cell::new(0) };
+    static CURRENT_TRACE: Cell<u128> = const { Cell::new(0) };
     static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
 }
 
@@ -52,10 +57,51 @@ pub fn next_request_id() -> u64 {
     NEXT_REQUEST_ID.fetch_add(1, Ordering::Relaxed)
 }
 
+/// SplitMix64: the workspace-standard cheap bit mixer.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Mints a fresh 128-bit trace id (never 0).
+///
+/// Trace ids must be unique *across* processes without coordination (a
+/// router and its backends each mint them), so unlike request ids a
+/// counter is not enough: the id mixes wall-clock nanoseconds, the
+/// process id, and a process-local sequence through SplitMix64. Zero is
+/// reserved for "no trace"; the mint loops (in practice never) until the
+/// result is nonzero.
+#[must_use]
+pub fn next_trace_id() -> u128 {
+    loop {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        let seq = TRACE_SEQ.fetch_add(1, Ordering::Relaxed);
+        let hi = splitmix64(nanos ^ u64::from(std::process::id()).rotate_left(32));
+        let lo = splitmix64(seq ^ nanos.rotate_left(17));
+        let id = (u128::from(hi) << 64) | u128::from(lo);
+        if id != 0 {
+            return id;
+        }
+    }
+}
+
 /// The request id events on this thread currently carry (0 = none).
 #[must_use]
 pub fn current_request() -> u64 {
     CURRENT_REQUEST.with(Cell::get)
+}
+
+/// The 128-bit trace id events on this thread currently carry (0 =
+/// none). Installed by [`with_ctx`]; propagated across processes via the
+/// `x-lhr-trace` header (see [`parse_trace_header`]).
+#[must_use]
+pub fn current_trace() -> u128 {
+    CURRENT_TRACE.with(Cell::get)
 }
 
 /// The innermost open span on this thread (0 = none): the parent a new
@@ -91,6 +137,10 @@ pub struct Ctx {
     /// The span that was innermost at capture time (0 = none); spans
     /// opened under [`with_ctx`] record it as their parent.
     pub parent: u64,
+    /// The 128-bit distributed trace id in force (0 = none). Unlike the
+    /// request id, a trace id survives process hops: it rides the
+    /// `x-lhr-trace` header between router and backends.
+    pub trace: u128,
 }
 
 /// Captures the calling thread's current context.
@@ -99,6 +149,7 @@ pub fn capture() -> Ctx {
     Ctx {
         request: current_request(),
         parent: current_parent(),
+        trace: current_trace(),
     }
 }
 
@@ -108,24 +159,28 @@ pub fn capture() -> Ctx {
 pub fn with_ctx<R>(ctx: Ctx, f: impl FnOnce() -> R) -> R {
     struct Restore {
         prev_request: u64,
+        prev_trace: u128,
         pushed_parent: bool,
         parent: u64,
     }
     impl Drop for Restore {
         fn drop(&mut self) {
             CURRENT_REQUEST.with(|c| c.set(self.prev_request));
+            CURRENT_TRACE.with(|c| c.set(self.prev_trace));
             if self.pushed_parent {
                 pop_span(self.parent);
             }
         }
     }
     let prev_request = CURRENT_REQUEST.with(|c| c.replace(ctx.request));
+    let prev_trace = CURRENT_TRACE.with(|c| c.replace(ctx.trace));
     let pushed_parent = ctx.parent != 0;
     if pushed_parent {
         push_span(ctx.parent);
     }
     let _restore = Restore {
         prev_request,
+        prev_trace,
         pushed_parent,
         parent: ctx.parent,
     };
@@ -140,10 +195,51 @@ pub fn with_new_request<R>(f: impl FnOnce() -> R) -> (u64, R) {
         Ctx {
             request: id,
             parent: 0,
+            trace: 0,
         },
         f,
     );
     (id, out)
+}
+
+/// Renders the `x-lhr-trace` header value: our minimal `traceparent`
+/// analog, `00-<32 hex trace id>-<16 hex parent span id>-<2 hex flags>`.
+/// Flag bit 0 means "sampled" (the minting process intends to record).
+#[must_use]
+pub fn render_trace_header(trace: u128, parent_span: u64, flags: u8) -> String {
+    format!("00-{trace:032x}-{parent_span:016x}-{flags:02x}")
+}
+
+/// Parses an `x-lhr-trace` header value; `None` for anything malformed.
+///
+/// Accepts exactly the shape [`render_trace_header`] emits (version
+/// `00`, fixed field widths, hex in either case) with a nonzero trace
+/// id. Returns `(trace, parent_span, flags)`. Callers must treat `None`
+/// as "no context" — count it, never reject the request.
+#[must_use]
+pub fn parse_trace_header(value: &str) -> Option<(u128, u64, u8)> {
+    let value = value.trim();
+    let mut parts = value.split('-');
+    let (version, trace, parent, flags) =
+        (parts.next()?, parts.next()?, parts.next()?, parts.next()?);
+    if parts.next().is_some() || version != "00" {
+        return None;
+    }
+    if trace.len() != 32 || parent.len() != 16 || flags.len() != 2 {
+        return None;
+    }
+    // `from_str_radix` would accept a leading `+`; hex fields must be
+    // hex digits only.
+    if [trace, parent, flags]
+        .iter()
+        .any(|f| !f.bytes().all(|b| b.is_ascii_hexdigit()))
+    {
+        return None;
+    }
+    let trace = u128::from_str_radix(trace, 16).ok()?;
+    let parent = u64::from_str_radix(parent, 16).ok()?;
+    let flags = u8::from_str_radix(flags, 16).ok()?;
+    (trace != 0).then_some((trace, parent, flags))
 }
 
 #[cfg(test)]
@@ -164,24 +260,30 @@ mod tests {
         let ctx = Ctx {
             request: 7,
             parent: 99,
+            trace: 0xABCD,
         };
         with_ctx(ctx, || {
             assert_eq!(current_request(), 7);
             assert_eq!(current_parent(), 99);
+            assert_eq!(current_trace(), 0xABCD);
             // Nested contexts stack.
             with_ctx(
                 Ctx {
                     request: 8,
                     parent: 0,
+                    trace: 0,
                 },
                 || {
                     assert_eq!(current_request(), 8);
+                    assert_eq!(current_trace(), 0);
                 },
             );
             assert_eq!(current_request(), 7);
+            assert_eq!(current_trace(), 0xABCD);
         });
         assert_eq!(current_request(), 0);
         assert_eq!(current_parent(), 0);
+        assert_eq!(current_trace(), 0);
     }
 
     #[test]
@@ -191,6 +293,7 @@ mod tests {
                 Ctx {
                     request: 3,
                     parent: 4,
+                    trace: 5,
                 },
                 || panic!("boom"),
             )
@@ -198,6 +301,7 @@ mod tests {
         assert!(result.is_err());
         assert_eq!(current_request(), 0);
         assert_eq!(current_parent(), 0);
+        assert_eq!(current_trace(), 0);
     }
 
     #[test]
@@ -206,13 +310,69 @@ mod tests {
             Ctx {
                 request: 11,
                 parent: 22,
+                trace: 33,
             },
             || {
                 let captured = capture();
                 assert_eq!(captured.request, 11);
                 assert_eq!(captured.parent, 22);
+                assert_eq!(captured.trace, 33);
             },
         );
+    }
+
+    #[test]
+    fn trace_ids_are_unique_and_nonzero() {
+        let a = next_trace_id();
+        let b = next_trace_id();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn trace_header_round_trips() {
+        let trace = next_trace_id();
+        let header = render_trace_header(trace, 42, 0x01);
+        assert_eq!(header.len(), 2 + 1 + 32 + 1 + 16 + 1 + 2);
+        let (t, p, f) = parse_trace_header(&header).expect("own header parses");
+        assert_eq!((t, p, f), (trace, 42, 0x01));
+        // Uppercase hex and surrounding whitespace are tolerated.
+        let shouty = format!("  {}  ", header.to_uppercase());
+        assert_eq!(parse_trace_header(&shouty), Some((trace, 42, 0x01)));
+    }
+
+    #[test]
+    fn hostile_trace_headers_parse_to_none() {
+        let good = render_trace_header(7, 8, 1);
+        assert!(parse_trace_header(&good).is_some());
+        let hostile = [
+            "",
+            "garbage",
+            "00",
+            "00-",
+            "00--,-",
+            // Wrong version.
+            "01-00000000000000000000000000000007-0000000000000008-01",
+            // Zero trace id.
+            "00-00000000000000000000000000000000-0000000000000008-01",
+            // Truncated / overlong fields.
+            "00-0000000000000000000000000007-0000000000000008-01",
+            "00-000000000000000000000000000000070-0000000000000008-01",
+            "00-00000000000000000000000000000007-00000000000008-01",
+            "00-00000000000000000000000000000007-0000000000000008-1",
+            // Non-hex and sneaky signs.
+            "00-0000000000000000000000000000000g-0000000000000008-01",
+            "00-+0000000000000000000000000000007-0000000000000008-01",
+            // Trailing extra field.
+            "00-00000000000000000000000000000007-0000000000000008-01-ff",
+        ];
+        for h in hostile {
+            assert_eq!(parse_trace_header(h), None, "{h:?} must not parse");
+        }
+        // Torn prefixes of a valid header never parse either.
+        for cut in 0..good.len() {
+            assert_eq!(parse_trace_header(&good[..cut]), None, "cut at {cut}");
+        }
     }
 
     #[test]

@@ -20,6 +20,12 @@ pub struct Event<'a> {
     /// installed with [`crate::context::with_ctx`]; an armed [`crate::Obs`]
     /// stamps it automatically.
     pub request: u64,
+    /// The 128-bit distributed trace this event belongs to (0 = no
+    /// trace). Unlike `request`, the trace id crosses process
+    /// boundaries via the `x-lhr-trace` header (see
+    /// [`crate::context::parse_trace_header`]); an armed [`crate::Obs`]
+    /// stamps it automatically from the thread context.
+    pub trace: u128,
     /// The payload.
     pub kind: EventKind<'a>,
 }
@@ -43,6 +49,10 @@ pub enum EventKind<'a> {
         id: u64,
         /// Wall-clock duration of the region in nanoseconds.
         nanos: u64,
+        /// Whether the region failed (see [`crate::Span::fail`]). Error
+        /// spans mark failed attempts in a trace tree and force
+        /// tail-based sampling to keep the whole trace.
+        error: bool,
     },
     /// A monotonic counter moved forward by `delta`.
     Counter {
@@ -92,7 +102,11 @@ mod tests {
     fn tags_cover_every_variant() {
         let kinds = [
             EventKind::SpanStart { id: 1, parent: 0 },
-            EventKind::SpanEnd { id: 1, nanos: 2 },
+            EventKind::SpanEnd {
+                id: 1,
+                nanos: 2,
+                error: false,
+            },
             EventKind::Counter { delta: 1 },
             EventKind::Gauge { value: 3.0 },
             EventKind::Histogram { value: 0.5 },

@@ -14,9 +14,11 @@
 //! ```
 //!
 //! Events carrying trace context gain optional fields: `"req":<id>` on
-//! any event recorded under a request (see [`crate::context`]), and
+//! any event recorded under a request (see [`crate::context`]),
 //! `"parent":<span id>` on a `span_start` whose opening span had an
-//! enclosing span. Both are omitted when zero, so traces from
+//! enclosing span, `"trace":"<32 hex>"` on any event recorded under a
+//! distributed trace, and `"status":"error"` on a `span_end` whose span
+//! was failed. All are omitted when zero/absent, so traces from
 //! un-contexted runs are byte-identical to the legacy encoding:
 //!
 //! ```json
@@ -96,11 +98,14 @@ impl Recorder for JsonLinesRecorder {
                     line.push_str(&parent.to_string());
                 }
             }
-            EventKind::SpanEnd { id, nanos } => {
+            EventKind::SpanEnd { id, nanos, error } => {
                 line.push_str(",\"id\":");
                 line.push_str(&id.to_string());
                 line.push_str(",\"ns\":");
                 line.push_str(&nanos.to_string());
+                if error {
+                    line.push_str(",\"status\":\"error\"");
+                }
             }
             EventKind::Counter { delta } => {
                 line.push_str(",\"delta\":");
@@ -122,6 +127,12 @@ impl Recorder for JsonLinesRecorder {
         if event.request != 0 {
             line.push_str(",\"req\":");
             line.push_str(&event.request.to_string());
+        }
+        if event.trace != 0 {
+            let _ = std::fmt::Write::write_fmt(
+                &mut line,
+                format_args!(",\"trace\":\"{:032x}\"", event.trace),
+            );
         }
         line.push_str("}\n");
         let Ok(mut sink) = self.sink.lock() else {
@@ -226,31 +237,41 @@ mod tests {
         r.record(&Event {
             name: "s",
             request: 0,
+            trace: 0,
             kind: EventKind::SpanStart { id: 3, parent: 0 },
         });
         r.record(&Event {
             name: "s",
             request: 0,
-            kind: EventKind::SpanEnd { id: 3, nanos: 250 },
+            trace: 0,
+            kind: EventKind::SpanEnd {
+                id: 3,
+                nanos: 250,
+                error: false,
+            },
         });
         r.record(&Event {
             name: "c",
             request: 0,
+            trace: 0,
             kind: EventKind::Counter { delta: 4 },
         });
         r.record(&Event {
             name: "g",
             request: 0,
+            trace: 0,
             kind: EventKind::Gauge { value: 7.5 },
         });
         r.record(&Event {
             name: "h",
             request: 0,
+            trace: 0,
             kind: EventKind::Histogram { value: 0.5 },
         });
         r.record(&Event {
             name: "m",
             request: 0,
+            trace: 0,
             kind: EventKind::Mark { detail: "x" },
         });
         r.flush();
@@ -273,6 +294,7 @@ mod tests {
         r.record(&Event {
             name: "q\"\\\n",
             request: 0,
+            trace: 0,
             kind: EventKind::Mark {
                 detail: "tab\there \u{1}",
             },
@@ -280,6 +302,7 @@ mod tests {
         r.record(&Event {
             name: "h",
             request: 0,
+            trace: 0,
             kind: EventKind::Histogram {
                 value: f64::INFINITY,
             },
@@ -299,11 +322,13 @@ mod tests {
         r.record(&Event {
             name: "s",
             request: 4,
+            trace: 0,
             kind: EventKind::SpanStart { id: 9, parent: 8 },
         });
         r.record(&Event {
             name: "c",
             request: 4,
+            trace: 0,
             kind: EventKind::Counter { delta: 1 },
         });
         let lines = lines_of(&buf);
@@ -312,6 +337,31 @@ mod tests {
             r#"{"ev":"span_start","name":"s","id":9,"parent":8,"req":4}"#
         );
         assert_eq!(lines[1], r#"{"ev":"counter","name":"c","delta":1,"req":4}"#);
+    }
+
+    #[test]
+    fn distributed_trace_fields_encode_as_hex_and_status() {
+        let buf = SharedBuf::default();
+        let r = JsonLinesRecorder::to_writer(Box::new(buf.clone()));
+        r.record(&Event {
+            name: "router.attempt",
+            request: 4,
+            trace: 0xAB,
+            kind: EventKind::SpanEnd {
+                id: 9,
+                nanos: 50,
+                error: true,
+            },
+        });
+        let lines = lines_of(&buf);
+        assert_eq!(
+            lines[0],
+            concat!(
+                r#"{"ev":"span_end","name":"router.attempt","id":9,"ns":50,"#,
+                r#""status":"error","req":4,"#,
+                r#""trace":"000000000000000000000000000000ab"}"#
+            )
+        );
     }
 
     #[test]
@@ -329,6 +379,7 @@ mod tests {
         r.record(&Event {
             name: "c",
             request: 0,
+            trace: 0,
             kind: EventKind::Counter { delta: 1 },
         });
         assert_eq!(r.lines_written(), 0);

@@ -107,7 +107,7 @@ pub use json::{push_json_number, push_json_string, JsonLinesRecorder};
 pub use memory::{MemoryRecorder, OwnedEvent, OwnedEventKind};
 pub use recorder::{Obs, Recorder, Span, Tee};
 pub use slo::{AlertState, SloConfig, SloStatus, SloTracker};
-pub use snapshot::{HistogramSummary, MetricsSnapshot, SpanStats};
+pub use snapshot::{Exemplar, HistogramSummary, MetricsSnapshot, SpanStats};
 pub use timeseries::{
     BucketSnapshot, SeriesSnapshot, TimeSeriesConfig, TimeSeriesRecorder, TimeSeriesSnapshot,
 };

@@ -16,6 +16,8 @@ pub struct OwnedEvent {
     pub name: String,
     /// The request context the event carried (0 = none).
     pub request: u64,
+    /// The distributed trace id the event carried (0 = none).
+    pub trace: u128,
     /// The owned payload.
     pub kind: OwnedEventKind,
 }
@@ -25,7 +27,7 @@ pub struct OwnedEvent {
 #[allow(missing_docs)] // field meanings documented on `EventKind`
 pub enum OwnedEventKind {
     SpanStart { id: u64, parent: u64 },
-    SpanEnd { id: u64, nanos: u64 },
+    SpanEnd { id: u64, nanos: u64, error: bool },
     Counter { delta: u64 },
     Gauge { value: f64 },
     Histogram { value: f64 },
@@ -99,6 +101,16 @@ impl Recorder for MemoryRecorder {
                     .entry(event.name.to_owned())
                     .or_insert_with(HistogramSummary::empty);
                 h.observe(value);
+                // Exemplar: remember the slowest/largest sample that
+                // carried a distributed trace, so a scrape can link the
+                // metric to one offending trace.
+                if event.trace != 0 {
+                    let ex = snap.exemplars.entry(event.name.to_owned()).or_default();
+                    if value >= ex.value || ex.trace == 0 {
+                        ex.value = value;
+                        ex.trace = event.trace;
+                    }
+                }
             }
             EventKind::Mark { detail } => {
                 snap.marks.push((event.name.to_owned(), detail.to_owned()));
@@ -107,9 +119,12 @@ impl Recorder for MemoryRecorder {
         let owned = OwnedEvent {
             name: event.name.to_owned(),
             request: event.request,
+            trace: event.trace,
             kind: match event.kind {
                 EventKind::SpanStart { id, parent } => OwnedEventKind::SpanStart { id, parent },
-                EventKind::SpanEnd { id, nanos } => OwnedEventKind::SpanEnd { id, nanos },
+                EventKind::SpanEnd { id, nanos, error } => {
+                    OwnedEventKind::SpanEnd { id, nanos, error }
+                }
                 EventKind::Counter { delta } => OwnedEventKind::Counter { delta },
                 EventKind::Gauge { value } => OwnedEventKind::Gauge { value },
                 EventKind::Histogram { value } => OwnedEventKind::Histogram { value },
@@ -132,36 +147,43 @@ mod tests {
         r.record(&Event {
             name: "c",
             request: 0,
+            trace: 0,
             kind: EventKind::Counter { delta: 2 },
         });
         r.record(&Event {
             name: "c",
             request: 0,
+            trace: 0,
             kind: EventKind::Counter { delta: 3 },
         });
         r.record(&Event {
             name: "h",
             request: 0,
+            trace: 0,
             kind: EventKind::Histogram { value: 1.0 },
         });
         r.record(&Event {
             name: "h",
             request: 0,
+            trace: 0,
             kind: EventKind::Histogram { value: 3.0 },
         });
         r.record(&Event {
             name: "m",
             request: 0,
+            trace: 0,
             kind: EventKind::Mark { detail: "cell X" },
         });
         r.record(&Event {
             name: "g",
             request: 0,
+            trace: 0,
             kind: EventKind::Gauge { value: 10.0 },
         });
         r.record(&Event {
             name: "g",
             request: 0,
+            trace: 0,
             kind: EventKind::Gauge { value: 4.0 },
         });
         let snap = r.snapshot();
@@ -179,18 +201,45 @@ mod tests {
     }
 
     #[test]
+    fn exemplars_keep_the_slowest_traced_sample() {
+        let r = MemoryRecorder::default();
+        let sample = |value: f64, trace: u128| Event {
+            name: "serve.latency.cell",
+            request: 0,
+            trace,
+            kind: EventKind::Histogram { value },
+        };
+        r.record(&sample(0.5, 0)); // untraced: aggregated, no exemplar
+        assert!(r.snapshot().exemplars.is_empty());
+        r.record(&sample(0.2, 0xA));
+        r.record(&sample(0.9, 0xB));
+        r.record(&sample(0.3, 0xC)); // faster than the champion: ignored
+        let snap = r.snapshot();
+        let ex = &snap.exemplars["serve.latency.cell"];
+        assert_eq!(ex.trace, 0xB);
+        assert!((ex.value - 0.9).abs() < 1e-12);
+        assert_eq!(snap.histograms["serve.latency.cell"].count, 4);
+    }
+
+    #[test]
     fn span_stats_accumulate_durations() {
         let r = MemoryRecorder::default();
         for (id, nanos) in [(1, 100), (2, 300)] {
             r.record(&Event {
                 name: "s",
                 request: 0,
+                trace: 0,
                 kind: EventKind::SpanStart { id, parent: 0 },
             });
             r.record(&Event {
                 name: "s",
                 request: 0,
-                kind: EventKind::SpanEnd { id, nanos },
+                trace: 0,
+                kind: EventKind::SpanEnd {
+                    id,
+                    nanos,
+                    error: false,
+                },
             });
         }
         let stats = &r.snapshot().spans["s"];

@@ -80,6 +80,15 @@ pub fn render_prometheus(snapshot: &MetricsSnapshot) -> String {
         push_value(&mut out, h.sum);
         out.push('\n');
         let _ = writeln!(out, "{m}_count {}", h.count);
+        // Exemplar: a concrete traced sample backing this summary,
+        // rendered as a comment so 0.0.4 scrapers (and the strict
+        // parser below) pass it through untouched. OpenMetrics-style
+        // value-line exemplars are not legal in 0.0.4.
+        if let Some(ex) = snapshot.exemplars.get(name) {
+            let _ = write!(out, "# EXEMPLAR {m} trace_id={} value=", ex.trace_hex());
+            push_value(&mut out, ex.value);
+            out.push('\n');
+        }
     }
     for (name, s) in &snapshot.spans {
         let m = format!("{}_seconds", sanitize_name(name));
@@ -275,6 +284,25 @@ mod tests {
             .collect();
         assert_eq!(quantiles.len(), 3, "p50/p95/p99 exported");
         assert!(quantiles.iter().all(|s| s.value.is_finite() && s.value > 0.0));
+    }
+
+    #[test]
+    fn exemplar_comment_lines_survive_the_parser() {
+        let mut snap = sample_snapshot();
+        snap.exemplars.insert(
+            "serve.latency.query".into(),
+            crate::snapshot::Exemplar {
+                value: 0.97,
+                trace: 0xDEAD_BEEF,
+            },
+        );
+        let body = render_prometheus(&snap);
+        let want =
+            "# EXEMPLAR serve_latency_query trace_id=000000000000000000000000deadbeef value=0.97";
+        assert!(body.contains(want), "exemplar comment missing: {body}");
+        // The comment must not break strict parsing of the scrape body.
+        let parsed = parse_exposition(&body).expect("exemplar comments are parser-transparent");
+        assert_eq!(parsed.value("serve_latency_query_count"), Some(100.0));
     }
 
     #[test]

@@ -74,6 +74,7 @@ impl Obs {
             r.record(&Event {
                 name,
                 request: context::current_request(),
+                trace: context::current_trace(),
                 kind: EventKind::Counter { delta },
             });
         }
@@ -86,6 +87,7 @@ impl Obs {
             r.record(&Event {
                 name,
                 request: context::current_request(),
+                trace: context::current_trace(),
                 kind: EventKind::Gauge { value },
             });
         }
@@ -97,6 +99,7 @@ impl Obs {
             r.record(&Event {
                 name,
                 request: context::current_request(),
+                trace: context::current_trace(),
                 kind: EventKind::Histogram { value },
             });
         }
@@ -108,6 +111,7 @@ impl Obs {
             r.record(&Event {
                 name,
                 request: context::current_request(),
+                trace: context::current_trace(),
                 kind: EventKind::Mark { detail },
             });
         }
@@ -131,6 +135,7 @@ impl Obs {
                 r.record(&Event {
                     name,
                     request: context::current_request(),
+                    trace: context::current_trace(),
                     kind: EventKind::SpanStart { id, parent },
                 });
                 context::push_span(id);
@@ -139,6 +144,7 @@ impl Obs {
                     name: name.to_owned(),
                     id,
                     start: Instant::now(),
+                    error: false,
                 }))
             }
         }
@@ -181,12 +187,31 @@ struct SpanInner {
     name: String,
     id: u64,
     start: Instant,
+    error: bool,
 }
 
 impl Span {
     /// Closes the span now instead of at end of scope.
     pub fn end(mut self) {
         self.finish();
+    }
+
+    /// The span's process-unique id (0 for an inert span from a disabled
+    /// handle). The router sends this as the parent-span field of the
+    /// `x-lhr-trace` header so a backend's root span links under the
+    /// forwarding attempt.
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.0.as_ref().map_or(0, |inner| inner.id)
+    }
+
+    /// Marks the region as failed: its `span_end` event carries an error
+    /// status, which flags the attempt in trace trees and forces
+    /// tail-based sampling to keep the trace. No-op on an inert span.
+    pub fn fail(&mut self) {
+        if let Some(inner) = &mut self.0 {
+            inner.error = true;
+        }
     }
 
     fn finish(&mut self) {
@@ -196,9 +221,11 @@ impl Span {
             inner.recorder.record(&Event {
                 name: &inner.name,
                 request: context::current_request(),
+                trace: context::current_trace(),
                 kind: EventKind::SpanEnd {
                     id: inner.id,
                     nanos,
+                    error: inner.error,
                 },
             });
         }
@@ -335,6 +362,35 @@ mod tests {
         obs.counter("later", 1);
         assert_eq!(memory.events().last().unwrap().request, 0);
         assert_eq!(crate::context::current_parent(), 0);
+    }
+
+    #[test]
+    fn spans_stamp_the_thread_trace_and_failure() {
+        let memory = Arc::new(MemoryRecorder::default());
+        let obs = Obs::recording(memory.clone());
+        crate::context::with_ctx(
+            crate::context::Ctx {
+                request: 5,
+                parent: 0,
+                trace: 0xFEED,
+            },
+            || {
+                let mut span = obs.span("attempt");
+                assert_ne!(span.id(), 0);
+                span.fail();
+                obs.histogram("latency", 0.5);
+            },
+        );
+        let events = memory.events();
+        assert!(events.iter().all(|e| e.trace == 0xFEED), "{events:?}");
+        assert!(events.iter().any(|e| matches!(
+            e.kind,
+            crate::memory::OwnedEventKind::SpanEnd { error: true, .. }
+        )));
+        // Inert spans expose id 0 and ignore fail().
+        let mut inert = Obs::none().span("x");
+        assert_eq!(inert.id(), 0);
+        inert.fail();
     }
 
     #[test]

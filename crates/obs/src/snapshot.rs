@@ -188,6 +188,28 @@ impl SpanStats {
     }
 }
 
+/// A metric exemplar: one concrete traced sample backing an aggregate,
+/// so a dashboard reading "p99 is slow" can jump straight to a trace
+/// that was slow. The [`crate::MemoryRecorder`] keeps, per histogram,
+/// the largest sample that carried a nonzero distributed trace id.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Exemplar {
+    /// The observed value of the exemplar sample.
+    pub value: f64,
+    /// The 128-bit trace id the sample was recorded under (never 0 for
+    /// a stored exemplar).
+    pub trace: u128,
+}
+
+impl Exemplar {
+    /// The trace id as the 32-hex-digit string used by `/v1/trace/<id>`
+    /// and the `x-lhr-trace` header.
+    #[must_use]
+    pub fn trace_hex(&self) -> String {
+        format!("{:032x}", self.trace)
+    }
+}
+
 /// A point-in-time copy of a [`crate::MemoryRecorder`]'s aggregates.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct MetricsSnapshot {
@@ -201,6 +223,10 @@ pub struct MetricsSnapshot {
     pub spans: BTreeMap<String, SpanStats>,
     /// Mark events, in arrival order, as `(name, detail)`.
     pub marks: Vec<(String, String)>,
+    /// Per-histogram exemplars: the largest sample that carried a
+    /// distributed trace id (absent for histograms that never saw a
+    /// traced sample).
+    pub exemplars: BTreeMap<String, Exemplar>,
     /// Raw events seen (all kinds, including span starts).
     pub events_recorded: usize,
     /// Trace lines dropped to write errors by a streaming

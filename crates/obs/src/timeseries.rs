@@ -453,6 +453,7 @@ mod tests {
         Event {
             name,
             request: 0,
+            trace: 0,
             kind,
         }
     }
@@ -525,6 +526,7 @@ mod tests {
             EventKind::SpanEnd {
                 id: 1,
                 nanos: 2_000_000_000,
+                error: false,
             },
         ));
         // Starts and marks carry no magnitude and are dropped.

@@ -5,8 +5,15 @@
 //!            [--jobs N] [--queue-depth N] [--replicas N]
 //!            [--route-cache N] [--probe-interval-ms MS]
 //!            [--hedge-after-ms MS] [--no-local-fallback]
-//!            [--cache-cells N] [--trace PATH]
+//!            [--cache-cells N] [--trace PATH] [--span-store DIR]
+//!            [--span-keep-one-in N]
 //! ```
+//!
+//! `--span-store` arms the distributed-trace span store: the router
+//! records its request/attempt/fallback spans there, and
+//! `GET /v1/trace/<id>` stitches them with each backend's fragment
+//! into one multi-process tree. `--span-keep-one-in N` keeps every Nth
+//! healthy trace (error/slow traces are always kept; default 1).
 //!
 //! The router consistent-hashes `/v1/*` queries onto the backend set,
 //! health-probes every backend with hysteresis, circuit-breaks the
@@ -31,12 +38,15 @@ struct Args {
     cache_cells: usize,
     local_fallback: bool,
     trace: Option<String>,
+    span_store: Option<std::path::PathBuf>,
+    span_keep_one_in: u64,
 }
 
 fn usage() -> &'static str {
     "usage: lhr_router --backends HOST:PORT,... [--addr HOST:PORT] [--jobs N] \
      [--queue-depth N] [--replicas N] [--route-cache N] [--probe-interval-ms MS] \
-     [--hedge-after-ms MS] [--no-local-fallback] [--cache-cells N] [--trace PATH]"
+     [--hedge-after-ms MS] [--no-local-fallback] [--cache-cells N] [--trace PATH] \
+     [--span-store DIR] [--span-keep-one-in N]"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -48,6 +58,8 @@ fn parse_args() -> Result<Args, String> {
         cache_cells: 1024,
         local_fallback: true,
         trace: None,
+        span_store: None,
+        span_keep_one_in: 1,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -101,6 +113,17 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--cache-cells: {e}"))?;
             }
             "--trace" => args.trace = Some(value("--trace")?),
+            "--span-store" => {
+                args.span_store = Some(std::path::PathBuf::from(value("--span-store")?));
+            }
+            "--span-keep-one-in" => {
+                args.span_keep_one_in = value("--span-keep-one-in")?
+                    .parse()
+                    .map_err(|e| format!("--span-keep-one-in: {e}"))?;
+                if args.span_keep_one_in == 0 {
+                    return Err("--span-keep-one-in must be at least 1".to_owned());
+                }
+            }
             "--help" | "-h" => return Err(usage().to_owned()),
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
         }
@@ -134,6 +157,21 @@ fn main() -> ExitCode {
         }
     } else {
         base
+    };
+    let telemetry = if let Some(dir) = &args.span_store {
+        let sampling = lhr_store::SamplingConfig {
+            keep_one_in: args.span_keep_one_in,
+            ..lhr_store::SamplingConfig::default()
+        };
+        match telemetry.with_span_store(dir, "router", sampling) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot open span store {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        telemetry
     };
 
     // The fallback harness mirrors a backend's setup: bounded cell
@@ -169,6 +207,13 @@ fn main() -> ExitCode {
         args.config.probe_interval,
         if args.local_fallback { "local" } else { "off" },
     );
+    if let Some(dir) = &args.span_store {
+        println!(
+            "  span-store={} keep-one-in={} (GET /v1/trace/<id> stitches backends)",
+            dir.display(),
+            args.span_keep_one_in
+        );
+    }
     println!("  try: curl 'http://{}/healthz'", handle.addr());
 
     handle.wait();

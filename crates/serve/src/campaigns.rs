@@ -72,6 +72,7 @@ use lhr_core::{
     Evaluation, Harness, MeasureError, MeasureErrorKind, MeasureHealth, RetryPolicy,
     RunMeasurement, UnitOutcome, UnitReport,
 };
+use lhr_obs::context::{self, Ctx};
 use lhr_obs::{push_json_number, push_json_string, Obs};
 use lhr_uarch::ChipConfig;
 use lhr_workloads::Workload;
@@ -291,6 +292,10 @@ pub struct CellTask {
     pub config: ChipConfig,
     /// The workload to measure.
     pub workload: &'static Workload,
+    /// The submitting request's trace context: cells run on pool
+    /// workers long after the `202` went out, but their spans still
+    /// belong to the trace of the request that created the campaign.
+    pub ctx: Ctx,
 }
 
 /// A unit's scheduling state.
@@ -333,6 +338,10 @@ struct Campaign {
     finalizing: bool,
     artifact: Option<String>,
     journal: Arc<JournalWriter>,
+    /// The submitting request's trace context, inherited by every cell.
+    /// Resumed campaigns get a zeroed context: the original trace ended
+    /// with the process that recorded it.
+    ctx: Ctx,
 }
 
 impl Campaign {
@@ -547,6 +556,7 @@ impl Orchestrator {
             finalizing: false,
             artifact: None,
             journal: Arc::new(journal),
+            ctx: context::capture(),
         });
         let body = status_body(reg.campaign(&id).expect("just pushed"), false);
         drop(reg);
@@ -620,6 +630,7 @@ impl Orchestrator {
                             unit: unit_idx,
                             config: unit.config.clone(),
                             workload: unit.workload,
+                            ctx: c.ctx,
                         },
                     )
                 };
@@ -1033,6 +1044,7 @@ impl Orchestrator {
             finalizing: needs_finalize,
             artifact: (all_resolved && artifact_ok).then_some(artifact_name),
             journal: Arc::new(writer),
+            ctx: Ctx::default(),
         });
         drop(reg);
         if needs_finalize {
@@ -1182,20 +1194,29 @@ fn touch_tenant(reg: &mut Registry, spec: &CampaignSpec) {
 /// so the slot always resolves -- a stuck `InFlight` slot would leak a
 /// scheduler token forever.
 pub fn execute(state: &Arc<ServeState>, task: CellTask) {
-    let span = state.obs.span("campaign.cell");
-    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        state
-            .harness
-            .try_evaluate_workload(&task.config, task.workload)
-    }))
-    .unwrap_or_else(|_| {
-        Err(MeasureError {
-            workload: Some(task.workload.name()),
-            config: task.config.label(),
-            kind: MeasureErrorKind::WorkerPanic("campaign cell panicked".to_owned()),
-        })
+    // Re-establish the submitting request's context on this pool
+    // worker: the cell's spans join the submitter's distributed trace
+    // (the campaign span from the `/v1/campaigns` POST is the parent).
+    let outcome = context::with_ctx(task.ctx, || {
+        let mut span = state.obs.span("campaign.cell");
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            state
+                .harness
+                .try_evaluate_workload(&task.config, task.workload)
+        }))
+        .unwrap_or_else(|_| {
+            Err(MeasureError {
+                workload: Some(task.workload.name()),
+                config: task.config.label(),
+                kind: MeasureErrorKind::WorkerPanic("campaign cell panicked".to_owned()),
+            })
+        });
+        if outcome.is_err() {
+            span.fail();
+        }
+        span.end();
+        outcome
     });
-    span.end();
     state.campaigns.resolved(&task, outcome, state);
 }
 

@@ -41,6 +41,11 @@ pub struct Flight {
     /// record it so a trace reader can link a coalesced request to the
     /// request whose computation it rode.
     leader_request: AtomicU64,
+    /// The leader's 128-bit distributed trace id, split across two
+    /// atomics (0 until set): followers link their own trace to the
+    /// leader's so a stitched view can cross the coalescing boundary.
+    leader_trace_hi: AtomicU64,
+    leader_trace_lo: AtomicU64,
 }
 
 impl Flight {
@@ -49,6 +54,8 @@ impl Flight {
             result: Mutex::new(None),
             done: Condvar::new(),
             leader_request: AtomicU64::new(0),
+            leader_trace_hi: AtomicU64::new(0),
+            leader_trace_lo: AtomicU64::new(0),
         }
     }
 
@@ -63,6 +70,24 @@ impl Flight {
     #[must_use]
     pub fn leader_request(&self) -> u64 {
         self.leader_request.load(Ordering::Relaxed)
+    }
+
+    /// Records the leader's distributed trace id (called once, by the
+    /// leader, alongside [`Flight::set_leader_request`]).
+    #[allow(clippy::cast_possible_truncation)]
+    pub fn set_leader_trace(&self, trace: u128) {
+        self.leader_trace_hi
+            .store((trace >> 64) as u64, Ordering::Relaxed);
+        self.leader_trace_lo.store(trace as u64, Ordering::Relaxed);
+    }
+
+    /// The leader's distributed trace id (0 if unset). The two halves
+    /// are written leader-side before any follower can observe the
+    /// completed flight, so a torn read only ever sees the initial 0.
+    #[must_use]
+    pub fn leader_trace(&self) -> u128 {
+        (u128::from(self.leader_trace_hi.load(Ordering::Relaxed)) << 64)
+            | u128::from(self.leader_trace_lo.load(Ordering::Relaxed))
     }
 
     fn complete(&self, result: FlightResult) {
@@ -212,10 +237,15 @@ mod tests {
             panic!("must lead");
         };
         leader.set_leader_request(42);
+        leader.set_leader_trace(0xFEED_0000_0000_0000_0000_0000_0000_0001);
         let Join::Follower(follower) = board.join("k").unwrap() else {
             panic!("must follow");
         };
         assert_eq!(follower.leader_request(), 42);
+        assert_eq!(
+            follower.leader_trace(),
+            0xFEED_0000_0000_0000_0000_0000_0000_0001
+        );
     }
 
     #[test]

@@ -71,7 +71,9 @@ pub fn endpoint_tag(req: &Request) -> &'static str {
         "/v1/pareto" => "/v1/pareto",
         "/v1/findings" => "/v1/findings",
         "/v1/query" => "/v1/query",
+        "/v1/traces" => "/v1/traces",
         "/admin/drain" => "/admin/drain",
+        p if p.starts_with("/v1/trace/") => "/v1/trace",
         p if p.starts_with("/v1/campaigns") => "/v1/campaigns",
         p if p.starts_with("/v1/artifacts") => "/v1/artifacts",
         _ => "other",
@@ -96,6 +98,10 @@ pub fn route(state: &Arc<ServeState>, req: &Request) -> Response {
         (Method::Get, "/v1/pareto") => pareto_endpoint(state, req),
         (Method::Get, "/v1/findings") => findings(state),
         (Method::Post | Method::Get, "/v1/query") => query_endpoint(state, req),
+        (Method::Get, "/v1/traces") => traces_search(state, req),
+        (Method::Get, p) if p.starts_with("/v1/trace/") => {
+            trace_by_id(state, &p["/v1/trace/".len()..], req)
+        }
         (Method::Get, "/v1/artifacts") => artifact_index(state),
         (Method::Get, p) if p.starts_with("/v1/artifacts/") => {
             artifact(state, &p["/v1/artifacts/".len()..])
@@ -113,18 +119,21 @@ pub fn route(state: &Arc<ServeState>, req: &Request) -> Response {
             "not_found",
             "unknown endpoint; see /healthz, /metrics, /v1/metrics, /v1/metrics/timeseries, \
              /v1/cell, /v1/sweep, /v1/pareto, /v1/findings, /v1/artifacts, /v1/campaigns, \
-             POST /v1/query, POST /admin/drain",
+             /v1/traces, /v1/trace/<id>, POST /v1/query, POST /admin/drain",
         ),
     }
 }
 
 fn healthz(state: &Arc<ServeState>) -> Response {
-    // Health degrades on either signal: the SLO alert is firing (the
-    // error budget is burning too fast in both windows), or trace lines
-    // are being lost (the record of what happened has holes).
+    // Health degrades on any of three signals: the SLO alert is firing
+    // (the error budget is burning too fast in both windows), trace
+    // lines are being lost, or span-store appends are failing (the
+    // record of what happened has holes either way).
     let slo = state.telemetry.slo.status();
     let trace_write_errors = state.telemetry.trace_write_errors();
-    let degraded = slo.state == AlertState::Firing || trace_write_errors > 0;
+    let span_append_errors = state.telemetry.span_append_errors();
+    let degraded =
+        slo.state == AlertState::Firing || trace_write_errors > 0 || span_append_errors > 0;
     let mut body = String::from("{\"status\":");
     push_json_string(&mut body, if degraded { "degraded" } else { "ok" });
     body.push_str(",\"uptime_seconds\":");
@@ -141,6 +150,8 @@ fn healthz(state: &Arc<ServeState>) -> Response {
     });
     body.push_str(",\"trace_write_errors\":");
     push_json_number(&mut body, trace_write_errors as f64);
+    body.push_str(",\"span_append_errors\":");
+    push_json_number(&mut body, span_append_errors as f64);
     body.push_str(",\"slo\":{\"alert\":");
     push_json_string(
         &mut body,
@@ -149,6 +160,24 @@ fn healthz(state: &Arc<ServeState>) -> Response {
             AlertState::Firing => "firing",
         },
     );
+    // The exemplar link: the trace id of the slowest traced request
+    // sample, so a firing burn-rate alert points straight at an
+    // offending trace (`GET /v1/trace/<id>`).
+    if let Some(ex) = state
+        .telemetry
+        .memory
+        .snapshot()
+        .exemplars
+        .iter()
+        .filter(|(name, _)| name.starts_with("serve.latency."))
+        .map(|(_, ex)| *ex)
+        .max_by(|a, b| a.value.total_cmp(&b.value))
+    {
+        body.push_str(",\"slow_trace\":");
+        push_json_string(&mut body, &ex.trace_hex());
+        body.push_str(",\"slow_trace_seconds\":");
+        push_json_number(&mut body, ex.value);
+    }
     body.push_str(",\"availability_burn\":{\"short\":");
     push_json_number(&mut body, slo.availability.short);
     body.push_str(",\"long\":");
@@ -221,6 +250,7 @@ where
             // that opened it.
             let ctx = context::capture();
             flight.set_leader_request(ctx.request);
+            flight.set_leader_trace(ctx.trace);
             let worker_state = Arc::clone(state);
             std::thread::spawn(move || {
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -234,11 +264,17 @@ where
         Join::Follower(flight) => {
             state.obs.counter("serve.coalesce_hits", 1);
             // Record the leader/follower linkage so a trace reader can
-            // attribute this request's wait to the flight it rode.
+            // attribute this request's wait to the flight it rode --
+            // both by request id and by distributed trace id, crossing
+            // the coalescing boundary in a stitched view.
             if state.obs.enabled() {
                 state.obs.mark(
                     "serve.coalesce.follows",
-                    &format!("leader_request={}", flight.leader_request()),
+                    &format!(
+                        "leader_request={} leader_trace={:032x}",
+                        flight.leader_request(),
+                        flight.leader_trace()
+                    ),
                 );
             }
             flight
@@ -672,6 +708,64 @@ fn query_endpoint(state: &Arc<ServeState>, req: &Request) -> Response {
             &format!("format must be json or text, got {other:?}"),
         ),
     }
+}
+
+// ---------------------------------------------------------------------
+// /v1/traces and /v1/trace/<id>
+// ---------------------------------------------------------------------
+
+fn span_store_unavailable() -> Response {
+    Response::error(
+        503,
+        "span_store_unavailable",
+        "this server runs without a span store; boot with --span-store to enable trace search",
+    )
+}
+
+/// `GET /v1/traces?name=<substr>&status=error&min_dur_ns=N&limit=N`:
+/// searches the span table and returns per-trace summaries, newest
+/// first. Answers from the in-memory mirror of the table -- no disk
+/// reads, no engine work.
+fn traces_search(state: &Arc<ServeState>, req: &Request) -> Response {
+    let Some(spans) = state.telemetry.spans.as_ref() else {
+        return span_store_unavailable();
+    };
+    let query = lhr_store::SpanQuery {
+        name: req.param("name").unwrap_or("").to_owned(),
+        errors_only: req.param("status") == Some("error"),
+        min_dur_ns: req
+            .param("min_dur_ns")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0),
+        limit: req.param("limit").and_then(|v| v.parse().ok()).unwrap_or(50),
+    };
+    let mut body = lhr_store::summaries_json(&spans.table().search(&query));
+    body.push('\n');
+    Response::ok_json(body)
+}
+
+/// `GET /v1/trace/<32-hex-id>`: the stitched span tree of one trace.
+/// `?format=fragment` returns this process's raw rows instead -- what
+/// the router fetches from each backend before stitching the
+/// multi-process view itself.
+fn trace_by_id(state: &Arc<ServeState>, id: &str, req: &Request) -> Response {
+    let Some(spans) = state.telemetry.spans.as_ref() else {
+        return span_store_unavailable();
+    };
+    let Ok(trace) = u128::from_str_radix(id.trim(), 16) else {
+        return Response::error(400, "bad_trace_id", "trace id must be hex (32 digits)");
+    };
+    let rows = spans.table().trace_rows(trace);
+    if rows.is_empty() {
+        return Response::error(404, "no_such_trace", "no persisted spans for that trace id");
+    }
+    let mut body = if req.param("format") == Some("fragment") {
+        lhr_store::fragment_json(trace, &rows)
+    } else {
+        lhr_store::tree_json(trace, &lhr_store::stitch(&rows))
+    };
+    body.push('\n');
+    Response::ok_json(body)
 }
 
 // ---------------------------------------------------------------------

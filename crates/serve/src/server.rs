@@ -232,6 +232,10 @@ pub fn start(
                                 Ctx {
                                     request: admitted.request,
                                     parent: 0,
+                                    // The distributed trace is joined (or
+                                    // minted) once the request line and
+                                    // its `x-lhr-trace` header are parsed.
+                                    trace: 0,
                                 },
                                 || serve_connection(&state, admitted.stream),
                             ),
@@ -396,29 +400,56 @@ fn serve_connection(state: &Arc<ServeState>, stream: TcpStream) {
     let mut reader = BufReader::new(stream);
     match read_request(&mut reader) {
         Ok(req) => {
-            state.obs.counter("serve.requests", 1);
-            let tag = endpoint_tag(&req);
-            let span_name = format!("serve.request.{tag}");
-            let span = state.obs.span(&span_name);
-            let response = catch_unwind(AssertUnwindSafe(|| route(state, &req)))
-                .unwrap_or_else(|_| {
-                    Response::error(500, "handler_panic", "handler panicked; see /metrics")
-                });
-            span.end();
-            if response.status >= 400 {
-                state
-                    .obs
-                    .counter(&format!("serve.http_{}", response.status), 1);
-            }
-            let _ = response.write_to(&mut writer);
-            let latency = started.elapsed().as_secs_f64();
-            let is_error = response.status >= 500;
-            state.obs.counter(&format!("serve.req.{tag}"), 1);
-            if is_error {
-                state.obs.counter(&format!("serve.err.{tag}"), 1);
-            }
-            state.obs.histogram(&format!("serve.latency.{tag}"), latency);
-            state.telemetry.slo.observe(is_error, latency, &state.obs);
+            // Join the distributed trace the caller propagated over
+            // `x-lhr-trace`, or mint a fresh one: every request carries
+            // a trace from here on, so spans, RED samples (exemplars),
+            // and campaign cells it causes are all linkable. A hostile
+            // or truncated header is counted and ignored -- never a 400.
+            let ctx = match req.header("x-lhr-trace").map(context::parse_trace_header) {
+                Some(Some((trace, parent, _flags))) => Ctx {
+                    request: context::current_request(),
+                    parent,
+                    trace,
+                },
+                header => {
+                    if header.is_some() {
+                        state.obs.counter("trace.header_invalid", 1);
+                    }
+                    Ctx {
+                        request: context::current_request(),
+                        parent: 0,
+                        trace: context::next_trace_id(),
+                    }
+                }
+            };
+            context::with_ctx(ctx, || {
+                state.obs.counter("serve.requests", 1);
+                let tag = endpoint_tag(&req);
+                let span_name = format!("serve.request.{tag}");
+                let mut span = state.obs.span(&span_name);
+                let response = catch_unwind(AssertUnwindSafe(|| route(state, &req)))
+                    .unwrap_or_else(|_| {
+                        Response::error(500, "handler_panic", "handler panicked; see /metrics")
+                    });
+                if response.status >= 500 {
+                    span.fail();
+                }
+                span.end();
+                if response.status >= 400 {
+                    state
+                        .obs
+                        .counter(&format!("serve.http_{}", response.status), 1);
+                }
+                let _ = response.write_to(&mut writer);
+                let latency = started.elapsed().as_secs_f64();
+                let is_error = response.status >= 500;
+                state.obs.counter(&format!("serve.req.{tag}"), 1);
+                if is_error {
+                    state.obs.counter(&format!("serve.err.{tag}"), 1);
+                }
+                state.obs.histogram(&format!("serve.latency.{tag}"), latency);
+                state.telemetry.slo.observe(is_error, latency, &state.obs);
+            });
         }
         Err(HttpError::BadRequest(detail)) => {
             state.obs.counter("serve.http_400", 1);

@@ -41,7 +41,9 @@ use std::time::{Duration, Instant};
 use lhr_bench::httpc::{self, HttpResponse};
 use lhr_core::cache::config_fingerprint;
 use lhr_core::Harness;
+use lhr_obs::context::{self, Ctx};
 use lhr_obs::{prom, push_json_number, push_json_string, Obs};
+use lhr_store::SpanRow;
 
 use crate::campaigns::Orchestrator;
 use crate::coalesce::FlightBoard;
@@ -540,28 +542,60 @@ fn serve_connection(state: &Arc<RouterState>, stream: TcpStream) {
     let mut reader = BufReader::new(stream);
     match read_request(&mut reader) {
         Ok(req) => {
-            state.obs.counter("router.requests", 1);
-            let tag = router_tag(&req);
-            let response = catch_unwind(AssertUnwindSafe(|| route(state, &req)))
-                .unwrap_or_else(|_| {
-                    Response::error(500, "handler_panic", "router handler panicked")
-                });
-            if response.status >= 400 {
+            // Join the caller's distributed trace (`x-lhr-trace`) or
+            // mint a fresh one -- the router is the usual trace root.
+            // Hostile headers are counted, never rejected. Everything
+            // downstream on this thread -- candidate walks, hedged
+            // exchanges, the local-fallback harness -- inherits this
+            // context, so fallback simulations record the *client's*
+            // request id, not a fresh one.
+            let ctx = match req.header("x-lhr-trace").map(context::parse_trace_header) {
+                Some(Some((trace, parent, _flags))) => Ctx {
+                    request: context::next_request_id(),
+                    parent,
+                    trace,
+                },
+                header => {
+                    if header.is_some() {
+                        state.obs.counter("trace.header_invalid", 1);
+                    }
+                    Ctx {
+                        request: context::next_request_id(),
+                        parent: 0,
+                        trace: context::next_trace_id(),
+                    }
+                }
+            };
+            context::with_ctx(ctx, || {
+                state.obs.counter("router.requests", 1);
+                let tag = router_tag(&req);
+                let span_name = format!("router.request.{tag}");
+                let mut span = state.obs.span(&span_name);
+                let response = catch_unwind(AssertUnwindSafe(|| route(state, &req)))
+                    .unwrap_or_else(|_| {
+                        Response::error(500, "handler_panic", "router handler panicked")
+                    });
+                if response.status >= 500 {
+                    span.fail();
+                }
+                span.end();
+                if response.status >= 400 {
+                    state
+                        .obs
+                        .counter(&format!("router.http_{}", response.status), 1);
+                }
+                let _ = response.write_to(&mut writer);
+                let latency = started.elapsed().as_secs_f64();
+                let is_error = response.status >= 500;
+                state.obs.counter(&format!("router.req.{tag}"), 1);
+                if is_error {
+                    state.obs.counter(&format!("router.err.{tag}"), 1);
+                }
                 state
                     .obs
-                    .counter(&format!("router.http_{}", response.status), 1);
-            }
-            let _ = response.write_to(&mut writer);
-            let latency = started.elapsed().as_secs_f64();
-            let is_error = response.status >= 500;
-            state.obs.counter(&format!("router.req.{tag}"), 1);
-            if is_error {
-                state.obs.counter(&format!("router.err.{tag}"), 1);
-            }
-            state
-                .obs
-                .histogram(&format!("router.latency.{tag}"), latency);
-            state.telemetry.slo.observe(is_error, latency, &state.obs);
+                    .histogram(&format!("router.latency.{tag}"), latency);
+                state.telemetry.slo.observe(is_error, latency, &state.obs);
+            });
         }
         Err(HttpError::BadRequest(detail)) => {
             state.obs.counter("router.http_400", 1);
@@ -602,6 +636,10 @@ fn route(state: &Arc<RouterState>, req: &Request) -> Response {
             Response::ok_json("{\"draining\":true}\n".to_owned())
         }
         (Method::Post, "/admin/backends") => admin_backends(state, req),
+        (Method::Get, "/v1/traces") => router_traces(state, req),
+        (Method::Get, p) if p.starts_with("/v1/trace/") => {
+            router_trace(state, &p["/v1/trace/".len()..], req)
+        }
         (_, "/admin/drain" | "/admin/backends") => Response::error(
             405,
             "method_not_allowed",
@@ -630,7 +668,7 @@ fn route(state: &Arc<RouterState>, req: &Request) -> Response {
             "not_found",
             "unknown endpoint; see /healthz, /metrics, /v1/metrics, /v1/metrics/timeseries, \
              /v1/cell, /v1/sweep, /v1/pareto, /v1/findings, /v1/query, /v1/artifacts, \
-             POST /admin/drain, POST /admin/backends",
+             /v1/traces, /v1/trace/<id>, POST /admin/drain, POST /admin/backends",
         ),
     }
 }
@@ -734,15 +772,33 @@ fn settles(resp: &HttpResponse) -> bool {
 /// One exchange with one backend, with breaker feedback and the
 /// per-backend RED series (`router.backend.{req,err}.<addr>` counters,
 /// `router.backend.latency.<addr>` histogram) recorded.
+///
+/// Each exchange is one `router.attempt` span, and the forwarded
+/// request carries `x-lhr-trace` with *this attempt's* span id as the
+/// parent -- the backend's request span links under the exact attempt
+/// that reached it, so a retried or hedged request stitches into one
+/// tree with the failed attempts marked. With no recorder armed the
+/// span is inert (id 0), no trace is in force, and the forwarded bytes
+/// are identical to the untraced build.
 fn exchange_recorded(
     state: &RouterState,
     backend: &Backend,
-    raw: &[u8],
+    target: &str,
 ) -> Result<HttpResponse, httpc::ClientError> {
+    let mut span = state.obs.span("router.attempt");
+    let trace = context::current_trace();
+    let raw = if trace == 0 {
+        format!("GET {target} HTTP/1.1\r\nHost: lhr-router\r\n\r\n")
+    } else {
+        format!(
+            "GET {target} HTTP/1.1\r\nHost: lhr-router\r\nx-lhr-trace: {}\r\n\r\n",
+            context::render_trace_header(trace, span.id(), 1)
+        )
+    };
     let started = Instant::now();
     let outcome = httpc::exchange_timeouts(
         backend.addr,
-        raw,
+        raw.as_bytes(),
         state.config.connect_timeout,
         state.config.forward_timeout,
     );
@@ -760,8 +816,10 @@ fn exchange_recorded(
                 .obs
                 .counter(&format!("router.backend.err.{}", backend.addr), 1);
             backend.breaker.record_failure();
+            span.fail();
         }
     }
+    span.end();
     outcome
 }
 
@@ -783,7 +841,6 @@ fn forward(state: &Arc<RouterState>, req: &Request) -> Response {
             };
         }
     }
-    let raw = format!("GET {target} HTTP/1.1\r\nHost: lhr-router\r\n\r\n").into_bytes();
     let key = shard_key(req);
     let topo = state.topology();
     let candidates = topo.ring.route(key, state.config.replicas.max(1));
@@ -817,14 +874,14 @@ fn forward(state: &Arc<RouterState>, req: &Request) -> Response {
             .map(|&j| Arc::clone(&topo.backends[j]))
             .filter(|b| b.health() != HealthState::Down && health == HealthState::Suspect);
         let outcome = match hedge_mate {
-            Some(mate) => hedged_exchange(state, Arc::clone(backend), mate, &raw),
-            None => exchange_recorded(state, backend, &raw),
+            Some(mate) => hedged_exchange(state, Arc::clone(backend), mate, &target),
+            None => exchange_recorded(state, backend, &target),
         };
         match outcome {
             Ok(resp) if settles(&resp) => {
                 if cacheable && resp.status == 200 && state.config.route_cache > 0 {
                     state.cache.lock().expect("cache lock").put(
-                        target,
+                        target.clone(),
                         CachedBody {
                             content_type: static_content_type(resp.content_type()),
                             body: resp.body.clone(),
@@ -848,19 +905,25 @@ fn forward(state: &Arc<RouterState>, req: &Request) -> Response {
 /// the primary has not settled within `hedge_after`, and the first
 /// settling response wins. Both exchanges record their own breaker and
 /// RED feedback (a losing twin still teaches the breaker).
+///
+/// The request's trace context is re-established on each leg's thread,
+/// so both legs carry the *same* trace id but mint *distinct*
+/// `router.attempt` span ids -- a stitched tree shows the race, not a
+/// merged blur.
 fn hedged_exchange(
     state: &Arc<RouterState>,
     primary: Arc<Backend>,
     mate: Arc<Backend>,
-    raw: &[u8],
+    target: &str,
 ) -> Result<HttpResponse, httpc::ClientError> {
     let (tx, rx) = mpsc::channel();
-    let raw = Arc::new(raw.to_vec());
+    let target: Arc<str> = Arc::from(target);
+    let ctx = context::capture();
     let spawn = |backend: Arc<Backend>, tx: mpsc::Sender<_>| {
         let state = Arc::clone(state);
-        let raw = Arc::clone(&raw);
+        let target = Arc::clone(&target);
         std::thread::spawn(move || {
-            let outcome = exchange_recorded(&state, &backend, &raw);
+            let outcome = context::with_ctx(ctx, || exchange_recorded(&state, &backend, &target));
             let _ = tx.send(outcome);
         });
     };
@@ -913,7 +976,17 @@ fn degrade(state: &Arc<RouterState>, req: &Request) -> Response {
     match &state.fallback {
         Some(fb) => {
             state.obs.counter("router.local_fallbacks", 1);
-            handlers::route(fb, req)
+            // The fallback runs on this thread under the client
+            // request's context (installed by `serve_connection`), so
+            // its simulation spans carry the client's request and trace
+            // ids -- not a fresh id -- and nest under this span.
+            let mut span = state.obs.span("router.fallback");
+            let response = handlers::route(fb, req);
+            if response.status >= 500 {
+                span.fail();
+            }
+            span.end();
+            response
         }
         None => {
             state.obs.counter("router.no_backend_503", 1);
@@ -966,6 +1039,13 @@ fn healthz(state: &Arc<RouterState>) -> Response {
     } else {
         "false"
     });
+    // Telemetry loss is surfaced here, not buried in /metrics: a
+    // router silently dropping trace lines or span batches is exactly
+    // the failure an operator debugging via traces cannot see.
+    body.push_str(",\"trace_write_errors\":");
+    push_json_number(&mut body, state.telemetry.trace_write_errors() as f64);
+    body.push_str(",\"span_append_errors\":");
+    push_json_number(&mut body, state.telemetry.span_append_errors() as f64);
     body.push_str(",\"up\":");
     push_json_number(&mut body, up as f64);
     body.push_str(",\"suspect\":");
@@ -1035,6 +1115,107 @@ fn admin_backends(state: &Arc<RouterState>, req: &Request) -> Response {
     }
     state.set_backends(&addrs);
     healthz(state)
+}
+
+// ---------------------------------------------------------------------
+// Distributed-trace endpoints
+// ---------------------------------------------------------------------
+
+/// `GET /v1/traces`: searches the *router's* span table. Every client
+/// request passes through the router, so router-side summaries cover
+/// the whole topology; the per-process detail lives behind
+/// `/v1/trace/<id>`, which aggregates the backends.
+fn router_traces(state: &Arc<RouterState>, req: &Request) -> Response {
+    let Some(spans) = state.telemetry.spans.as_ref() else {
+        return Response::error(
+            503,
+            "span_store_unavailable",
+            "this router runs without a span store; boot with --span-store to enable trace search",
+        );
+    };
+    let query = lhr_store::SpanQuery {
+        name: req.param("name").unwrap_or("").to_owned(),
+        errors_only: req.param("status") == Some("error"),
+        min_dur_ns: req
+            .param("min_dur_ns")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0),
+        limit: req.param("limit").and_then(|v| v.parse().ok()).unwrap_or(50),
+    };
+    let mut body = lhr_store::summaries_json(&spans.table().search(&query));
+    body.push('\n');
+    Response::ok_json(body)
+}
+
+/// `GET /v1/trace/<32-hex-id>`: the stitched *multi-process* tree. The
+/// router merges its own span fragment with every reachable backend's
+/// (`GET /v1/trace/<id>?format=fragment` against each), then stitches
+/// with clock-skew alignment -- each backend fragment is shifted into
+/// the router's timeline using the send/recv bounds of the attempt
+/// span that parented it. Down backends are skipped: a trace is served
+/// from whatever fragments survive, never blocked on a dead process.
+fn router_trace(state: &Arc<RouterState>, id: &str, req: &Request) -> Response {
+    let Some(spans) = state.telemetry.spans.as_ref() else {
+        return Response::error(
+            503,
+            "span_store_unavailable",
+            "this router runs without a span store; boot with --span-store to enable trace lookup",
+        );
+    };
+    let Ok(trace) = u128::from_str_radix(id.trim(), 16) else {
+        return Response::error(400, "bad_trace_id", "trace id must be hex (32 digits)");
+    };
+    let mut rows = spans.table().trace_rows(trace);
+    let topo = state.topology();
+    for backend in &topo.backends {
+        if backend.health() == HealthState::Down {
+            continue;
+        }
+        let raw = format!(
+            "GET /v1/trace/{trace:032x}?format=fragment HTTP/1.1\r\nHost: lhr-router\r\n\r\n"
+        );
+        match httpc::exchange_timeouts(
+            backend.addr,
+            raw.as_bytes(),
+            state.config.connect_timeout,
+            state.config.forward_timeout,
+        ) {
+            Ok(resp) if resp.status == 200 => {
+                if let Ok(body) = std::str::from_utf8(&resp.body) {
+                    if let Some(fragment) = lhr_store::parse_fragment(body) {
+                        merge_fragment(&mut rows, fragment);
+                    }
+                }
+            }
+            // 404/503 mean "no fragment there" -- normal for a trace
+            // that never touched this backend or one without a store.
+            Ok(_) | Err(_) => {}
+        }
+    }
+    if rows.is_empty() {
+        return Response::error(404, "no_such_trace", "no persisted spans for that trace id");
+    }
+    let mut body = if req.param("format") == Some("fragment") {
+        lhr_store::fragment_json(trace, &rows)
+    } else {
+        lhr_store::tree_json(trace, &lhr_store::stitch(&rows))
+    };
+    body.push('\n');
+    Response::ok_json(body)
+}
+
+/// Merges a backend fragment into the accumulated row set, dropping
+/// exact duplicates (two backends sharing one span directory would
+/// otherwise double every span).
+fn merge_fragment(rows: &mut Vec<SpanRow>, fragment: Vec<SpanRow>) {
+    for row in fragment {
+        let dup = rows
+            .iter()
+            .any(|r| r.proc == row.proc && r.span == row.span && r.start_ns == row.start_ns);
+        if !dup {
+            rows.push(row);
+        }
+    }
 }
 
 #[cfg(test)]

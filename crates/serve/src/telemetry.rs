@@ -11,6 +11,9 @@
 //! * optionally a [`JsonLinesRecorder`] -- the `--trace` file carrying
 //!   every event with its request context, the input `lhr_traceview`
 //!   reconstructs span trees from;
+//! * optionally a [`SpanRecorder`] -- the `--span-store` directory
+//!   persisting completed spans of tail-sampled distributed traces,
+//!   queryable via `GET /v1/traces` and `GET /v1/trace/<id>`;
 //!
 //! plus an [`SloTracker`] fed per-request by the connection worker (it
 //! consumes request outcomes, not raw events), whose burn rates and
@@ -24,6 +27,7 @@ use lhr_obs::{
     JsonLinesRecorder, MemoryRecorder, MetricsSnapshot, Obs, Recorder, SloConfig, SloTracker,
     TimeSeriesConfig, TimeSeriesRecorder,
 };
+use lhr_store::{SamplingConfig, SpanRecorder};
 
 /// The recorders and trackers one server instance runs with.
 #[derive(Debug, Clone)]
@@ -34,6 +38,8 @@ pub struct Telemetry {
     pub timeseries: Arc<TimeSeriesRecorder>,
     /// The streaming trace file, when `--trace` asked for one.
     pub trace: Option<Arc<JsonLinesRecorder>>,
+    /// The span store, when `--span-store` asked for one.
+    pub spans: Option<Arc<SpanRecorder>>,
     /// Burn-rate alerting over request outcomes (`/healthz`).
     pub slo: Arc<SloTracker>,
 }
@@ -47,6 +53,7 @@ impl Telemetry {
             memory: Arc::new(MemoryRecorder::default()),
             timeseries: Arc::new(TimeSeriesRecorder::new(timeseries)),
             trace: None,
+            spans: None,
             slo: Arc::new(SloTracker::new(slo)),
         }
     }
@@ -58,6 +65,22 @@ impl Telemetry {
     /// Propagates the [`io::Error`] if the file cannot be created.
     pub fn with_trace_path(mut self, path: impl AsRef<Path>) -> io::Result<Self> {
         self.trace = Some(Arc::new(JsonLinesRecorder::create(path)?));
+        Ok(self)
+    }
+
+    /// Adds a span store at `dir` to the fanout; `proc` labels every
+    /// span this process persists (e.g. `"router"`, `"backend:41017"`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the [`io::Error`] if the directory cannot be opened.
+    pub fn with_span_store(
+        mut self,
+        dir: impl AsRef<Path>,
+        proc: &str,
+        sampling: SamplingConfig,
+    ) -> io::Result<Self> {
+        self.spans = Some(Arc::new(SpanRecorder::open(dir.as_ref(), proc, sampling)?));
         Ok(self)
     }
 
@@ -73,6 +96,9 @@ impl Telemetry {
         if let Some(trace) = &self.trace {
             sinks.push(Arc::clone(trace) as Arc<dyn Recorder>);
         }
+        if let Some(spans) = &self.spans {
+            sinks.push(Arc::clone(spans) as Arc<dyn Recorder>);
+        }
         Obs::fanout(sinks)
     }
 
@@ -80,6 +106,13 @@ impl Telemetry {
     #[must_use]
     pub fn trace_write_errors(&self) -> u64 {
         self.trace.as_ref().map_or(0, |t| t.write_errors())
+    }
+
+    /// Span-store batches lost to append or journal errors (0 when no
+    /// span store is armed).
+    #[must_use]
+    pub fn span_append_errors(&self) -> u64 {
+        self.spans.as_ref().map_or(0, |s| s.append_errors())
     }
 
     /// The lifetime aggregate snapshot, with

@@ -49,10 +49,15 @@
 pub mod dsl;
 pub mod exec;
 pub mod journal;
+pub mod spanstore;
 pub mod store;
 
 pub use dsl::{parse, ParseError, Query};
 pub use exec::{PlanError, QueryError, TableResult, Value};
+pub use spanstore::{
+    fragment_json, parse_fragment, stitch, summaries_json, tail_keep, tree_json, SamplingConfig,
+    SpanNode, SpanQuery, SpanRecorder, SpanRow, SpanTable, TraceSummary,
+};
 pub use store::{column_index, CellRow, ColKind, ColumnSpec, Store, UpsertStats, SCHEMA};
 
 impl Store {

@@ -18,14 +18,24 @@
 //!    backend is SIGKILLed and replaced (fresh port, live
 //!    `POST /admin/backends` swap), then a *different* backend gets a
 //!    rolling restart via its graceful-drain endpoint.
-//! 3. **Verdict** -- zero client-visible 5xx (a 503 shed with
+//! 3. **Trace continuity** -- every process runs with a span store
+//!    armed, and the router's sampler is set hostile (`--span-keep-one-in
+//!    1000000`, so the probabilistic path keeps essentially nothing).
+//!    A burst of traced requests fired into the SIGKILL window must
+//!    leave at least one trace that survived the dead backend via
+//!    retry: the tail sampler keeps it *because* it carries an error
+//!    span, and its stitched tree from `GET /v1/trace/<id>` must be one
+//!    coherent tree -- failed attempt marked `error`, the serving
+//!    backend's spans nested under the winning attempt, zero orphan
+//!    roots.
+//! 4. **Verdict** -- zero client-visible 5xx (a 503 shed with
 //!    `Retry-After` is backpressure policy, not failure -- clients
 //!    honor the hint and continue), zero body mismatches, zero
 //!    connection errors, and `/healthz` converged back to every
 //!    backend `up`.
 //!
 //! Exit code 0 means a backend crash is the router's problem, never
-//! the client's.
+//! the client's -- and the trace shows exactly how it was absorbed.
 
 use std::net::SocketAddr;
 use std::path::{Path, PathBuf};
@@ -71,6 +81,8 @@ fn spawn_backend(binary: &Path, name: &str) -> Result<ServerProc, String> {
     let dir = dir.to_string_lossy().into_owned();
     let store = scratch(&format!("{name}-store"));
     let store = store.to_string_lossy().into_owned();
+    let spans = scratch(&format!("{name}-spans"));
+    let spans = spans.to_string_lossy().into_owned();
     ServerProc::spawn(
         binary,
         &[
@@ -82,9 +94,89 @@ fn spawn_backend(binary: &Path, name: &str) -> Result<ServerProc, String> {
             &dir,
             "--store-dir",
             &store,
+            "--span-store",
+            &spans,
         ],
     )
     .map_err(|e| format!("spawn backend {name}: {e}"))
+}
+
+/// A traced GET: every client request carries a fresh `x-lhr-trace`, so
+/// whichever request is in flight when the SIGKILL lands leaves a full
+/// distributed trace of how the router absorbed it. Tracing must not
+/// perturb the body -- the byte-compare against the untraced reference
+/// stays in force.
+fn traced_get(
+    addr: SocketAddr,
+    target: &str,
+    timeout: Duration,
+) -> Result<httpc::HttpResponse, httpc::ClientError> {
+    let trace = lhr_obs::context::next_trace_id();
+    let header = lhr_obs::context::render_trace_header(trace, 0, 1);
+    httpc::get_with_headers(addr, target, &[("x-lhr-trace", &header)], timeout)
+}
+
+/// Pulls the 32-hex trace ids out of a `/v1/traces` summary listing.
+fn trace_ids_in(listing: &str) -> Vec<u128> {
+    let mut ids = Vec::new();
+    let needle = "\"trace\":\"";
+    let mut at = 0;
+    while let Some(i) = listing[at..].find(needle) {
+        let from = at + i + needle.len();
+        if let Some(hex) = listing.get(from..from + 32) {
+            if let Ok(id) = u128::from_str_radix(hex, 16) {
+                if !ids.contains(&id) {
+                    ids.push(id);
+                }
+            }
+        }
+        at = from;
+    }
+    ids
+}
+
+/// True when a stitched tree holds a `router.attempt` span whose own
+/// object carries `"status":"error"` -- the marked failed leg. The row
+/// fields are fixed-order (`name` before `status`, `children` spliced
+/// after), so a bounded forward scan stays inside one object.
+fn has_failed_attempt(tree: &str) -> bool {
+    let needle = "\"name\":\"router.attempt\"";
+    let mut at = 0;
+    while let Some(i) = tree[at..].find(needle) {
+        let from = at + i + needle.len();
+        let object = &tree[from..tree.len().min(from + 160)];
+        let end = object.find("\"children\"").unwrap_or(object.len());
+        if object[..end].contains("\"status\":\"error\"") {
+            return true;
+        }
+        at = from;
+    }
+    false
+}
+
+/// Counts the top-level objects in the `"roots":[...]` array of a
+/// stitched-tree body: 1 means one coherent tree, more means orphan
+/// fragments the stitcher could not attach.
+fn count_roots(tree: &str) -> usize {
+    let Some(at) = tree.find("\"roots\":[") else {
+        return 0;
+    };
+    let mut depth = 0usize;
+    let mut roots = 0usize;
+    for b in tree[at + "\"roots\":[".len()..].bytes() {
+        match b {
+            b'{' => {
+                if depth == 0 {
+                    roots += 1;
+                }
+                depth += 1;
+            }
+            b'}' => depth = depth.saturating_sub(1),
+            b']' if depth == 0 => break,
+            _ => {}
+        }
+    }
+    roots
 }
 
 /// What one verifying client saw.
@@ -123,7 +215,7 @@ fn verifying_client(
         // contract only (its rows depend on the backend's own sink).
         if n % 9 == 8 {
             n += 1;
-            match httpc::get(router, QUERY_PROBE, Duration::from_secs(120)) {
+            match traced_get(router, QUERY_PROBE, Duration::from_secs(120)) {
                 Ok(resp) if resp.status == 200 || resp.status == 503 => tally.queries += 1,
                 Ok(resp) => {
                     tally.server_errors += 1;
@@ -142,7 +234,7 @@ fn verifying_client(
         }
         let (target, expected) = &reference[n % reference.len()];
         n += 1;
-        match httpc::get(router, target, Duration::from_secs(120)) {
+        match traced_get(router, target, Duration::from_secs(120)) {
             Ok(resp) if resp.status == 200 => {
                 tally.ok += 1;
                 if resp.body_str() != expected.as_str() {
@@ -231,6 +323,8 @@ fn run(seed: u64) -> Result<(), String> {
             .collect::<Vec<_>>()
             .join(",")
     };
+    let router_spans = scratch("router-spans");
+    let router_spans = router_spans.to_string_lossy().into_owned();
     let router = ServerProc::spawn(
         &router_bin,
         &[
@@ -244,6 +338,13 @@ fn run(seed: u64) -> Result<(), String> {
             "0",
             "--probe-interval-ms",
             "50",
+            // Span store with a hostile sampler: the probabilistic path
+            // keeps ~nothing, so any trace still present after the drill
+            // is there because the tail sampler saw an error in it.
+            "--span-store",
+            &router_spans,
+            "--span-keep-one-in",
+            "1000000",
         ],
     )
     .map_err(|e| format!("spawn router: {e}"))?;
@@ -336,6 +437,75 @@ fn run(seed: u64) -> Result<(), String> {
     })
     .map_err(|e| format!("healthz never converged to all-Up: {e}"))?;
     println!("converged: /healthz reports all three backends up");
+
+    // ----------------------------------------------------------------
+    // 3b. Trace continuity: every client request was traced, and the
+    // router's probabilistic sampler keeps ~nothing -- so whatever its
+    // span store still holds was kept by the tail sampler, because it
+    // carries an error span. The requests in flight when the SIGKILL
+    // landed must be among them, each one coherent stitched tree with
+    // the failed attempt marked and zero orphan roots.
+    // ----------------------------------------------------------------
+    let resp = httpc::get(
+        router_addr,
+        "/v1/traces?status=error&limit=100",
+        Duration::from_secs(120),
+    )
+    .map_err(|e| format!("error-trace search: {e}"))?;
+    if resp.status != 200 {
+        return Err(format!(
+            "error-trace search: {}: {}",
+            resp.status,
+            resp.body_str()
+        ));
+    }
+    let listing = resp.body_str().into_owned();
+    let error_ids = trace_ids_in(&listing);
+    let mut failed_attempt_traces = 0usize;
+    for &trace in &error_ids {
+        let resp = httpc::get(
+            router_addr,
+            &format!("/v1/trace/{trace:032x}"),
+            Duration::from_secs(120),
+        )
+        .map_err(|e| format!("trace fetch {trace:032x}: {e}"))?;
+        if resp.status != 200 {
+            return Err(format!(
+                "trace fetch {trace:032x}: {}: {}",
+                resp.status,
+                resp.body_str()
+            ));
+        }
+        let tree = resp.body_str().into_owned();
+        // Every kept trace must be one coherent tree (a shed 503 trace
+        // rides along here too; continuity holds for all of them).
+        let roots = count_roots(&tree);
+        if roots != 1 {
+            return Err(format!(
+                "trace {trace:032x}: {roots} roots -- orphan fragments after the kill: {tree}"
+            ));
+        }
+        if has_failed_attempt(&tree) {
+            failed_attempt_traces += 1;
+            if !tree.contains("router.request") {
+                return Err(format!(
+                    "trace {trace:032x}: failed attempt without its request span: {tree}"
+                ));
+            }
+        }
+    }
+    if failed_attempt_traces == 0 {
+        return Err(format!(
+            "no kept trace carries a marked-failed attempt: the kill left no \
+             trace evidence ({} error traces kept)",
+            error_ids.len()
+        ));
+    }
+    println!(
+        "trace continuity: {} error trace(s) survived the hostile sampler, \
+         {failed_attempt_traces} carry the SIGKILLed attempt, all single-root trees",
+        error_ids.len()
+    );
 
     // A little more load against the healed fleet, then the verdict.
     std::thread::sleep(Duration::from_millis(300));
